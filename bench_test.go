@@ -1,0 +1,312 @@
+// Package repro's root benchmarks regenerate every table and figure of
+// the paper at a reduced but shape-preserving scale, one testing.B target
+// per result (see DESIGN.md §4 for the experiment index):
+//
+//	BenchmarkFig1        Figure 1  — uncoop vs coop growth, both topologies
+//	BenchmarkSuccessRate §4.1 / T2 — decision success rate with vs without introductions
+//	BenchmarkFig2        Figure 2  — cooperative reputation over time per λ
+//	BenchmarkFig3        Figure 3  — population vs proportion of naive introducers
+//	BenchmarkFig4        Figure 4+5 — counts and proportions vs reputation lent
+//	BenchmarkFig6        Figure 6  — population vs percentage of freeriding entrants
+//	BenchmarkCollusion   A1        — the §1 collusion attack under staking
+//	BenchmarkBaselines   A2        — admission-policy ablation
+//
+// Each iteration runs the full (scaled) experiment; the reported metric is
+// therefore end-to-end experiment regeneration cost. Micro-benchmarks for
+// the substrates (DHT lookups, ROCQ updates, transaction throughput) are
+// alongside.
+//
+// Run with: go test -bench=. -benchmem
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/experiments"
+	"repro/internal/id"
+	"repro/internal/overlay"
+	"repro/internal/rng"
+	"repro/internal/rocq"
+	"repro/internal/world"
+)
+
+// benchOptions shrinks experiments so a full -bench=. pass stays in
+// minutes while preserving the paper's qualitative shapes.
+func benchOptions(b *testing.B) experiments.Options {
+	b.Helper()
+	return experiments.Options{Runs: 2, Scale: 0.04, SeedBase: 1}
+}
+
+func reportShape(b *testing.B, keyvals ...any) {
+	b.Helper()
+	for i := 0; i+1 < len(keyvals); i += 2 {
+		if v, ok := keyvals[i+1].(float64); ok {
+			b.ReportMetric(v, fmt.Sprint(keyvals[i]))
+		}
+	}
+}
+
+func BenchmarkFig1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f, err := experiments.RunFig1(benchOptions(b))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportShape(b,
+				"coop_powerlaw", f.FinalCoop["powerlaw"],
+				"uncoop_powerlaw", f.FinalUncoop["powerlaw"],
+				"slope_powerlaw", f.Slope["powerlaw"],
+			)
+		}
+	}
+}
+
+func BenchmarkSuccessRate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s, err := experiments.RunSuccessRate(benchOptions(b))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportShape(b,
+				"sr_with", s.WithIntroductions.Mean(),
+				"sr_without", s.WithoutIntroductions.Mean(),
+			)
+		}
+	}
+}
+
+func BenchmarkFig2(b *testing.B) {
+	// Two contrasting arrival rates carry the figure's shape.
+	lambdas := []float64{0.1, 0.005}
+	for i := 0; i < b.N; i++ {
+		f, err := experiments.RunFig2(lambdas, benchOptions(b))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportShape(b,
+				"final_rep_lambda_0.1", f.Final[0.1],
+				"final_rep_lambda_0.005", f.Final[0.005],
+			)
+		}
+	}
+}
+
+func BenchmarkFig3(b *testing.B) {
+	fractions := []float64{0, 0.5, 1}
+	for i := 0; i < b.N; i++ {
+		f, err := experiments.RunFig3(fractions, benchOptions(b))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportShape(b,
+				"uncoop_all_selective", f.Uncoop[0],
+				"uncoop_all_naive", f.Uncoop[2],
+			)
+		}
+	}
+}
+
+func BenchmarkFig4(b *testing.B) {
+	amounts := []float64{0.05, 0.25, 0.45}
+	for i := 0; i < b.N; i++ {
+		f, err := experiments.RunFig45(amounts, benchOptions(b))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportShape(b,
+				"coop_amt_0.05", f.Coop[0],
+				"coop_amt_0.45", f.Coop[2],
+				"refused_rep_amt_0.45", f.RefusedRep[2],
+			)
+		}
+	}
+}
+
+func BenchmarkFig6(b *testing.B) {
+	percentages := []float64{0, 50, 100}
+	for i := 0; i < b.N; i++ {
+		f, err := experiments.RunFig6(percentages, benchOptions(b))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportShape(b,
+				"coop_pct_0", f.Coop[0],
+				"coop_pct_100", f.Coop[2],
+				"uncoop_pct_100", f.Uncoop[2],
+			)
+		}
+	}
+}
+
+func BenchmarkCollusion(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c, err := experiments.RunCollusion(benchOptions(b))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportShape(b,
+				"colluders_admitted", float64(c.ColludersAdmitted),
+				"colluders_refused", float64(c.ColludersRefused),
+				"max_colluder_rep", c.MaxColluderRep,
+			)
+		}
+	}
+}
+
+func BenchmarkBaselines(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunBaselines(benchOptions(b))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, row := range r.Rows {
+				if row.Policy == "reputation-lending" || row.Policy == "complaints-based" {
+					b.ReportMetric(row.UncoopPerCoop, "uncoop_per_coop_"+row.Policy)
+				}
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Substrate micro-benchmarks.
+
+// BenchmarkTransactionTick measures the cost of one simulated transaction
+// in a mid-sized community — the simulator's hot path.
+func BenchmarkTransactionTick(b *testing.B) {
+	cfg := config.Default()
+	cfg.NumInit = 1000
+	cfg.NumTrans = int64(b.N) + 1
+	cfg.Lambda = 0
+	w, err := world.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	w.Run()
+}
+
+// BenchmarkDHTLookup measures greedy finger-table routing on a 4096-node
+// ring.
+func BenchmarkDHTLookup(b *testing.B) {
+	ring := overlay.NewRing()
+	var members []id.ID
+	for i := 0; i < 4096; i++ {
+		n := id.HashString(fmt.Sprintf("bench-node-%d", i))
+		if err := ring.Join(n); err != nil {
+			b.Fatal(err)
+		}
+		members = append(members, n)
+	}
+	src := rng.New(1)
+	keys := make([]id.ID, 1024)
+	for i := range keys {
+		keys[i] = id.FromUint64(src.Uint64())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ring.Lookup(members[i%len(members)], keys[i%len(keys)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScoreManagerPlacement measures replica-key placement on a
+// growing ring — the per-transaction placement cost.
+func BenchmarkScoreManagerPlacement(b *testing.B) {
+	ring := overlay.NewRing()
+	var members []id.ID
+	for i := 0; i < 4096; i++ {
+		n := id.HashString(fmt.Sprintf("bench-node-%d", i))
+		if err := ring.Join(n); err != nil {
+			b.Fatal(err)
+		}
+		members = append(members, n)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ring.ScoreManagers(members[i%len(members)], 6); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkROCQReport measures one feedback report folded into a score
+// manager's aggregate.
+func BenchmarkROCQReport(b *testing.B) {
+	store := rocq.NewStore(rocq.DefaultParams())
+	subject := id.FromUint64(1)
+	store.Credit(subject, 0.1)
+	op := rocq.Opinion{Value: 1, Quality: 0.8, Count: 5}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		store.Report(id.FromUint64(uint64(i%64+2)), subject, op)
+	}
+}
+
+// BenchmarkRingJoin measures membership growth cost (the churn path).
+func BenchmarkRingJoin(b *testing.B) {
+	ring := overlay.NewRing()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ring.Join(id.HashString(fmt.Sprintf("join-%d", i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWhitewash(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		w, err := experiments.RunWhitewash(benchOptions(b))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, row := range w.Rows {
+				if row.Policy == "reputation-lending" || row.Policy == "complaints-based" {
+					b.ReportMetric(row.ServicePerIdentity, "service_per_identity_"+row.Policy)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		a, err := experiments.RunAblation(benchOptions(b))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportShape(b,
+				"coop_reward_ratio_0", a.RewardCoop[0],
+				"coop_reward_ratio_1", a.RewardCoop[len(a.RewardCoop)-1],
+			)
+		}
+	}
+}
+
+func BenchmarkTraitor(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tr, err := experiments.RunTraitor(benchOptions(b))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportShape(b,
+				"rep_at_defection", tr.RepAtDefection,
+				"rep_after", tr.RepAfter,
+			)
+		}
+	}
+}

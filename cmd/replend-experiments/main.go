@@ -1,0 +1,86 @@
+// Command replend-experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	replend-experiments [-scale f] [-runs n] [-out dir] [experiment ...]
+//	replend-experiments -all
+//
+// Experiments: fig1 successrate fig2 fig3 fig4 fig6 collusion baselines
+// ("fig5" shares fig4's sweep and is included in its output).
+//
+// At -scale 1 the full paper-scale workloads run (Figure 2 alone is 80
+// half-million-tick simulations); -scale 0.1 reproduces the shapes in a
+// couple of minutes. Each experiment writes <name>.txt (the comparison
+// table, with the paper's expected shape quoted underneath) and <name>.csv
+// (the raw series) into the output directory, and prints the tables.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "replend-experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("replend-experiments", flag.ContinueOnError)
+	var (
+		scale    = fs.Float64("scale", 0.1, "workload scale (1 = full paper scale)")
+		runs     = fs.Int("runs", 10, "replicas averaged per data point (paper: 10)")
+		parallel = fs.Int("parallel", 0, "concurrent replicas (0 = GOMAXPROCS)")
+		seed     = fs.Uint64("seed", 1, "base random seed")
+		outDir   = fs.String("out", "results", "output directory for .txt and .csv files")
+		all      = fs.Bool("all", false, "run every experiment")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	names := fs.Args()
+	if *all || len(names) == 0 {
+		names = experiments.Names()
+	}
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		return err
+	}
+
+	opt := experiments.Options{
+		Runs:     *runs,
+		Parallel: *parallel,
+		Scale:    *scale,
+		SeedBase: *seed,
+	}
+	for _, name := range names {
+		start := time.Now()
+		fmt.Printf("=== %s (scale %g, %d runs) ===\n", name, *scale, *runs)
+		rep, err := experiments.Run(name, opt)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		table := rep.Table()
+		fmt.Println(table)
+		if plot := experiments.PlotOf(rep); plot != "" {
+			fmt.Println(plot)
+			table += "\n" + plot
+		}
+		fmt.Printf("(%s in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+
+		if err := os.WriteFile(filepath.Join(*outDir, rep.Name()+".txt"), []byte(table), 0o644); err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(*outDir, rep.Name()+".csv"), []byte(rep.CSV()), 0o644); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("results written to %s\n", *outDir)
+	return nil
+}

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleExperimentWritesOutputs(t *testing.T) {
+	dir := t.TempDir()
+	err := run([]string{
+		"-scale", "0.04", "-runs", "1", "-seed", "5", "-out", dir, "fig3",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	table, err := os.ReadFile(filepath.Join(dir, "fig3.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(table), "Figure 3") {
+		t.Fatalf("table content wrong: %s", table)
+	}
+	// The figure report includes its ASCII plot.
+	if !strings.Contains(string(table), "naive") {
+		t.Fatal("plot/axis context missing")
+	}
+	csv, err := os.ReadFile(filepath.Join(dir, "fig3.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(csv), "frac_naive,") {
+		t.Fatalf("csv header wrong: %s", csv)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-scale", "0.04", "-runs", "1", "-out", t.TempDir(), "figX"}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunRejectsBadFlag(t *testing.T) {
+	if err := run([]string{"-runs", "x"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

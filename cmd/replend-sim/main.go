@@ -1,0 +1,144 @@
+// Command replend-sim runs a single reputation-lending community
+// simulation and prints a summary plus optional CSV time series.
+//
+// Usage:
+//
+//	replend-sim [flags]
+//
+// The defaults are the paper's Table 1 values. Examples:
+//
+//	replend-sim -lambda 0.1 -ticks 50000            # Figure 1 conditions
+//	replend-sim -no-introductions -policy mid-spectrum
+//	replend-sim -config experiment.json -csv out.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/baseline"
+	"repro/internal/config"
+	"repro/internal/metrics"
+	"repro/internal/topology"
+	"repro/internal/world"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "replend-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("replend-sim", flag.ContinueOnError)
+	var (
+		configPath = fs.String("config", "", "JSON configuration file (fields default to Table 1)")
+		numInit    = fs.Int("init", 500, "initial cooperative peers")
+		ticks      = fs.Int64("ticks", 500000, "transactions (= simulation time units)")
+		lambda     = fs.Float64("lambda", 0.01, "new-peer Poisson arrival rate per tick")
+		fracUncoop = fs.Float64("frac-uncoop", 0.25, "fraction of arrivals that are uncooperative")
+		fracNaive  = fs.Float64("frac-naive", 0.3, "fraction of cooperative peers that are naive introducers")
+		errSel     = fs.Float64("err-sel", 0.10, "selective introducer error rate")
+		topo       = fs.String("topology", "powerlaw", "topology: random or powerlaw")
+		wait       = fs.Int64("wait", 1000, "introduction waiting period T")
+		auditTrans = fs.Int("audit-trans", 20, "completed transactions before the newcomer audit")
+		introAmt   = fs.Float64("intro-amt", 0.1, "reputation lent per introduction")
+		reward     = fs.Float64("reward", 0.02, "reward for introducing a cooperative peer")
+		seed       = fs.Uint64("seed", 1, "random seed")
+		noIntro    = fs.Bool("no-introductions", false, "open admission instead of reputation lending")
+		policyName = fs.String("policy", "mid-spectrum", "bootstrap policy with -no-introductions: complaints-based, positive-only, mid-spectrum, fixed-credit")
+		csvPath    = fs.String("csv", "", "write population/reputation time series as CSV to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := config.Default()
+	if *configPath != "" {
+		data, err := os.ReadFile(*configPath)
+		if err != nil {
+			return err
+		}
+		cfg, err = config.Load(data)
+		if err != nil {
+			return err
+		}
+	} else {
+		kind, err := topology.ParseKind(*topo)
+		if err != nil {
+			return err
+		}
+		cfg.NumInit = *numInit
+		cfg.NumTrans = *ticks
+		cfg.Lambda = *lambda
+		cfg.FracUncoop = *fracUncoop
+		cfg.FracNaive = *fracNaive
+		cfg.ErrSel = *errSel
+		cfg.Topology = kind
+		cfg.WaitPeriod = *wait
+		cfg.AuditTrans = *auditTrans
+		cfg.IntroAmt = *introAmt
+		cfg.Reward = *reward
+		cfg.Seed = *seed
+		cfg.RequireIntroductions = !*noIntro
+	}
+
+	w, err := world.New(cfg)
+	if err != nil {
+		return err
+	}
+	if !cfg.RequireIntroductions {
+		pol, err := policyByName(*policyName)
+		if err != nil {
+			return err
+		}
+		w.SetPolicy(pol)
+	}
+	w.Run()
+
+	printSummary(w)
+	if *csvPath != "" {
+		m := w.Metrics()
+		csv := metrics.CSV(m.CoopCount, m.UncoopCount, m.CoopReputation)
+		if err := os.WriteFile(*csvPath, []byte(csv), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("series written to %s\n", *csvPath)
+	}
+	return nil
+}
+
+func policyByName(name string) (baseline.Policy, error) {
+	for _, p := range baseline.All() {
+		if p.Name() == name || (name == "fixed-credit" && p.Name() == "fixed-credit(0.1)") {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("unknown policy %q", name)
+}
+
+func printSummary(w *world.World) {
+	m := w.Metrics()
+	ps := w.Protocol().Stats()
+	cfg := w.Config()
+	fmt.Printf("reputation lending simulation — seed %d, %d ticks, λ=%g, topology %s\n",
+		cfg.Seed, cfg.NumTrans, cfg.Lambda, cfg.Topology)
+	fmt.Printf("population:   %d peers (%d cooperative, %d uncooperative, %d founders)\n",
+		w.PopulationSize(), m.CoopInSystem, m.UncoopInSystem, m.Founders)
+	fmt.Printf("arrivals:     %d cooperative, %d uncooperative\n", m.ArrivalsCoop, m.ArrivalsUncoop)
+	fmt.Printf("admitted:     %d cooperative, %d uncooperative\n", m.AdmittedCoop, m.AdmittedUncoop)
+	fmt.Printf("refused:      %d by introducer, %d for introducer reputation, %d no introducer, %d pending at end\n",
+		m.RefusedSelectiveCoop+m.RefusedSelectiveUncoop,
+		m.RefusedRepCoop+m.RefusedRepUncoop, m.RefusedNoIntroducer, m.Pending)
+	fmt.Printf("transactions: %d served, %d denied\n", m.Served, m.Denied)
+	fmt.Printf("success rate: %.4f (decisions by cooperative respondents)\n", m.SuccessRate())
+	fmt.Printf("audits:       %d satisfied (stake+reward returned), %d forfeited\n",
+		m.AuditsSatisfied, m.AuditsForfeited)
+	fmt.Printf("protocol:     %d lends granted, %d duplicate-introduction punishments\n",
+		ps.Granted, ps.DuplicateAttempts)
+	if last, ok := m.CoopReputation.Last(); ok {
+		fmt.Printf("reputation:   mean cooperative reputation %.4f at end\n", last.V)
+	}
+}

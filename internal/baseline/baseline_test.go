@@ -1,0 +1,43 @@
+package baseline
+
+import "testing"
+
+func TestPolicyValues(t *testing.T) {
+	cases := []struct {
+		p    Policy
+		want float64
+	}{
+		{ComplaintsBased{}, 1.0},
+		{PositiveOnly{}, 0.0},
+		{MidSpectrum{}, 0.5},
+		{FixedCredit{}, 0.1},
+		{FixedCredit{Amount: 0.25}, 0.25},
+	}
+	for _, c := range cases {
+		if got := c.p.InitialReputation(); got != c.want {
+			t.Errorf("%s: InitialReputation = %v, want %v", c.p.Name(), got, c.want)
+		}
+		if c.p.Name() == "" {
+			t.Errorf("%T: empty name", c.p)
+		}
+	}
+}
+
+func TestAllCoversDistinctNames(t *testing.T) {
+	seen := map[string]bool{}
+	for _, p := range All() {
+		if seen[p.Name()] {
+			t.Fatalf("duplicate policy name %q", p.Name())
+		}
+		seen[p.Name()] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("All returned %d policies, want 4", len(seen))
+	}
+}
+
+func TestFixedCreditDefaultsOnNonPositive(t *testing.T) {
+	if got := (FixedCredit{Amount: -1}).InitialReputation(); got != 0.1 {
+		t.Fatalf("negative amount should default to 0.1, got %v", got)
+	}
+}

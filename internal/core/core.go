@@ -1,0 +1,214 @@
+// Package core is the library's front door: a compact, stable API over
+// the reputation-lending community for downstream users who do not want
+// to wire the substrates (overlay, ROCQ, transport, lending protocol)
+// together themselves.
+//
+// A Community is a simulated peer-to-peer system in the paper's model: a
+// founding set of cooperative members, ROCQ reputation managed by DHT-
+// placed score managers, and admission exclusively by reputation lending.
+// Drive it either with the configured background workload (Run) or
+// scripted, one phase at a time (Advance / RequestIntroduction):
+//
+//	c, err := core.NewCommunity(core.Options{Founders: 100, Seed: 1})
+//	...
+//	c.Advance(5000)                                  // background workload
+//	newcomer, _ := c.RequestIntroduction(core.Cooperative, member)
+//	c.Advance(c.WaitPeriod() + 1)
+//	fmt.Println(c.IsMember(newcomer), c.Reputation(newcomer))
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/id"
+	"repro/internal/peer"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/trace"
+	"repro/internal/world"
+)
+
+// PeerID names a community member. It is the 160-bit overlay identifier.
+type PeerID = id.ID
+
+// Behaviour is a scripted newcomer's behavioural class.
+type Behaviour int
+
+// The behaviour classes for scripted arrivals.
+const (
+	// Cooperative peers share resources and report honestly.
+	Cooperative Behaviour = iota
+	// Freeriding peers consume without sharing and always report 0.
+	Freeriding
+)
+
+// Options configures a community. The zero value takes the paper's
+// Table 1 defaults with 500 founders.
+type Options struct {
+	// Founders is the initial number of cooperative members (default 500).
+	Founders int
+	// Seed drives all randomness (default 1).
+	Seed uint64
+	// Lambda is the background Poisson arrival rate per tick (default
+	// 0: arrivals only happen through RequestIntroduction).
+	Lambda float64
+	// FracUncoop is the uncooperative fraction of background arrivals.
+	FracUncoop float64
+	// IntroAmt overrides the reputation staked per introduction
+	// (default 0.1; the reward follows at 20%).
+	IntroAmt float64
+	// Topology selects respondent bias: "random" or "powerlaw"
+	// (default powerlaw).
+	Topology string
+	// TraceLimit retains at most this many protocol events for
+	// inspection via Trace (0 keeps everything).
+	TraceLimit int
+}
+
+// Community is a running reputation-lending system.
+type Community struct {
+	w   *world.World
+	log *trace.Log
+}
+
+// NewCommunity builds a community from the options.
+func NewCommunity(o Options) (*Community, error) {
+	cfg := config.Default()
+	cfg.Lambda = 0
+	cfg.NumTrans = 1 << 40 // effectively unbounded; callers drive the clock
+	if o.Founders > 0 {
+		cfg.NumInit = o.Founders
+	}
+	if o.Seed != 0 {
+		cfg.Seed = o.Seed
+	}
+	if o.Lambda > 0 {
+		cfg.Lambda = o.Lambda
+	}
+	if o.FracUncoop > 0 {
+		cfg.FracUncoop = o.FracUncoop
+	}
+	if o.IntroAmt > 0 {
+		cfg = cfg.WithIntroAmt(o.IntroAmt)
+	}
+	if o.Topology != "" {
+		kind, err := topology.ParseKind(o.Topology)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Topology = kind
+	}
+	w, err := world.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	log := trace.New(o.TraceLimit)
+	w.SetTrace(log)
+	w.Start()
+	return &Community{w: w, log: log}, nil
+}
+
+// Advance runs the community for n ticks (one resource transaction per
+// tick, plus any configured background arrivals).
+func (c *Community) Advance(n int64) {
+	if n < 0 {
+		panic("core: negative Advance")
+	}
+	c.w.RunFor(sim.Tick(n))
+}
+
+// Now returns the community's clock.
+func (c *Community) Now() int64 { return int64(c.w.Engine().Now()) }
+
+// WaitPeriod returns the introduction waiting period T in ticks.
+func (c *Community) WaitPeriod() int64 { return c.w.Config().WaitPeriod }
+
+// Members returns the current member identifiers in admission order.
+func (c *Community) Members() []PeerID { return c.w.AdmittedPeers() }
+
+// Size returns the current membership count.
+func (c *Community) Size() int { return c.w.PopulationSize() }
+
+// IsMember reports whether the peer has been admitted.
+func (c *Community) IsMember(p PeerID) bool {
+	for _, m := range c.w.AdmittedPeers() {
+		if m == p {
+			return true
+		}
+	}
+	return false
+}
+
+// Reputation returns the peer's aggregate reputation as its score
+// managers currently see it (0 for unknown peers).
+func (c *Community) Reputation(p PeerID) float64 { return c.w.Reputation(p) }
+
+// ErrNotMember reports an introducer that is not in the community.
+var ErrNotMember = errors.New("core: introducer is not a community member")
+
+// RequestIntroduction scripts a newcomer of the given behaviour asking
+// the given member for an introduction. The decision and the lend play
+// out over the waiting period; call Advance(WaitPeriod()+1) and then
+// IsMember to observe the outcome.
+func (c *Community) RequestIntroduction(b Behaviour, introducer PeerID) (PeerID, error) {
+	// Style follows the paper's rule: uncooperative peers are always
+	// naive introducers; scripted cooperative newcomers default to
+	// selective (the common case).
+	var class peer.Class
+	var style peer.Style
+	switch b {
+	case Cooperative:
+		class, style = peer.Cooperative, peer.Selective
+	case Freeriding:
+		class, style = peer.Uncooperative, peer.Naive
+	default:
+		return PeerID{}, fmt.Errorf("core: unknown behaviour %d", int(b))
+	}
+	p, err := c.w.InjectArrival(class, style, introducer)
+	if err != nil {
+		return PeerID{}, fmt.Errorf("%w: %v", ErrNotMember, err)
+	}
+	return p, nil
+}
+
+// Stats is the community's headline health summary.
+type Stats struct {
+	Members        int
+	Cooperative    int64
+	Uncooperative  int64
+	AdmittedCoop   int64
+	AdmittedUncoop int64
+	Refused        int64
+	SuccessRate    float64
+	MeanCoopRep    float64
+	AuditsOK       int64
+	AuditsBad      int64
+}
+
+// Stats returns the current summary.
+func (c *Community) Stats() Stats {
+	m := c.w.Metrics()
+	rep, _ := m.CoopReputation.Last()
+	return Stats{
+		Members:        c.w.PopulationSize(),
+		Cooperative:    m.CoopInSystem,
+		Uncooperative:  m.UncoopInSystem,
+		AdmittedCoop:   m.AdmittedCoop,
+		AdmittedUncoop: m.AdmittedUncoop,
+		Refused: m.RefusedSelectiveCoop + m.RefusedSelectiveUncoop +
+			m.RefusedRepCoop + m.RefusedRepUncoop,
+		SuccessRate: m.SuccessRate(),
+		MeanCoopRep: rep.V,
+		AuditsOK:    m.AuditsSatisfied,
+		AuditsBad:   m.AuditsForfeited,
+	}
+}
+
+// Trace returns the community's structured protocol event log.
+func (c *Community) Trace() *trace.Log { return c.log }
+
+// World exposes the underlying simulation world for advanced use
+// (fault injection, overlay inspection).
+func (c *Community) World() *world.World { return c.w }

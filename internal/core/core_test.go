@@ -1,0 +1,179 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func newCommunity(t *testing.T, o Options) *Community {
+	t.Helper()
+	if o.Founders == 0 {
+		o.Founders = 60
+	}
+	if o.Seed == 0 {
+		o.Seed = 4
+	}
+	c, err := NewCommunity(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewCommunityDefaults(t *testing.T) {
+	c := newCommunity(t, Options{})
+	if c.Size() != 60 {
+		t.Fatalf("size = %d", c.Size())
+	}
+	if c.Now() != 0 {
+		t.Fatalf("clock = %d", c.Now())
+	}
+	if len(c.Members()) != 60 {
+		t.Fatal("members mismatch")
+	}
+	for _, m := range c.Members() {
+		if !c.IsMember(m) {
+			t.Fatal("member not recognised")
+		}
+		if c.Reputation(m) < 0.99 {
+			t.Fatalf("founder reputation %v", c.Reputation(m))
+		}
+	}
+}
+
+func TestNewCommunityOptionValidation(t *testing.T) {
+	if _, err := NewCommunity(Options{Topology: "mesh"}); err == nil {
+		t.Fatal("bad topology accepted")
+	}
+	if _, err := NewCommunity(Options{IntroAmt: 2}); err == nil {
+		t.Fatal("bad intro amount accepted")
+	}
+}
+
+func TestIntroductionLifecycle(t *testing.T) {
+	c := newCommunity(t, Options{})
+	c.Advance(2000)
+
+	member := c.Members()[0]
+	before := c.Reputation(member)
+	newcomer, err := c.RequestIntroduction(Cooperative, member)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.IsMember(newcomer) {
+		t.Fatal("admitted before the waiting period")
+	}
+	c.Advance(c.WaitPeriod() + 1)
+	if !c.IsMember(newcomer) {
+		t.Fatal("cooperative newcomer not admitted")
+	}
+	if rep := c.Reputation(newcomer); rep < 0.05 || rep > 0.15 {
+		t.Fatalf("lent reputation = %v, want ≈0.1", rep)
+	}
+	if after := c.Reputation(member); after >= before {
+		t.Fatalf("introducer not staked: %v -> %v", before, after)
+	}
+}
+
+func TestFreeridingNewcomerBurnsCredit(t *testing.T) {
+	c := newCommunity(t, Options{})
+	c.Advance(2000)
+	member := c.Members()[1]
+	freerider, err := c.RequestIntroduction(Freeriding, member)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Advance(c.WaitPeriod() + 1)
+	if !c.IsMember(freerider) {
+		t.Skip("selective member refused the freerider outright (valid outcome)")
+	}
+	c.Advance(20000)
+	if rep := c.Reputation(freerider); rep > 0.2 {
+		t.Fatalf("freerider reputation %v did not decay", rep)
+	}
+	st := c.Stats()
+	if st.AuditsBad == 0 {
+		t.Fatal("freerider audit did not forfeit")
+	}
+}
+
+func TestUnknownIntroducerRejected(t *testing.T) {
+	c := newCommunity(t, Options{})
+	var ghost PeerID
+	ghost[0] = 0xab
+	if _, err := c.RequestIntroduction(Cooperative, ghost); err == nil {
+		t.Fatal("unknown introducer accepted")
+	}
+}
+
+func TestUnknownBehaviourRejected(t *testing.T) {
+	c := newCommunity(t, Options{})
+	if _, err := c.RequestIntroduction(Behaviour(42), c.Members()[0]); err == nil {
+		t.Fatal("unknown behaviour accepted")
+	}
+}
+
+func TestBackgroundArrivals(t *testing.T) {
+	c := newCommunity(t, Options{Lambda: 0.05, FracUncoop: 0.25})
+	c.Advance(8000)
+	st := c.Stats()
+	if st.AdmittedCoop == 0 {
+		t.Fatal("no background admissions")
+	}
+	if st.Members != int(st.Cooperative+st.Uncooperative) {
+		t.Fatalf("stats inconsistent: %+v", st)
+	}
+	if st.SuccessRate <= 0 || st.SuccessRate > 1 {
+		t.Fatalf("success rate %v", st.SuccessRate)
+	}
+	if st.MeanCoopRep <= 0 {
+		t.Fatalf("mean cooperative reputation %v", st.MeanCoopRep)
+	}
+}
+
+func TestTraceExposedAndConsistent(t *testing.T) {
+	c := newCommunity(t, Options{Lambda: 0.05})
+	c.Advance(6000)
+	log := c.Trace()
+	if log.Len() == 0 {
+		t.Fatal("no trace events")
+	}
+	if v := log.Verify(); len(v) != 0 {
+		t.Fatalf("trace violations: %v", v)
+	}
+	if len(log.Filter(trace.Arrival)) == 0 {
+		t.Fatal("no arrival events")
+	}
+}
+
+func TestCustomIntroAmt(t *testing.T) {
+	c := newCommunity(t, Options{IntroAmt: 0.3})
+	c.Advance(1000)
+	member := c.Members()[0]
+	newcomer, err := c.RequestIntroduction(Cooperative, member)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Advance(c.WaitPeriod() + 1)
+	if rep := c.Reputation(newcomer); rep < 0.25 || rep > 0.35 {
+		t.Fatalf("lent reputation %v, want ≈0.3", rep)
+	}
+}
+
+func TestWorldEscapeHatch(t *testing.T) {
+	c := newCommunity(t, Options{})
+	if c.World() == nil || c.World().Ring().Size() != c.Size() {
+		t.Fatal("World() accessor broken")
+	}
+}
+
+func TestAdvanceNegativePanics(t *testing.T) {
+	c := newCommunity(t, Options{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	c.Advance(-1)
+}

@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/baseline"
+	"repro/internal/config"
+)
+
+// Baselines reproduces the §1 comparison as an ablation (experiment A2 in
+// DESIGN.md): the admission alternatives the paper surveys — complaints-
+// based (newcomer fully trusted), positive-only (newcomer frozen out),
+// mid-spectrum, fixed free credit — against reputation lending, all on the
+// same workload. The qualitative claim to check: lending admits the fewest
+// uncooperative peers per cooperative peer admitted, without freezing
+// cooperative newcomers out.
+type Baselines struct {
+	Rows []BaselineRow
+}
+
+// BaselineRow is one policy's outcome.
+type BaselineRow struct {
+	Policy         string
+	AdmittedCoop   float64
+	AdmittedUncoop float64
+	// UncoopPerCoop is the contamination ratio (lower is better).
+	UncoopPerCoop float64
+	SuccessRate   float64
+	// CoopFinalRep is the mean cooperative reputation at the end — the
+	// freeze-out check (positive-only admits everyone but at reputation
+	// 0, so cooperative newcomers stay frozen).
+	CoopFinalRep float64
+}
+
+func baselinesConfig() config.Config {
+	c := config.Default()
+	c.Lambda = 0.05 // brisker arrivals make admission policy differences visible
+	c.NumTrans = 100_000
+	return c
+}
+
+// RunBaselines executes lending plus every baseline policy.
+func RunBaselines(opt Options) (*Baselines, error) {
+	opt = opt.withDefaults()
+	out := &Baselines{}
+
+	// The lending scheme itself.
+	cfg := opt.apply(baselinesConfig())
+	rs, err := runReplicas(cfg, opt, nil)
+	if err != nil {
+		return nil, err
+	}
+	out.Rows = append(out.Rows, baselineRow("reputation-lending", rs))
+
+	for i, pol := range baseline.All() {
+		c := opt.apply(baselinesConfig())
+		c.RequireIntroductions = false
+		o := opt
+		o.SeedBase = opt.SeedBase + uint64(i+1)*1_000_003
+		rs, err := runReplicas(c, o, pol)
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, baselineRow(pol.Name(), rs))
+	}
+	return out, nil
+}
+
+func baselineRow(name string, rs []Replica) BaselineRow {
+	coop := meanOf(rs, func(r Replica) int64 { return r.Metrics.AdmittedCoop })
+	uncoop := meanOf(rs, func(r Replica) int64 { return r.Metrics.AdmittedUncoop })
+	sr := statOf(rs, func(r Replica) float64 { return r.Metrics.SuccessRate() })
+	row := BaselineRow{
+		Policy:         name,
+		AdmittedCoop:   coop,
+		AdmittedUncoop: uncoop,
+		SuccessRate:    sr.Mean(),
+	}
+	if coop > 0 {
+		row.UncoopPerCoop = uncoop / coop
+	}
+	var repSum float64
+	for _, r := range rs {
+		if last, ok := r.Metrics.CoopReputation.Last(); ok {
+			repSum += last.V
+		}
+	}
+	row.CoopFinalRep = repSum / float64(len(rs))
+	return row
+}
+
+// Name implements Report.
+func (b *Baselines) Name() string { return "baselines" }
+
+// Table renders the policy comparison.
+func (b *Baselines) Table() string {
+	t := &TextTable{
+		Title: "A2 — admission-policy ablation (λ=0.05)",
+		Header: []string{"policy", "coop admitted", "uncoop admitted",
+			"uncoop per coop", "success rate", "final coop reputation"},
+	}
+	for _, r := range b.Rows {
+		t.AddRow(r.Policy, r.AdmittedCoop, r.AdmittedUncoop, r.UncoopPerCoop, r.SuccessRate, r.CoopFinalRep)
+	}
+	var s strings.Builder
+	s.WriteString(t.String())
+	s.WriteString("\nexpected: lending has the lowest uncoop-per-coop ratio among policies that admit cooperative newcomers\n")
+	return s.String()
+}
+
+// CSV renders the comparison.
+func (b *Baselines) CSV() string {
+	var s strings.Builder
+	s.WriteString("policy,coop_admitted,uncoop_admitted,uncoop_per_coop,success_rate,final_coop_reputation\n")
+	for _, r := range b.Rows {
+		fmt.Fprintf(&s, "%s,%g,%g,%g,%g,%g\n",
+			r.Policy, r.AdmittedCoop, r.AdmittedUncoop, r.UncoopPerCoop, r.SuccessRate, r.CoopFinalRep)
+	}
+	return s.String()
+}

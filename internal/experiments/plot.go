@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"strings"
+
+	"repro/internal/asciiplot"
+	"repro/internal/metrics"
+	"repro/internal/topology"
+)
+
+// Plotter is implemented by reports that can render themselves as ASCII
+// charts with the same axes as the paper's figures. The CLI prints the
+// plot beneath the numeric table.
+type Plotter interface {
+	Plot() string
+}
+
+// xySeries builds a series over a synthetic integer axis (sweep plots).
+func xySeries(name string, xs []float64, scale float64, ys []float64) *metrics.Series {
+	s := &metrics.Series{Name: name}
+	for i := range xs {
+		s.Append(int64(xs[i]*scale), ys[i])
+	}
+	return s
+}
+
+// Plot renders Figure 1's axes: uncooperative count against cooperative
+// count, one glyph per topology.
+func (f *Fig1) Plot() string {
+	var series []*metrics.Series
+	for _, k := range []topology.Kind{topology.Random, topology.PowerLaw} {
+		coop, uncoop := f.Coop[k], f.Uncoop[k]
+		if coop == nil || uncoop == nil {
+			continue
+		}
+		s := &metrics.Series{Name: "uncoop-" + string(k)}
+		prev := int64(-1)
+		for i := range coop.Points {
+			x := int64(coop.Points[i].V)
+			if x <= prev {
+				continue // the x axis (coop count) must be monotone
+			}
+			prev = x
+			s.Append(x, uncoop.Points[i].V)
+		}
+		series = append(series, s)
+	}
+	return asciiplot.Render(asciiplot.Options{
+		Title:  "uncooperative vs cooperative peers",
+		XLabel: "cooperative peers",
+		YLabel: "uncooperative peers",
+	}, series...)
+}
+
+// Plot renders Figure 2's reputation-over-time curves.
+func (f *Fig2) Plot() string {
+	var series []*metrics.Series
+	for _, lam := range f.Lambdas() {
+		series = append(series, f.Reputation[lam])
+	}
+	return asciiplot.Render(asciiplot.Options{
+		Title:  "mean cooperative reputation over time, per arrival rate",
+		XLabel: "time units",
+		YLabel: "reputation",
+	}, series...)
+}
+
+// Plot renders Figure 3's sweep.
+func (f *Fig3) Plot() string {
+	return asciiplot.Render(asciiplot.Options{
+		Title:  "population vs proportion of naive introducers (x = fracNaive × 100)",
+		XLabel: "naive fraction ×100",
+		YLabel: "peers",
+	},
+		xySeries("coop", f.FracNaive, 100, f.Coop),
+		xySeries("uncoop", f.FracNaive, 100, f.Uncoop),
+	)
+}
+
+// Plot renders Figure 4's and Figure 5's sweeps.
+func (f *Fig45) Plot() string {
+	fig4 := asciiplot.Render(asciiplot.Options{
+		Title:  "counts vs reputation lent (x = introAmt × 100)",
+		XLabel: "introAmt ×100",
+		YLabel: "peers",
+	},
+		xySeries("coop", f.IntroAmt, 100, f.Coop),
+		xySeries("uncoop", f.IntroAmt, 100, f.Uncoop),
+		xySeries("refused-rep", f.IntroAmt, 100, f.RefusedRep),
+		xySeries("refused-uncoop", f.IntroAmt, 100, f.RefusedUncoop),
+	)
+	fig5 := asciiplot.Render(asciiplot.Options{
+		Title:  "proportions vs reputation lent (x = introAmt × 100)",
+		XLabel: "introAmt ×100",
+		YLabel: "proportion",
+	},
+		xySeries("prop-coop", f.IntroAmt, 100, f.PropCoop),
+		xySeries("prop-uncoop", f.IntroAmt, 100, f.PropUncoop),
+	)
+	return fig4 + "\n" + fig5
+}
+
+// Plot renders Figure 6's sweep.
+func (f *Fig6) Plot() string {
+	return asciiplot.Render(asciiplot.Options{
+		Title:  "population vs percentage of freeriding entrants",
+		XLabel: "% uncooperative arrivals",
+		YLabel: "peers",
+	},
+		xySeries("coop", f.PctUncoop, 1, f.Coop),
+		xySeries("uncoop", f.PctUncoop, 1, f.Uncoop),
+		xySeries("refused-rep", f.PctUncoop, 1, f.RefusedRep),
+		xySeries("refused-uncoop", f.PctUncoop, 1, f.RefusedUncoop),
+	)
+}
+
+// PlotOf returns the report's chart when it has one, or "".
+func PlotOf(r Report) string {
+	if p, ok := r.(Plotter); ok {
+		return strings.TrimRight(p.Plot(), "\n") + "\n"
+	}
+	return ""
+}

@@ -1,0 +1,55 @@
+package experiments
+
+// Report is a regenerated table or figure: a human-readable text table
+// (with the paper's expected shape noted underneath) and the raw CSV
+// series for plotting.
+type Report interface {
+	// Name is the experiment identifier (fig1, fig2, …, successrate,
+	// collusion, baselines).
+	Name() string
+	// Table renders the aligned text table.
+	Table() string
+	// CSV renders the machine-readable series.
+	CSV() string
+}
+
+// Names lists every runnable experiment identifier, in paper order.
+func Names() []string {
+	return []string{"fig1", "successrate", "fig2", "fig3", "fig4", "fig6", "collusion", "baselines", "whitewash", "ablation", "traitor"}
+}
+
+// Run dispatches one experiment by name ("fig5" is an alias of "fig4";
+// the two figures share a sweep).
+func Run(name string, opt Options) (Report, error) {
+	switch name {
+	case "fig1":
+		return RunFig1(opt)
+	case "successrate", "t2":
+		return RunSuccessRate(opt)
+	case "fig2":
+		return RunFig2(nil, opt)
+	case "fig3":
+		return RunFig3(nil, opt)
+	case "fig4", "fig5":
+		return RunFig45(nil, opt)
+	case "fig6":
+		return RunFig6(nil, opt)
+	case "collusion":
+		return RunCollusion(opt)
+	case "baselines":
+		return RunBaselines(opt)
+	case "whitewash":
+		return RunWhitewash(opt)
+	case "ablation":
+		return RunAblation(opt)
+	case "traitor":
+		return RunTraitor(opt)
+	}
+	return nil, errUnknownExperiment(name)
+}
+
+type errUnknownExperiment string
+
+func (e errUnknownExperiment) Error() string {
+	return "experiments: unknown experiment " + string(e)
+}

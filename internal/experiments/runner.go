@@ -1,0 +1,153 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§4) plus the ablations called out in DESIGN.md. Each
+// experiment builds the paper's configuration, runs the required number of
+// replicas in parallel ("Each experiment is repeated 10 times and the
+// results shown are the average"), and renders a text table and CSV
+// series whose shape is directly comparable to the published plots.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/baseline"
+	"repro/internal/config"
+	"repro/internal/lending"
+	"repro/internal/metrics"
+	"repro/internal/world"
+)
+
+// Options scales an experiment. The zero value means paper scale: the
+// populations, durations and replica counts of §4.
+type Options struct {
+	// Runs is the number of replicas averaged per data point (paper: 10).
+	Runs int
+	// Parallel bounds concurrently running replicas (default GOMAXPROCS).
+	Parallel int
+	// Scale shrinks population and duration linearly (1 = paper scale).
+	// Benchmarks use small scales; shapes are preserved because the
+	// arrival rate stays per-tick.
+	Scale float64
+	// SeedBase offsets the replica seeds, so different experiments (and
+	// different sweep points) draw independent randomness.
+	SeedBase uint64
+}
+
+// withDefaults fills unset options with paper-scale values.
+func (o Options) withDefaults() Options {
+	if o.Runs <= 0 {
+		o.Runs = 10
+	}
+	if o.Parallel <= 0 {
+		o.Parallel = runtime.GOMAXPROCS(0)
+	}
+	if o.Scale <= 0 {
+		o.Scale = 1
+	}
+	if o.SeedBase == 0 {
+		o.SeedBase = 1
+	}
+	return o
+}
+
+// apply scales a paper-scale configuration down (or up).
+func (o Options) apply(c config.Config) config.Config {
+	if o.Scale == 1 {
+		return c
+	}
+	c.NumInit = int(float64(c.NumInit) * o.Scale)
+	if c.NumInit < 20 {
+		c.NumInit = 20
+	}
+	c.NumTrans = int64(float64(c.NumTrans) * o.Scale)
+	if c.NumTrans < 2000 {
+		c.NumTrans = 2000
+	}
+	c.WaitPeriod = int64(float64(c.WaitPeriod) * o.Scale)
+	if c.WaitPeriod < 20 {
+		c.WaitPeriod = 20
+	}
+	c.SampleEvery = c.NumTrans / 100
+	if c.SampleEvery < 1 {
+		c.SampleEvery = 1
+	}
+	return c
+}
+
+// Replica is the outcome of one simulation run.
+type Replica struct {
+	Metrics world.Metrics
+	Proto   lending.Stats
+}
+
+// runReplicas executes opt.Runs independent seeded replicas of cfg in
+// parallel and returns them in seed order. policy may be nil (lending
+// admissions) or a baseline bootstrap rule used when cfg disables
+// introductions.
+func runReplicas(cfg config.Config, opt Options, policy baseline.Policy) ([]Replica, error) {
+	opt = opt.withDefaults()
+	out := make([]Replica, opt.Runs)
+	errs := make([]error, opt.Runs)
+
+	sem := make(chan struct{}, opt.Parallel)
+	var wg sync.WaitGroup
+	for i := 0; i < opt.Runs; i++ {
+		i := i
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			c := cfg
+			c.Seed = opt.SeedBase + uint64(i)*7919 // distinct, well-spread seeds
+			w, err := world.New(c)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if policy != nil {
+				w.SetPolicy(policy)
+			}
+			w.Run()
+			out[i] = Replica{Metrics: *w.Metrics(), Proto: w.Protocol().Stats()}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("experiments: replica failed: %w", err)
+		}
+	}
+	return out, nil
+}
+
+// meanOf averages an int64 field over replicas.
+func meanOf(rs []Replica, f func(Replica) int64) float64 {
+	if len(rs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, r := range rs {
+		sum += float64(f(r))
+	}
+	return sum / float64(len(rs))
+}
+
+// statOf accumulates a float64 field over replicas, exposing mean and CI.
+func statOf(rs []Replica, f func(Replica) float64) metrics.Running {
+	var acc metrics.Running
+	for _, r := range rs {
+		acc.Observe(f(r))
+	}
+	return acc
+}
+
+// mergeSeriesOf averages a per-replica series pointwise.
+func mergeSeriesOf(rs []Replica, name string, f func(Replica) *metrics.Series) *metrics.Series {
+	series := make([]*metrics.Series, len(rs))
+	for i, r := range rs {
+		series[i] = f(r)
+	}
+	return metrics.MergeSeries(name, series)
+}

@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"strings"
+
+	"repro/internal/baseline"
+	"repro/internal/config"
+	"repro/internal/metrics"
+)
+
+// SuccessRate reproduces the §4.1 success-rate comparison (experiment T2
+// in DESIGN.md): the proportion of serve/deny decisions taken by
+// cooperative peers that are correct, with the introduction requirement on
+// versus off. The paper reports ≈96–97% in both configurations and
+// concludes "the introducer requirement is compatible with the ROCQ
+// reputation management scheme".
+type SuccessRate struct {
+	WithIntroductions    metrics.Running
+	WithoutIntroductions metrics.Running
+	// Admission side effects, to show what the equal success rates buy:
+	// with lending far fewer uncooperative peers are inside.
+	UncoopAdmittedWith    float64
+	UncoopAdmittedWithout float64
+}
+
+func successRateConfig() config.Config {
+	// Table 1 defaults: λ=0.01 over 500 000 ticks.
+	return config.Default()
+}
+
+// RunSuccessRate executes both configurations.
+func RunSuccessRate(opt Options) (*SuccessRate, error) {
+	opt = opt.withDefaults()
+	out := &SuccessRate{}
+
+	cfgWith := opt.apply(successRateConfig())
+	rsWith, err := runReplicas(cfgWith, opt, nil)
+	if err != nil {
+		return nil, err
+	}
+	out.WithIntroductions = statOf(rsWith, func(r Replica) float64 { return r.Metrics.SuccessRate() })
+	out.UncoopAdmittedWith = meanOf(rsWith, func(r Replica) int64 { return r.Metrics.AdmittedUncoop })
+
+	cfgWithout := opt.apply(successRateConfig())
+	cfgWithout.RequireIntroductions = false
+	o := opt
+	o.SeedBase = opt.SeedBase + 1_000_003
+	// "All nodes were allowed in the system": open admission at the
+	// mid-spectrum default.
+	rsWithout, err := runReplicas(cfgWithout, o, baseline.MidSpectrum{})
+	if err != nil {
+		return nil, err
+	}
+	out.WithoutIntroductions = statOf(rsWithout, func(r Replica) float64 { return r.Metrics.SuccessRate() })
+	out.UncoopAdmittedWithout = meanOf(rsWithout, func(r Replica) int64 { return r.Metrics.AdmittedUncoop })
+	return out, nil
+}
+
+// Name implements Report.
+func (s *SuccessRate) Name() string { return "successrate" }
+
+// Table renders the comparison.
+func (s *SuccessRate) Table() string {
+	t := &TextTable{
+		Title:  "§4.1 — decision success rate, with vs without the introduction requirement",
+		Header: []string{"configuration", "success rate", "±95% CI", "uncoop admitted"},
+	}
+	t.AddRow("introductions required", s.WithIntroductions.Mean(), s.WithIntroductions.CI95(), s.UncoopAdmittedWith)
+	t.AddRow("open admission", s.WithoutIntroductions.Mean(), s.WithoutIntroductions.CI95(), s.UncoopAdmittedWithout)
+	var b strings.Builder
+	b.WriteString(t.String())
+	b.WriteString("\npaper: ≈96–97% in both configurations — the introducer requirement does not degrade ROCQ\n")
+	return b.String()
+}
+
+// CSV renders the two rows.
+func (s *SuccessRate) CSV() string {
+	var b strings.Builder
+	b.WriteString("configuration,success_rate,ci95,uncoop_admitted\n")
+	b.WriteString(strings.Join([]string{
+		"with_introductions",
+		fmtF(s.WithIntroductions.Mean()), fmtF(s.WithIntroductions.CI95()), fmtF(s.UncoopAdmittedWith),
+	}, ",") + "\n")
+	b.WriteString(strings.Join([]string{
+		"without_introductions",
+		fmtF(s.WithoutIntroductions.Mean()), fmtF(s.WithoutIntroductions.CI95()), fmtF(s.UncoopAdmittedWithout),
+	}, ",") + "\n")
+	return b.String()
+}

@@ -1,0 +1,296 @@
+package id
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+// toBig converts an ID to a big.Int for cross-checking ring arithmetic
+// against an independent implementation.
+func toBig(d ID) *big.Int { return new(big.Int).SetBytes(d[:]) }
+
+var ringMod = new(big.Int).Lsh(big.NewInt(1), Bits)
+
+func fromBig(v *big.Int) ID {
+	m := new(big.Int).Mod(v, ringMod)
+	b := m.Bytes()
+	var out ID
+	copy(out[Bytes-len(b):], b)
+	return out
+}
+
+func TestFromBytesRoundTrip(t *testing.T) {
+	h := HashString("peer-42")
+	got, err := FromBytes(h[:])
+	if err != nil {
+		t.Fatalf("FromBytes: %v", err)
+	}
+	if got != h {
+		t.Fatalf("round trip mismatch: %v != %v", got, h)
+	}
+}
+
+func TestFromBytesWrongLength(t *testing.T) {
+	if _, err := FromBytes(make([]byte, 19)); err == nil {
+		t.Fatal("expected error for 19-byte input")
+	}
+	if _, err := FromBytes(make([]byte, 21)); err == nil {
+		t.Fatal("expected error for 21-byte input")
+	}
+}
+
+func TestFromHexRoundTrip(t *testing.T) {
+	orig := HashString("hex-test")
+	got, err := FromHex(orig.String())
+	if err != nil {
+		t.Fatalf("FromHex: %v", err)
+	}
+	if got != orig {
+		t.Fatalf("round trip mismatch: %v != %v", got, orig)
+	}
+}
+
+func TestFromHexRejectsGarbage(t *testing.T) {
+	if _, err := FromHex("zz"); err == nil {
+		t.Fatal("expected error for non-hex input")
+	}
+	if _, err := FromHex("abcd"); err == nil {
+		t.Fatal("expected error for short hex input")
+	}
+}
+
+func TestHashDeterministic(t *testing.T) {
+	a := HashString("alpha")
+	b := HashString("alpha")
+	c := HashString("beta")
+	if a != b {
+		t.Fatal("hash of identical input differs")
+	}
+	if a == c {
+		t.Fatal("hash of distinct inputs collides (astronomically unlikely)")
+	}
+}
+
+func TestReplicaDistinct(t *testing.T) {
+	base := HashString("peer")
+	seen := map[ID]bool{}
+	for r := 0; r < 16; r++ {
+		rep := base.Replica(r)
+		if seen[rep] {
+			t.Fatalf("replica %d collides with an earlier replica", r)
+		}
+		seen[rep] = true
+		if rep2 := base.Replica(r); rep2 != rep {
+			t.Fatalf("replica %d not deterministic", r)
+		}
+	}
+}
+
+func TestUint64RoundTrip(t *testing.T) {
+	for _, v := range []uint64{0, 1, 255, 1 << 40, ^uint64(0)} {
+		if got := FromUint64(v).Uint64(); got != v {
+			t.Errorf("FromUint64(%d).Uint64() = %d", v, got)
+		}
+	}
+}
+
+func TestAddSubAgainstBigInt(t *testing.T) {
+	f := func(a, b [Bytes]byte) bool {
+		x, y := ID(a), ID(b)
+		wantAdd := fromBig(new(big.Int).Add(toBig(x), toBig(y)))
+		wantSub := fromBig(new(big.Int).Sub(toBig(x), toBig(y)))
+		return x.Add(y) == wantAdd && x.Sub(y) == wantSub
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddSubInverse(t *testing.T) {
+	f := func(a, b [Bytes]byte) bool {
+		x, y := ID(a), ID(b)
+		return x.Add(y).Sub(y) == x && x.Sub(y).Add(y) == x
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddCommutative(t *testing.T) {
+	f := func(a, b [Bytes]byte) bool {
+		x, y := ID(a), ID(b)
+		return x.Add(y) == y.Add(x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddPow2AgainstBigInt(t *testing.T) {
+	base := HashString("pow2")
+	for k := 0; k < Bits; k++ {
+		want := fromBig(new(big.Int).Add(toBig(base), new(big.Int).Lsh(big.NewInt(1), uint(k))))
+		if got := base.AddPow2(k); got != want {
+			t.Fatalf("AddPow2(%d) mismatch", k)
+		}
+	}
+}
+
+func TestAddPow2PanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range exponent")
+		}
+	}()
+	FromUint64(1).AddPow2(Bits)
+}
+
+func TestDistanceAsymmetry(t *testing.T) {
+	// distance(a,b) + distance(b,a) == 0 (mod 2^160) unless a == b.
+	f := func(a, b [Bytes]byte) bool {
+		x, y := ID(a), ID(b)
+		if x == y {
+			return x.Distance(y).IsZero()
+		}
+		return x.Distance(y).Add(y.Distance(x)).IsZero()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBetweenSimpleArc(t *testing.T) {
+	a, b, c := FromUint64(10), FromUint64(20), FromUint64(30)
+	if !b.Between(a, c) {
+		t.Fatal("20 should be in (10,30)")
+	}
+	if a.Between(a, c) || c.Between(a, c) {
+		t.Fatal("endpoints must be excluded")
+	}
+	if b.Between(c, a) {
+		t.Fatal("20 must not be in the wrapping arc (30,10)")
+	}
+}
+
+func TestBetweenWrappingArc(t *testing.T) {
+	lo, hi := FromUint64(10), FromUint64(30)
+	outside := FromUint64(20)
+	var nearTop ID
+	for i := range nearTop {
+		nearTop[i] = 0xff
+	}
+	if !nearTop.Between(hi, lo) {
+		t.Fatal("2^160-1 should be in the wrapping arc (30,10)")
+	}
+	if !FromUint64(5).Between(hi, lo) {
+		t.Fatal("5 should be in the wrapping arc (30,10)")
+	}
+	if outside.Between(hi, lo) {
+		t.Fatal("20 should not be in the wrapping arc (30,10)")
+	}
+}
+
+func TestBetweenDegenerateArc(t *testing.T) {
+	p := FromUint64(7)
+	if p.Between(p, p) {
+		t.Fatal("point must not lie in its own degenerate arc")
+	}
+	if !FromUint64(8).Between(p, p) {
+		t.Fatal("any other point lies in the full-ring arc")
+	}
+}
+
+func TestBetweenRightIncl(t *testing.T) {
+	a, b := FromUint64(10), FromUint64(30)
+	if !b.BetweenRightIncl(a, b) {
+		t.Fatal("right endpoint must be included")
+	}
+	if a.BetweenRightIncl(a, b) {
+		t.Fatal("left endpoint must be excluded")
+	}
+}
+
+// Between must agree with a model using big.Int arithmetic on clockwise
+// distances: d in (from,to) iff dist(from,d) < dist(from,to), d != from.
+func TestBetweenAgainstDistanceModel(t *testing.T) {
+	f := func(a, b, c [Bytes]byte) bool {
+		from, to, d := ID(a), ID(b), ID(c)
+		if d == from || d == to {
+			return !d.Between(from, to) || from == to && d != from
+		}
+		if from == to {
+			return d.Between(from, to)
+		}
+		want := from.Distance(d).Less(from.Distance(to))
+		return d.Between(from, to) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCmpOrdering(t *testing.T) {
+	a, b := FromUint64(1), FromUint64(2)
+	if a.Cmp(b) != -1 || b.Cmp(a) != 1 || a.Cmp(a) != 0 {
+		t.Fatal("Cmp ordering broken")
+	}
+	if !a.Less(b) || b.Less(a) {
+		t.Fatal("Less ordering broken")
+	}
+}
+
+func TestPrefixLen(t *testing.T) {
+	a := FromUint64(0)
+	if got := a.PrefixLen(a); got != Bits {
+		t.Fatalf("PrefixLen(self) = %d, want %d", got, Bits)
+	}
+	var topBit ID
+	topBit[0] = 0x80
+	if got := a.PrefixLen(topBit); got != 0 {
+		t.Fatalf("PrefixLen differing at bit 0 = %d, want 0", got)
+	}
+	var bit9 ID
+	bit9[1] = 0x40
+	if got := a.PrefixLen(bit9); got != 9 {
+		t.Fatalf("PrefixLen differing at bit 9 = %d, want 9", got)
+	}
+}
+
+func TestBit(t *testing.T) {
+	var v ID
+	v[0] = 0x80
+	v[Bytes-1] = 0x01
+	if v.Bit(0) != 1 {
+		t.Fatal("bit 0 should be set")
+	}
+	if v.Bit(1) != 0 {
+		t.Fatal("bit 1 should be clear")
+	}
+	if v.Bit(Bits-1) != 1 {
+		t.Fatal("last bit should be set")
+	}
+}
+
+func TestStringAndShort(t *testing.T) {
+	v := HashString("render")
+	if len(v.String()) != 40 {
+		t.Fatalf("String length = %d, want 40", len(v.String()))
+	}
+	if len(v.Short()) != 8 {
+		t.Fatalf("Short length = %d, want 8", len(v.Short()))
+	}
+	if v.String()[:8] != v.Short() {
+		t.Fatal("Short must be a prefix of String")
+	}
+}
+
+func TestIsZero(t *testing.T) {
+	var z ID
+	if !z.IsZero() {
+		t.Fatal("zero value must report IsZero")
+	}
+	if FromUint64(1).IsZero() {
+		t.Fatal("nonzero value must not report IsZero")
+	}
+}

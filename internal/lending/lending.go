@@ -1,0 +1,531 @@
+// Package lending implements the paper's contribution: the reputation
+// lending protocol by which an existing community member ("introducer")
+// stakes a slice of its own reputation to bootstrap a new entrant.
+//
+// Protocol, following §2–§3 of the paper:
+//
+//  1. An arriving peer asks one existing member for an introduction. A
+//     waiting period T must elapse between the request and the response,
+//     whatever the decision, so the newcomer cannot usefully bombard the
+//     community with concurrent requests.
+//  2. If the introducer grants the request, it sends a *signed* lend order
+//     to its own score managers: deduct introAmt from my reputation and
+//     credit it to the newcomer. The order carries both identities and a
+//     unique nonce so duplicates are rejected.
+//  3. Each of the introducer's score managers debits the stake and
+//     forwards a credit carrying the same signed order to every score
+//     manager of the newcomer — full bipartite fan-out, so a single
+//     crashed manager cannot lose the introduction.
+//  4. A newcomer score manager applies the first credit it sees and
+//     deduplicates the redundant copies by nonce. A credit bearing a
+//     *different* nonce means the newcomer obtained two concurrent
+//     introductions: its reputation is reset to zero and it is flagged
+//     malicious.
+//  5. After the newcomer completes auditTrans transactions its score
+//     managers audit it. Satisfactory performance (reputation at or above
+//     the audit threshold): the introducer's managers are told to return
+//     the stake plus a reward, capped so reputation never exceeds 1.
+//     Unsatisfactory: the introducer forfeits the stake (no message at
+//     all is sent) and the newcomer's managers remove the lent amount,
+//     flooring at 0.
+//  6. Members whose reputation is below minIntroRep may not introduce
+//     anyone; since minIntroRep > introAmt, lending can never drive a
+//     reputation negative.
+package lending
+
+import (
+	"crypto/ed25519"
+	"errors"
+	"fmt"
+
+	"repro/internal/id"
+	"repro/internal/rocq"
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+// Params are the protocol constants (a slice of the paper's Table 1).
+type Params struct {
+	IntroAmt       float64  // reputation lent per introduction
+	Reward         float64  // reward for introducing a cooperative peer
+	MinIntroRep    float64  // reputation floor for acting as introducer
+	AuditThreshold float64  // reputation deemed "satisfactory" at audit
+	Wait           sim.Tick // waiting period T
+	NumSM          int      // score managers per peer
+}
+
+// Validate checks the protocol constants.
+func (p Params) Validate() error {
+	switch {
+	case p.IntroAmt <= 0 || p.IntroAmt > 1:
+		return fmt.Errorf("lending: IntroAmt %v out of (0,1]", p.IntroAmt)
+	case p.Reward < 0 || p.Reward > 1:
+		return fmt.Errorf("lending: Reward %v out of [0,1]", p.Reward)
+	case p.MinIntroRep <= p.IntroAmt:
+		return fmt.Errorf("lending: MinIntroRep %v must exceed IntroAmt %v", p.MinIntroRep, p.IntroAmt)
+	case p.AuditThreshold < 0 || p.AuditThreshold > 1:
+		return fmt.Errorf("lending: AuditThreshold %v out of [0,1]", p.AuditThreshold)
+	case p.Wait < 0:
+		return fmt.Errorf("lending: negative wait period %d", p.Wait)
+	case p.NumSM <= 0:
+		return fmt.Errorf("lending: NumSM %d must be positive", p.NumSM)
+	}
+	return nil
+}
+
+// Network is the view of the community the protocol needs: current score
+// manager placement and access to each node's reputation store. The
+// simulation world implements it on top of the overlay ring.
+type Network interface {
+	// ScoreManagers returns the current score-manager node set for a peer.
+	ScoreManagers(p id.ID) []id.ID
+	// Store returns the reputation store hosted at the given node.
+	Store(node id.ID) *rocq.Store
+}
+
+// Reason classifies why an introduction attempt did not admit the peer.
+type Reason int
+
+// Refusal reasons; Fig. 4 and Fig. 6 plot the first two separately.
+const (
+	// RefusedByIntroducer: a selective introducer declined the newcomer.
+	RefusedByIntroducer Reason = iota
+	// RefusedIntroducerRep: the introducer agreed but its reputation is
+	// below minIntroRep, so its score managers refuse the lend.
+	RefusedIntroducerRep
+	// RefusedProtocolFailure: no credit reached any of the newcomer's
+	// score managers (only possible under injected faults).
+	RefusedProtocolFailure
+)
+
+// String names the reason.
+func (r Reason) String() string {
+	switch r {
+	case RefusedByIntroducer:
+		return "refused-by-introducer"
+	case RefusedIntroducerRep:
+		return "refused-introducer-reputation"
+	case RefusedProtocolFailure:
+		return "refused-protocol-failure"
+	}
+	return fmt.Sprintf("Reason(%d)", int(r))
+}
+
+// Events receives protocol outcomes. Any nil callback is skipped.
+type Events struct {
+	// Admitted fires when the newcomer's bootstrap credit lands.
+	Admitted func(newcomer, introducer id.ID, at sim.Tick)
+	// Refused fires when an introduction attempt ends without admission.
+	Refused func(newcomer, introducer id.ID, reason Reason, at sim.Tick)
+	// AuditOutcome fires after the admission audit.
+	AuditOutcome func(newcomer, introducer id.ID, satisfactory bool, at sim.Tick)
+	// Flagged fires when a peer is caught soliciting duplicate
+	// introductions.
+	Flagged func(p id.ID, at sim.Tick)
+}
+
+// Stats counts protocol activity.
+type Stats struct {
+	Requests          int64 // introduction requests begun
+	Granted           int64 // introducer said yes (before the rep check)
+	Admitted          int64
+	RefusedSelective  int64
+	RefusedRep        int64
+	RefusedProtocol   int64
+	AuditsSatisfied   int64 // stake returned + reward paid
+	AuditsForfeited   int64 // stake lost, newcomer debited
+	DuplicateAttempts int64 // newcomers punished for double introductions
+}
+
+// introRecord is the coordinator's note of one granted introduction,
+// consulted at audit time.
+type introRecord struct {
+	introducer id.ID
+	amount     float64
+	nonce      uint64
+	audited    bool
+}
+
+// smLendState is the lending bookkeeping one score-manager node keeps.
+type smLendState struct {
+	seenLend   map[uint64]bool  // lend nonces already debited here
+	seenReward map[uint64]bool  // audit-reward nonces already credited here
+	bootNonce  map[id.ID]uint64 // newcomer -> nonce of its accepted credit
+	flagged    map[id.ID]bool   // newcomers caught double-introducing
+}
+
+func newSMLendState() *smLendState {
+	return &smLendState{
+		seenLend:   make(map[uint64]bool),
+		seenReward: make(map[uint64]bool),
+		bootNonce:  make(map[id.ID]uint64),
+		flagged:    make(map[id.ID]bool),
+	}
+}
+
+// Protocol is the lending coordinator plus the per-node score-manager
+// logic. It is not safe for concurrent use (single-threaded simulation).
+type Protocol struct {
+	params Params
+	engine *sim.Engine
+	bus    *transport.Bus
+	net    Network
+	events Events
+
+	keys    map[id.ID]ed25519.PublicKey
+	signers map[id.ID]*transport.Signer
+	sm      map[id.ID]*smLendState
+	intro   map[id.ID]*introRecord
+	flagged map[id.ID]bool
+
+	// sigCache remembers signatures that already verified, keyed by the
+	// signature bytes. The bipartite fan-out re-delivers the same envelope
+	// O(numSM²) times per introduction; verifying each copy afresh would
+	// make Ed25519 dominate the simulation.
+	sigCache map[string]bool
+
+	nonce uint64
+	stats Stats
+}
+
+// Message kinds used on the bus.
+const (
+	kindLend   = "lend"
+	kindCredit = "credit"
+	kindReward = "reward"
+)
+
+// creditMsg carries the signed order from an introducer's score manager to
+// a newcomer's score manager.
+type creditMsg struct {
+	env transport.Envelope
+}
+
+// rewardMsg tells an introducer's score manager to return the stake plus
+// reward after a satisfactory audit.
+type rewardMsg struct {
+	env    transport.Envelope
+	reward float64
+}
+
+// New builds a protocol instance over the given substrate.
+func New(params Params, engine *sim.Engine, bus *transport.Bus, net Network, events Events) (*Protocol, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if engine == nil || bus == nil || net == nil {
+		return nil, errors.New("lending: engine, bus and net are all required")
+	}
+	return &Protocol{
+		params:   params,
+		engine:   engine,
+		bus:      bus,
+		net:      net,
+		events:   events,
+		keys:     make(map[id.ID]ed25519.PublicKey),
+		signers:  make(map[id.ID]*transport.Signer),
+		sm:       make(map[id.ID]*smLendState),
+		intro:    make(map[id.ID]*introRecord),
+		flagged:  make(map[id.ID]bool),
+		sigCache: make(map[string]bool),
+	}, nil
+}
+
+// verifyEnv verifies an envelope against the registered key of claimedBy,
+// caching successful signature checks (the equality check against the
+// registered key is repeated every time; only the Ed25519 math is cached).
+func (p *Protocol) verifyEnv(env transport.Envelope, claimedBy id.ID) bool {
+	expected, ok := p.keys[claimedBy]
+	if !ok || !expected.Equal(env.Pub) {
+		return false
+	}
+	body := env.Order.Encode()
+	// The cache key binds signature, signed content and key — caching by
+	// signature alone would let a tampered order ride on a previously
+	// verified signature.
+	key := string(env.Sig) + "|" + string(body) + "|" + string(env.Pub)
+	if p.sigCache[key] {
+		return true
+	}
+	if ed25519.Verify(env.Pub, body, env.Sig) {
+		p.sigCache[key] = true
+		return true
+	}
+	return false
+}
+
+// Stats returns a copy of the protocol counters.
+func (p *Protocol) Stats() Stats { return p.stats }
+
+// RegisterPeer records a member's signing identity and attaches the
+// score-manager message handler to its node (every member can become a
+// score manager for someone).
+func (p *Protocol) RegisterPeer(pid id.ID, signer *transport.Signer) {
+	p.signers[pid] = signer
+	p.keys[pid] = signer.Public()
+	p.bus.Register(pid, p.handle(pid))
+}
+
+// Flagged reports whether the peer was caught double-introducing.
+func (p *Protocol) Flagged(pid id.ID) bool { return p.flagged[pid] }
+
+// IntroducerOf returns the introducer recorded for a newcomer.
+func (p *Protocol) IntroducerOf(newcomer id.ID) (id.ID, bool) {
+	rec, ok := p.intro[newcomer]
+	if !ok {
+		return id.ID{}, false
+	}
+	return rec.introducer, true
+}
+
+// smState returns (allocating) the lending state of a node.
+func (p *Protocol) smState(node id.ID) *smLendState {
+	st, ok := p.sm[node]
+	if !ok {
+		st = newSMLendState()
+		p.sm[node] = st
+	}
+	return st
+}
+
+// Begin starts one introduction attempt: the newcomer has asked the given
+// introducer, whose decision is already known (granted). Nothing is
+// revealed to the newcomer until the waiting period elapses; then either
+// the refusal is delivered or the lend executes.
+func (p *Protocol) Begin(newcomer, introducer id.ID, granted bool) {
+	p.stats.Requests++
+	if !granted {
+		p.engine.After(p.params.Wait, "intro-refuse", func() {
+			p.stats.RefusedSelective++
+			p.emitRefused(newcomer, introducer, RefusedByIntroducer)
+		})
+		return
+	}
+	p.stats.Granted++
+	p.engine.After(p.params.Wait, "intro-lend", func() {
+		p.executeLend(newcomer, introducer)
+	})
+}
+
+func (p *Protocol) emitRefused(newcomer, introducer id.ID, reason Reason) {
+	if p.events.Refused != nil {
+		p.events.Refused(newcomer, introducer, reason, p.engine.Now())
+	}
+}
+
+// executeLend runs step 2–4 of the protocol at the end of the waiting
+// period.
+func (p *Protocol) executeLend(newcomer, introducer id.ID) {
+	introSMs := p.net.ScoreManagers(introducer)
+	stores := make([]*rocq.Store, len(introSMs))
+	for i, n := range introSMs {
+		stores[i] = p.net.Store(n)
+	}
+	rep, known := rocq.QuerySet(stores, introducer)
+	if !known || rep < p.params.MinIntroRep {
+		p.stats.RefusedRep++
+		p.emitRefused(newcomer, introducer, RefusedIntroducerRep)
+		return
+	}
+
+	signer, ok := p.signers[introducer]
+	if !ok {
+		panic(fmt.Sprintf("lending: introducer %s has no registered signer", introducer.Short()))
+	}
+	p.nonce++
+	order := transport.LendOrder{
+		Introducer: introducer,
+		NewPeer:    newcomer,
+		Amount:     p.params.IntroAmt,
+		Nonce:      p.nonce,
+	}
+	env := signer.Sign(order)
+
+	for _, smNode := range introSMs {
+		p.bus.Send(transport.Message{
+			From:    introducer,
+			To:      smNode,
+			Kind:    kindLend,
+			Payload: env,
+		})
+	}
+
+	// Admission check: did any of the newcomer's managers accept a credit?
+	accepted := false
+	for _, smNode := range p.net.ScoreManagers(newcomer) {
+		if n, ok := p.smState(smNode).bootNonce[newcomer]; ok && n == order.Nonce {
+			accepted = true
+			break
+		}
+	}
+	if p.flagged[newcomer] {
+		// The duplicate-introduction punishment fired during this fan-out;
+		// the peer is not admitted whatever else happened.
+		return
+	}
+	if !accepted {
+		p.stats.RefusedProtocol++
+		p.emitRefused(newcomer, introducer, RefusedProtocolFailure)
+		return
+	}
+	p.intro[newcomer] = &introRecord{introducer: introducer, amount: order.Amount, nonce: order.Nonce}
+	p.stats.Admitted++
+	if p.events.Admitted != nil {
+		p.events.Admitted(newcomer, introducer, p.engine.Now())
+	}
+}
+
+// handle returns the bus handler for one node, dispatching the lending
+// message kinds. Unknown kinds are a programming error.
+func (p *Protocol) handle(node id.ID) transport.Handler {
+	return func(m transport.Message) {
+		switch m.Kind {
+		case kindLend:
+			p.onLend(node, m.Payload.(transport.Envelope))
+		case kindCredit:
+			p.onCredit(node, m.Payload.(creditMsg))
+		case kindReward:
+			p.onReward(node, m.From, m.Payload.(rewardMsg))
+		default:
+			panic(fmt.Sprintf("lending: node %s got unknown message kind %q", node.Short(), m.Kind))
+		}
+	}
+}
+
+// onLend is the introducer's score manager receiving the signed order:
+// verify, deduplicate, debit the stake and fan the credit out to every
+// score manager of the newcomer.
+func (p *Protocol) onLend(node id.ID, env transport.Envelope) {
+	if !p.verifyEnv(env, env.Order.Introducer) {
+		return // forged or tampered order: drop silently
+	}
+	st := p.smState(node)
+	if st.seenLend[env.Order.Nonce] {
+		return
+	}
+	st.seenLend[env.Order.Nonce] = true
+	p.net.Store(node).Debit(env.Order.Introducer, env.Order.Amount)
+
+	for _, smNode := range p.net.ScoreManagers(env.Order.NewPeer) {
+		p.bus.Send(transport.Message{
+			From:    node,
+			To:      smNode,
+			Kind:    kindCredit,
+			Payload: creditMsg{env: env},
+		})
+	}
+}
+
+// onCredit is the newcomer's score manager receiving the bootstrap credit.
+func (p *Protocol) onCredit(node id.ID, msg creditMsg) {
+	env := msg.env
+	if !p.verifyEnv(env, env.Order.Introducer) {
+		return
+	}
+	st := p.smState(node)
+	newcomer := env.Order.NewPeer
+	if st.flagged[newcomer] {
+		return
+	}
+	if prev, ok := st.bootNonce[newcomer]; ok {
+		if prev == env.Order.Nonce {
+			return // redundant copy of the same introduction
+		}
+		// Two different introductions for the same peer: "they realize
+		// that the new peer is trying to gain unfair advantage and
+		// therefore reduce its reputation to zero … and may flag it as a
+		// malicious peer."
+		st.flagged[newcomer] = true
+		p.net.Store(node).Zero(newcomer)
+		if !p.flagged[newcomer] {
+			p.flagged[newcomer] = true
+			p.stats.DuplicateAttempts++
+			if p.events.Flagged != nil {
+				p.events.Flagged(newcomer, p.engine.Now())
+			}
+		}
+		return
+	}
+	st.bootNonce[newcomer] = env.Order.Nonce
+	p.net.Store(node).Credit(newcomer, env.Order.Amount)
+}
+
+// Audit runs the performance audit for a newcomer that has completed its
+// auditTrans transactions (step 5). The caller (the simulation world)
+// decides *when*; the protocol decides the outcome and the money movement.
+// Auditing a peer that was never introduced, or twice, is a no-op.
+func (p *Protocol) Audit(newcomer id.ID) {
+	rec, ok := p.intro[newcomer]
+	if !ok || rec.audited {
+		return
+	}
+	rec.audited = true
+
+	newSMs := p.net.ScoreManagers(newcomer)
+	stores := make([]*rocq.Store, len(newSMs))
+	for i, n := range newSMs {
+		stores[i] = p.net.Store(n)
+	}
+	rep, known := rocq.QuerySet(stores, newcomer)
+	satisfactory := known && rep >= p.params.AuditThreshold
+
+	if satisfactory {
+		p.stats.AuditsSatisfied++
+		// The newcomer's managers tell the introducer's managers to return
+		// the stake and pay the reward; same bipartite fan-out and nonce
+		// deduplication as the lend itself. Each manager signs with its own
+		// key (score managers are ordinary peers and have one).
+		order := transport.LendOrder{
+			Introducer: rec.introducer,
+			NewPeer:    newcomer,
+			Amount:     rec.amount,
+			Nonce:      rec.nonce,
+		}
+		introSMs := p.net.ScoreManagers(rec.introducer)
+		for _, from := range newSMs {
+			if p.bus.IsCrashed(from) {
+				continue // a crashed manager cannot initiate the return
+			}
+			signer, ok := p.signers[from]
+			if !ok {
+				continue
+			}
+			env := signer.Sign(order)
+			for _, to := range introSMs {
+				p.bus.Send(transport.Message{
+					From:    from,
+					To:      to,
+					Kind:    kindReward,
+					Payload: rewardMsg{env: env, reward: p.params.Reward},
+				})
+			}
+		}
+	} else {
+		p.stats.AuditsForfeited++
+		// "The introducer loses the lent reputation and no message to its
+		// score managers is sent. The score managers of the new peer also
+		// reduce the stored reputation of the new entrant by introAmt
+		// subject to a minimum of 0."
+		for _, n := range newSMs {
+			p.net.Store(n).Debit(newcomer, rec.amount)
+		}
+	}
+	if p.events.AuditOutcome != nil {
+		p.events.AuditOutcome(newcomer, rec.introducer, satisfactory, p.engine.Now())
+	}
+}
+
+// onReward is the introducer's score manager receiving the stake return
+// after a satisfactory audit: credit introAmt + reward, "subject to the
+// reputation not exceeding 1" (Credit clamps), once per audit nonce.
+func (p *Protocol) onReward(node, from id.ID, msg rewardMsg) {
+	if !p.verifyEnv(msg.env, from) {
+		return // the sender must be the peer whose key signed the return
+	}
+	st := p.smState(node)
+	if st.seenReward[msg.env.Order.Nonce] {
+		return
+	}
+	st.seenReward[msg.env.Order.Nonce] = true
+	p.net.Store(node).Credit(msg.env.Order.Introducer, msg.env.Order.Amount+msg.reward)
+}

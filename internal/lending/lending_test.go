@@ -1,0 +1,499 @@
+package lending
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/id"
+	"repro/internal/rng"
+	"repro/internal/rocq"
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+// fakeNet is a Network with a fixed score-manager assignment.
+type fakeNet struct {
+	sms    map[id.ID][]id.ID
+	stores map[id.ID]*rocq.Store
+}
+
+func newFakeNet() *fakeNet {
+	return &fakeNet{sms: map[id.ID][]id.ID{}, stores: map[id.ID]*rocq.Store{}}
+}
+
+func (f *fakeNet) ScoreManagers(p id.ID) []id.ID { return f.sms[p] }
+
+func (f *fakeNet) Store(node id.ID) *rocq.Store {
+	s, ok := f.stores[node]
+	if !ok {
+		s = rocq.NewStore(rocq.DefaultParams())
+		f.stores[node] = s
+	}
+	return s
+}
+
+// assign gives a peer n dedicated score-manager nodes named after it.
+func (f *fakeNet) assign(p id.ID, n int, tag string) []id.ID {
+	nodes := make([]id.ID, n)
+	for i := range nodes {
+		nodes[i] = id.HashString(fmt.Sprintf("sm-%s-%d", tag, i))
+	}
+	f.sms[p] = nodes
+	return nodes
+}
+
+// harness bundles a protocol under test with its collaborators.
+type harness struct {
+	t        *testing.T
+	engine   *sim.Engine
+	bus      *transport.Bus
+	net      *fakeNet
+	proto    *Protocol
+	src      *rng.Source
+	admitted []id.ID
+	refused  []Reason
+	audits   []bool
+	flagged  []id.ID
+}
+
+func params() Params {
+	return Params{
+		IntroAmt:       0.1,
+		Reward:         0.02,
+		MinIntroRep:    0.5,
+		AuditThreshold: 0.5,
+		Wait:           1000,
+		NumSM:          3,
+	}
+}
+
+func newHarness(t *testing.T) *harness {
+	h := &harness{
+		t:      t,
+		engine: sim.NewEngine(),
+		bus:    transport.NewBus(),
+		net:    newFakeNet(),
+		src:    rng.New(1),
+	}
+	events := Events{
+		Admitted: func(n, i id.ID, at sim.Tick) { h.admitted = append(h.admitted, n) },
+		Refused:  func(n, i id.ID, r Reason, at sim.Tick) { h.refused = append(h.refused, r) },
+		AuditOutcome: func(n, i id.ID, ok bool, at sim.Tick) {
+			h.audits = append(h.audits, ok)
+		},
+		Flagged: func(p id.ID, at sim.Tick) { h.flagged = append(h.flagged, p) },
+	}
+	proto, err := New(params(), h.engine, h.bus, h.net, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.proto = proto
+	return h
+}
+
+// addPeer registers a peer with signer and dedicated SMs, optionally
+// initialising its reputation at every SM.
+func (h *harness) addPeer(name string, rep float64) (id.ID, []id.ID) {
+	pid := id.HashString("peer-" + name)
+	sms := h.net.assign(pid, params().NumSM, name)
+	signer, err := transport.NewSigner(h.src.Split())
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	h.proto.RegisterPeer(pid, signer)
+	// SM nodes need handlers too (they receive lend/credit/reward); they
+	// are peers in the real world, so register them as such.
+	for _, sm := range sms {
+		if _, ok := h.net.stores[sm]; !ok {
+			s, err := transport.NewSigner(h.src.Split())
+			if err != nil {
+				h.t.Fatal(err)
+			}
+			h.proto.RegisterPeer(sm, s)
+		}
+		if rep >= 0 {
+			h.net.Store(sm).Init(pid, rep)
+		}
+	}
+	return pid, sms
+}
+
+// repAt reads the mean reputation over the peer's SMs.
+func (h *harness) repAt(pid id.ID) float64 {
+	stores := make([]*rocq.Store, 0)
+	for _, sm := range h.net.sms[pid] {
+		stores = append(stores, h.net.Store(sm))
+	}
+	v, _ := rocq.QuerySet(stores, pid)
+	return v
+}
+
+func TestParamsValidate(t *testing.T) {
+	if err := params().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Params{
+		{IntroAmt: 0, Reward: 0.02, MinIntroRep: 0.5, AuditThreshold: 0.5, NumSM: 3},
+		{IntroAmt: 0.1, Reward: -1, MinIntroRep: 0.5, AuditThreshold: 0.5, NumSM: 3},
+		{IntroAmt: 0.1, Reward: 0.02, MinIntroRep: 0.1, AuditThreshold: 0.5, NumSM: 3},
+		{IntroAmt: 0.1, Reward: 0.02, MinIntroRep: 0.5, AuditThreshold: 2, NumSM: 3},
+		{IntroAmt: 0.1, Reward: 0.02, MinIntroRep: 0.5, AuditThreshold: 0.5, Wait: -1, NumSM: 3},
+		{IntroAmt: 0.1, Reward: 0.02, MinIntroRep: 0.5, AuditThreshold: 0.5, NumSM: 0},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad params %d accepted", i)
+		}
+	}
+}
+
+func TestNewRequiresCollaborators(t *testing.T) {
+	if _, err := New(params(), nil, nil, nil, Events{}); err == nil {
+		t.Fatal("nil collaborators accepted")
+	}
+}
+
+func TestSuccessfulIntroduction(t *testing.T) {
+	h := newHarness(t)
+	intro, introSMs := h.addPeer("introducer", 1.0)
+	newcomer, newSMs := h.addPeer("newcomer", -1) // no initial state
+
+	h.proto.Begin(newcomer, intro, true)
+	if len(h.admitted) != 0 {
+		t.Fatal("admission before the waiting period")
+	}
+	h.engine.RunUntil(999)
+	if len(h.admitted) != 0 {
+		t.Fatal("admission one tick early")
+	}
+	h.engine.RunUntil(1000)
+	if len(h.admitted) != 1 || h.admitted[0] != newcomer {
+		t.Fatalf("admitted = %v", h.admitted)
+	}
+
+	// Introducer debited at every SM.
+	for _, sm := range introSMs {
+		v, _ := h.net.Store(sm).Query(intro)
+		if math.Abs(v-0.9) > 1e-9 {
+			t.Fatalf("introducer SM balance %v, want 0.9", v)
+		}
+	}
+	// Newcomer credited exactly introAmt at every SM (duplicates ignored).
+	for _, sm := range newSMs {
+		v, ok := h.net.Store(sm).Query(newcomer)
+		if !ok || math.Abs(v-0.1) > 1e-9 {
+			t.Fatalf("newcomer SM balance %v (%v), want 0.1", v, ok)
+		}
+	}
+	st := h.proto.Stats()
+	if st.Requests != 1 || st.Granted != 1 || st.Admitted != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if got, ok := h.proto.IntroducerOf(newcomer); !ok || got != intro {
+		t.Fatal("introducer not recorded")
+	}
+}
+
+func TestRefusalDeliveredAfterWait(t *testing.T) {
+	h := newHarness(t)
+	intro, _ := h.addPeer("introducer", 1.0)
+	newcomer, _ := h.addPeer("newcomer", -1)
+
+	h.proto.Begin(newcomer, intro, false)
+	h.engine.RunUntil(999)
+	if len(h.refused) != 0 {
+		t.Fatal("refusal delivered early — newcomer should wait the full period")
+	}
+	h.engine.RunUntil(1000)
+	if len(h.refused) != 1 || h.refused[0] != RefusedByIntroducer {
+		t.Fatalf("refused = %v", h.refused)
+	}
+	if h.proto.Stats().RefusedSelective != 1 {
+		t.Fatalf("stats = %+v", h.proto.Stats())
+	}
+	if h.repAt(newcomer) != 0 {
+		t.Fatal("refused newcomer has reputation")
+	}
+}
+
+func TestLowReputationIntroducerRefused(t *testing.T) {
+	h := newHarness(t)
+	intro, introSMs := h.addPeer("introducer", 0.3) // below MinIntroRep
+	newcomer, _ := h.addPeer("newcomer", -1)
+
+	h.proto.Begin(newcomer, intro, true)
+	h.engine.RunUntil(2000)
+	if len(h.refused) != 1 || h.refused[0] != RefusedIntroducerRep {
+		t.Fatalf("refused = %v", h.refused)
+	}
+	// No debit happened.
+	for _, sm := range introSMs {
+		if v, _ := h.net.Store(sm).Query(intro); math.Abs(v-0.3) > 1e-9 {
+			t.Fatalf("introducer debited despite refusal: %v", v)
+		}
+	}
+	if h.proto.Stats().RefusedRep != 1 {
+		t.Fatalf("stats = %+v", h.proto.Stats())
+	}
+}
+
+func TestExactlyMinIntroRepAllows(t *testing.T) {
+	h := newHarness(t)
+	intro, _ := h.addPeer("introducer", 0.5)
+	newcomer, _ := h.addPeer("newcomer", -1)
+	h.proto.Begin(newcomer, intro, true)
+	h.engine.RunUntil(2000)
+	if len(h.admitted) != 1 {
+		t.Fatal("introducer exactly at the floor must be allowed")
+	}
+}
+
+func TestRedundancySurvivesCrashedIntroducerSM(t *testing.T) {
+	h := newHarness(t)
+	intro, introSMs := h.addPeer("introducer", 1.0)
+	newcomer, newSMs := h.addPeer("newcomer", -1)
+
+	h.bus.Crash(introSMs[0])
+	h.proto.Begin(newcomer, intro, true)
+	h.engine.RunUntil(2000)
+	if len(h.admitted) != 1 {
+		t.Fatal("one crashed introducer SM prevented admission")
+	}
+	for _, sm := range newSMs {
+		if v, ok := h.net.Store(sm).Query(newcomer); !ok || math.Abs(v-0.1) > 1e-9 {
+			t.Fatalf("newcomer SM balance %v (%v)", v, ok)
+		}
+	}
+}
+
+func TestRedundancySurvivesCrashedNewcomerSM(t *testing.T) {
+	h := newHarness(t)
+	intro, _ := h.addPeer("introducer", 1.0)
+	newcomer, newSMs := h.addPeer("newcomer", -1)
+
+	h.bus.Crash(newSMs[0])
+	h.proto.Begin(newcomer, intro, true)
+	h.engine.RunUntil(2000)
+	if len(h.admitted) != 1 {
+		t.Fatal("one crashed newcomer SM prevented admission")
+	}
+	// The crashed SM holds no state; the others do.
+	if _, ok := h.net.Store(newSMs[0]).Query(newcomer); ok {
+		t.Fatal("crashed SM received the credit")
+	}
+	for _, sm := range newSMs[1:] {
+		if v, ok := h.net.Store(sm).Query(newcomer); !ok || math.Abs(v-0.1) > 1e-9 {
+			t.Fatalf("surviving SM balance %v (%v)", v, ok)
+		}
+	}
+}
+
+func TestAllIntroducerSMsCrashedIsProtocolFailure(t *testing.T) {
+	h := newHarness(t)
+	intro, introSMs := h.addPeer("introducer", 1.0)
+	newcomer, _ := h.addPeer("newcomer", -1)
+
+	for _, sm := range introSMs {
+		h.bus.Crash(sm)
+	}
+	h.proto.Begin(newcomer, intro, true)
+	h.engine.RunUntil(2000)
+	if len(h.refused) != 1 || h.refused[0] != RefusedProtocolFailure {
+		t.Fatalf("refused = %v", h.refused)
+	}
+	if h.proto.Stats().RefusedProtocol != 1 {
+		t.Fatalf("stats = %+v", h.proto.Stats())
+	}
+}
+
+func TestDuplicateIntroductionPunished(t *testing.T) {
+	h := newHarness(t)
+	introA, _ := h.addPeer("introducer-a", 1.0)
+	introB, _ := h.addPeer("introducer-b", 1.0)
+	newcomer, _ := h.addPeer("newcomer", -1)
+
+	// The newcomer solicits both introducers inside one waiting period.
+	h.proto.Begin(newcomer, introA, true)
+	h.proto.Begin(newcomer, introB, true)
+	h.engine.RunUntil(2000)
+
+	if !h.proto.Flagged(newcomer) {
+		t.Fatal("double-introduced peer not flagged")
+	}
+	if len(h.flagged) != 1 || h.flagged[0] != newcomer {
+		t.Fatalf("flagged events = %v", h.flagged)
+	}
+	if v := h.repAt(newcomer); v != 0 {
+		t.Fatalf("double-introduced peer kept reputation %v, want 0", v)
+	}
+	if h.proto.Stats().DuplicateAttempts != 1 {
+		t.Fatalf("stats = %+v", h.proto.Stats())
+	}
+}
+
+func TestAuditSatisfactoryReturnsStakePlusReward(t *testing.T) {
+	h := newHarness(t)
+	intro, introSMs := h.addPeer("introducer", 1.0)
+	newcomer, newSMs := h.addPeer("newcomer", -1)
+
+	h.proto.Begin(newcomer, intro, true)
+	h.engine.RunUntil(2000)
+	// Newcomer behaves well: simulate earned reputation above threshold.
+	for _, sm := range newSMs {
+		h.net.Store(sm).Init(newcomer, 0.8)
+	}
+	// Introducer spent some reputation meanwhile so the credit is visible
+	// below the clamp.
+	for _, sm := range introSMs {
+		h.net.Store(sm).Init(intro, 0.7)
+	}
+	h.proto.Audit(newcomer)
+	if len(h.audits) != 1 || !h.audits[0] {
+		t.Fatalf("audits = %v", h.audits)
+	}
+	// Each introducer SM credited exactly once: 0.7 + 0.1 + 0.02 = 0.82.
+	for _, sm := range introSMs {
+		v, _ := h.net.Store(sm).Query(intro)
+		if math.Abs(v-0.82) > 1e-9 {
+			t.Fatalf("introducer SM balance %v, want 0.82 (stake+reward exactly once)", v)
+		}
+	}
+	// Newcomer keeps its standing.
+	if v := h.repAt(newcomer); math.Abs(v-0.8) > 1e-9 {
+		t.Fatalf("newcomer reputation %v changed by satisfactory audit", v)
+	}
+	if h.proto.Stats().AuditsSatisfied != 1 {
+		t.Fatalf("stats = %+v", h.proto.Stats())
+	}
+}
+
+func TestAuditUnsatisfactoryForfeitsAndDebits(t *testing.T) {
+	h := newHarness(t)
+	intro, introSMs := h.addPeer("introducer", 1.0)
+	newcomer, _ := h.addPeer("newcomer", -1)
+
+	h.proto.Begin(newcomer, intro, true)
+	h.engine.RunUntil(2000)
+	// Newcomer's earned reputation stays at the lent 0.1 (< threshold).
+	before := h.repAt(newcomer)
+	if math.Abs(before-0.1) > 1e-9 {
+		t.Fatalf("setup: newcomer reputation %v", before)
+	}
+	h.proto.Audit(newcomer)
+	if len(h.audits) != 1 || h.audits[0] {
+		t.Fatalf("audits = %v", h.audits)
+	}
+	// "Reduce the stored reputation of the new entrant by introAmt subject
+	// to a minimum of 0."
+	if v := h.repAt(newcomer); v != 0 {
+		t.Fatalf("newcomer reputation %v after forfeit, want 0", v)
+	}
+	// Introducer not repaid: still at 0.9.
+	for _, sm := range introSMs {
+		v, _ := h.net.Store(sm).Query(intro)
+		if math.Abs(v-0.9) > 1e-9 {
+			t.Fatalf("introducer SM balance %v, want 0.9 (stake lost)", v)
+		}
+	}
+	if h.proto.Stats().AuditsForfeited != 1 {
+		t.Fatalf("stats = %+v", h.proto.Stats())
+	}
+}
+
+func TestAuditIdempotentAndUnknownNoop(t *testing.T) {
+	h := newHarness(t)
+	intro, introSMs := h.addPeer("introducer", 1.0)
+	newcomer, newSMs := h.addPeer("newcomer", -1)
+	h.proto.Begin(newcomer, intro, true)
+	h.engine.RunUntil(2000)
+	for _, sm := range newSMs {
+		h.net.Store(sm).Init(newcomer, 0.8)
+	}
+	for _, sm := range introSMs {
+		h.net.Store(sm).Init(intro, 0.7)
+	}
+	h.proto.Audit(newcomer)
+	h.proto.Audit(newcomer) // second must be a no-op
+	for _, sm := range introSMs {
+		v, _ := h.net.Store(sm).Query(intro)
+		if math.Abs(v-0.82) > 1e-9 {
+			t.Fatalf("double audit paid twice: %v", v)
+		}
+	}
+	if len(h.audits) != 1 {
+		t.Fatalf("audit events = %v", h.audits)
+	}
+	h.proto.Audit(id.HashString("nobody")) // unknown peer: no-op
+	if len(h.audits) != 1 {
+		t.Fatal("audit of unknown peer produced an event")
+	}
+}
+
+func TestRewardCappedAtOne(t *testing.T) {
+	h := newHarness(t)
+	intro, introSMs := h.addPeer("introducer", 1.0)
+	newcomer, newSMs := h.addPeer("newcomer", -1)
+	h.proto.Begin(newcomer, intro, true)
+	h.engine.RunUntil(2000)
+	for _, sm := range newSMs {
+		h.net.Store(sm).Init(newcomer, 0.9)
+	}
+	// Introducer recouped to 1.0 by cooperating before the audit lands.
+	for _, sm := range introSMs {
+		h.net.Store(sm).Init(intro, 1.0)
+	}
+	h.proto.Audit(newcomer)
+	for _, sm := range introSMs {
+		v, _ := h.net.Store(sm).Query(intro)
+		if v > 1 {
+			t.Fatalf("reputation exceeded 1: %v", v)
+		}
+	}
+}
+
+func TestStakeConservationDuringLend(t *testing.T) {
+	// During the loan (before audit) the introducer's aggregate loses
+	// exactly what the newcomer's aggregate gains.
+	h := newHarness(t)
+	intro, _ := h.addPeer("introducer", 0.8)
+	newcomer, _ := h.addPeer("newcomer", -1)
+	beforeIntro := h.repAt(intro)
+	h.proto.Begin(newcomer, intro, true)
+	h.engine.RunUntil(2000)
+	lost := beforeIntro - h.repAt(intro)
+	gained := h.repAt(newcomer)
+	if math.Abs(lost-gained) > 1e-9 || math.Abs(lost-0.1) > 1e-9 {
+		t.Fatalf("stake not conserved: introducer lost %v, newcomer gained %v", lost, gained)
+	}
+}
+
+func TestUnregisteredIntroducerPanics(t *testing.T) {
+	h := newHarness(t)
+	ghost := id.HashString("ghost")
+	h.net.assign(ghost, 3, "ghost")
+	for _, sm := range h.net.sms[ghost] {
+		h.net.Store(sm).Init(ghost, 1.0)
+		s, _ := transport.NewSigner(h.src.Split())
+		h.proto.RegisterPeer(sm, s)
+	}
+	newcomer, _ := h.addPeer("newcomer", -1)
+	h.proto.Begin(newcomer, ghost, true)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unregistered introducer")
+		}
+	}()
+	h.engine.RunUntil(2000)
+}
+
+func TestReasonString(t *testing.T) {
+	for _, r := range []Reason{RefusedByIntroducer, RefusedIntroducerRep, RefusedProtocolFailure} {
+		if r.String() == "" {
+			t.Fatal("empty reason string")
+		}
+	}
+	if Reason(42).String() == "" {
+		t.Fatal("unknown reason must render")
+	}
+}

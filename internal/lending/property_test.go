@@ -1,0 +1,198 @@
+package lending
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/id"
+	"repro/internal/rng"
+	"repro/internal/transport"
+)
+
+// TestPropertyRandomisedScenarios drives the protocol through randomised
+// sequences of introductions, crashes and audits and asserts the
+// invariants that must hold in every interleaving:
+//
+//  1. Reputation bounds: every stored value stays in [0,1].
+//  2. Loan conservation: during an unaudited loan, what the introducer's
+//     managers deducted equals what the newcomer's managers credited.
+//  3. Audit settlement: a satisfied audit returns exactly stake+reward
+//     once; a forfeited audit leaves the introducer unpaid and strips the
+//     newcomer.
+//  4. No duplicate payout: audits are idempotent however often invoked.
+func TestPropertyRandomisedScenarios(t *testing.T) {
+	src := rng.New(99)
+	for scenario := 0; scenario < 60; scenario++ {
+		runRandomScenario(t, scenario, src.Split())
+	}
+}
+
+func runRandomScenario(t *testing.T, scenario int, src *rng.Source) {
+	t.Helper()
+	h := newHarness(t)
+	p := params()
+
+	// A pool of introducers with varying starting reputation.
+	type actor struct {
+		pid  id.ID
+		sms  []id.ID
+		rep0 float64
+	}
+	var introducers []actor
+	for i := 0; i < 3; i++ {
+		rep := 0.3 + 0.7*src.Float64() // some below the 0.5 floor, some above
+		pid, sms := h.addPeer(fmt.Sprintf("s%d-intro%d", scenario, i), rep)
+		introducers = append(introducers, actor{pid, sms, rep})
+	}
+
+	type loan struct {
+		newcomer   id.ID
+		introducer actor
+		granted    bool
+		audited    bool
+		highRep    bool // newcomer earns its standing before the audit
+	}
+	var loans []loan
+	nLoans := 1 + src.Intn(4)
+	for i := 0; i < nLoans; i++ {
+		intro := introducers[src.Intn(len(introducers))]
+		newcomer, _ := h.addPeer(fmt.Sprintf("s%d-new%d", scenario, i), -1)
+		granted := src.Bernoulli(0.8)
+		loans = append(loans, loan{newcomer: newcomer, introducer: intro, granted: granted})
+		h.proto.Begin(newcomer, intro.pid, granted)
+	}
+	// Random crash of one SM node in a third of scenarios.
+	if src.Bernoulli(0.33) {
+		in := introducers[src.Intn(len(introducers))]
+		h.bus.Crash(in.sms[src.Intn(len(in.sms))])
+	}
+	h.engine.RunUntil(2000)
+
+	// Check loan conservation for every admitted newcomer before audit.
+	admittedSet := map[id.ID]bool{}
+	for _, a := range h.admitted {
+		admittedSet[a] = true
+	}
+	for i := range loans {
+		l := &loans[i]
+		if !admittedSet[l.newcomer] {
+			continue
+		}
+		gained := h.repAt(l.newcomer)
+		if math.Abs(gained-p.IntroAmt) > 1e-9 {
+			t.Fatalf("scenario %d: newcomer credited %v, want %v", scenario, gained, p.IntroAmt)
+		}
+	}
+
+	// Audit half the admitted loans with high reputation, half without;
+	// audit some twice.
+	for i := range loans {
+		l := &loans[i]
+		if !admittedSet[l.newcomer] {
+			continue
+		}
+		l.highRep = src.Bernoulli(0.5)
+		if l.highRep {
+			for _, sm := range h.net.sms[l.newcomer] {
+				h.net.Store(sm).Init(l.newcomer, 0.9)
+			}
+		}
+		before := h.repAt(l.introducer.pid)
+		h.proto.Audit(l.newcomer)
+		if src.Bernoulli(0.5) {
+			h.proto.Audit(l.newcomer) // idempotence
+		}
+		after := h.repAt(l.introducer.pid)
+		l.audited = true
+		if l.highRep {
+			want := p.IntroAmt + p.Reward
+			diff := after - before
+			// The credit may clamp at 1; allow the clamped case.
+			if diff < -1e-9 || diff > want+1e-9 {
+				t.Fatalf("scenario %d: satisfied audit moved introducer by %v, want (0,%v]", scenario, diff, want)
+			}
+		} else {
+			if after > before+1e-9 {
+				t.Fatalf("scenario %d: forfeited audit paid the introducer (%v -> %v)", scenario, before, after)
+			}
+			if rep := h.repAt(l.newcomer); rep > 1e-9 {
+				t.Fatalf("scenario %d: forfeited newcomer keeps %v", scenario, rep)
+			}
+		}
+	}
+
+	// Bounds over every store and subject touched.
+	for node, store := range h.net.stores {
+		for _, a := range append([]id.ID{}, h.admitted...) {
+			if v, ok := store.Query(a); ok && (v < 0 || v > 1) {
+				t.Fatalf("scenario %d: node %s holds out-of-range reputation %v", scenario, node.Short(), v)
+			}
+		}
+		for _, in := range introducers {
+			if v, ok := store.Query(in.pid); ok && (v < 0 || v > 1) {
+				t.Fatalf("scenario %d: introducer reputation out of range %v", scenario, v)
+			}
+		}
+	}
+}
+
+// TestPropertyStakeNeverNegative: whatever sequence of grants a single
+// introducer makes, the minIntroRep floor keeps its reputation positive —
+// the paper's §3 guarantee.
+func TestPropertyStakeNeverNegative(t *testing.T) {
+	h := newHarness(t)
+	intro, _ := h.addPeer("greedy", 1.0)
+	// Far more grant attempts than 1/introAmt.
+	for i := 0; i < 30; i++ {
+		newcomer, _ := h.addPeer(fmt.Sprintf("n%d", i), -1)
+		h.proto.Begin(newcomer, intro, true)
+		h.engine.RunUntil(h.engine.Now() + 1001)
+		if rep := h.repAt(intro); rep < 0 {
+			t.Fatalf("introducer reputation went negative: %v", rep)
+		}
+	}
+	// The floor must have stopped lending before exhaustion.
+	if rep := h.repAt(intro); rep < params().MinIntroRep-params().IntroAmt {
+		t.Fatalf("introducer fell past floor−stake: %v", rep)
+	}
+	if h.proto.Stats().RefusedRep == 0 {
+		t.Fatal("the reputation floor never refused a lend")
+	}
+}
+
+// TestPropertyEnvelopeTamperingNeverApplies fuzzes lend envelopes with bit
+// flips and asserts a tampered envelope never moves any reputation.
+func TestPropertyEnvelopeTamperingNeverApplies(t *testing.T) {
+	h := newHarness(t)
+	intro, introSMs := h.addPeer("signer", 1.0)
+	newcomer, _ := h.addPeer("target", -1)
+	signer := h.proto.signers[intro]
+	order := transport.LendOrder{Introducer: intro, NewPeer: newcomer, Amount: 0.1, Nonce: 7777}
+	env := signer.Sign(order)
+
+	src := rng.New(4)
+	for trial := 0; trial < 200; trial++ {
+		tampered := env
+		tampered.Sig = append([]byte(nil), env.Sig...)
+		switch src.Intn(3) {
+		case 0:
+			tampered.Order.Amount = src.Float64()
+		case 1:
+			tampered.Order.Nonce = src.Uint64()
+		case 2:
+			tampered.Sig[src.Intn(len(tampered.Sig))] ^= byte(1 << src.Intn(8))
+		}
+		before, _ := h.net.Store(introSMs[0]).Query(intro)
+		h.proto.onLend(introSMs[0], tampered)
+		after, _ := h.net.Store(introSMs[0]).Query(intro)
+		if before != after {
+			t.Fatalf("trial %d: tampered envelope moved reputation %v -> %v", trial, before, after)
+		}
+	}
+	// The genuine envelope still works.
+	h.proto.onLend(introSMs[0], env)
+	if v, _ := h.net.Store(introSMs[0]).Query(intro); math.Abs(v-0.9) > 1e-9 {
+		t.Fatalf("genuine envelope rejected: %v", v)
+	}
+}

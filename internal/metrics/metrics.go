@@ -1,0 +1,259 @@
+// Package metrics provides the counters, time series and summary
+// statistics the experiment harness uses to regenerate the paper's figures:
+// admission counts by class, refusal counts by reason, decision success
+// rates, and the sampled mean reputation of cooperative peers over time.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Counter is a named monotonically increasing count.
+type Counter struct {
+	Name  string
+	Value int64
+}
+
+// Inc adds one to the counter.
+func (c *Counter) Inc() { c.Value++ }
+
+// Add adds n (which must be non-negative) to the counter.
+func (c *Counter) Add(n int64) {
+	if n < 0 {
+		panic("metrics: negative Add on a Counter")
+	}
+	c.Value += n
+}
+
+// Point is one sample of a time series.
+type Point struct {
+	T Tick
+	V float64
+}
+
+// Tick mirrors sim.Tick without importing it (metrics sits below sim in the
+// dependency order).
+type Tick = int64
+
+// Series is an append-only time series of float64 samples.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Append records a sample. Samples must be appended in non-decreasing time
+// order; out-of-order appends panic because they indicate a harness bug.
+func (s *Series) Append(t Tick, v float64) {
+	if n := len(s.Points); n > 0 && s.Points[n-1].T > t {
+		panic(fmt.Sprintf("metrics: out-of-order append to %q: %d after %d", s.Name, t, s.Points[n-1].T))
+	}
+	s.Points = append(s.Points, Point{T: t, V: v})
+}
+
+// Last returns the final sample, or zero and false if the series is empty.
+func (s *Series) Last() (Point, bool) {
+	if len(s.Points) == 0 {
+		return Point{}, false
+	}
+	return s.Points[len(s.Points)-1], true
+}
+
+// At returns the value of the latest sample with time <= t, or zero and
+// false if no such sample exists.
+func (s *Series) At(t Tick) (float64, bool) {
+	i := sort.Search(len(s.Points), func(i int) bool { return s.Points[i].T > t })
+	if i == 0 {
+		return 0, false
+	}
+	return s.Points[i-1].V, true
+}
+
+// Values returns just the sample values, in time order.
+func (s *Series) Values() []float64 {
+	out := make([]float64, len(s.Points))
+	for i, p := range s.Points {
+		out[i] = p.V
+	}
+	return out
+}
+
+// Running computes online mean and variance (Welford's algorithm) without
+// retaining samples.
+type Running struct {
+	n    int64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Observe folds one sample into the accumulator.
+func (r *Running) Observe(v float64) {
+	r.n++
+	if r.n == 1 {
+		r.min, r.max = v, v
+	} else {
+		if v < r.min {
+			r.min = v
+		}
+		if v > r.max {
+			r.max = v
+		}
+	}
+	d := v - r.mean
+	r.mean += d / float64(r.n)
+	r.m2 += d * (v - r.mean)
+}
+
+// N returns the number of samples observed.
+func (r *Running) N() int64 { return r.n }
+
+// Mean returns the sample mean (0 with no samples).
+func (r *Running) Mean() float64 { return r.mean }
+
+// Variance returns the unbiased sample variance (0 with <2 samples).
+func (r *Running) Variance() float64 {
+	if r.n < 2 {
+		return 0
+	}
+	return r.m2 / float64(r.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (r *Running) StdDev() float64 { return math.Sqrt(r.Variance()) }
+
+// Min returns the smallest observed sample (0 with no samples).
+func (r *Running) Min() float64 { return r.min }
+
+// Max returns the largest observed sample (0 with no samples).
+func (r *Running) Max() float64 { return r.max }
+
+// Merge folds another accumulator into this one (parallel-run reduction,
+// Chan et al. formula).
+func (r *Running) Merge(o *Running) {
+	if o.n == 0 {
+		return
+	}
+	if r.n == 0 {
+		*r = *o
+		return
+	}
+	n := r.n + o.n
+	d := o.mean - r.mean
+	r.m2 += o.m2 + d*d*float64(r.n)*float64(o.n)/float64(n)
+	r.mean += d * float64(o.n) / float64(n)
+	if o.min < r.min {
+		r.min = o.min
+	}
+	if o.max > r.max {
+		r.max = o.max
+	}
+	r.n = n
+}
+
+// CI95 returns the half-width of the normal-approximation 95% confidence
+// interval for the mean (0 with <2 samples).
+func (r *Running) CI95() float64 {
+	if r.n < 2 {
+		return 0
+	}
+	return 1.96 * r.StdDev() / math.Sqrt(float64(r.n))
+}
+
+// Mean returns the arithmetic mean of xs (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs using linear
+// interpolation between closest ranks. It panics on an empty slice or a
+// percentile outside [0,100].
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		panic("metrics: Percentile of empty slice")
+	}
+	if p < 0 || p > 100 {
+		panic("metrics: percentile out of [0,100]")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// MergeSeries averages several same-shaped series pointwise: the reduction
+// used for the paper's "each experiment is repeated 10 times and the
+// results averaged". All series must have identical sample times; it panics
+// otherwise (replicas are deterministic, so shape mismatch is a bug).
+func MergeSeries(name string, runs []*Series) *Series {
+	if len(runs) == 0 {
+		return &Series{Name: name}
+	}
+	n := len(runs[0].Points)
+	for _, r := range runs[1:] {
+		if len(r.Points) != n {
+			panic(fmt.Sprintf("metrics: merging series of different lengths (%d vs %d)", len(r.Points), n))
+		}
+	}
+	out := &Series{Name: name, Points: make([]Point, n)}
+	for i := 0; i < n; i++ {
+		t := runs[0].Points[i].T
+		sum := 0.0
+		for _, r := range runs {
+			if r.Points[i].T != t {
+				panic(fmt.Sprintf("metrics: merging series with mismatched times at index %d", i))
+			}
+			sum += r.Points[i].V
+		}
+		out.Points[i] = Point{T: t, V: sum / float64(len(runs))}
+	}
+	return out
+}
+
+// CSV renders one or more series sharing a time axis as CSV with a header
+// row; series must be same-shaped (same times), as produced by the harness.
+func CSV(series ...*Series) string {
+	var b strings.Builder
+	b.WriteString("t")
+	for _, s := range series {
+		b.WriteString(",")
+		b.WriteString(s.Name)
+	}
+	b.WriteString("\n")
+	if len(series) == 0 || len(series[0].Points) == 0 {
+		return b.String()
+	}
+	n := len(series[0].Points)
+	for _, s := range series[1:] {
+		if len(s.Points) != n {
+			panic("metrics: CSV of different-length series")
+		}
+	}
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "%d", series[0].Points[i].T)
+		for _, s := range series {
+			fmt.Fprintf(&b, ",%g", s.Points[i].V)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

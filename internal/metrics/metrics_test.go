@@ -1,0 +1,256 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounter(t *testing.T) {
+	c := &Counter{Name: "admitted"}
+	c.Inc()
+	c.Add(4)
+	if c.Value != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value)
+	}
+}
+
+func TestCounterNegativeAddPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	(&Counter{}).Add(-1)
+}
+
+func TestSeriesAppendAndLast(t *testing.T) {
+	s := &Series{Name: "rep"}
+	if _, ok := s.Last(); ok {
+		t.Fatal("empty series should have no Last")
+	}
+	s.Append(0, 1.0)
+	s.Append(5, 2.0)
+	s.Append(5, 3.0) // same tick allowed
+	p, ok := s.Last()
+	if !ok || p.T != 5 || p.V != 3.0 {
+		t.Fatalf("Last = %+v, %v", p, ok)
+	}
+}
+
+func TestSeriesOutOfOrderPanics(t *testing.T) {
+	s := &Series{Name: "x"}
+	s.Append(10, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.Append(9, 2)
+}
+
+func TestSeriesAt(t *testing.T) {
+	s := &Series{Name: "x"}
+	s.Append(10, 1)
+	s.Append(20, 2)
+	if _, ok := s.At(5); ok {
+		t.Fatal("At before first sample should be absent")
+	}
+	if v, ok := s.At(10); !ok || v != 1 {
+		t.Fatalf("At(10) = %v, %v", v, ok)
+	}
+	if v, ok := s.At(15); !ok || v != 1 {
+		t.Fatalf("At(15) = %v, %v", v, ok)
+	}
+	if v, ok := s.At(25); !ok || v != 2 {
+		t.Fatalf("At(25) = %v, %v", v, ok)
+	}
+}
+
+func TestSeriesValues(t *testing.T) {
+	s := &Series{Name: "x"}
+	s.Append(1, 10)
+	s.Append(2, 20)
+	vs := s.Values()
+	if len(vs) != 2 || vs[0] != 10 || vs[1] != 20 {
+		t.Fatalf("Values = %v", vs)
+	}
+}
+
+func TestRunningMoments(t *testing.T) {
+	var r Running
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		r.Observe(v)
+	}
+	if r.N() != 8 {
+		t.Fatalf("N = %d", r.N())
+	}
+	if math.Abs(r.Mean()-5) > 1e-12 {
+		t.Fatalf("Mean = %v, want 5", r.Mean())
+	}
+	// Population variance of this classic set is 4; unbiased is 32/7.
+	if math.Abs(r.Variance()-32.0/7) > 1e-12 {
+		t.Fatalf("Variance = %v, want %v", r.Variance(), 32.0/7)
+	}
+	if r.Min() != 2 || r.Max() != 9 {
+		t.Fatalf("Min/Max = %v/%v", r.Min(), r.Max())
+	}
+}
+
+func TestRunningMergeEqualsSequential(t *testing.T) {
+	// Inputs are folded into a bounded range: the reputation values this
+	// accumulator sees in practice live in [0,1], and unbounded float64
+	// inputs overflow the m2 sum-of-squares term.
+	bound := func(v float64) float64 {
+		return math.Abs(math.Mod(v, 1000))
+	}
+	f := func(a, b []float64) bool {
+		var whole, left, right Running
+		for _, v := range a {
+			v = bound(v)
+			whole.Observe(v)
+			left.Observe(v)
+		}
+		for _, v := range b {
+			v = bound(v)
+			whole.Observe(v)
+			right.Observe(v)
+		}
+		left.Merge(&right)
+		if whole.N() != left.N() {
+			return false
+		}
+		if whole.N() == 0 {
+			return true
+		}
+		return math.Abs(whole.Mean()-left.Mean()) < 1e-9 &&
+			math.Abs(whole.Variance()-left.Variance()) < 1e-6 &&
+			whole.Min() == left.Min() && whole.Max() == left.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunningCI95ShrinksWithSamples(t *testing.T) {
+	var small, large Running
+	for i := 0; i < 10; i++ {
+		small.Observe(float64(i % 3))
+	}
+	for i := 0; i < 1000; i++ {
+		large.Observe(float64(i % 3))
+	}
+	if large.CI95() >= small.CI95() {
+		t.Fatalf("CI95 did not shrink: %v vs %v", large.CI95(), small.CI95())
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) should be 0")
+	}
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Fatal("Mean([1,2,3]) should be 2")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{15, 20, 35, 40, 50}
+	if got := Percentile(xs, 0); got != 15 {
+		t.Fatalf("p0 = %v", got)
+	}
+	if got := Percentile(xs, 100); got != 50 {
+		t.Fatalf("p100 = %v", got)
+	}
+	if got := Percentile(xs, 50); got != 35 {
+		t.Fatalf("p50 = %v", got)
+	}
+	if got := Percentile(xs, 25); got != 20 {
+		t.Fatalf("p25 = %v", got)
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("input mutated: %v", xs)
+	}
+}
+
+func TestPercentilePanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { Percentile(nil, 50) },
+		func() { Percentile([]float64{1}, -1) },
+		func() { Percentile([]float64{1}, 101) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestMergeSeriesAverages(t *testing.T) {
+	a := &Series{Name: "a"}
+	b := &Series{Name: "b"}
+	for _, p := range []Point{{0, 1}, {10, 3}} {
+		a.Append(p.T, p.V)
+	}
+	for _, p := range []Point{{0, 3}, {10, 5}} {
+		b.Append(p.T, p.V)
+	}
+	m := MergeSeries("avg", []*Series{a, b})
+	if len(m.Points) != 2 || m.Points[0].V != 2 || m.Points[1].V != 4 {
+		t.Fatalf("merged = %+v", m.Points)
+	}
+	if m.Points[0].T != 0 || m.Points[1].T != 10 {
+		t.Fatalf("merged times wrong: %+v", m.Points)
+	}
+}
+
+func TestMergeSeriesShapeMismatchPanics(t *testing.T) {
+	a := &Series{Name: "a"}
+	a.Append(0, 1)
+	b := &Series{Name: "b"}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MergeSeries("avg", []*Series{a, b})
+}
+
+func TestMergeSeriesEmptyInput(t *testing.T) {
+	m := MergeSeries("avg", nil)
+	if m.Name != "avg" || len(m.Points) != 0 {
+		t.Fatalf("merged = %+v", m)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	a := &Series{Name: "coop"}
+	b := &Series{Name: "uncoop"}
+	a.Append(0, 500)
+	a.Append(1000, 520.5)
+	b.Append(0, 0)
+	b.Append(1000, 3)
+	got := CSV(a, b)
+	want := "t,coop,uncoop\n0,500,0\n1000,520.5,3\n"
+	if got != want {
+		t.Fatalf("CSV = %q, want %q", got, want)
+	}
+}
+
+func TestCSVHeaderOnly(t *testing.T) {
+	s := &Series{Name: "x"}
+	got := CSV(s)
+	if !strings.HasPrefix(got, "t,x\n") || strings.Count(got, "\n") != 1 {
+		t.Fatalf("CSV = %q", got)
+	}
+}

@@ -1,0 +1,322 @@
+// Package overlay implements the structured overlay the paper assumes:
+// "We assume the existence of a structured overlay that uses distributed
+// hash tables for routing and for selecting score managers that keep track
+// of all feedback pertaining to a peer."
+//
+// The overlay is a Chord-style ring over the 160-bit identifier space of
+// package id. Each node keeps a predecessor pointer, a successor list and a
+// 160-entry finger table; lookups route greedily through fingers and are
+// guaranteed to terminate via successor pointers. Key k is owned by
+// successor(k), the first node clockwise from k.
+//
+// Score managers for a peer p are the owners of Hash(p ‖ r) for replica
+// indices r = 0..numSM-1 — so, exactly as the paper notes, "the score
+// managers assigned to a peer change over time" as nodes join, and using
+// multiple score managers gives redundancy against that churn.
+package overlay
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/id"
+)
+
+// SuccessorListLen is the number of successors each node tracks. Chord's
+// robustness argument wants Ω(log n); 8 covers the simulated population
+// sizes (≤ ~10k nodes) comfortably.
+const SuccessorListLen = 8
+
+// Node is one overlay member's routing state. Routing state is repaired
+// lazily: a node's pointers are refreshed the first time they are consulted
+// after a membership change, which keeps joins and leaves O(log n + n move)
+// instead of O(n·log n) — essential because the simulated communities grow
+// by thousands of nodes.
+type Node struct {
+	ID id.ID
+
+	pred       id.ID
+	succs      []id.ID        // successor list, nearest first
+	fingers    [id.Bits]id.ID // fingers[k] owns ID + 2^k
+	repairedAt int64          // membership epoch this state was built against
+}
+
+// Pred returns the node's predecessor pointer.
+func (n *Node) Pred() id.ID { return n.pred }
+
+// Succ returns the node's immediate successor.
+func (n *Node) Succ() id.ID {
+	if len(n.succs) == 0 {
+		return n.ID
+	}
+	return n.succs[0]
+}
+
+// Successors returns a copy of the node's successor list.
+func (n *Node) Successors() []id.ID {
+	return append([]id.ID(nil), n.succs...)
+}
+
+// Finger returns entry k of the finger table; the ring rebuilds stale
+// tables before exposing them.
+func (n *Node) Finger(k int) id.ID { return n.fingers[k] }
+
+// Ring is the overlay membership and routing oracle. The simulation is
+// single-threaded, so Ring performs maintenance eagerly and
+// deterministically instead of running Chord's periodic stabilisation
+// protocol; the routing state it maintains per node is exactly what
+// stabilisation would converge to.
+type Ring struct {
+	sorted []id.ID // current members, ascending
+	nodes  map[id.ID]*Node
+	epoch  int64 // bumped on every membership change
+
+	lookups  int64
+	hopTotal int64
+}
+
+// Errors returned by Ring operations.
+var (
+	ErrEmpty     = errors.New("overlay: ring has no members")
+	ErrDuplicate = errors.New("overlay: node already in ring")
+	ErrNotMember = errors.New("overlay: node not in ring")
+)
+
+// NewRing returns an empty overlay.
+func NewRing() *Ring {
+	return &Ring{nodes: make(map[id.ID]*Node)}
+}
+
+// Size returns the number of member nodes.
+func (r *Ring) Size() int { return len(r.sorted) }
+
+// Epoch returns the membership epoch, which advances on every join or
+// leave. Callers may cache placement decisions keyed by it.
+func (r *Ring) Epoch() int64 { return r.epoch }
+
+// Members returns the member identifiers in ascending order (copy).
+func (r *Ring) Members() []id.ID {
+	return append([]id.ID(nil), r.sorted...)
+}
+
+// Contains reports membership.
+func (r *Ring) Contains(n id.ID) bool {
+	_, ok := r.nodes[n]
+	return ok
+}
+
+// Node returns the routing state for a member, repaired against the
+// current membership, or an error.
+func (r *Ring) Node(n id.ID) (*Node, error) {
+	node, ok := r.nodes[n]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotMember, n.Short())
+	}
+	r.repairNode(node)
+	return node, nil
+}
+
+// Join adds a node to the ring. Routing state of existing nodes is repaired
+// lazily the next time it is consulted.
+func (r *Ring) Join(n id.ID) error {
+	if _, ok := r.nodes[n]; ok {
+		return fmt.Errorf("%w: %s", ErrDuplicate, n.Short())
+	}
+	i := r.searchIndex(n)
+	r.sorted = append(r.sorted, id.ID{})
+	copy(r.sorted[i+1:], r.sorted[i:])
+	r.sorted[i] = n
+	r.epoch++
+	r.nodes[n] = &Node{ID: n, repairedAt: r.epoch - 1}
+	return nil
+}
+
+// Leave removes a node (graceful departure or crash — routing-wise they are
+// the same once neighbours repair).
+func (r *Ring) Leave(n id.ID) error {
+	if _, ok := r.nodes[n]; !ok {
+		return fmt.Errorf("%w: %s", ErrNotMember, n.Short())
+	}
+	i := r.searchIndex(n)
+	// searchIndex returns the insertion point; the member is at i.
+	r.sorted = append(r.sorted[:i], r.sorted[i+1:]...)
+	delete(r.nodes, n)
+	r.epoch++
+	return nil
+}
+
+// searchIndex returns the index of n in sorted, or where it would insert.
+func (r *Ring) searchIndex(n id.ID) int {
+	return sort.Search(len(r.sorted), func(i int) bool {
+		return r.sorted[i].Cmp(n) >= 0
+	})
+}
+
+// repairNode refreshes one node's predecessor, successor list and finger
+// table against current membership, if stale. This is the lazy analogue of
+// Chord's stabilisation: the state produced is exactly what the periodic
+// protocol converges to.
+func (r *Ring) repairNode(node *Node) {
+	if node.repairedAt == r.epoch {
+		return
+	}
+	n := len(r.sorted)
+	i := r.searchIndex(node.ID)
+	node.pred = r.sorted[(i-1+n)%n]
+	node.succs = node.succs[:0]
+	if n == 1 {
+		node.succs = append(node.succs, node.ID)
+	} else {
+		for j := 1; j <= SuccessorListLen; j++ {
+			s := r.sorted[(i+j)%n]
+			if s == node.ID {
+				break // wrapped all the way around a small ring
+			}
+			node.succs = append(node.succs, s)
+		}
+	}
+	for k := 0; k < id.Bits; k++ {
+		node.fingers[k] = r.successorID(node.ID.AddPow2(k))
+	}
+	node.repairedAt = r.epoch
+}
+
+// successorID returns the owner of key: the first member clockwise from it.
+func (r *Ring) successorID(key id.ID) id.ID {
+	if len(r.sorted) == 0 {
+		panic("overlay: successorID on empty ring")
+	}
+	i := r.searchIndex(key)
+	if i == len(r.sorted) {
+		i = 0
+	}
+	return r.sorted[i]
+}
+
+// Successor returns the node owning key, per the ring oracle (no routing).
+func (r *Ring) Successor(key id.ID) (id.ID, error) {
+	if len(r.sorted) == 0 {
+		return id.ID{}, ErrEmpty
+	}
+	return r.successorID(key), nil
+}
+
+// Lookup routes from the given start member to the owner of key the way a
+// real Chord node would: greedy closest-preceding-finger steps, with the
+// successor pointer as the final (and fallback) hop. It returns the owner
+// and the number of hops taken, and records them in the ring's routing
+// statistics.
+func (r *Ring) Lookup(from, key id.ID) (owner id.ID, hops int, err error) {
+	if len(r.sorted) == 0 {
+		return id.ID{}, 0, ErrEmpty
+	}
+	cur, ok := r.nodes[from]
+	if !ok {
+		return id.ID{}, 0, fmt.Errorf("%w: lookup from %s", ErrNotMember, from.Short())
+	}
+	for {
+		r.repairNode(cur)
+		// Key owned by cur's immediate successor?
+		succ := cur.Succ()
+		if key.BetweenRightIncl(cur.ID, succ) {
+			r.lookups++
+			r.hopTotal += int64(hops + 1)
+			return succ, hops + 1, nil
+		}
+		next := r.closestPreceding(cur, key)
+		if next == cur.ID {
+			// Fingers degenerate (tiny ring): fall through to successor.
+			next = succ
+		}
+		cur = r.nodes[next]
+		hops++
+		if hops > len(r.sorted)+id.Bits {
+			return id.ID{}, hops, fmt.Errorf("overlay: lookup for %s did not converge", key.Short())
+		}
+	}
+}
+
+// closestPreceding returns the finger of n most closely preceding key,
+// Chord's routing step.
+func (n *Node) closestPrecedingFinger(key id.ID) id.ID {
+	for k := id.Bits - 1; k >= 0; k-- {
+		f := n.fingers[k]
+		if !f.IsZero() && f.Between(n.ID, key) {
+			return f
+		}
+	}
+	return n.ID
+}
+
+func (r *Ring) closestPreceding(n *Node, key id.ID) id.ID {
+	f := n.closestPrecedingFinger(key)
+	// A finger may point at a departed node if tables were rebuilt before a
+	// later departure; validate against membership and fall back along the
+	// successor list like real Chord does.
+	if _, ok := r.nodes[f]; ok {
+		return f
+	}
+	for _, s := range n.succs {
+		if _, ok := r.nodes[s]; ok && s.Between(n.ID, key) {
+			return s
+		}
+	}
+	return n.ID
+}
+
+// ScoreManagers returns the numSM owners of the peer's replica keys —
+// the nodes that hold feedback about it. The peer itself is excluded when
+// the ring has enough other members (a peer must not manage its own
+// reputation); the replica index keeps advancing until numSM distinct
+// managers are found.
+func (r *Ring) ScoreManagers(peer id.ID, numSM int) ([]id.ID, error) {
+	if numSM <= 0 {
+		return nil, fmt.Errorf("overlay: numSM must be positive, got %d", numSM)
+	}
+	if len(r.sorted) == 0 {
+		return nil, ErrEmpty
+	}
+	managers := make([]id.ID, 0, numSM)
+	seen := make(map[id.ID]bool, numSM)
+	othersAvailable := len(r.sorted) > 1 || !r.Contains(peer)
+	maxReplica := numSM * 8 // generous: hash collisions across replicas are rare
+	for rep := 0; rep < maxReplica && len(managers) < numSM; rep++ {
+		owner := r.successorID(peer.Replica(rep))
+		if owner == peer {
+			if !othersAvailable {
+				// Single-member ring: the peer must self-manage.
+				if !seen[owner] {
+					seen[owner] = true
+					managers = append(managers, owner)
+				}
+				continue
+			}
+			// A peer must not manage its own reputation: walk clockwise to
+			// the next member, like replica placement past a responsible
+			// node in a real DHT.
+			i := r.searchIndex(owner)
+			owner = r.sorted[(i+1)%len(r.sorted)]
+		}
+		if !seen[owner] {
+			seen[owner] = true
+			managers = append(managers, owner)
+		}
+	}
+	// A ring smaller than numSM cannot supply numSM distinct managers;
+	// cycle over the distinct ones found so callers always get numSM slots.
+	distinct := len(managers)
+	for i := 0; len(managers) < numSM; i++ {
+		managers = append(managers, managers[i%distinct])
+	}
+	return managers, nil
+}
+
+// RoutingStats reports the number of lookups performed and the mean hop
+// count, for the DHT-behaviour tests and reports.
+func (r *Ring) RoutingStats() (lookups int64, meanHops float64) {
+	if r.lookups == 0 {
+		return 0, 0
+	}
+	return r.lookups, float64(r.hopTotal) / float64(r.lookups)
+}

@@ -1,0 +1,359 @@
+package overlay
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/id"
+	"repro/internal/rng"
+)
+
+// buildRing joins n pseudo-random nodes and returns the ring plus their ids.
+func buildRing(t testing.TB, n int) (*Ring, []id.ID) {
+	t.Helper()
+	r := NewRing()
+	ids := make([]id.ID, 0, n)
+	for i := 0; i < n; i++ {
+		nid := id.HashString(fmt.Sprintf("node-%d", i))
+		if err := r.Join(nid); err != nil {
+			t.Fatalf("join %d: %v", i, err)
+		}
+		ids = append(ids, nid)
+	}
+	return r, ids
+}
+
+func TestJoinDuplicateRejected(t *testing.T) {
+	r := NewRing()
+	n := id.FromUint64(1)
+	if err := r.Join(n); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Join(n); err == nil {
+		t.Fatal("duplicate join accepted")
+	}
+}
+
+func TestLeaveNonMemberRejected(t *testing.T) {
+	r := NewRing()
+	if err := r.Leave(id.FromUint64(1)); err == nil {
+		t.Fatal("leave of non-member accepted")
+	}
+}
+
+func TestMembersSortedAndSized(t *testing.T) {
+	r, _ := buildRing(t, 50)
+	ms := r.Members()
+	if len(ms) != 50 || r.Size() != 50 {
+		t.Fatalf("size = %d / %d", len(ms), r.Size())
+	}
+	for i := 1; i < len(ms); i++ {
+		if !ms[i-1].Less(ms[i]) {
+			t.Fatal("members not strictly ascending")
+		}
+	}
+}
+
+func TestSuccessorOracle(t *testing.T) {
+	r, _ := buildRing(t, 20)
+	ms := r.Members()
+	// A key just below member i is owned by member i.
+	for _, m := range ms {
+		owner, err := r.Successor(m)
+		if err != nil || owner != m {
+			t.Fatalf("Successor(member) = %v, %v; want the member itself", owner, err)
+		}
+	}
+	// A key above the top member wraps to the first member.
+	var top id.ID
+	for i := range top {
+		top[i] = 0xff
+	}
+	if ms[len(ms)-1] != top {
+		owner, _ := r.Successor(top)
+		if owner != ms[0] {
+			t.Fatalf("wrap-around owner = %v, want %v", owner.Short(), ms[0].Short())
+		}
+	}
+}
+
+func TestSuccessorEmptyRing(t *testing.T) {
+	if _, err := NewRing().Successor(id.FromUint64(1)); err == nil {
+		t.Fatal("expected ErrEmpty")
+	}
+}
+
+func TestNeighbourPointers(t *testing.T) {
+	r, _ := buildRing(t, 30)
+	ms := r.Members()
+	for i, m := range ms {
+		node, err := r.Node(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantPred := ms[(i-1+len(ms))%len(ms)]
+		wantSucc := ms[(i+1)%len(ms)]
+		if node.Pred() != wantPred {
+			t.Fatalf("node %d pred = %v, want %v", i, node.Pred().Short(), wantPred.Short())
+		}
+		if node.Succ() != wantSucc {
+			t.Fatalf("node %d succ = %v, want %v", i, node.Succ().Short(), wantSucc.Short())
+		}
+		if len(node.Successors()) != SuccessorListLen {
+			t.Fatalf("node %d successor list has %d entries", i, len(node.Successors()))
+		}
+	}
+}
+
+func TestSingleNodeRing(t *testing.T) {
+	r := NewRing()
+	n := id.FromUint64(42)
+	if err := r.Join(n); err != nil {
+		t.Fatal(err)
+	}
+	node, _ := r.Node(n)
+	if node.Pred() != n || node.Succ() != n {
+		t.Fatal("single node must be its own neighbour")
+	}
+	owner, hops, err := r.Lookup(n, id.FromUint64(7))
+	if err != nil || owner != n || hops != 1 {
+		t.Fatalf("lookup on singleton: %v %d %v", owner.Short(), hops, err)
+	}
+}
+
+func TestFingersPointToOwners(t *testing.T) {
+	r, _ := buildRing(t, 40)
+	m := r.Members()[3]
+	node, _ := r.Node(m)
+	for k := 0; k < id.Bits; k += 13 {
+		want, _ := r.Successor(m.AddPow2(k))
+		if node.Finger(k) != want {
+			t.Fatalf("finger %d = %v, want %v", k, node.Finger(k).Short(), want.Short())
+		}
+	}
+}
+
+func TestLookupMatchesOracleFromEveryNode(t *testing.T) {
+	r, ids := buildRing(t, 60)
+	keys := []id.ID{
+		id.HashString("key-a"), id.HashString("key-b"),
+		id.FromUint64(0), id.FromUint64(1 << 60),
+	}
+	for _, from := range ids[:10] {
+		for _, key := range keys {
+			want, _ := r.Successor(key)
+			got, hops, err := r.Lookup(from, key)
+			if err != nil {
+				t.Fatalf("lookup: %v", err)
+			}
+			if got != want {
+				t.Fatalf("lookup(%v) = %v, oracle says %v", key.Short(), got.Short(), want.Short())
+			}
+			if hops < 1 {
+				t.Fatalf("hops = %d", hops)
+			}
+		}
+	}
+}
+
+func TestLookupQuickAgainstOracle(t *testing.T) {
+	r, ids := buildRing(t, 128)
+	src := rng.New(5)
+	f := func(raw [id.Bytes]byte) bool {
+		key := id.ID(raw)
+		from := ids[src.Intn(len(ids))]
+		want, _ := r.Successor(key)
+		got, _, err := r.Lookup(from, key)
+		return err == nil && got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLookupHopsLogarithmic(t *testing.T) {
+	r, ids := buildRing(t, 1024)
+	src := rng.New(9)
+	for i := 0; i < 500; i++ {
+		var raw [id.Bytes]byte
+		for j := range raw {
+			raw[j] = byte(src.Uint64())
+		}
+		from := ids[src.Intn(len(ids))]
+		if _, _, err := r.Lookup(from, id.ID(raw)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lookups, mean := r.RoutingStats()
+	if lookups != 500 {
+		t.Fatalf("lookups = %d", lookups)
+	}
+	// log2(1024) = 10; greedy Chord averages ~log2(n)/2. Anything beyond
+	// 2*log2(n) signals broken fingers.
+	if mean > 20 {
+		t.Fatalf("mean hops %v too high for 1024 nodes", mean)
+	}
+	if mean < 1 {
+		t.Fatalf("mean hops %v impossibly low", mean)
+	}
+}
+
+func TestLookupAfterChurn(t *testing.T) {
+	r, ids := buildRing(t, 100)
+	// Remove every third node, then add fresh ones.
+	for i := 0; i < len(ids); i += 3 {
+		if err := r.Leave(ids[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 30; i++ {
+		if err := r.Join(id.HashString(fmt.Sprintf("fresh-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	from := r.Members()[0]
+	for i := 0; i < 50; i++ {
+		key := id.HashString(fmt.Sprintf("churn-key-%d", i))
+		want, _ := r.Successor(key)
+		got, _, err := r.Lookup(from, key)
+		if err != nil || got != want {
+			t.Fatalf("post-churn lookup mismatch: %v vs %v (%v)", got.Short(), want.Short(), err)
+		}
+	}
+}
+
+func TestLookupFromNonMember(t *testing.T) {
+	r, _ := buildRing(t, 5)
+	if _, _, err := r.Lookup(id.FromUint64(999999), id.FromUint64(1)); err == nil {
+		t.Fatal("lookup from non-member accepted")
+	}
+}
+
+func TestScoreManagersDistinctAndStable(t *testing.T) {
+	r, ids := buildRing(t, 200)
+	peer := ids[17]
+	sms, err := r.ScoreManagers(peer, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sms) != 6 {
+		t.Fatalf("got %d managers", len(sms))
+	}
+	seen := map[id.ID]bool{}
+	for _, m := range sms {
+		if m == peer {
+			t.Fatal("peer assigned as its own score manager")
+		}
+		if seen[m] {
+			t.Fatal("duplicate score manager on a large ring")
+		}
+		seen[m] = true
+		if !r.Contains(m) {
+			t.Fatal("score manager not a member")
+		}
+	}
+	again, _ := r.ScoreManagers(peer, 6)
+	for i := range sms {
+		if sms[i] != again[i] {
+			t.Fatal("score manager assignment not deterministic")
+		}
+	}
+}
+
+func TestScoreManagersChangeUnderChurn(t *testing.T) {
+	r, ids := buildRing(t, 100)
+	peer := ids[0]
+	before, _ := r.ScoreManagers(peer, 6)
+	for i := 0; i < 200; i++ {
+		if err := r.Join(id.HashString(fmt.Sprintf("churner-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after, _ := r.ScoreManagers(peer, 6)
+	changed := 0
+	for i := range before {
+		if before[i] != after[i] {
+			changed++
+		}
+	}
+	if changed == 0 {
+		t.Fatal("tripling membership changed no score manager assignment — placement looks static")
+	}
+}
+
+func TestScoreManagersTinyRing(t *testing.T) {
+	r := NewRing()
+	a, b := id.FromUint64(1), id.FromUint64(2)
+	if err := r.Join(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Join(b); err != nil {
+		t.Fatal(err)
+	}
+	sms, err := r.ScoreManagers(a, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sms) != 6 {
+		t.Fatalf("got %d managers", len(sms))
+	}
+	for _, m := range sms {
+		if m != b {
+			t.Fatalf("two-node ring: every manager slot should be the other node, got %v", m.Short())
+		}
+	}
+}
+
+func TestScoreManagersSelfOnlyRing(t *testing.T) {
+	r := NewRing()
+	a := id.FromUint64(1)
+	if err := r.Join(a); err != nil {
+		t.Fatal(err)
+	}
+	sms, err := r.ScoreManagers(a, 3)
+	if err != nil || len(sms) != 3 {
+		t.Fatalf("sms=%v err=%v", sms, err)
+	}
+	for _, m := range sms {
+		if m != a {
+			t.Fatal("singleton ring must self-manage")
+		}
+	}
+}
+
+func TestScoreManagersValidation(t *testing.T) {
+	r, _ := buildRing(t, 3)
+	if _, err := r.ScoreManagers(id.FromUint64(1), 0); err == nil {
+		t.Fatal("numSM=0 accepted")
+	}
+	if _, err := NewRing().ScoreManagers(id.FromUint64(1), 3); err == nil {
+		t.Fatal("empty ring accepted")
+	}
+}
+
+// Property: join then leave restores the exact membership and owner map.
+func TestJoinLeaveRestoresOwnership(t *testing.T) {
+	r, _ := buildRing(t, 50)
+	keys := make([]id.ID, 40)
+	for i := range keys {
+		keys[i] = id.HashString(fmt.Sprintf("jl-key-%d", i))
+	}
+	before := make([]id.ID, len(keys))
+	for i, k := range keys {
+		before[i], _ = r.Successor(k)
+	}
+	extra := id.HashString("transient")
+	if err := r.Join(extra); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Leave(extra); err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range keys {
+		after, _ := r.Successor(k)
+		if after != before[i] {
+			t.Fatalf("ownership of key %d changed after join+leave", i)
+		}
+	}
+}

@@ -1,0 +1,257 @@
+// Package rng provides a small, fully deterministic random number suite for
+// the simulator. Every stochastic choice in an experiment flows through a
+// seeded *Source, so a (seed, parameters) pair identifies a run exactly —
+// the property the test suite and the multi-run experiment harness rely on.
+//
+// The generator is xoshiro256**, seeded via splitmix64, with samplers for
+// the distributions the paper needs: uniform, Bernoulli, exponential
+// (Poisson inter-arrival times), Poisson counts, geometric, normal and
+// bounded power-law (the scale-free topology's degree bias).
+package rng
+
+import (
+	"math"
+	"math/bits"
+)
+
+// Source is a deterministic pseudo-random generator. It is not safe for
+// concurrent use; give each goroutine its own Source (see Split).
+type Source struct {
+	s [4]uint64
+}
+
+// New returns a Source seeded from the given seed. Distinct seeds give
+// independent-looking streams; seed 0 is valid.
+func New(seed uint64) *Source {
+	var src Source
+	sm := seed
+	for i := range src.s {
+		sm, src.s[i] = splitmix64(sm)
+	}
+	return &src
+}
+
+// splitmix64 advances the splitmix64 state and returns the new state and
+// output. It is the recommended seeder for xoshiro generators.
+func splitmix64(state uint64) (next, out uint64) {
+	state += 0x9e3779b97f4a7c15
+	z := state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return state, z ^ (z >> 31)
+}
+
+// Uint64 returns the next 64 uniformly distributed bits (xoshiro256**).
+func (r *Source) Uint64() uint64 {
+	result := bits.RotateLeft64(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = bits.RotateLeft64(r.s[3], 45)
+	return result
+}
+
+// Split derives an independent child Source. The child's stream is a
+// deterministic function of the parent's state at the time of the call, so
+// fan-out (e.g. one Source per simulated peer or per experiment replica)
+// remains reproducible.
+func (r *Source) Split() *Source {
+	return New(r.Uint64() ^ 0xa5a5a5a5deadbeef)
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *Source) Float64() float64 {
+	// 53 high-quality bits into the mantissa.
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Uint64n returns a uniform uint64 in [0, n) using Lemire's multiply-shift
+// rejection method (unbiased). It panics if n == 0.
+func (r *Source) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n with zero n")
+	}
+	for {
+		hi, lo := bits.Mul64(r.Uint64(), n)
+		if lo >= n || lo >= -n%n {
+			return hi
+		}
+	}
+}
+
+// Bool returns an unbiased random boolean.
+func (r *Source) Bool() bool {
+	return r.Uint64()&1 == 1
+}
+
+// Bernoulli returns true with probability p (clamped to [0,1]).
+func (r *Source) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Exp returns an exponentially distributed sample with rate lambda (mean
+// 1/lambda). It panics if lambda <= 0. Used for Poisson-process
+// inter-arrival times of new peers.
+func (r *Source) Exp(lambda float64) float64 {
+	if lambda <= 0 {
+		panic("rng: Exp with non-positive rate")
+	}
+	for {
+		u := r.Float64()
+		if u > 0 {
+			return -math.Log(u) / lambda
+		}
+	}
+}
+
+// Poisson returns a Poisson-distributed count with the given mean. For
+// small means it uses Knuth's product method; for large means a normal
+// approximation with continuity correction, which is ample for simulation
+// workload generation. It panics if mean < 0.
+func (r *Source) Poisson(mean float64) int {
+	switch {
+	case mean < 0:
+		panic("rng: Poisson with negative mean")
+	case mean == 0:
+		return 0
+	case mean < 30:
+		l := math.Exp(-mean)
+		k := 0
+		p := 1.0
+		for {
+			p *= r.Float64()
+			if p <= l {
+				return k
+			}
+			k++
+		}
+	default:
+		n := int(math.Round(r.Norm(mean, math.Sqrt(mean))))
+		if n < 0 {
+			return 0
+		}
+		return n
+	}
+}
+
+// Geometric returns the number of failures before the first success in
+// Bernoulli(p) trials. It panics unless 0 < p <= 1.
+func (r *Source) Geometric(p float64) int {
+	if p <= 0 || p > 1 {
+		panic("rng: Geometric needs 0 < p <= 1")
+	}
+	if p == 1 {
+		return 0
+	}
+	return int(math.Floor(math.Log(1-r.Float64()) / math.Log(1-p)))
+}
+
+// Norm returns a normally distributed sample with the given mean and
+// standard deviation, via the Marsaglia polar method.
+func (r *Source) Norm(mean, stddev float64) float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			return mean + stddev*u*math.Sqrt(-2*math.Log(s)/s)
+		}
+	}
+}
+
+// PowerLawIndex draws an index in [0, n) with probability proportional to
+// (i+1)^(-alpha) — a bounded discrete power law. With alpha=0 the draw is
+// uniform. It is used for scale-free respondent/introducer selection when a
+// full preferential-attachment graph is not required. It panics if n <= 0
+// or alpha < 0.
+func (r *Source) PowerLawIndex(n int, alpha float64) int {
+	if n <= 0 {
+		panic("rng: PowerLawIndex with non-positive n")
+	}
+	if alpha < 0 {
+		panic("rng: PowerLawIndex with negative alpha")
+	}
+	if alpha == 0 || n == 1 {
+		return r.Intn(n)
+	}
+	// Inverse-CDF on the continuous envelope, then reject to correct for
+	// discretisation. For the simulator's n (thousands) the envelope is
+	// tight and rejection is rare.
+	for {
+		u := r.Float64()
+		var x float64
+		if alpha == 1 {
+			x = math.Exp(u * math.Log(float64(n)+1))
+		} else {
+			max := math.Pow(float64(n)+1, 1-alpha)
+			x = math.Pow(u*(max-1)+1, 1/(1-alpha))
+		}
+		i := int(x) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i < n {
+			return i
+		}
+	}
+}
+
+// Perm returns a uniform random permutation of [0, n).
+func (r *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := 1; i < n; i++ {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Shuffle randomises the order of n elements using the provided swap
+// function (Fisher–Yates).
+func (r *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Pick returns a uniformly chosen element index from a weighted set where
+// weights[i] >= 0. It panics if the total weight is not positive.
+func (r *Source) Pick(weights []float64) int {
+	total := 0.0
+	for _, w := range weights {
+		if w < 0 {
+			panic("rng: Pick with negative weight")
+		}
+		total += w
+	}
+	if total <= 0 {
+		panic("rng: Pick with non-positive total weight")
+	}
+	x := r.Float64() * total
+	for i, w := range weights {
+		x -= w
+		if x < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}

@@ -1,0 +1,339 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverge at step %d", i)
+		}
+	}
+}
+
+func TestDistinctSeedsDiverge(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d collisions between distinct seeds", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	c1 := parent.Split()
+	c2 := parent.Split()
+	if c1.Uint64() == c2.Uint64() {
+		t.Fatal("sibling splits produced identical first values")
+	}
+}
+
+func TestSplitReproducible(t *testing.T) {
+	mk := func() []uint64 {
+		p := New(99)
+		var out []uint64
+		for i := 0; i < 5; i++ {
+			out = append(out, p.Split().Uint64())
+		}
+		return out
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("split stream not reproducible at %d", i)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 100000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(4)
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Fatalf("uniform mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(5)
+	seen := make([]bool, 10)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	for i, s := range seen {
+		if !s {
+			t.Fatalf("value %d never drawn in 10000 samples", i)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestUint64nUnbiasedSmallRange(t *testing.T) {
+	r := New(6)
+	counts := make([]int, 3)
+	const n = 300000
+	for i := 0; i < n; i++ {
+		counts[r.Uint64n(3)]++
+	}
+	for v, c := range counts {
+		frac := float64(c) / n
+		if math.Abs(frac-1.0/3) > 0.01 {
+			t.Fatalf("value %d frequency %v, want ~1/3", v, frac)
+		}
+	}
+}
+
+func TestBernoulli(t *testing.T) {
+	r := New(7)
+	if r.Bernoulli(0) {
+		t.Fatal("Bernoulli(0) returned true")
+	}
+	if !r.Bernoulli(1) {
+		t.Fatal("Bernoulli(1) returned false")
+	}
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if math.Abs(frac-0.3) > 0.01 {
+		t.Fatalf("Bernoulli(0.3) frequency %v", frac)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := New(8)
+	const lambda = 0.1
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := r.Exp(lambda)
+		if v < 0 {
+			t.Fatalf("negative exponential sample %v", v)
+		}
+		sum += v
+	}
+	mean := sum / n
+	if math.Abs(mean-1/lambda) > 0.3 {
+		t.Fatalf("Exp mean %v, want ~%v", mean, 1/lambda)
+	}
+}
+
+func TestExpPanicsOnBadRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(1).Exp(0)
+}
+
+func TestPoissonSmallMean(t *testing.T) {
+	r := New(9)
+	const mean = 2.5
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += float64(r.Poisson(mean))
+	}
+	got := sum / n
+	if math.Abs(got-mean) > 0.05 {
+		t.Fatalf("Poisson(%v) sample mean %v", mean, got)
+	}
+}
+
+func TestPoissonLargeMean(t *testing.T) {
+	r := New(10)
+	const mean = 200.0
+	sum := 0.0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		v := r.Poisson(mean)
+		if v < 0 {
+			t.Fatalf("negative Poisson count %d", v)
+		}
+		sum += float64(v)
+	}
+	got := sum / n
+	if math.Abs(got-mean)/mean > 0.02 {
+		t.Fatalf("Poisson(%v) sample mean %v", mean, got)
+	}
+}
+
+func TestPoissonZero(t *testing.T) {
+	if New(1).Poisson(0) != 0 {
+		t.Fatal("Poisson(0) must be 0")
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	r := New(11)
+	const p = 0.25
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += float64(r.Geometric(p))
+	}
+	want := (1 - p) / p // mean failures before success
+	got := sum / n
+	if math.Abs(got-want) > 0.1 {
+		t.Fatalf("Geometric(%v) mean %v, want ~%v", p, got, want)
+	}
+	if r.Geometric(1) != 0 {
+		t.Fatal("Geometric(1) must be 0")
+	}
+}
+
+func TestNormMoments(t *testing.T) {
+	r := New(12)
+	const mean, sd = 5.0, 2.0
+	var sum, sumsq float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		v := r.Norm(mean, sd)
+		sum += v
+		sumsq += v * v
+	}
+	m := sum / n
+	variance := sumsq/n - m*m
+	if math.Abs(m-mean) > 0.05 {
+		t.Fatalf("Norm mean %v, want ~%v", m, mean)
+	}
+	if math.Abs(math.Sqrt(variance)-sd) > 0.05 {
+		t.Fatalf("Norm stddev %v, want ~%v", math.Sqrt(variance), sd)
+	}
+}
+
+func TestPowerLawIndexBounds(t *testing.T) {
+	r := New(13)
+	for i := 0; i < 50000; i++ {
+		v := r.PowerLawIndex(100, 1.0)
+		if v < 0 || v >= 100 {
+			t.Fatalf("PowerLawIndex out of range: %d", v)
+		}
+	}
+}
+
+func TestPowerLawIndexSkew(t *testing.T) {
+	r := New(14)
+	const n = 200000
+	counts := make([]int, 50)
+	for i := 0; i < n; i++ {
+		counts[r.PowerLawIndex(50, 1.5)]++
+	}
+	if counts[0] < counts[10] {
+		t.Fatalf("power law not skewed: counts[0]=%d counts[10]=%d", counts[0], counts[10])
+	}
+	if counts[0] < counts[49]*5 {
+		t.Fatalf("head/tail ratio too small: %d vs %d", counts[0], counts[49])
+	}
+}
+
+func TestPowerLawIndexAlphaZeroUniform(t *testing.T) {
+	r := New(15)
+	const n = 100000
+	counts := make([]int, 10)
+	for i := 0; i < n; i++ {
+		counts[r.PowerLawIndex(10, 0)]++
+	}
+	for v, c := range counts {
+		frac := float64(c) / n
+		if math.Abs(frac-0.1) > 0.01 {
+			t.Fatalf("alpha=0 not uniform: value %d frequency %v", v, frac)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(16)
+	for trial := 0; trial < 100; trial++ {
+		p := r.Perm(20)
+		seen := make([]bool, 20)
+		for _, v := range p {
+			if v < 0 || v >= 20 || seen[v] {
+				t.Fatalf("invalid permutation %v", p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestShuffleKeepsMultiset(t *testing.T) {
+	r := New(17)
+	xs := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	sum := 0
+	for _, v := range xs {
+		sum += v
+	}
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	got := 0
+	for _, v := range xs {
+		got += v
+	}
+	if got != sum {
+		t.Fatalf("shuffle altered elements: %v", xs)
+	}
+}
+
+func TestPickWeighted(t *testing.T) {
+	r := New(18)
+	weights := []float64{1, 0, 3}
+	counts := make([]int, 3)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[r.Pick(weights)]++
+	}
+	if counts[1] != 0 {
+		t.Fatalf("zero-weight element drawn %d times", counts[1])
+	}
+	frac0 := float64(counts[0]) / n
+	if math.Abs(frac0-0.25) > 0.01 {
+		t.Fatalf("weight-1 element frequency %v, want ~0.25", frac0)
+	}
+}
+
+func TestPickPanicsOnZeroTotal(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(1).Pick([]float64{0, 0})
+}

@@ -1,0 +1,403 @@
+// Package rocq implements the ROCQ (Reputation, Opinion, Credibility,
+// Quality) reputation management scheme of Garg, Battiti et al., which the
+// reputation-lending paper builds on: "We use the ROCQ reputation
+// management system to compute reputation values for peers."
+//
+// The scheme has two halves:
+//
+//   - Reporter side: after every transaction a peer updates its local
+//     *opinion* of its partner — the running average of its direct
+//     experiences — together with a *quality* value expressing how
+//     confident that opinion is (more interactions and more consistent
+//     outcomes give higher quality). The peer reports (opinion, quality)
+//     to the partner's score managers. OpinionBook implements this half.
+//
+//   - Score-manager side: each of a peer's score managers folds incoming
+//     reports into the peer's stored reputation, weighting every report by
+//     the *credibility* the manager holds for the reporter times the
+//     report's quality. Credibility rises when a reporter agrees with the
+//     aggregate and falls when it deviates, which is what defangs the
+//     paper's uncooperative peers that "always send 0 for their partners".
+//     Store implements this half.
+//
+// Reputation values live in [0,1] and admit the additive adjustments the
+// lending protocol needs (Credit/Debit): a debit lowers the stored
+// aggregate and subsequent positive feedback pulls it back up, matching
+// the paper's "the introducer can recoup its reputation in time by
+// behaving cooperatively with other peers".
+package rocq
+
+import (
+	"fmt"
+
+	"repro/internal/id"
+)
+
+// Params are the tunables of the ROCQ update rules. The defaults are
+// chosen so that the scheme reproduces the regime reported for ROCQ in the
+// paper's §4.1: with a cooperative majority, >95% of serve/deny decisions
+// are correct.
+type Params struct {
+	// PriorWeight anchors the credibility-weighted average at the paper's
+	// prior of 0 ("each new entrant is assumed to start with a reputation
+	// value of 0"): reputation = S / (W + PriorWeight), where S and W are
+	// the weighted sum and total weight of received opinions. A larger
+	// prior weight makes newcomers climb more slowly.
+	PriorWeight float64
+	// WindowWeight caps the total accumulated weight; beyond it, old
+	// evidence is scaled down exponentially. This keeps reputations
+	// responsive ("recoup in time by behaving cooperatively") instead of
+	// freezing under the mass of ancient reports.
+	WindowWeight float64
+	// CredInit is the credibility assigned to a reporter the first time a
+	// score manager hears from it.
+	CredInit float64
+	// CredGain is the learning rate of the credibility update.
+	CredGain float64
+	// CredMin floors credibility so a reporter can always climb back.
+	CredMin float64
+	// QualityHalf is the interaction count at which opinion quality
+	// reaches one half of its consistency-limited maximum.
+	QualityHalf float64
+}
+
+// DefaultParams returns the parameter set used throughout the reproduction.
+// CredInit starts high: in ROCQ's honest-majority regime the aggregate is
+// anchored by the majority, so liars lose credibility from any starting
+// point, while a high start lets honest first reports about newcomers count
+// — newcomers must climb within a handful of transactions, as in the
+// paper's Figure 2 dynamics.
+func DefaultParams() Params {
+	return Params{
+		PriorWeight:  0.5,
+		WindowWeight: 100,
+		CredInit:     0.85,
+		CredGain:     0.05,
+		CredMin:      0.05,
+		QualityHalf:  0.5,
+	}
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	switch {
+	case p.PriorWeight <= 0:
+		return fmt.Errorf("rocq: PriorWeight %v must be positive", p.PriorWeight)
+	case p.WindowWeight <= p.PriorWeight:
+		return fmt.Errorf("rocq: WindowWeight %v must exceed PriorWeight %v", p.WindowWeight, p.PriorWeight)
+	case p.CredInit <= 0 || p.CredInit > 1:
+		return fmt.Errorf("rocq: CredInit %v out of (0,1]", p.CredInit)
+	case p.CredGain <= 0 || p.CredGain > 1:
+		return fmt.Errorf("rocq: CredGain %v out of (0,1]", p.CredGain)
+	case p.CredMin < 0 || p.CredMin >= 1:
+		return fmt.Errorf("rocq: CredMin %v out of [0,1)", p.CredMin)
+	case p.QualityHalf <= 0:
+		return fmt.Errorf("rocq: QualityHalf %v must be positive", p.QualityHalf)
+	}
+	return nil
+}
+
+// clamp01 restricts v to [0,1].
+func clamp01(v float64) float64 {
+	switch {
+	case v < 0:
+		return 0
+	case v > 1:
+		return 1
+	}
+	return v
+}
+
+// ---------------------------------------------------------------------------
+// Reporter side: opinions with quality.
+
+// Opinion is a peer's local view of one partner.
+type Opinion struct {
+	// Value is the running average of experience ratings in [0,1].
+	Value float64
+	// Quality is the confidence in Value, in [0,1].
+	Quality float64
+	// Count is the number of direct experiences behind the opinion.
+	Count int64
+}
+
+// OpinionBook tracks a peer's first-hand experience with every partner it
+// has transacted with.
+type OpinionBook struct {
+	params   Params
+	partners map[id.ID]*opinionState
+}
+
+type opinionState struct {
+	sum   float64
+	count int64
+}
+
+// NewOpinionBook returns an empty book using the given parameters.
+func NewOpinionBook(p Params) *OpinionBook {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	return &OpinionBook{params: p, partners: make(map[id.ID]*opinionState)}
+}
+
+// Record folds one experience rating (in [0,1]; the paper's model uses the
+// binary values 1 = satisfied, 0 = not satisfied) into the opinion of the
+// given partner and returns the updated opinion.
+func (b *OpinionBook) Record(partner id.ID, rating float64) Opinion {
+	if rating < 0 || rating > 1 {
+		panic(fmt.Sprintf("rocq: rating %v out of [0,1]", rating))
+	}
+	st := b.partners[partner]
+	if st == nil {
+		st = &opinionState{}
+		b.partners[partner] = st
+	}
+	st.sum += rating
+	st.count++
+	return b.opinion(st)
+}
+
+// Opinion returns the current opinion of a partner and whether any
+// experience with it exists.
+func (b *OpinionBook) Opinion(partner id.ID) (Opinion, bool) {
+	st, ok := b.partners[partner]
+	if !ok {
+		return Opinion{}, false
+	}
+	return b.opinion(st), true
+}
+
+// Partners returns the number of distinct partners with recorded
+// experience.
+func (b *OpinionBook) Partners() int { return len(b.partners) }
+
+func (b *OpinionBook) opinion(st *opinionState) Opinion {
+	mean := st.sum / float64(st.count)
+	// Quality grows with the number of experiences (saturation term) and
+	// shrinks when the experiences are inconsistent: a half-good,
+	// half-bad history gives a much less useful opinion than a unanimous
+	// one. For ratings in [0,1] the consistency term 1−2·min(m,1−m) is 1
+	// for unanimous histories and 0 at m=0.5.
+	saturation := float64(st.count) / (float64(st.count) + b.params.QualityHalf)
+	consistency := 1 - 2*minf(mean, 1-mean)
+	quality := saturation * (0.25 + 0.75*consistency)
+	return Opinion{Value: mean, Quality: clamp01(quality), Count: st.count}
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// ---------------------------------------------------------------------------
+// Score-manager side: credibility-weighted aggregation.
+
+// Store holds the reputation state one score-manager node keeps for the
+// subjects it is responsible for, together with its private credibility
+// estimates of reporters. A Store is not safe for concurrent use.
+type Store struct {
+	params   Params
+	subjects map[id.ID]*subjectState
+	cred     map[id.ID]float64
+
+	reports int64
+}
+
+// subjectState is the credibility-weighted evidence about one subject:
+// reputation reads as S / (W + PriorWeight), the weighted average of
+// received opinions anchored at the prior 0. Lending credits and debits
+// shift S by amount·(W + PriorWeight), which moves the read value by
+// exactly ±amount and then fades as further evidence accumulates — the
+// paper's "recoup … by behaving cooperatively".
+type subjectState struct {
+	s       float64 // weighted opinion sum (plus lending adjustments)
+	w       float64 // total opinion weight
+	reports int64
+}
+
+// NewStore returns an empty score-manager store.
+func NewStore(p Params) *Store {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	return &Store{
+		params:   p,
+		subjects: make(map[id.ID]*subjectState),
+		cred:     make(map[id.ID]float64),
+	}
+}
+
+// Subjects returns the number of subjects with stored reputation.
+func (s *Store) Subjects() int { return len(s.subjects) }
+
+// Reports returns the total number of reports folded in.
+func (s *Store) Reports() int64 { return s.reports }
+
+// initWeight is the evidence weight behind an explicitly initialised
+// reputation (founders, baseline admissions): solid but not immovable.
+const initWeight = 20
+
+// Init creates (or resets) a subject's stored reputation to the given
+// value, backed by a solid body of synthetic evidence. The simulation uses
+// it for the founding community members, which the paper assumes "are
+// honest and cooperative" from the start.
+func (s *Store) Init(subject id.ID, rep float64) {
+	st := &subjectState{w: initWeight}
+	st.s = clamp01(rep) * (st.w + s.params.PriorWeight)
+	s.subjects[subject] = st
+}
+
+// Known reports whether the store holds state for the subject.
+func (s *Store) Known(subject id.ID) bool {
+	_, ok := s.subjects[subject]
+	return ok
+}
+
+// value reads the reputation of one subject state.
+func (s *Store) value(st *subjectState) float64 {
+	return clamp01(st.s / (st.w + s.params.PriorWeight))
+}
+
+// Query returns the stored reputation of the subject, and false if the
+// store has never heard of it (a fresh score manager after churn, or a
+// peer that was never admitted).
+func (s *Store) Query(subject id.ID) (float64, bool) {
+	st, ok := s.subjects[subject]
+	if !ok {
+		return 0, false
+	}
+	return s.value(st), true
+}
+
+// Credibility returns the store's current credibility for a reporter.
+func (s *Store) Credibility(reporter id.ID) float64 {
+	c, ok := s.cred[reporter]
+	if !ok {
+		return s.params.CredInit
+	}
+	return c
+}
+
+// Report folds one (opinion, quality) report about subject from reporter
+// into the stored evidence with weight credibility·quality, and updates
+// the reporter's credibility according to how well the report agreed with
+// the resulting aggregate. A report about an unknown subject creates the
+// subject at the zero prior first — an unintroduced peer starts at 0.
+func (s *Store) Report(reporter, subject id.ID, op Opinion) {
+	if op.Value < 0 || op.Value > 1 || op.Quality < 0 || op.Quality > 1 {
+		panic(fmt.Sprintf("rocq: report out of range: %+v", op))
+	}
+	s.reports++
+	cred := s.Credibility(reporter)
+	st, ok := s.subjects[subject]
+	if !ok {
+		st = &subjectState{}
+		s.subjects[subject] = st
+	}
+	w := cred * op.Quality
+	st.s += w * op.Value
+	st.w += w
+	// Sliding window: beyond WindowWeight, scale old evidence down so the
+	// aggregate stays responsive to recent behaviour.
+	if st.w > s.params.WindowWeight {
+		f := s.params.WindowWeight / st.w
+		st.s *= f
+		st.w = s.params.WindowWeight
+	}
+	st.reports++
+	s.updateCred(reporter, cred, op.Value, s.value(st))
+}
+
+// updateCred moves the reporter's credibility toward 1−|opinion−aggregate|:
+// reporters that agree with the aggregate become more credible, reporters
+// that consistently deviate (for instance the paper's uncooperative peers,
+// which always report 0) lose influence.
+func (s *Store) updateCred(reporter id.ID, cred, opinion, aggregate float64) {
+	d := opinion - aggregate
+	if d < 0 {
+		d = -d
+	}
+	target := 1 - d
+	c := cred + s.params.CredGain*(target-cred)
+	if c < s.params.CredMin {
+		c = s.params.CredMin
+	}
+	s.cred[reporter] = clamp01(c)
+}
+
+// adjust shifts the subject's read value by exactly delta (before
+// clamping) by moving the weighted sum, creating the subject at the zero
+// prior first if unknown.
+func (s *Store) adjust(subject id.ID, delta float64) {
+	st, ok := s.subjects[subject]
+	if !ok {
+		st = &subjectState{}
+		s.subjects[subject] = st
+	}
+	st.s += delta * (st.w + s.params.PriorWeight)
+	// Keep the evidence sum inside the representable [0,1] value range so
+	// clamped adjustments do not bank hidden credit or debt.
+	if max := st.w + s.params.PriorWeight; st.s > max {
+		st.s = max
+	}
+	if st.s < 0 {
+		st.s = 0
+	}
+}
+
+// Credit raises the subject's stored reputation by amount (clamped to 1),
+// creating the subject at reputation 0 first if unknown — this is exactly
+// the score-manager action for the lending protocol's CREDIT message, and
+// the paper's bootstrap rule "each new entrant is assumed to start with a
+// reputation value of 0".
+func (s *Store) Credit(subject id.ID, amount float64) {
+	if amount < 0 {
+		panic("rocq: negative credit")
+	}
+	s.adjust(subject, amount)
+}
+
+// Debit lowers the subject's stored reputation by amount, clamped at 0
+// ("subject to a minimum of 0"), creating the subject first if unknown.
+func (s *Store) Debit(subject id.ID, amount float64) {
+	if amount < 0 {
+		panic("rocq: negative debit")
+	}
+	s.adjust(subject, -amount)
+}
+
+// Zero forces the subject's stored reputation to 0; the punishment for a
+// peer caught soliciting duplicate introductions.
+func (s *Store) Zero(subject id.ID) {
+	st, ok := s.subjects[subject]
+	if !ok {
+		st = &subjectState{}
+		s.subjects[subject] = st
+	}
+	st.s = 0
+}
+
+// ---------------------------------------------------------------------------
+// Cross-manager aggregation.
+
+// QuerySet combines the answers of a peer's score managers: the mean of
+// the stored values over the managers that know the subject. Managers
+// without state (fresh after churn) abstain. The boolean is false when no
+// manager knows the subject, which callers must treat as reputation 0 —
+// an unintroduced peer.
+func QuerySet(stores []*Store, subject id.ID) (float64, bool) {
+	sum, n := 0.0, 0
+	for _, st := range stores {
+		if v, ok := st.Query(subject); ok {
+			sum += v
+			n++
+		}
+	}
+	if n == 0 {
+		return 0, false
+	}
+	return sum / float64(n), true
+}

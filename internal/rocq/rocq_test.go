@@ -1,0 +1,380 @@
+package rocq
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/id"
+)
+
+func pid(v uint64) id.ID { return id.FromUint64(v) }
+
+func TestParamsValidate(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatalf("default params invalid: %v", err)
+	}
+	bad := []Params{
+		{PriorWeight: 0, WindowWeight: 100, CredInit: 0.5, CredGain: 0.1, QualityHalf: 2},
+		{PriorWeight: 1, WindowWeight: 0.5, CredInit: 0.5, CredGain: 0.1, QualityHalf: 2},
+		{PriorWeight: 1, WindowWeight: 100, CredInit: 1.5, CredGain: 0.1, QualityHalf: 2},
+		{PriorWeight: 1, WindowWeight: 100, CredInit: 0.5, CredGain: 0, QualityHalf: 2},
+		{PriorWeight: 1, WindowWeight: 100, CredInit: 0.5, CredGain: 0.1, CredMin: 1, QualityHalf: 2},
+		{PriorWeight: 1, WindowWeight: 100, CredInit: 0.5, CredGain: 0.1, QualityHalf: 0},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Fatalf("bad params %d accepted", i)
+		}
+	}
+}
+
+func TestOpinionRunningAverage(t *testing.T) {
+	b := NewOpinionBook(DefaultParams())
+	p := pid(1)
+	b.Record(p, 1)
+	b.Record(p, 0)
+	op, ok := b.Opinion(p)
+	if !ok {
+		t.Fatal("opinion missing")
+	}
+	if op.Value != 0.5 || op.Count != 2 {
+		t.Fatalf("opinion = %+v", op)
+	}
+}
+
+func TestOpinionUnknownPartner(t *testing.T) {
+	b := NewOpinionBook(DefaultParams())
+	if _, ok := b.Opinion(pid(9)); ok {
+		t.Fatal("opinion for unknown partner")
+	}
+	if b.Partners() != 0 {
+		t.Fatal("phantom partners")
+	}
+}
+
+func TestOpinionQualityGrowsWithCount(t *testing.T) {
+	b := NewOpinionBook(DefaultParams())
+	p := pid(1)
+	op1 := b.Record(p, 1)
+	var opN Opinion
+	for i := 0; i < 20; i++ {
+		opN = b.Record(p, 1)
+	}
+	if opN.Quality <= op1.Quality {
+		t.Fatalf("quality did not grow: %v -> %v", op1.Quality, opN.Quality)
+	}
+	if opN.Quality > 1 {
+		t.Fatalf("quality out of range: %v", opN.Quality)
+	}
+}
+
+func TestOpinionQualityPenalisesInconsistency(t *testing.T) {
+	b := NewOpinionBook(DefaultParams())
+	consistent, mixed := pid(1), pid(2)
+	for i := 0; i < 20; i++ {
+		b.Record(consistent, 1)
+		b.Record(mixed, float64(i%2))
+	}
+	opC, _ := b.Opinion(consistent)
+	opM, _ := b.Opinion(mixed)
+	if opM.Quality >= opC.Quality {
+		t.Fatalf("mixed history quality %v not below consistent %v", opM.Quality, opC.Quality)
+	}
+}
+
+func TestOpinionRejectsOutOfRangeRating(t *testing.T) {
+	b := NewOpinionBook(DefaultParams())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	b.Record(pid(1), 1.5)
+}
+
+func TestOpinionQuickBounds(t *testing.T) {
+	b := NewOpinionBook(DefaultParams())
+	f := func(partner uint64, ratings []bool) bool {
+		p := pid(partner)
+		var last Opinion
+		for _, r := range ratings {
+			v := 0.0
+			if r {
+				v = 1
+			}
+			last = b.Record(p, v)
+		}
+		if len(ratings) == 0 {
+			return true
+		}
+		return last.Value >= 0 && last.Value <= 1 && last.Quality >= 0 && last.Quality <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoreQueryUnknown(t *testing.T) {
+	s := NewStore(DefaultParams())
+	if _, ok := s.Query(pid(1)); ok {
+		t.Fatal("unknown subject should be absent")
+	}
+	if s.Known(pid(1)) {
+		t.Fatal("Known on unknown subject")
+	}
+}
+
+func TestStoreInitAndQuery(t *testing.T) {
+	s := NewStore(DefaultParams())
+	s.Init(pid(1), 1.0)
+	v, ok := s.Query(pid(1))
+	if !ok || v != 1.0 {
+		t.Fatalf("query = %v, %v", v, ok)
+	}
+	s.Init(pid(2), 1.7) // clamped
+	if v, _ := s.Query(pid(2)); v != 1.0 {
+		t.Fatalf("init did not clamp: %v", v)
+	}
+}
+
+func TestReportPullsTowardOpinion(t *testing.T) {
+	s := NewStore(DefaultParams())
+	subject := pid(1)
+	s.Credit(subject, 0.2) // bootstrap credit, no prior evidence
+	op := Opinion{Value: 1, Quality: 1, Count: 10}
+	prev, _ := s.Query(subject)
+	for i := uint64(0); i < 50; i++ {
+		s.Report(pid(100+i), subject, op)
+		cur, _ := s.Query(subject)
+		if cur < prev-1e-12 {
+			t.Fatalf("reputation moved away from unanimous positive opinion: %v -> %v", prev, cur)
+		}
+		prev = cur
+	}
+	if prev < 0.8 {
+		t.Fatalf("reputation %v did not converge toward 1 after 50 positive reports", prev)
+	}
+}
+
+func TestReportBootstrapsUnknownSubject(t *testing.T) {
+	s := NewStore(DefaultParams())
+	s.Report(pid(7), pid(1), Opinion{Value: 1, Quality: 1})
+	v, ok := s.Query(pid(1))
+	if !ok {
+		t.Fatal("report did not create subject state")
+	}
+	// Bootstrapped from the report but damped by default credibility.
+	if v <= 0 || v > DefaultParams().CredInit {
+		t.Fatalf("bootstrap value %v outside (0, credInit]", v)
+	}
+}
+
+func TestLiarLosesCredibility(t *testing.T) {
+	// The paper's regime: an honest majority. Four honest reporters and
+	// one liar (an uncooperative peer that "always sends 0").
+	s := NewStore(DefaultParams())
+	subject := pid(1)
+	s.Init(subject, 0.9)
+	liar := pid(50)
+	honest := []id.ID{pid(51), pid(52), pid(53), pid(54)}
+	for i := 0; i < 100; i++ {
+		s.Report(liar, subject, Opinion{Value: 0, Quality: 1})
+		for _, h := range honest {
+			s.Report(h, subject, Opinion{Value: 1, Quality: 1})
+		}
+	}
+	if cl, ch := s.Credibility(liar), s.Credibility(honest[0]); cl >= ch/2 {
+		t.Fatalf("liar credibility %v not well below honest %v", cl, ch)
+	}
+	// The aggregate must stay high despite the liar: credibility damps it.
+	if v, _ := s.Query(subject); v < 0.7 {
+		t.Fatalf("one liar among four honest dragged reputation to %v", v)
+	}
+}
+
+func TestCredibilityFloor(t *testing.T) {
+	p := DefaultParams()
+	s := NewStore(p)
+	s.Init(pid(1), 1)
+	liar := pid(2)
+	for i := 0; i < 1000; i++ {
+		s.Report(liar, pid(1), Opinion{Value: 0, Quality: 1})
+	}
+	if c := s.Credibility(liar); c < p.CredMin {
+		t.Fatalf("credibility %v fell below floor %v", c, p.CredMin)
+	}
+}
+
+func TestCreditDebitClamp(t *testing.T) {
+	s := NewStore(DefaultParams())
+	subject := pid(1)
+	s.Credit(subject, 0.1)
+	if v, _ := s.Query(subject); math.Abs(v-0.1) > 1e-12 {
+		t.Fatalf("credit on unknown subject: %v", v)
+	}
+	s.Credit(subject, 5)
+	if v, _ := s.Query(subject); v != 1 {
+		t.Fatalf("credit did not clamp at 1: %v", v)
+	}
+	s.Debit(subject, 0.4)
+	if v, _ := s.Query(subject); math.Abs(v-0.6) > 1e-12 {
+		t.Fatalf("debit: %v", v)
+	}
+	s.Debit(subject, 5)
+	if v, _ := s.Query(subject); v != 0 {
+		t.Fatalf("debit did not clamp at 0: %v", v)
+	}
+}
+
+func TestDebitCreatesAtZero(t *testing.T) {
+	s := NewStore(DefaultParams())
+	s.Debit(pid(1), 0.3)
+	if v, ok := s.Query(pid(1)); !ok || v != 0 {
+		t.Fatalf("debit on unknown subject: %v, %v", v, ok)
+	}
+}
+
+func TestNegativeAdjustmentsPanic(t *testing.T) {
+	s := NewStore(DefaultParams())
+	for _, fn := range []func(){
+		func() { s.Credit(pid(1), -0.1) },
+		func() { s.Debit(pid(1), -0.1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestZero(t *testing.T) {
+	s := NewStore(DefaultParams())
+	s.Init(pid(1), 0.9)
+	s.Zero(pid(1))
+	if v, ok := s.Query(pid(1)); !ok || v != 0 {
+		t.Fatalf("Zero: %v, %v", v, ok)
+	}
+	s.Zero(pid(2)) // unknown subject becomes known at 0
+	if v, ok := s.Query(pid(2)); !ok || v != 0 {
+		t.Fatalf("Zero unknown: %v, %v", v, ok)
+	}
+}
+
+func TestRecoupAfterDebit(t *testing.T) {
+	// The paper: "the introducer can recoup its reputation in time by
+	// behaving cooperatively with other peers."
+	s := NewStore(DefaultParams())
+	subject := pid(1)
+	s.Init(subject, 1)
+	s.Debit(subject, 0.3)
+	after, _ := s.Query(subject)
+	if math.Abs(after-0.7) > 1e-12 {
+		t.Fatalf("debit result %v", after)
+	}
+	for i := uint64(0); i < 200; i++ {
+		s.Report(pid(100+i%10), subject, Opinion{Value: 1, Quality: 1})
+	}
+	v, _ := s.Query(subject)
+	if v < 0.95 {
+		t.Fatalf("reputation %v did not recoup after positive feedback", v)
+	}
+}
+
+func TestReputationStaysInRangeQuick(t *testing.T) {
+	s := NewStore(DefaultParams())
+	subject := pid(1)
+	f := func(ops []struct {
+		Reporter uint8
+		Positive bool
+		Credit   bool
+		Debit    bool
+	}) bool {
+		for _, o := range ops {
+			switch {
+			case o.Credit:
+				s.Credit(subject, 0.1)
+			case o.Debit:
+				s.Debit(subject, 0.1)
+			default:
+				v := 0.0
+				if o.Positive {
+					v = 1
+				}
+				s.Report(pid(uint64(o.Reporter)), subject, Opinion{Value: v, Quality: 1})
+			}
+			if v, ok := s.Query(subject); ok && (v < 0 || v > 1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuerySet(t *testing.T) {
+	p := DefaultParams()
+	a, b, c := NewStore(p), NewStore(p), NewStore(p)
+	subject := pid(1)
+	if _, ok := QuerySet([]*Store{a, b, c}, subject); ok {
+		t.Fatal("unknown everywhere should be absent")
+	}
+	a.Init(subject, 0.8)
+	b.Init(subject, 0.6)
+	// c abstains (fresh manager after churn).
+	v, ok := QuerySet([]*Store{a, b, c}, subject)
+	if !ok || math.Abs(v-0.7) > 1e-12 {
+		t.Fatalf("QuerySet = %v, %v", v, ok)
+	}
+}
+
+func TestStoreCounters(t *testing.T) {
+	s := NewStore(DefaultParams())
+	s.Report(pid(1), pid(2), Opinion{Value: 1, Quality: 1})
+	s.Report(pid(1), pid(3), Opinion{Value: 0, Quality: 0.5})
+	if s.Reports() != 2 {
+		t.Fatalf("Reports = %d", s.Reports())
+	}
+	if s.Subjects() != 2 {
+		t.Fatalf("Subjects = %d", s.Subjects())
+	}
+}
+
+func TestReportRejectsOutOfRange(t *testing.T) {
+	s := NewStore(DefaultParams())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.Report(pid(1), pid(2), Opinion{Value: 2, Quality: 1})
+}
+
+// Separation test: the core property the lending audit depends on. Honest
+// majority reporting about a cooperative and an uncooperative subject must
+// drive their reputations far apart.
+func TestCooperativeUncooperativeSeparation(t *testing.T) {
+	s := NewStore(DefaultParams())
+	coop, uncoop := pid(1), pid(2)
+	s.Credit(coop, 0.1)   // both bootstrapped by a lend
+	s.Credit(uncoop, 0.1) // of the default introAmt
+	for i := uint64(0); i < 40; i++ {
+		reporter := pid(100 + i%8)
+		s.Report(reporter, coop, Opinion{Value: 1, Quality: 0.8})
+		s.Report(reporter, uncoop, Opinion{Value: 0, Quality: 0.8})
+	}
+	cv, _ := s.Query(coop)
+	uv, _ := s.Query(uncoop)
+	if cv < 0.5 {
+		t.Fatalf("cooperative newcomer reputation %v below audit threshold", cv)
+	}
+	if uv > 0.2 {
+		t.Fatalf("uncooperative newcomer reputation %v too high", uv)
+	}
+}

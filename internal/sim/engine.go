@@ -1,0 +1,137 @@
+// Package sim provides the discrete-event simulation core and the
+// simulation "world" that wires the overlay, the ROCQ reputation system and
+// the reputation-lending protocol together, following the experimental
+// setup of the paper: integer simulation time, exactly one resource
+// transaction scheduled per time unit, instant message delivery.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Tick is a point in simulation time. The paper schedules one resource
+// transaction per tick.
+type Tick int64
+
+// Event is a unit of scheduled work. Events run at a tick; events at the
+// same tick run in scheduling order (FIFO), which keeps runs deterministic.
+type Event struct {
+	At   Tick
+	Name string // diagnostic label, e.g. "transaction", "arrival", "audit"
+	Run  func()
+
+	seq int64 // tie-break for FIFO ordering within a tick
+}
+
+// eventHeap orders events by (At, seq).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*Event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a deterministic discrete-event scheduler. It is not safe for
+// concurrent use; concurrency in the reproduction lives at the
+// replica level (independent engines per goroutine).
+type Engine struct {
+	now     Tick
+	queue   eventHeap
+	nextSeq int64
+	ran     int64
+	stopped bool
+}
+
+// NewEngine returns an engine positioned at tick 0 with an empty queue.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulation time.
+func (e *Engine) Now() Tick { return e.now }
+
+// Processed returns the number of events executed so far.
+func (e *Engine) Processed() int64 { return e.ran }
+
+// Pending returns the number of events still queued.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Schedule queues fn to run at the absolute tick at. Scheduling in the past
+// (before Now) is a programming error and panics: the simulator has no
+// notion of retroactive work.
+func (e *Engine) Schedule(at Tick, name string, fn func()) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling %q at tick %d before now (%d)", name, at, e.now))
+	}
+	ev := &Event{At: at, Name: name, Run: fn, seq: e.nextSeq}
+	e.nextSeq++
+	heap.Push(&e.queue, ev)
+}
+
+// After queues fn to run delay ticks from now.
+func (e *Engine) After(delay Tick, name string, fn func()) {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d for %q", delay, name))
+	}
+	e.Schedule(e.now+delay, name, fn)
+}
+
+// Stop makes the current Run invocation return after the in-flight event
+// completes. Queued events remain queued.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Step executes the single earliest pending event and returns true, or
+// returns false if the queue is empty.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*Event)
+	e.now = ev.At
+	e.ran++
+	ev.Run()
+	return true
+}
+
+// RunUntil executes events in order until the queue is empty, Stop is
+// called, or the next event would run after the deadline tick. Events
+// scheduled exactly at the deadline still run. It returns the number of
+// events executed.
+func (e *Engine) RunUntil(deadline Tick) int64 {
+	e.stopped = false
+	start := e.ran
+	for !e.stopped && len(e.queue) > 0 && e.queue[0].At <= deadline {
+		e.Step()
+	}
+	if e.now < deadline && !e.stopped {
+		// Advance the clock even if the queue drained early, so callers
+		// observing Now see the full interval elapsed.
+		e.now = deadline
+	}
+	return e.ran - start
+}
+
+// Drain executes every pending event. It returns the number executed. Use
+// with care: a self-rescheduling event makes Drain run forever, so the
+// simulator's periodic processes should use RunUntil.
+func (e *Engine) Drain() int64 {
+	e.stopped = false
+	start := e.ran
+	for !e.stopped && e.Step() {
+	}
+	return e.ran - start
+}

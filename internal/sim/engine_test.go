@@ -1,0 +1,178 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestScheduleRunsInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Schedule(30, "c", func() { order = append(order, 3) })
+	e.Schedule(10, "a", func() { order = append(order, 1) })
+	e.Schedule(20, "b", func() { order = append(order, 2) })
+	e.Drain()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("wrong order: %v", order)
+	}
+	if e.Now() != 30 {
+		t.Fatalf("clock = %d, want 30", e.Now())
+	}
+}
+
+func TestSameTickFIFO(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5, "x", func() { order = append(order, i) })
+	}
+	e.Drain()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-tick events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestAfterRelative(t *testing.T) {
+	e := NewEngine()
+	var at Tick
+	e.Schedule(100, "outer", func() {
+		e.After(50, "inner", func() { at = e.Now() })
+	})
+	e.Drain()
+	if at != 150 {
+		t.Fatalf("After fired at %d, want 150", at)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(10, "x", func() {})
+	e.Drain()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic scheduling in the past")
+		}
+	}()
+	e.Schedule(5, "late", func() {})
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for negative delay")
+		}
+	}()
+	e.After(-1, "bad", func() {})
+}
+
+func TestRunUntilStopsAtDeadline(t *testing.T) {
+	e := NewEngine()
+	var ran []Tick
+	for _, at := range []Tick{1, 5, 10, 11, 20} {
+		at := at
+		e.Schedule(at, "x", func() { ran = append(ran, at) })
+	}
+	n := e.RunUntil(10)
+	if n != 3 {
+		t.Fatalf("RunUntil executed %d events, want 3", n)
+	}
+	if e.Pending() != 2 {
+		t.Fatalf("pending = %d, want 2", e.Pending())
+	}
+	if e.Now() != 10 {
+		t.Fatalf("clock = %d, want 10", e.Now())
+	}
+	n = e.RunUntil(100)
+	if n != 2 || e.Now() != 100 {
+		t.Fatalf("second RunUntil: n=%d now=%d", n, e.Now())
+	}
+}
+
+func TestRunUntilAdvancesClockOnEmptyQueue(t *testing.T) {
+	e := NewEngine()
+	e.RunUntil(500)
+	if e.Now() != 500 {
+		t.Fatalf("clock = %d, want 500", e.Now())
+	}
+}
+
+func TestStopMidRun(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := Tick(1); i <= 10; i++ {
+		e.Schedule(i, "x", func() {
+			count++
+			if count == 4 {
+				e.Stop()
+			}
+		})
+	}
+	e.Drain()
+	if count != 4 {
+		t.Fatalf("executed %d events after Stop, want 4", count)
+	}
+	if e.Pending() != 6 {
+		t.Fatalf("pending = %d, want 6", e.Pending())
+	}
+}
+
+func TestSelfReschedulingProcess(t *testing.T) {
+	e := NewEngine()
+	fires := 0
+	var tickFn func()
+	tickFn = func() {
+		fires++
+		e.After(10, "periodic", tickFn)
+	}
+	e.Schedule(0, "periodic", tickFn)
+	e.RunUntil(100)
+	// Fires at 0,10,...,100 inclusive.
+	if fires != 11 {
+		t.Fatalf("periodic fired %d times, want 11", fires)
+	}
+}
+
+func TestProcessedCount(t *testing.T) {
+	e := NewEngine()
+	for i := Tick(0); i < 5; i++ {
+		e.Schedule(i, "x", func() {})
+	}
+	e.Drain()
+	if e.Processed() != 5 {
+		t.Fatalf("Processed = %d, want 5", e.Processed())
+	}
+}
+
+// Property: for any multiset of schedule times, execution order is
+// non-decreasing in time.
+func TestQuickTimeMonotonic(t *testing.T) {
+	f := func(times []uint16) bool {
+		e := NewEngine()
+		var seen []Tick
+		for _, at := range times {
+			at := Tick(at)
+			e.Schedule(at, "x", func() { seen = append(seen, at) })
+		}
+		e.Drain()
+		for i := 1; i < len(seen); i++ {
+			if seen[i] < seen[i-1] {
+				return false
+			}
+		}
+		return len(seen) == len(times)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStepOnEmptyQueue(t *testing.T) {
+	e := NewEngine()
+	if e.Step() {
+		t.Fatal("Step on empty queue should return false")
+	}
+}

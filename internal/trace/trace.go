@@ -1,0 +1,185 @@
+// Package trace records the structured event log of a simulation run: who
+// arrived, who introduced whom, what was lent, how audits resolved, which
+// peers were refused and why. The log supports replayable summaries for
+// debugging, JSON-lines export for external analysis, and the invariant
+// checks the test suite runs over whole simulations (for example: every
+// audit must refer to an earlier admission).
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/id"
+)
+
+// Kind classifies an event.
+type Kind string
+
+// The event kinds a run can produce.
+const (
+	Arrival   Kind = "arrival"   // a peer arrived and asked for an introduction
+	Admitted  Kind = "admitted"  // the lend executed; the peer is in
+	Refused   Kind = "refused"   // the attempt ended without admission
+	AuditOK   Kind = "audit-ok"  // audit satisfied; stake returned + reward
+	AuditFail Kind = "audit-bad" // audit unsatisfied; stake forfeited
+	Flagged   Kind = "flagged"   // duplicate-introduction punishment
+)
+
+// Event is one recorded occurrence.
+type Event struct {
+	At   int64  `json:"at"`
+	Kind Kind   `json:"kind"`
+	Peer string `json:"peer"`
+	// Other is the counterparty when one exists (the introducer for
+	// arrival/admitted/refused/audit events).
+	Other string `json:"other,omitempty"`
+	// Detail carries the refusal reason or other annotation.
+	Detail string `json:"detail,omitempty"`
+}
+
+// Log is an append-only event recorder. The zero value is ready to use.
+// It is not safe for concurrent use (the simulation is single-threaded).
+type Log struct {
+	events []Event
+	limit  int
+}
+
+// New returns a log that keeps at most limit events (0 = unlimited).
+// Long runs at paper scale produce hundreds of thousands of events; a
+// bounded log keeps memory flat while the counters stay exact.
+func New(limit int) *Log {
+	return &Log{limit: limit}
+}
+
+// Record appends one event (dropping it silently once over the limit).
+func (l *Log) Record(at int64, kind Kind, peer, other id.ID, detail string) {
+	if l.limit > 0 && len(l.events) >= l.limit {
+		return
+	}
+	ev := Event{At: at, Kind: kind, Peer: peer.Short(), Detail: detail}
+	if !other.IsZero() {
+		ev.Other = other.Short()
+	}
+	l.events = append(l.events, ev)
+}
+
+// Len returns the number of retained events.
+func (l *Log) Len() int { return len(l.events) }
+
+// Events returns the retained events (copy).
+func (l *Log) Events() []Event {
+	return append([]Event(nil), l.events...)
+}
+
+// Filter returns the retained events of one kind.
+func (l *Log) Filter(kind Kind) []Event {
+	var out []Event
+	for _, e := range l.events {
+		if e.Kind == kind {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// WriteJSONL streams the retained events as JSON lines.
+func (l *Log) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, e := range l.events {
+		if err := enc.Encode(e); err != nil {
+			return fmt.Errorf("trace: encoding event: %w", err)
+		}
+	}
+	return nil
+}
+
+// Summary renders per-kind counts plus the first few events of each kind,
+// a compact debugging view of a whole run.
+func (l *Log) Summary(perKind int) string {
+	counts := map[Kind]int{}
+	firsts := map[Kind][]Event{}
+	for _, e := range l.events {
+		counts[e.Kind]++
+		if len(firsts[e.Kind]) < perKind {
+			firsts[e.Kind] = append(firsts[e.Kind], e)
+		}
+	}
+	var b strings.Builder
+	for _, k := range []Kind{Arrival, Admitted, Refused, AuditOK, AuditFail, Flagged} {
+		if counts[k] == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%-10s %6d", k, counts[k])
+		for i, e := range firsts[k] {
+			if i == 0 {
+				b.WriteString("  e.g. ")
+			} else {
+				b.WriteString("; ")
+			}
+			fmt.Fprintf(&b, "t=%d %s", e.At, e.Peer)
+			if e.Other != "" {
+				fmt.Fprintf(&b, "<-%s", e.Other)
+			}
+			if e.Detail != "" {
+				fmt.Fprintf(&b, " (%s)", e.Detail)
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Verify checks causal invariants over the retained events and returns
+// every violation found:
+//
+//   - an admitted/refused event must follow an arrival of the same peer
+//   - a peer cannot be both admitted and refused
+//   - an audit event must follow the peer's admission
+//   - events must be time-ordered
+//
+// A bounded log can only be verified if nothing was dropped; Verify
+// reports that as a violation too.
+func (l *Log) Verify() []string {
+	var violations []string
+	if l.limit > 0 && len(l.events) >= l.limit {
+		violations = append(violations, "log reached its retention limit; verification incomplete")
+	}
+	arrived := map[string]bool{}
+	admitted := map[string]bool{}
+	refused := map[string]bool{}
+	var prev int64
+	for i, e := range l.events {
+		if e.At < prev {
+			violations = append(violations, fmt.Sprintf("event %d at t=%d precedes t=%d", i, e.At, prev))
+		}
+		prev = e.At
+		switch e.Kind {
+		case Arrival:
+			arrived[e.Peer] = true
+		case Admitted:
+			if !arrived[e.Peer] {
+				violations = append(violations, fmt.Sprintf("peer %s admitted without arrival", e.Peer))
+			}
+			if refused[e.Peer] {
+				violations = append(violations, fmt.Sprintf("peer %s admitted after refusal", e.Peer))
+			}
+			admitted[e.Peer] = true
+		case Refused:
+			if !arrived[e.Peer] {
+				violations = append(violations, fmt.Sprintf("peer %s refused without arrival", e.Peer))
+			}
+			if admitted[e.Peer] {
+				violations = append(violations, fmt.Sprintf("peer %s refused after admission", e.Peer))
+			}
+			refused[e.Peer] = true
+		case AuditOK, AuditFail:
+			if !admitted[e.Peer] {
+				violations = append(violations, fmt.Sprintf("peer %s audited without admission", e.Peer))
+			}
+		}
+	}
+	return violations
+}

@@ -1,0 +1,142 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/id"
+)
+
+func p(v uint64) id.ID { return id.FromUint64(v) }
+
+func TestRecordAndFilter(t *testing.T) {
+	l := New(0)
+	l.Record(1, Arrival, p(1), p(9), "cooperative")
+	l.Record(2, Admitted, p(1), p(9), "cooperative")
+	l.Record(3, Arrival, p(2), p(9), "uncooperative")
+	l.Record(4, Refused, p(2), p(9), "refused-by-introducer")
+	if l.Len() != 4 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	if got := l.Filter(Arrival); len(got) != 2 {
+		t.Fatalf("arrivals = %d", len(got))
+	}
+	evs := l.Events()
+	if evs[0].Other == "" || evs[0].Peer == "" {
+		t.Fatalf("event fields missing: %+v", evs[0])
+	}
+}
+
+func TestZeroOtherOmitted(t *testing.T) {
+	l := New(0)
+	l.Record(1, Flagged, p(1), id.ID{}, "duplicate introduction")
+	if l.Events()[0].Other != "" {
+		t.Fatal("zero counterparty should be omitted")
+	}
+}
+
+func TestLimitDropsSilently(t *testing.T) {
+	l := New(2)
+	for i := int64(0); i < 5; i++ {
+		l.Record(i, Arrival, p(uint64(i)), id.ID{}, "")
+	}
+	if l.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", l.Len())
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	l := New(0)
+	l.Record(5, Admitted, p(1), p(2), "cooperative")
+	var buf bytes.Buffer
+	if err := l.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var ev Event
+	if err := json.Unmarshal(buf.Bytes(), &ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev.At != 5 || ev.Kind != Admitted || ev.Detail != "cooperative" {
+		t.Fatalf("round trip = %+v", ev)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	l := New(0)
+	l.Record(1, Arrival, p(1), p(9), "")
+	l.Record(2, Admitted, p(1), p(9), "")
+	l.Record(3, Arrival, p(2), p(9), "")
+	l.Record(4, Refused, p(2), p(9), "selective")
+	s := l.Summary(1)
+	for _, want := range []string{"arrival", "admitted", "refused", "2", "1"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("summary missing %q:\n%s", want, s)
+		}
+	}
+	if strings.Contains(s, "audit-ok") {
+		t.Fatal("summary shows kinds with zero count")
+	}
+}
+
+func TestVerifyCleanLog(t *testing.T) {
+	l := New(0)
+	l.Record(1, Arrival, p(1), p(9), "")
+	l.Record(2, Admitted, p(1), p(9), "")
+	l.Record(3, AuditOK, p(1), p(9), "")
+	if v := l.Verify(); len(v) != 0 {
+		t.Fatalf("clean log reported violations: %v", v)
+	}
+}
+
+func TestVerifyCatchesAdmissionWithoutArrival(t *testing.T) {
+	l := New(0)
+	l.Record(1, Admitted, p(1), p(9), "")
+	if v := l.Verify(); len(v) == 0 {
+		t.Fatal("missed admission without arrival")
+	}
+}
+
+func TestVerifyCatchesAuditWithoutAdmission(t *testing.T) {
+	l := New(0)
+	l.Record(1, Arrival, p(1), p(9), "")
+	l.Record(2, AuditFail, p(1), p(9), "")
+	if v := l.Verify(); len(v) == 0 {
+		t.Fatal("missed audit without admission")
+	}
+}
+
+func TestVerifyCatchesAdmitAndRefuse(t *testing.T) {
+	l := New(0)
+	l.Record(1, Arrival, p(1), p(9), "")
+	l.Record(2, Admitted, p(1), p(9), "")
+	l.Record(3, Refused, p(1), p(9), "")
+	if v := l.Verify(); len(v) == 0 {
+		t.Fatal("missed refuse-after-admit")
+	}
+}
+
+func TestVerifyCatchesTimeDisorder(t *testing.T) {
+	l := New(0)
+	l.Record(5, Arrival, p(1), p(9), "")
+	l.Record(3, Arrival, p(2), p(9), "")
+	if v := l.Verify(); len(v) == 0 {
+		t.Fatal("missed time disorder")
+	}
+}
+
+func TestVerifyReportsTruncation(t *testing.T) {
+	l := New(1)
+	l.Record(1, Arrival, p(1), p(9), "")
+	l.Record(2, Admitted, p(1), p(9), "")
+	found := false
+	for _, v := range l.Verify() {
+		if strings.Contains(v, "retention limit") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("truncated log verified silently")
+	}
+}

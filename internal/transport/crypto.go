@@ -1,0 +1,120 @@
+package transport
+
+import (
+	"crypto/ed25519"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/id"
+	"repro/internal/rng"
+)
+
+// The paper requires the introducer to send "a signed message to its score
+// managers telling them to deduct the lent amount from its reputation",
+// carrying "the identity of both the introducer and the new peer … as well
+// as a unique id to prevent duplicate requests". Signer/Envelope implement
+// that: Ed25519 signatures over a canonical encoding of the lend order.
+
+// Signer holds a node's Ed25519 keypair.
+type Signer struct {
+	pub  ed25519.PublicKey
+	priv ed25519.PrivateKey
+}
+
+// detRand adapts an rng.Source to io.Reader so key generation is
+// deterministic under a simulation seed.
+type detRand struct{ src *rng.Source }
+
+func (d detRand) Read(p []byte) (int, error) {
+	for i := 0; i < len(p); i += 8 {
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], d.src.Uint64())
+		copy(p[i:], buf[:])
+	}
+	return len(p), nil
+}
+
+// NewSigner generates a keypair from the deterministic source, keeping
+// whole simulation runs reproducible.
+func NewSigner(src *rng.Source) (*Signer, error) {
+	pub, priv, err := ed25519.GenerateKey(detRand{src})
+	if err != nil {
+		return nil, fmt.Errorf("transport: generating keypair: %w", err)
+	}
+	return &Signer{pub: pub, priv: priv}, nil
+}
+
+// Public returns the public key, which peers distribute alongside their
+// identifier when they join.
+func (s *Signer) Public() ed25519.PublicKey { return s.pub }
+
+// LendOrder is the canonical content of a signed lend instruction: who
+// lends how much to whom, with a unique nonce that score managers use to
+// reject duplicate requests.
+type LendOrder struct {
+	Introducer id.ID
+	NewPeer    id.ID
+	Amount     float64 // reputation lent, in [0,1]
+	Nonce      uint64  // unique per introduction
+}
+
+// Encode renders the order in its fixed-width canonical byte form (the
+// bytes that get signed).
+func (o LendOrder) Encode() []byte {
+	buf := make([]byte, 0, 2*id.Bytes+16)
+	buf = append(buf, o.Introducer[:]...)
+	buf = append(buf, o.NewPeer[:]...)
+	var tmp [8]byte
+	binary.BigEndian.PutUint64(tmp[:], math.Float64bits(o.Amount))
+	buf = append(buf, tmp[:]...)
+	binary.BigEndian.PutUint64(tmp[:], o.Nonce)
+	buf = append(buf, tmp[:]...)
+	return buf
+}
+
+// DecodeLendOrder parses the canonical byte form.
+func DecodeLendOrder(b []byte) (LendOrder, error) {
+	var o LendOrder
+	if len(b) != 2*id.Bytes+16 {
+		return o, fmt.Errorf("transport: lend order has %d bytes, want %d", len(b), 2*id.Bytes+16)
+	}
+	copy(o.Introducer[:], b[:id.Bytes])
+	copy(o.NewPeer[:], b[id.Bytes:2*id.Bytes])
+	o.Amount = math.Float64frombits(binary.BigEndian.Uint64(b[2*id.Bytes : 2*id.Bytes+8]))
+	o.Nonce = binary.BigEndian.Uint64(b[2*id.Bytes+8:])
+	return o, nil
+}
+
+// Envelope is a signed lend order plus the public key needed to verify it.
+type Envelope struct {
+	Order LendOrder
+	Sig   []byte
+	Pub   ed25519.PublicKey
+}
+
+// ErrBadSignature reports a failed envelope verification.
+var ErrBadSignature = errors.New("transport: signature verification failed")
+
+// Sign wraps the order in a verified envelope.
+func (s *Signer) Sign(o LendOrder) Envelope {
+	body := o.Encode()
+	return Envelope{Order: o, Sig: ed25519.Sign(s.priv, body), Pub: s.pub}
+}
+
+// Verify checks the envelope's signature against its own public key and,
+// when expected is non-nil, that the key matches the one on record for the
+// introducer (otherwise any keypair could impersonate any peer).
+func (e Envelope) Verify(expected ed25519.PublicKey) error {
+	if len(e.Pub) != ed25519.PublicKeySize {
+		return fmt.Errorf("%w: bad public key size %d", ErrBadSignature, len(e.Pub))
+	}
+	if expected != nil && !e.Pub.Equal(expected) {
+		return fmt.Errorf("%w: public key does not match introducer's registered key", ErrBadSignature)
+	}
+	if !ed25519.Verify(e.Pub, e.Order.Encode(), e.Sig) {
+		return ErrBadSignature
+	}
+	return nil
+}

@@ -1,0 +1,159 @@
+// Package transport simulates the message-passing layer under the overlay.
+//
+// The paper's model is the simplest possible: "We do not model transmission
+// delays or losses and all messages are delivered instantly to the
+// recipient using distributed hash tables." The Bus reproduces that model
+// by default (synchronous, lossless delivery), and additionally supports
+// fault injection — per-destination crash, message loss probability and
+// fixed delivery delay — so the test suite can exercise the redundancy the
+// protocol builds in ("in case a score manager crashes before being able to
+// contact the new peer's score managers").
+package transport
+
+import (
+	"fmt"
+
+	"repro/internal/id"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// Message is one unit of communication between simulated nodes.
+type Message struct {
+	From    id.ID
+	To      id.ID
+	Kind    string // protocol message name, e.g. "lend", "credit", "audit-ok"
+	Payload any
+}
+
+// Handler consumes messages delivered to a registered address.
+type Handler func(Message)
+
+// Stats counts transport activity for assertions and reports.
+type Stats struct {
+	Sent      int64
+	Delivered int64
+	Dropped   int64 // lost to injected loss
+	Crashed   int64 // destined to a crashed node
+	NoRoute   int64 // destination never registered
+}
+
+// Bus is the simulated network. It is not safe for concurrent use; the
+// simulation core is single-threaded (see package sim).
+type Bus struct {
+	handlers map[id.ID]Handler
+	crashed  map[id.ID]bool
+	stats    Stats
+
+	// Fault injection; all zero by default = the paper's instant lossless
+	// network.
+	lossProb float64
+	delay    sim.Tick
+	engine   *sim.Engine
+	rand     *rng.Source
+}
+
+// NewBus returns a bus with the paper's default network model: instant,
+// lossless delivery.
+func NewBus() *Bus {
+	return &Bus{
+		handlers: make(map[id.ID]Handler),
+		crashed:  make(map[id.ID]bool),
+	}
+}
+
+// Register binds an address to a handler, replacing any previous handler,
+// and clears a crash flag if one was set (a node re-registering has
+// recovered).
+func (b *Bus) Register(addr id.ID, h Handler) {
+	if h == nil {
+		panic("transport: registering nil handler")
+	}
+	b.handlers[addr] = h
+	delete(b.crashed, addr)
+}
+
+// Unregister removes an address. Subsequent sends count as NoRoute.
+func (b *Bus) Unregister(addr id.ID) {
+	delete(b.handlers, addr)
+	delete(b.crashed, addr)
+}
+
+// Crash marks an address as crashed: messages to it are swallowed (counted
+// in Stats.Crashed) until Recover or Register is called.
+func (b *Bus) Crash(addr id.ID) { b.crashed[addr] = true }
+
+// Recover clears a crash flag.
+func (b *Bus) Recover(addr id.ID) { delete(b.crashed, addr) }
+
+// IsCrashed reports whether the address is currently crashed.
+func (b *Bus) IsCrashed(addr id.ID) bool { return b.crashed[addr] }
+
+// SetLoss configures an independent loss probability per message. A
+// non-zero loss probability requires a randomness source via SetFaultRand.
+func (b *Bus) SetLoss(p float64) {
+	if p < 0 || p > 1 {
+		panic(fmt.Sprintf("transport: loss probability %v out of [0,1]", p))
+	}
+	b.lossProb = p
+}
+
+// SetFaultRand supplies the randomness used by injected loss.
+func (b *Bus) SetFaultRand(r *rng.Source) { b.rand = r }
+
+// SetDelay configures a fixed delivery delay in ticks, scheduled on the
+// given engine. A zero delay restores synchronous delivery.
+func (b *Bus) SetDelay(e *sim.Engine, d sim.Tick) {
+	if d < 0 {
+		panic("transport: negative delay")
+	}
+	if d > 0 && e == nil {
+		panic("transport: delay requires an engine")
+	}
+	b.engine, b.delay = e, d
+}
+
+// Stats returns a copy of the activity counters.
+func (b *Bus) Stats() Stats { return b.stats }
+
+// Send delivers the message subject to the configured network model. With
+// the defaults it invokes the destination handler before returning, which
+// is exactly the paper's instant-delivery assumption.
+func (b *Bus) Send(m Message) {
+	b.stats.Sent++
+	if b.lossProb > 0 {
+		if b.rand == nil {
+			panic("transport: loss configured without SetFaultRand")
+		}
+		if b.rand.Bernoulli(b.lossProb) {
+			b.stats.Dropped++
+			return
+		}
+	}
+	if b.delay > 0 {
+		b.engine.After(b.delay, "deliver:"+m.Kind, func() { b.deliver(m) })
+		return
+	}
+	b.deliver(m)
+}
+
+func (b *Bus) deliver(m Message) {
+	if b.crashed[m.To] {
+		b.stats.Crashed++
+		return
+	}
+	h, ok := b.handlers[m.To]
+	if !ok {
+		b.stats.NoRoute++
+		return
+	}
+	b.stats.Delivered++
+	h(m)
+}
+
+// Broadcast sends the same payload to each destination, preserving order.
+func (b *Bus) Broadcast(from id.ID, kind string, payload any, to []id.ID) {
+	for _, dst := range to {
+		b.Send(Message{From: from, To: dst, Kind: kind, Payload: payload})
+	}
+}

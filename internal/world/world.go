@@ -1,0 +1,646 @@
+package world
+
+import (
+	"fmt"
+
+	"repro/internal/baseline"
+	"repro/internal/config"
+	"repro/internal/id"
+	"repro/internal/lending"
+	"repro/internal/metrics"
+	"repro/internal/overlay"
+	"repro/internal/peer"
+	"repro/internal/rng"
+	"repro/internal/rocq"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/trace"
+	"repro/internal/transport"
+)
+
+// World wires the substrates into the paper's simulator: a structured
+// overlay hosting ROCQ score managers, the reputation-lending admission
+// protocol, a topology-biased transaction workload (one transaction per
+// tick), and Poisson arrivals of new peers.
+type World struct {
+	cfg    config.Config
+	engine *sim.Engine
+	bus    *transport.Bus
+	ring   *overlay.Ring
+	topo   topology.Selector
+	proto  *lending.Protocol
+	policy baseline.Policy // used when cfg.RequireIntroductions is false
+	tracer *trace.Log      // optional structured event log
+
+	// Independent random streams keep the workload, the arrival process
+	// and behavioural coin flips decoupled, so e.g. changing λ does not
+	// reshuffle transaction outcomes.
+	arrivalRand  *rng.Source
+	workloadRand *rng.Source
+	behaveRand   *rng.Source
+	keyRand      *rng.Source
+
+	peers    map[id.ID]*peer.Peer
+	admitted []id.ID // peers currently in the system, in admission order
+	stores   map[id.ID]*rocq.Store
+
+	// smCache caches score-manager assignments per peer, invalidated by
+	// ring epoch (assignments only move when membership changes).
+	smCache map[id.ID]*smCacheEntry
+
+	seq      int64   // peer id sequence
+	arrClock float64 // continuous arrival clock for the Poisson process
+	started  bool    // workload processes armed
+
+	m Metrics
+}
+
+type smCacheEntry struct {
+	epoch int64
+	sms   []id.ID
+}
+
+// Metrics collects everything the experiment harness needs.
+type Metrics struct {
+	// Population counters (current, cumulative over the run).
+	CoopInSystem   int64
+	UncoopInSystem int64
+	Founders       int64
+	ArrivalsCoop   int64
+	ArrivalsUncoop int64
+
+	// Admission outcomes by class.
+	AdmittedCoop   int64
+	AdmittedUncoop int64
+	// RefusedSelective counts newcomers declined by their chosen
+	// introducer; RefusedRep counts lends blocked by the minIntroRep
+	// floor (Fig 4 and Fig 6 plot these).
+	RefusedSelectiveCoop   int64
+	RefusedSelectiveUncoop int64
+	RefusedRepCoop         int64
+	RefusedRepUncoop       int64
+	RefusedNoIntroducer    int64
+	Pending                int64 // arrivals still inside the waiting period at end
+
+	// Serve/deny decision quality, counted over decisions taken by
+	// cooperative respondents (§4.1's success-rate definition).
+	DecisionsByCoop  int64
+	CorrectDecisions int64
+	Served           int64
+	Denied           int64
+	// ServedToUncoop counts completed transactions whose requester was
+	// uncooperative: the service freeriders actually extracted — the
+	// damage metric of the whitewashing ablation.
+	ServedToUncoop int64
+
+	// Audit outcomes.
+	AuditsSatisfied int64
+	AuditsForfeited int64
+	FlaggedPeers    int64
+
+	// Time series sampled every cfg.SampleEvery ticks.
+	CoopCount      *metrics.Series // cooperative peers in system
+	UncoopCount    *metrics.Series // uncooperative peers in system
+	CoopReputation *metrics.Series // mean reputation of cooperative peers
+}
+
+// SuccessRate returns the fraction of serve/deny decisions by cooperative
+// respondents that were correct (serve a cooperative requester, deny an
+// uncooperative one).
+func (m *Metrics) SuccessRate() float64 {
+	if m.DecisionsByCoop == 0 {
+		return 0
+	}
+	return float64(m.CorrectDecisions) / float64(m.DecisionsByCoop)
+}
+
+// NewWorld builds a world from the configuration, creating the founding
+// community. Call Run to execute the workload.
+func New(cfg config.Config) (*World, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	root := rng.New(cfg.Seed)
+	w := &World{
+		cfg:          cfg,
+		engine:       sim.NewEngine(),
+		bus:          transport.NewBus(),
+		ring:         overlay.NewRing(),
+		arrivalRand:  root.Split(),
+		workloadRand: root.Split(),
+		behaveRand:   root.Split(),
+		keyRand:      root.Split(),
+		peers:        make(map[id.ID]*peer.Peer),
+		stores:       make(map[id.ID]*rocq.Store),
+		smCache:      make(map[id.ID]*smCacheEntry),
+		policy:       baseline.MidSpectrum{},
+		m: Metrics{
+			CoopCount:      &metrics.Series{Name: "coop"},
+			UncoopCount:    &metrics.Series{Name: "uncoop"},
+			CoopReputation: &metrics.Series{Name: "coop-reputation"},
+		},
+	}
+	topo, err := topology.New(cfg.Topology, root.Split())
+	if err != nil {
+		return nil, err
+	}
+	w.topo = topo
+
+	proto, err := lending.New(lending.Params{
+		IntroAmt:       cfg.IntroAmt,
+		Reward:         cfg.Reward,
+		MinIntroRep:    cfg.MinIntroRep,
+		AuditThreshold: cfg.AuditThreshold,
+		Wait:           sim.Tick(cfg.WaitPeriod),
+		NumSM:          cfg.NumSM,
+	}, w.engine, w.bus, w, lending.Events{
+		Admitted:     w.onAdmitted,
+		Refused:      w.onRefused,
+		AuditOutcome: w.onAuditOutcome,
+		Flagged:      w.onFlagged,
+	})
+	if err != nil {
+		return nil, err
+	}
+	w.proto = proto
+
+	if err := w.createFounders(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// SetPolicy selects the bootstrap rule used when the configuration
+// disables the introduction requirement.
+func (w *World) SetPolicy(p baseline.Policy) { w.policy = p }
+
+// SetTrace attaches a structured event log; nil detaches it.
+func (w *World) SetTrace(l *trace.Log) { w.tracer = l }
+
+// record writes to the attached tracer, if any.
+func (w *World) record(kind trace.Kind, p, other id.ID, detail string) {
+	if w.tracer != nil {
+		w.tracer.Record(int64(w.engine.Now()), kind, p, other, detail)
+	}
+}
+
+// Engine exposes the discrete-event engine (examples drive it directly).
+func (w *World) Engine() *sim.Engine { return w.engine }
+
+// Bus exposes the transport layer for fault injection in tests.
+func (w *World) Bus() *transport.Bus { return w.bus }
+
+// Ring exposes the overlay.
+func (w *World) Ring() *overlay.Ring { return w.ring }
+
+// Protocol exposes the lending protocol (for its statistics).
+func (w *World) Protocol() *lending.Protocol { return w.proto }
+
+// Metrics returns the collected metrics.
+func (w *World) Metrics() *Metrics { return &w.m }
+
+// Config returns the world's configuration.
+func (w *World) Config() config.Config { return w.cfg }
+
+// Peer returns a peer by identifier.
+func (w *World) Peer(pid id.ID) (*peer.Peer, bool) {
+	p, ok := w.peers[pid]
+	return p, ok
+}
+
+// PopulationSize returns the number of peers currently in the system.
+func (w *World) PopulationSize() int { return len(w.admitted) }
+
+// ---------------------------------------------------------------------------
+// lending.Network implementation.
+
+// ScoreManagers returns the current score-manager node set for a peer,
+// cached per overlay epoch.
+func (w *World) ScoreManagers(p id.ID) []id.ID {
+	if e, ok := w.smCache[p]; ok && e.epoch == w.ring.Epoch() {
+		return e.sms
+	}
+	sms, err := w.ring.ScoreManagers(p, w.cfg.NumSM)
+	if err != nil {
+		panic(fmt.Sprintf("sim: score managers for %s: %v", p.Short(), err))
+	}
+	w.smCache[p] = &smCacheEntry{epoch: w.ring.Epoch(), sms: sms}
+	return sms
+}
+
+// Store returns (allocating) the reputation store hosted at a node.
+func (w *World) Store(node id.ID) *rocq.Store {
+	s, ok := w.stores[node]
+	if !ok {
+		s = rocq.NewStore(rocq.DefaultParams())
+		w.stores[node] = s
+	}
+	return s
+}
+
+// ---------------------------------------------------------------------------
+// Setup.
+
+func (w *World) newPeerID() id.ID {
+	w.seq++
+	return id.HashString(fmt.Sprintf("peer-%d-seed-%d", w.seq, w.cfg.Seed))
+}
+
+// createFounders builds the initial community: cfg.NumInit cooperative
+// peers, fracNaive of them naive introducers, all fully trusted.
+func (w *World) createFounders() error {
+	for i := 0; i < w.cfg.NumInit; i++ {
+		pid := w.newPeerID()
+		style := peer.AssignStyle(peer.Cooperative, w.cfg.FracNaive, w.behaveRand)
+		p := peer.New(pid, peer.Cooperative, style, rocq.DefaultParams())
+		if err := w.attachNode(p); err != nil {
+			return err
+		}
+		w.admit(p, 0)
+		w.m.Founders++
+	}
+	// Founders start fully reputed; their score managers now exist, so
+	// initialise their state.
+	for _, pid := range w.admitted {
+		for _, sm := range w.ScoreManagers(pid) {
+			w.Store(sm).Init(pid, w.cfg.FounderRep)
+		}
+	}
+	return nil
+}
+
+// attachNode joins a peer's node to the overlay and registers its signing
+// identity (it may become a score manager for others immediately).
+func (w *World) attachNode(p *peer.Peer) error {
+	if err := w.ring.Join(p.ID); err != nil {
+		return fmt.Errorf("sim: joining overlay: %w", err)
+	}
+	signer, err := transport.NewSigner(w.keyRand.Split())
+	if err != nil {
+		return err
+	}
+	w.proto.RegisterPeer(p.ID, signer)
+	w.peers[p.ID] = p
+	return nil
+}
+
+// admit places a peer in the community: eligible as requester, respondent
+// and introducer.
+func (w *World) admit(p *peer.Peer, at sim.Tick) {
+	p.JoinedAt = at
+	w.admitted = append(w.admitted, p.ID)
+	w.topo.Add(p.ID)
+	if p.Class == peer.Cooperative {
+		w.m.CoopInSystem++
+	} else {
+		w.m.UncoopInSystem++
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Lending protocol events.
+
+func (w *World) onAdmitted(newcomer, introducer id.ID, at sim.Tick) {
+	p := w.peers[newcomer]
+	p.Introducer = introducer
+	w.m.Pending--
+	w.record(trace.Admitted, newcomer, introducer, p.Class.String())
+	w.admit(p, at)
+	if p.Class == peer.Cooperative {
+		w.m.AdmittedCoop++
+	} else {
+		w.m.AdmittedUncoop++
+	}
+}
+
+func (w *World) onRefused(newcomer, introducer id.ID, reason lending.Reason, at sim.Tick) {
+	p := w.peers[newcomer]
+	w.m.Pending--
+	w.record(trace.Refused, newcomer, introducer, reason.String())
+	coop := p.Class == peer.Cooperative
+	switch reason {
+	case lending.RefusedByIntroducer:
+		if coop {
+			w.m.RefusedSelectiveCoop++
+		} else {
+			w.m.RefusedSelectiveUncoop++
+		}
+	case lending.RefusedIntroducerRep, lending.RefusedProtocolFailure:
+		if coop {
+			w.m.RefusedRepCoop++
+		} else {
+			w.m.RefusedRepUncoop++
+		}
+	}
+	// The refused peer leaves: it never became part of the community.
+	// Its overlay node departs as well.
+	w.detachNode(newcomer)
+}
+
+func (w *World) onAuditOutcome(newcomer, introducer id.ID, satisfactory bool, at sim.Tick) {
+	if satisfactory {
+		w.m.AuditsSatisfied++
+		w.record(trace.AuditOK, newcomer, introducer, "")
+	} else {
+		w.m.AuditsForfeited++
+		w.record(trace.AuditFail, newcomer, introducer, "")
+	}
+}
+
+func (w *World) onFlagged(pid id.ID, at sim.Tick) {
+	w.m.FlaggedPeers++
+	w.record(trace.Flagged, pid, id.ID{}, "duplicate introduction")
+	if p, ok := w.peers[pid]; ok {
+		p.Flagged = true
+	}
+}
+
+// detachNode removes a never-admitted peer's node from the overlay and
+// the transport.
+func (w *World) detachNode(pid id.ID) {
+	if w.ring.Contains(pid) {
+		if err := w.ring.Leave(pid); err != nil {
+			panic(fmt.Sprintf("sim: detaching %s: %v", pid.Short(), err))
+		}
+	}
+	w.bus.Unregister(pid)
+	delete(w.peers, pid)
+}
+
+// ---------------------------------------------------------------------------
+// Arrival process.
+
+// scheduleNextArrival advances the continuous Poisson clock and schedules
+// the next arrival event.
+func (w *World) scheduleNextArrival() {
+	if w.cfg.Lambda <= 0 {
+		return
+	}
+	w.arrClock += w.arrivalRand.Exp(w.cfg.Lambda)
+	at := sim.Tick(w.arrClock)
+	if at <= w.engine.Now() {
+		at = w.engine.Now() + 1
+	}
+	w.engine.Schedule(at, "arrival", func() {
+		w.handleArrival()
+		w.scheduleNextArrival()
+	})
+}
+
+// handleArrival creates one new peer and runs the admission path.
+func (w *World) handleArrival() {
+	class := peer.AssignArrivalClass(w.cfg.FracUncoop, w.behaveRand)
+	style := peer.AssignStyle(class, w.cfg.FracNaive, w.behaveRand)
+	p := peer.New(w.newPeerID(), class, style, rocq.DefaultParams())
+	if class == peer.Cooperative {
+		w.m.ArrivalsCoop++
+	} else {
+		w.m.ArrivalsUncoop++
+	}
+
+	if !w.cfg.RequireIntroductions {
+		// Baseline: admit immediately with the policy's bootstrap value.
+		if err := w.attachNode(p); err != nil {
+			panic(err)
+		}
+		for _, sm := range w.ScoreManagers(p.ID) {
+			w.Store(sm).Init(p.ID, w.policy.InitialReputation())
+		}
+		w.admit(p, w.engine.Now())
+		if p.Class == peer.Cooperative {
+			w.m.AdmittedCoop++
+		} else {
+			w.m.AdmittedUncoop++
+		}
+		return
+	}
+
+	// "The arriving peer chooses a potential introducer from the set of
+	// peers that are already in the system", biased by topology.
+	introducerID, ok := w.topo.Pick(id.ID{})
+	if !ok {
+		w.m.RefusedNoIntroducer++
+		return
+	}
+	if err := w.attachNode(p); err != nil {
+		panic(err)
+	}
+	introducer := w.peers[introducerID]
+	w.record(trace.Arrival, p.ID, introducerID, p.Class.String())
+	granted := introducer.WillIntroduce(p.Class, w.cfg.ErrSel, w.behaveRand)
+	w.m.Pending++
+	w.proto.Begin(p.ID, introducerID, granted)
+}
+
+// ---------------------------------------------------------------------------
+// Transaction workload.
+
+// scheduleTransactions arms the once-per-tick transaction process,
+// starting at tick 1.
+func (w *World) scheduleTransactions() {
+	var step func()
+	step = func() {
+		w.transact()
+		w.engine.After(1, "transaction", step)
+	}
+	w.engine.Schedule(1, "transaction", step)
+}
+
+// transact runs one resource transaction: uniform requester, topology-
+// biased respondent, serve decision by requester reputation, mutual
+// feedback to score managers on completion.
+func (w *World) transact() {
+	n := len(w.admitted)
+	if n < 2 {
+		return
+	}
+	requesterID := w.admitted[w.workloadRand.Intn(n)]
+	respondentID, ok := w.topo.Pick(requesterID)
+	if !ok {
+		return
+	}
+	requester := w.peers[requesterID]
+	respondent := w.peers[respondentID]
+
+	rep, _ := rocq.QuerySet(w.smStores(requesterID), requesterID)
+	serve := respondent.WillServe(rep, w.workloadRand)
+
+	if respondent.Class == peer.Cooperative && !respondent.Defected(w.engine.Now()) {
+		w.m.DecisionsByCoop++
+		requesterGood := requester.BehavesWellAt(w.engine.Now())
+		if serve == requesterGood {
+			w.m.CorrectDecisions++
+		}
+	}
+	if !serve {
+		w.m.Denied++
+		return
+	}
+	w.m.Served++
+	if !requester.BehavesWellAt(w.engine.Now()) {
+		w.m.ServedToUncoop++
+	}
+
+	// Completed transaction: each party records first-hand experience and
+	// reports its opinion of the partner to the partner's score managers.
+	w.report(requester, respondent)
+	w.report(respondent, requester)
+
+	w.noteCompleted(requester)
+	w.noteCompleted(respondent)
+}
+
+// report sends rater's updated opinion about subject to subject's score
+// managers.
+func (w *World) report(rater, subject *peer.Peer) {
+	now := w.engine.Now()
+	rating := rater.RateAt(now, subject.BehavesWellAt(now))
+	op := rater.Opinions.Record(subject.ID, rating)
+	for _, sm := range w.ScoreManagers(subject.ID) {
+		w.Store(sm).Report(rater.ID, subject.ID, op)
+	}
+}
+
+// noteCompleted advances a peer's completed-transaction count and fires
+// the admission audit at the threshold.
+func (w *World) noteCompleted(p *peer.Peer) {
+	p.Completed++
+	if !p.Audited && p.Completed >= w.cfg.AuditTrans {
+		p.Audited = true
+		if !p.Introducer.IsZero() {
+			w.proto.Audit(p.ID)
+		}
+	}
+}
+
+// smStores resolves the stores behind a peer's current score managers.
+func (w *World) smStores(pid id.ID) []*rocq.Store {
+	sms := w.ScoreManagers(pid)
+	stores := make([]*rocq.Store, len(sms))
+	for i, n := range sms {
+		stores[i] = w.Store(n)
+	}
+	return stores
+}
+
+// Reputation returns a peer's aggregate reputation as its score managers
+// currently see it.
+func (w *World) Reputation(pid id.ID) float64 {
+	v, _ := rocq.QuerySet(w.smStores(pid), pid)
+	return v
+}
+
+// ---------------------------------------------------------------------------
+// Sampling.
+
+func (w *World) scheduleSampling() {
+	var step func()
+	step = func() {
+		w.sample()
+		w.engine.After(sim.Tick(w.cfg.SampleEvery), "sample", step)
+	}
+	w.engine.Schedule(0, "sample", step)
+}
+
+// sample records the population counts and the mean cooperative
+// reputation (the paper's Figure 2 series).
+func (w *World) sample() {
+	now := w.engine.Now()
+	if last, ok := w.m.CoopCount.Last(); ok && last.T == int64(now) {
+		return // closing sample coincides with a periodic one
+	}
+	w.m.CoopCount.Append(int64(now), float64(w.m.CoopInSystem))
+	w.m.UncoopCount.Append(int64(now), float64(w.m.UncoopInSystem))
+
+	sum, n := 0.0, 0
+	for _, pid := range w.admitted {
+		if w.peers[pid].Class != peer.Cooperative {
+			continue
+		}
+		sum += w.Reputation(pid)
+		n++
+	}
+	mean := 0.0
+	if n > 0 {
+		mean = sum / float64(n)
+	}
+	w.m.CoopReputation.Append(int64(now), mean)
+}
+
+// ---------------------------------------------------------------------------
+// Run.
+
+// Start arms the workload processes (transactions, arrivals, sampling)
+// without advancing time. Run calls it implicitly; scripted scenarios call
+// it once and then drive the clock with RunFor.
+func (w *World) Start() {
+	if w.started {
+		return
+	}
+	w.started = true
+	w.scheduleTransactions()
+	w.scheduleNextArrival()
+	w.scheduleSampling()
+}
+
+// RunFor advances the simulation by n ticks.
+func (w *World) RunFor(n sim.Tick) {
+	if n < 0 {
+		panic("world: negative RunFor duration")
+	}
+	w.Start()
+	w.engine.RunUntil(w.engine.Now() + n)
+}
+
+// Run executes the configured workload: cfg.NumTrans ticks of one
+// transaction each, Poisson arrivals, periodic sampling.
+func (w *World) Run() {
+	w.Start()
+	w.engine.RunUntil(sim.Tick(w.cfg.NumTrans))
+	w.sample() // closing sample at the final tick
+}
+
+// InjectArrival scripts the arrival of a specific peer: class and
+// introduction style are chosen by the caller, as is the member asked for
+// the introduction. The introducer applies its normal judgement. The new
+// peer's identifier is returned; admission (or refusal) is reported
+// through the usual metrics once the waiting period elapses. Used by the
+// collusion experiment and the examples.
+func (w *World) InjectArrival(class peer.Class, style peer.Style, introducerID id.ID) (id.ID, error) {
+	introducer, ok := w.peers[introducerID]
+	if !ok {
+		return id.ID{}, fmt.Errorf("world: introducer %s not in the system", introducerID.Short())
+	}
+	p := peer.New(w.newPeerID(), class, style, rocq.DefaultParams())
+	if class == peer.Cooperative {
+		w.m.ArrivalsCoop++
+	} else {
+		w.m.ArrivalsUncoop++
+	}
+	if err := w.attachNode(p); err != nil {
+		return id.ID{}, err
+	}
+	w.record(trace.Arrival, p.ID, introducerID, p.Class.String())
+	granted := introducer.WillIntroduce(p.Class, w.cfg.ErrSel, w.behaveRand)
+	w.m.Pending++
+	w.proto.Begin(p.ID, introducerID, granted)
+	return p.ID, nil
+}
+
+// InjectTraitor scripts the arrival of a reputation-milking peer: it
+// behaves cooperatively until defectAt, then freerides and lies like an
+// uncooperative peer. Used by the traitor extension experiment.
+func (w *World) InjectTraitor(style peer.Style, introducerID id.ID, defectAt sim.Tick) (id.ID, error) {
+	pid, err := w.InjectArrival(peer.Cooperative, style, introducerID)
+	if err != nil {
+		return id.ID{}, err
+	}
+	w.peers[pid].DefectAt = defectAt
+	return pid, nil
+}
+
+// AdmittedPeers returns the identifiers of peers currently in the system,
+// in admission order (copy).
+func (w *World) AdmittedPeers() []id.ID {
+	return append([]id.ID(nil), w.admitted...)
+}

@@ -1,0 +1,369 @@
+package world
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/config"
+	"repro/internal/peer"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// smallCfg returns a configuration scaled down for fast integration tests:
+// 60 founders, 8000 ticks, brisk arrivals.
+func smallCfg() config.Config {
+	c := config.Default()
+	c.NumInit = 60
+	c.NumTrans = 8000
+	c.Lambda = 0.05
+	c.WaitPeriod = 100
+	c.SampleEvery = 1000
+	c.Seed = 7
+	return c
+}
+
+func TestNewValidatesConfig(t *testing.T) {
+	c := config.Default()
+	c.NumSM = 0
+	if _, err := New(c); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestFoundersSetup(t *testing.T) {
+	c := smallCfg()
+	c.Lambda = 0 // no arrivals
+	w, err := New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.PopulationSize() != c.NumInit {
+		t.Fatalf("population = %d, want %d", w.PopulationSize(), c.NumInit)
+	}
+	if w.Ring().Size() != c.NumInit {
+		t.Fatalf("ring size = %d", w.Ring().Size())
+	}
+	m := w.Metrics()
+	if m.Founders != int64(c.NumInit) || m.CoopInSystem != int64(c.NumInit) || m.UncoopInSystem != 0 {
+		t.Fatalf("metrics = %+v", m)
+	}
+	// All founders fully reputed.
+	for pid, p := range founders(w) {
+		if p.Class != peer.Cooperative {
+			t.Fatal("founder not cooperative")
+		}
+		if rep := w.Reputation(pid); math.Abs(rep-c.FounderRep) > 1e-9 {
+			t.Fatalf("founder reputation %v, want %v", rep, c.FounderRep)
+		}
+	}
+}
+
+// founders enumerates the world's peers (all founders when Lambda=0).
+func founders(w *World) map[[20]byte]*peer.Peer {
+	out := map[[20]byte]*peer.Peer{}
+	for i := 0; i < w.PopulationSize(); i++ {
+		pid := w.admitted[i]
+		p, _ := w.Peer(pid)
+		out[pid] = p
+	}
+	return out
+}
+
+func TestFoundersHaveMixedStyles(t *testing.T) {
+	c := smallCfg()
+	c.NumInit = 200
+	c.Lambda = 0
+	w, err := New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, selective := 0, 0
+	for _, p := range founders(w) {
+		if p.Style == peer.Naive {
+			naive++
+		} else {
+			selective++
+		}
+	}
+	// fracNaive = 0.3 of 200 — allow wide slack for a single draw.
+	if naive < 30 || naive > 95 {
+		t.Fatalf("naive founders = %d of 200, want ≈60", naive)
+	}
+	if naive+selective != 200 {
+		t.Fatal("style counts do not add up")
+	}
+}
+
+func TestClosedCommunityStaysHealthy(t *testing.T) {
+	// No arrivals: founders transact among themselves; reputations must
+	// stay high and decisions near-perfect.
+	c := smallCfg()
+	c.Lambda = 0
+	w, err := New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Run()
+	m := w.Metrics()
+	if m.Served == 0 {
+		t.Fatal("no transactions completed")
+	}
+	if sr := m.SuccessRate(); sr < 0.95 {
+		t.Fatalf("success rate %v in an all-cooperative community", sr)
+	}
+	if last, ok := m.CoopReputation.Last(); !ok || last.V < 0.9 {
+		t.Fatalf("cooperative reputation fell to %v", last.V)
+	}
+}
+
+func TestArrivalsAdmittedThroughLending(t *testing.T) {
+	c := smallCfg()
+	w, err := New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Run()
+	m := w.Metrics()
+	if m.ArrivalsCoop+m.ArrivalsUncoop == 0 {
+		t.Fatal("no arrivals happened")
+	}
+	if m.AdmittedCoop == 0 {
+		t.Fatal("no cooperative newcomer was admitted")
+	}
+	// Accounting: every arrival is admitted, refused, pending, or was
+	// turned away for lack of an introducer.
+	arrivals := m.ArrivalsCoop + m.ArrivalsUncoop
+	accounted := m.AdmittedCoop + m.AdmittedUncoop +
+		m.RefusedSelectiveCoop + m.RefusedSelectiveUncoop +
+		m.RefusedRepCoop + m.RefusedRepUncoop +
+		m.RefusedNoIntroducer + m.Pending
+	if accounted != arrivals {
+		t.Fatalf("arrival accounting: %d arrivals, %d accounted (%+v)", arrivals, accounted, m)
+	}
+	// Population = founders + admitted.
+	wantPop := int64(c.NumInit) + m.AdmittedCoop + m.AdmittedUncoop
+	if int64(w.PopulationSize()) != wantPop {
+		t.Fatalf("population %d, want %d", w.PopulationSize(), wantPop)
+	}
+	if m.CoopInSystem+m.UncoopInSystem != wantPop {
+		t.Fatalf("class counts %d+%d != %d", m.CoopInSystem, m.UncoopInSystem, wantPop)
+	}
+}
+
+func TestSelectiveIntroducersFilterUncooperative(t *testing.T) {
+	// With every member selective and no errors, no uncooperative peer
+	// can enter.
+	c := smallCfg()
+	c.FracNaive = 0
+	c.ErrSel = 0
+	c.NumTrans = 12000
+	w, err := New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Run()
+	m := w.Metrics()
+	if m.AdmittedUncoop != 0 {
+		t.Fatalf("%d uncooperative peers admitted through all-selective, zero-error introducers", m.AdmittedUncoop)
+	}
+	if m.ArrivalsUncoop > 0 && m.RefusedSelectiveUncoop == 0 && m.Pending == 0 {
+		t.Fatalf("uncooperative arrivals neither refused nor pending: %+v", m)
+	}
+	if m.AdmittedCoop == 0 {
+		t.Fatal("cooperative arrivals should still be admitted")
+	}
+}
+
+func TestAllNaiveAdmitsUncooperative(t *testing.T) {
+	c := smallCfg()
+	c.FracNaive = 1
+	c.FracUncoop = 0.5
+	w, err := New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Run()
+	m := w.Metrics()
+	if m.AdmittedUncoop == 0 {
+		t.Fatal("all-naive introducers admitted no uncooperative peers")
+	}
+}
+
+func TestUncooperativeReputationsStayLow(t *testing.T) {
+	c := smallCfg()
+	c.FracNaive = 1 // let freeriders in
+	w, err := New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Run()
+	checked := 0
+	for i := 0; i < w.PopulationSize(); i++ {
+		pid := w.admitted[i]
+		p, _ := w.Peer(pid)
+		if p.Class != peer.Uncooperative {
+			continue
+		}
+		// Only judge peers that have been in the system a while.
+		if int64(p.JoinedAt) > c.NumTrans/2 {
+			continue
+		}
+		checked++
+		if rep := w.Reputation(pid); rep > 0.45 {
+			t.Fatalf("established uncooperative peer holds reputation %v", rep)
+		}
+	}
+	if checked == 0 {
+		t.Skip("no established uncooperative peers this seed")
+	}
+}
+
+func TestAuditsFire(t *testing.T) {
+	c := smallCfg()
+	c.FracNaive = 1
+	c.NumTrans = 20000
+	c.AuditTrans = 5 // audit quickly at this small scale
+	w, err := New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Run()
+	m := w.Metrics()
+	if m.AuditsSatisfied+m.AuditsForfeited == 0 {
+		t.Fatal("no admission audits fired")
+	}
+	ps := w.Protocol().Stats()
+	if ps.AuditsSatisfied != m.AuditsSatisfied || ps.AuditsForfeited != m.AuditsForfeited {
+		t.Fatalf("audit counters disagree: world %+v protocol %+v", m, ps)
+	}
+}
+
+func TestBaselinePolicyPath(t *testing.T) {
+	c := smallCfg()
+	c.RequireIntroductions = false
+	w, err := New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.SetPolicy(baseline.MidSpectrum{})
+	w.Run()
+	m := w.Metrics()
+	arrivals := m.ArrivalsCoop + m.ArrivalsUncoop
+	if arrivals == 0 {
+		t.Fatal("no arrivals")
+	}
+	// Open admission: everyone gets in, nobody is refused or pending.
+	if m.AdmittedCoop+m.AdmittedUncoop != arrivals {
+		t.Fatalf("open admission refused someone: %+v", m)
+	}
+	if m.Pending != 0 || m.RefusedSelectiveCoop+m.RefusedSelectiveUncoop+m.RefusedRepCoop+m.RefusedRepUncoop != 0 {
+		t.Fatalf("open admission produced refusals: %+v", m)
+	}
+}
+
+func TestDeterminismSameSeed(t *testing.T) {
+	run := func() Metrics {
+		w, err := New(smallCfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.Run()
+		return *w.Metrics()
+	}
+	a, b := run(), run()
+	if a.Served != b.Served || a.AdmittedCoop != b.AdmittedCoop ||
+		a.AdmittedUncoop != b.AdmittedUncoop || a.CorrectDecisions != b.CorrectDecisions {
+		t.Fatalf("same seed diverged:\n%+v\n%+v", a, b)
+	}
+	av, bv := a.CoopReputation.Values(), b.CoopReputation.Values()
+	for i := range av {
+		if av[i] != bv[i] {
+			t.Fatalf("reputation series diverged at %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	c1, c2 := smallCfg(), smallCfg()
+	c2.Seed = 8
+	w1, _ := New(c1)
+	w2, _ := New(c2)
+	w1.Run()
+	w2.Run()
+	if w1.Metrics().Served == w2.Metrics().Served &&
+		w1.Metrics().AdmittedCoop == w2.Metrics().AdmittedCoop &&
+		w1.Metrics().CorrectDecisions == w2.Metrics().CorrectDecisions {
+		t.Fatal("different seeds produced identical runs (suspicious)")
+	}
+}
+
+func TestRandomTopologyRuns(t *testing.T) {
+	c := smallCfg()
+	c.Topology = topology.Random
+	w, err := New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Run()
+	if w.Metrics().Served == 0 {
+		t.Fatal("random topology run served nothing")
+	}
+}
+
+func TestSeriesSampling(t *testing.T) {
+	c := smallCfg()
+	w, err := New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Run()
+	m := w.Metrics()
+	wantSamples := int(c.NumTrans/c.SampleEvery) + 1 // includes tick 0
+	if len(m.CoopCount.Points) != wantSamples {
+		t.Fatalf("coop count series has %d samples, want %d", len(m.CoopCount.Points), wantSamples)
+	}
+	if len(m.CoopReputation.Points) != wantSamples {
+		t.Fatalf("reputation series has %d samples, want %d", len(m.CoopReputation.Points), wantSamples)
+	}
+	// Population series must be non-decreasing (peers never leave).
+	vals := m.CoopCount.Values()
+	for i := 1; i < len(vals); i++ {
+		if vals[i] < vals[i-1] {
+			t.Fatal("cooperative population decreased")
+		}
+	}
+}
+
+func TestSuccessRateWithFreeriders(t *testing.T) {
+	// The headline §4.1 property at test scale: success rate of the
+	// decision mechanism stays high with a cooperative majority.
+	c := smallCfg()
+	c.NumTrans = 20000
+	w, err := New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Run()
+	if sr := w.Metrics().SuccessRate(); sr < 0.7 {
+		t.Fatalf("success rate %v too low", sr)
+	}
+}
+
+func TestEngineAccessors(t *testing.T) {
+	w, err := New(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Engine() == nil || w.Bus() == nil || w.Ring() == nil || w.Protocol() == nil {
+		t.Fatal("nil accessor")
+	}
+	if w.Config().NumInit != smallCfg().NumInit {
+		t.Fatal("config accessor wrong")
+	}
+	if w.Engine().Now() != 0 {
+		t.Fatal("fresh world clock not at 0")
+	}
+	var _ sim.Tick = w.Engine().Now()
+}
