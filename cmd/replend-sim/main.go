@@ -4,22 +4,31 @@
 // Usage:
 //
 //	replend-sim [flags]
+//	replend-sim -scenario file.json [-runs n] [-csv out.csv]
+//	replend-sim scenarios list
+//	replend-sim scenarios describe <name>
+//	replend-sim scenarios dump <name>
 //
 // The defaults are the paper's Table 1 values. Examples:
 //
 //	replend-sim -lambda 0.1 -ticks 50000            # Figure 1 conditions
 //	replend-sim -no-introductions -policy mid-spectrum
 //	replend-sim -config experiment.json -csv out.csv
+//	replend-sim -scenario collusion                 # built-in by name
+//	replend-sim -scenario my-workload.json -runs 10 # averaged replicas
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/baseline"
 	"repro/internal/config"
+	"repro/internal/experiments"
 	"repro/internal/metrics"
+	"repro/internal/scenario"
 	"repro/internal/topology"
 	"repro/internal/world"
 )
@@ -32,9 +41,14 @@ func main() {
 }
 
 func run(args []string) error {
+	if len(args) > 0 && args[0] == "scenarios" {
+		return scenariosCmd(args[1:], os.Stdout)
+	}
 	fs := flag.NewFlagSet("replend-sim", flag.ContinueOnError)
 	var (
 		configPath = fs.String("config", "", "JSON configuration file (fields default to Table 1)")
+		scenPath   = fs.String("scenario", "", "scenario file (or built-in name) to execute instead of a flag-built config")
+		runs       = fs.Int("runs", 1, "with -scenario: seed-offset replicas to run and aggregate")
 		numInit    = fs.Int("init", 500, "initial cooperative peers")
 		ticks      = fs.Int64("ticks", 500000, "transactions (= simulation time units)")
 		lambda     = fs.Float64("lambda", 0.01, "new-peer Poisson arrival rate per tick")
@@ -53,6 +67,12 @@ func run(args []string) error {
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *scenPath != "" {
+		if *configPath != "" {
+			return fmt.Errorf("-scenario and -config are mutually exclusive")
+		}
+		return runScenario(*scenPath, *runs, *csvPath, os.Stdout)
 	}
 
 	cfg := config.Default()
@@ -108,6 +128,91 @@ func run(args []string) error {
 		fmt.Printf("series written to %s\n", *csvPath)
 	}
 	return nil
+}
+
+// loadScenario resolves a -scenario argument: a path to a JSON spec, or
+// the name of a built-in.
+func loadScenario(nameOrPath string) (*scenario.Spec, error) {
+	if data, err := os.ReadFile(nameOrPath); err == nil {
+		return scenario.Load(data)
+	} else if !os.IsNotExist(err) {
+		return nil, err
+	}
+	return scenario.Get(nameOrPath)
+}
+
+// runScenario executes a scenario (optionally replicated) and prints the
+// summary; with -csv it writes the spec-selected series of the primary
+// run (the spec's own seed).
+func runScenario(nameOrPath string, runs int, csvPath string, out io.Writer) error {
+	spec, err := loadScenario(nameOrPath)
+	if err != nil {
+		return err
+	}
+	var primary *scenario.Result
+	if runs <= 1 {
+		res, err := spec.Run()
+		if err != nil {
+			return err
+		}
+		primary = res
+		fmt.Fprint(out, res.Summary())
+	} else {
+		reps, err := experiments.RunScenarioReplicas(spec, experiments.Options{Runs: runs})
+		if err != nil {
+			return err
+		}
+		primary = reps[0].Result
+		fmt.Fprintln(out, experiments.ScenarioTable(reps))
+	}
+	if csvPath != "" {
+		csv, err := primary.CSV()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(csvPath, []byte(csv), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "series written to %s\n", csvPath)
+	}
+	return nil
+}
+
+// scenariosCmd implements `replend-sim scenarios list|describe|dump`.
+func scenariosCmd(args []string, out io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: replend-sim scenarios list|describe <name>|dump <name>")
+	}
+	switch args[0] {
+	case "list":
+		for _, name := range scenario.Names() {
+			s, err := scenario.Get(name)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "%-12s %s\n", name, s.Description)
+		}
+		return nil
+	case "describe", "dump":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: replend-sim scenarios %s <name>", args[0])
+		}
+		s, err := scenario.Get(args[1])
+		if err != nil {
+			return err
+		}
+		if args[0] == "describe" {
+			fmt.Fprint(out, s.Describe())
+			return nil
+		}
+		data, err := s.JSON()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, string(data))
+		return nil
+	}
+	return fmt.Errorf("unknown scenarios subcommand %q (want list, describe or dump)", args[0])
 }
 
 func policyByName(name string) (baseline.Policy, error) {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
 	"strings"
@@ -66,6 +67,88 @@ func TestRunConfigFile(t *testing.T) {
 	os.WriteFile(bad, []byte(`{"numSM": 0}`), 0o644)
 	if err := run([]string{"-config", bad}); err == nil {
 		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestScenariosSubcommand(t *testing.T) {
+	capture := func(args ...string) string {
+		var buf bytes.Buffer
+		if err := scenariosCmd(args, &buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+
+	list := capture("list")
+	for _, name := range []string{"quickstart", "churn", "collusion", "filesharing", "api"} {
+		if !strings.Contains(list, name) {
+			t.Errorf("list output missing %q:\n%s", name, list)
+		}
+	}
+
+	desc := capture("describe", "collusion")
+	if !strings.Contains(desc, "phases:") || !strings.Contains(desc, "mole") {
+		t.Errorf("describe output: %s", desc)
+	}
+
+	dump := capture("dump", "quickstart")
+	if !strings.Contains(dump, `"name": "quickstart"`) {
+		t.Errorf("dump output: %s", dump)
+	}
+
+	for _, bad := range [][]string{{}, {"bogus"}, {"describe"}, {"describe", "nope"}, {"dump", "nope"}} {
+		if err := scenariosCmd(bad, os.Stdout); err == nil {
+			t.Errorf("scenariosCmd(%v) accepted", bad)
+		}
+	}
+}
+
+func TestRunScenarioFromFileAndBuiltin(t *testing.T) {
+	// A dumped built-in must load and run from a file, writing the CSV.
+	dir := t.TempDir()
+	spec := filepath.Join(dir, "spec.json")
+	var dump bytes.Buffer
+	if err := scenariosCmd([]string{"dump", "quickstart"}, &dump); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(spec, dump.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	csv := filepath.Join(dir, "series.csv")
+	if err := run([]string{"-scenario", spec, "-csv", csv}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "t,coop,uncoop,coop-reputation\n") {
+		t.Fatalf("csv header wrong: %q", string(data)[:50])
+	}
+
+	if err := run([]string{"-scenario", "nope"}); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+	if err := run([]string{"-scenario", spec, "-config", spec}); err == nil {
+		t.Fatal("-scenario with -config accepted")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte(`{"name": "x", "base": {"numSM": 0}}`), 0o644)
+	if err := run([]string{"-scenario", bad}); err == nil {
+		t.Fatal("invalid scenario file accepted")
+	}
+}
+
+func TestRunScenarioReplicasFlag(t *testing.T) {
+	// Multi-replica aggregation over a small file-defined scenario.
+	dir := t.TempDir()
+	spec := filepath.Join(dir, "tiny.json")
+	body := `{"name": "tiny", "base": {"numInit": 30, "numTrans": 2000, "lambda": 0.05, "waitPeriod": 100, "seed": 8}}`
+	if err := os.WriteFile(spec, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-scenario", spec, "-runs", "3"}); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -3,8 +3,10 @@
 // Trento TR DIT-05-086, 2005 / ICDE 2006 workshops).
 //
 // The library lives under internal/ (see README.md for the map), the
-// runnable tools under cmd/, the scenarios under examples/, and the
-// benchmarks that regenerate every table and figure of the paper's
-// evaluation in bench_test.go. DESIGN.md holds the system inventory and
-// experiment index; EXPERIMENTS.md records paper-vs-measured outcomes.
+// runnable tools under cmd/, narrated walkthroughs under examples/
+// (each a thin driver over a declarative scenario — see
+// docs/scenarios.md for authoring your own), and the benchmarks that
+// regenerate every table and figure of the paper's evaluation in
+// bench_test.go. DESIGN.md holds the system inventory and experiment
+// index; EXPERIMENTS.md records paper-vs-measured outcomes.
 package repro

@@ -1,10 +1,7 @@
-// API: the library's front door (internal/core), for consumers who want a
-// reputation-lending community without touching the simulation plumbing.
-//
-// Builds a community, runs background workload with arrivals, scripts one
-// introduction chain (A introduces B, B later introduces C — reputation
-// lending composing across generations), and dumps the protocol trace
-// summary.
+// API: the scenario subsystem as a library — the built-in "api" scenario
+// (a founder introduces B, B later introduces C: reputation lending
+// composing across generations) driven step by step, with the structured
+// protocol trace attached for inspection.
 //
 // Run with: go run ./examples/api
 package main
@@ -13,56 +10,65 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/core"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 func main() {
-	c, err := core.NewCommunity(core.Options{
-		Founders:   80,
-		Seed:       7,
-		Lambda:     0.02, // background arrivals keep the community lively
-		FracUncoop: 0.25,
-	})
+	spec, err := scenario.Get("api")
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	c.Advance(5_000)
-	fmt.Printf("after warm-up: %d members, success rate %.3f\n", c.Size(), c.Stats().SuccessRate)
-
-	// Generation 1: a founder introduces B.
-	founder := c.Members()[0]
-	b, err := c.RequestIntroduction(core.Cooperative, founder)
+	r, err := spec.Start()
 	if err != nil {
 		log.Fatal(err)
 	}
-	c.Advance(c.WaitPeriod() + 1)
-	fmt.Printf("B admitted by a founder: member=%v, reputation %.3f\n", c.IsMember(b), c.Reputation(b))
+	w := r.World()
+	tlog := trace.New(0)
+	w.SetTrace(tlog)
 
-	// B earns its standing, then becomes an introducer itself.
-	c.Advance(30_000)
-	fmt.Printf("B established: reputation %.3f\n", c.Reputation(b))
-
-	// Generation 2: B introduces C.
-	cPeer, err := c.RequestIntroduction(core.Cooperative, b)
-	if err != nil {
+	// Phase 1 at tick 5000: a founder introduces B.
+	if _, err := r.StepPhase(); err != nil {
 		log.Fatal(err)
 	}
-	c.Advance(c.WaitPeriod() + 1)
+	fmt.Printf("after warm-up: %d members, success rate %.3f\n",
+		w.PopulationSize(), w.Metrics().SuccessRate())
+	b, _ := r.Labeled("b")
+	w.RunFor(sim.Tick(w.Config().WaitPeriod) + 1)
+	fmt.Printf("B admitted by a founder: member=%v, reputation %.3f\n", isMember(r, "b"), w.Reputation(b))
+
+	// Phase 2 at tick 36001: B has earned its standing and introduces C.
+	if _, err := r.StepPhase(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("B established: reputation %.3f\n", w.Reputation(b))
+	c, _ := r.Labeled("c")
+	w.RunFor(sim.Tick(w.Config().WaitPeriod) + 1)
 	fmt.Printf("C admitted by B: member=%v, reputation %.3f (B staked: %.3f)\n",
-		c.IsMember(cPeer), c.Reputation(cPeer), c.Reputation(b))
+		isMember(r, "c"), w.Reputation(c), w.Reputation(b))
 
-	c.Advance(20_000)
-	st := c.Stats()
+	res, err := r.Finish()
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := res.Metrics
 	fmt.Printf("\nfinal: %d members (%d cooperative, %d freeriding kept at the margins)\n",
-		st.Members, st.Cooperative, st.Uncooperative)
+		res.Members, m.CoopInSystem, m.UncoopInSystem)
 	fmt.Printf("admissions %d/%d coop/uncoop, %d refusals, audits %d ok / %d forfeited\n",
-		st.AdmittedCoop, st.AdmittedUncoop, st.Refused, st.AuditsOK, st.AuditsBad)
+		m.AdmittedCoop, m.AdmittedUncoop,
+		m.RefusedSelectiveCoop+m.RefusedSelectiveUncoop+m.RefusedRepCoop+m.RefusedRepUncoop,
+		m.AuditsSatisfied, m.AuditsForfeited)
 
 	fmt.Println("\nprotocol trace summary:")
-	fmt.Print(c.Trace().Summary(2))
-	if violations := c.Trace().Verify(); len(violations) != 0 {
+	fmt.Print(tlog.Summary(2))
+	if violations := tlog.Verify(); len(violations) != 0 {
 		log.Fatalf("trace invariants violated: %v", violations)
 	}
 	fmt.Println("trace invariants verified ✓")
+}
+
+func isMember(r *scenario.Run, label string) bool {
+	pid, ok := r.Labeled(label)
+	return ok && r.World().IsAdmitted(pid)
 }

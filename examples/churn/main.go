@@ -1,5 +1,6 @@
-// Churn: the DHT substrate under membership churn, and the score-manager
-// redundancy the lending protocol relies on.
+// Churn: the DHT substrate under membership churn, driven by the built-in
+// "churn" scenario (crash half an introducer's score managers
+// mid-introduction; the lend lands anyway).
 //
 // The paper: "the arrival of new nodes does influence DHT-based routing as
 // the score managers assigned to a peer change over time. However, by
@@ -7,10 +8,9 @@
 // "redundancy is introduced in the system in case a score manager crashes
 // before being able to contact the new peer's score managers."
 //
-// This example (1) tracks how a peer's score-manager set migrates as the
-// ring grows, (2) crashes score managers in the middle of an introduction
-// and shows the lend still lands, and (3) measures Chord lookup hop counts
-// as the ring grows.
+// The driver (1) tracks how a peer's score-manager set migrates as the
+// ring grows, (2) steps the scenario's crash-and-introduce phase, and
+// (3) measures Chord lookup hop counts on the grown ring.
 //
 // Run with: go run ./examples/churn
 package main
@@ -19,26 +19,20 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/config"
 	"repro/internal/id"
-	"repro/internal/peer"
-	"repro/internal/sim"
-	"repro/internal/world"
+	"repro/internal/scenario"
 )
 
 func main() {
-	cfg := config.Default()
-	cfg.NumInit = 100
-	cfg.NumTrans = 100_000
-	cfg.Lambda = 0.02
-	cfg.WaitPeriod = 200
-	cfg.Seed = 5
-
-	w, err := world.New(cfg)
+	spec, err := scenario.Get("churn")
 	if err != nil {
 		log.Fatal(err)
 	}
-	w.Start()
+	r, err := spec.Start()
+	if err != nil {
+		log.Fatal(err)
+	}
+	w := r.World()
 
 	// (1) Score-manager migration under growth.
 	subject := w.AdmittedPeers()[0]
@@ -46,7 +40,11 @@ func main() {
 	fmt.Printf("peer %s score managers at n=%d:\n", subject.Short(), w.Ring().Size())
 	printSMs(before)
 
-	w.RunFor(50_000)
+	// Phase 1 at tick 50000: the scenario crashes half the score managers
+	// of a reputable naive member and injects a newcomer through it.
+	if _, err := r.StepPhase(); err != nil {
+		log.Fatal(err)
+	}
 	after := w.ScoreManagers(subject)
 	fmt.Printf("\nafter growing to n=%d:\n", w.Ring().Size())
 	printSMs(after)
@@ -59,55 +57,41 @@ func main() {
 	fmt.Printf("%d of %d score-manager slots moved — yet the peer's reputation survived: %.3f\n",
 		moved, len(before), w.Reputation(subject))
 
-	// (2) Crash half the introducer's score managers mid-introduction.
-	introducer := pickNaive(w)
-	sms := w.ScoreManagers(introducer)
-	for _, sm := range sms[:len(sms)/2] {
-		w.Bus().Crash(sm)
-	}
-	fmt.Printf("\ncrashed %d of %d score managers of introducer %s\n",
-		len(sms)/2, len(sms), introducer.Short())
-	newcomer, err := w.InjectArrival(peer.Cooperative, peer.Selective, introducer)
-	if err != nil {
+	outcome := r.Outcomes()[0]
+	fmt.Printf("\ncrashed half the score managers of introducer %s, then introduced %s through it\n",
+		outcome.Introducer.Short(), outcome.Peer.Short())
+
+	// Phase 2 at tick 50201: the waiting period has elapsed and the
+	// crashed managers recover.
+	if _, err := r.StepPhase(); err != nil {
 		log.Fatal(err)
 	}
-	w.RunFor(sim.Tick(cfg.WaitPeriod + 1))
 	fmt.Printf("introduction executed through the surviving managers: newcomer reputation %.3f (want %.2f)\n",
-		w.Reputation(newcomer), cfg.IntroAmt)
-	for _, sm := range sms[:len(sms)/2] {
-		w.Bus().Recover(sm)
-	}
+		w.Reputation(outcome.Peer), spec.Base.IntroAmt)
 
-	// (3) Routing cost as the ring grows: real Chord lookups through
+	// (3) Routing cost on the grown ring: real Chord lookups through
 	// finger tables.
 	fmt.Println("\nlookup hop counts (greedy finger routing):")
 	members := w.Ring().Members()
-	for _, probes := range []int{100} {
-		for i := 0; i < probes; i++ {
-			key := id.HashString(fmt.Sprintf("probe-%d", i))
-			if _, _, err := w.Ring().Lookup(members[i%len(members)], key); err != nil {
-				log.Fatal(err)
-			}
+	for i := 0; i < 100; i++ {
+		key := id.HashString(fmt.Sprintf("probe-%d", i))
+		if _, _, err := w.Ring().Lookup(members[i%len(members)], key); err != nil {
+			log.Fatal(err)
 		}
 	}
 	lookups, mean := w.Ring().RoutingStats()
 	fmt.Printf("n=%d: %d lookups, %.2f mean hops (log2 n = %.1f)\n",
 		w.Ring().Size(), lookups, mean, log2(float64(w.Ring().Size())))
+
+	if _, err := r.Finish(); err != nil {
+		log.Fatal(err)
+	}
 }
 
 func printSMs(sms []id.ID) {
 	for i, sm := range sms {
 		fmt.Printf("  replica %d -> node %s\n", i, sm.Short())
 	}
-}
-
-func pickNaive(w *world.World) id.ID {
-	for _, pid := range w.AdmittedPeers() {
-		if p, ok := w.Peer(pid); ok && p.Style == peer.Naive && w.Reputation(pid) > 0.6 {
-			return pid
-		}
-	}
-	return w.AdmittedPeers()[0]
 }
 
 func log2(x float64) float64 {

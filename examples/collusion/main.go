@@ -1,5 +1,5 @@
-// Collusion: the attack the paper's introduction worries about, and the
-// staking defence in action.
+// Collusion: the attack the paper's introduction worries about, driven by
+// the built-in "collusion" scenario.
 //
 // "One member of a group of colluding peers enters the system and behaves
 // honestly to accumulate reputation. It then recommends the other
@@ -15,88 +15,65 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/config"
-	"repro/internal/id"
-	"repro/internal/peer"
-	"repro/internal/sim"
-	"repro/internal/world"
+	"repro/internal/scenario"
 )
 
 func main() {
-	cfg := config.Default()
-	cfg.NumInit = 150
-	cfg.NumTrans = 200_000
-	cfg.Lambda = 0
-	cfg.WaitPeriod = 500
-	cfg.AuditTrans = 10
-	cfg.Seed = 99
-
-	w, err := world.New(cfg)
+	spec, err := scenario.Get("collusion")
 	if err != nil {
 		log.Fatal(err)
 	}
-	w.Start()
-
-	// The mole enters honestly through a naive member and farms
-	// reputation.
-	var entry = w.AdmittedPeers()[0]
-	for _, pid := range w.AdmittedPeers() {
-		if p, _ := w.Peer(pid); p.Style == peer.Naive {
-			entry = pid
-			break
-		}
-	}
-	mole, err := w.InjectArrival(peer.Cooperative, peer.Naive, entry)
+	r, err := spec.Start()
 	if err != nil {
 		log.Fatal(err)
 	}
-	w.RunFor(30_000)
+	w := r.World()
+
+	// Phase 1 at tick 0: the mole enters honestly through a naive member.
+	if _, err := r.StepPhase(); err != nil {
+		log.Fatal(err)
+	}
+	mole, _ := r.Labeled("mole")
+
+	// Let the mole farm reputation up to the spree phase's tick, so we
+	// can show what it walks in with.
+	w.RunFor(30_000 - w.Engine().Now())
 	fmt.Printf("mole %s farmed reputation %.3f (floor for introducing: %.2f, stake per lend: %.2f)\n",
-		mole.Short(), w.Reputation(mole), cfg.MinIntroRep, cfg.IntroAmt)
-	bound := (w.Reputation(mole) - cfg.MinIntroRep) / cfg.IntroAmt
+		mole.Short(), w.Reputation(mole), spec.Base.MinIntroRep, spec.Base.IntroAmt)
+	bound := (w.Reputation(mole) - spec.Base.MinIntroRep) / spec.Base.IntroAmt
 	fmt.Printf("staking bound: at most ~%.0f consecutive unreturned lends before the floor\n\n", bound)
 
-	// The spree: the mole introduces freeriding colluders, one per
-	// waiting period (parallel introductions are caught and zeroed).
+	// Phase 2: the spree — one colluder per waiting period. The
+	// AfterInjection hook observes each wave after it settles.
 	fmt.Println("wave  mole-rep  colluder  admitted")
-	admitted := 0
-	for wave := 1; wave <= 12; wave++ {
-		colluder, err := w.InjectArrival(peer.Uncooperative, peer.Naive, mole)
-		if err != nil {
-			log.Fatal(err)
-		}
-		w.RunFor(sim.Tick(cfg.WaitPeriod + 1))
-		in := contains(w.AdmittedPeers(), colluder)
+	wave, admitted := 0, 0
+	r.AfterInjection = func(o scenario.InjectionOutcome) {
+		wave++
+		in := w.IsAdmitted(o.Peer)
 		if in {
 			admitted++
 		}
-		fmt.Printf("%4d  %8.3f  %s  %v\n", wave, w.Reputation(mole), colluder.Short(), in)
+		fmt.Printf("%4d  %8.3f  %s  %v\n", wave, w.Reputation(mole), o.Peer.Short(), in)
 	}
+	if _, err := r.StepPhase(); err != nil {
+		log.Fatal(err)
+	}
+	r.AfterInjection = nil
 
-	// Let audits fire and the dust settle.
-	w.RunFor(40_000)
-	m := w.Metrics()
+	// Tail: let audits fire and the dust settle.
+	res, err := r.Finish()
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("\nafter the dust settles:\n")
-	fmt.Printf("  colluders admitted: %d of 12 (staking bound held)\n", admitted)
-	fmt.Printf("  mole reputation: %.3f\n", w.Reputation(mole))
-	fmt.Printf("  audits forfeited: %d (each cost the mole its stake)\n", m.AuditsForfeited)
+	fmt.Printf("  colluders admitted: %d of %d (staking bound held)\n", admitted, wave)
+	fmt.Printf("  mole reputation: %.3f\n", res.FinalReputation["mole"])
+	fmt.Printf("  audits forfeited: %d (each cost the mole its stake)\n", res.Metrics.AuditsForfeited)
 	worst := 0.0
-	for _, pid := range w.AdmittedPeers() {
-		p, _ := w.Peer(pid)
-		if p.Class == peer.Uncooperative {
-			if r := w.Reputation(pid); r > worst {
-				worst = r
-			}
+	for i := 1; i <= wave; i++ {
+		if rep := res.FinalReputation[fmt.Sprintf("colluder-%d", i)]; rep > worst {
+			worst = rep
 		}
 	}
 	fmt.Printf("  highest colluder reputation: %.3f — the clique never gained a foothold\n", worst)
-}
-
-func contains(ids []id.ID, x id.ID) bool {
-	for _, v := range ids {
-		if v == x {
-			return true
-		}
-	}
-	return false
 }

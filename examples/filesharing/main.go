@@ -1,12 +1,13 @@
 // Filesharing: the paper's motivating workload — a file-sharing community
 // (the introduction's KaZaA/BitTorrent setting) where freeriders set their
 // "participation level to Master permanently" and the community defends
-// itself with reputation lending.
+// itself with reputation lending. Driven by the built-in "filesharing"
+// scenario.
 //
 // A scale-free community grows under a steady stream of arrivals, a
-// quarter of them freeriders. The example prints the community's growth,
-// who got in, who was kept out and why, and how the hubs of the scale-free
-// topology (the most-connected members) fare as introducers.
+// quarter of them freeriders. The driver prints the community's growth,
+// who got in, who was kept out and why, and the reputation separation the
+// serve/deny decision depends on.
 //
 // Run with: go run ./examples/filesharing
 package main
@@ -16,29 +17,26 @@ import (
 	"log"
 	"sort"
 
-	"repro/internal/config"
 	"repro/internal/peer"
+	"repro/internal/scenario"
 	"repro/internal/sim"
-	"repro/internal/world"
 )
 
 func main() {
-	cfg := config.Default()
-	cfg.NumInit = 200
-	cfg.NumTrans = 60_000
-	cfg.Lambda = 0.05     // a newcomer knocks every ~20 exchanges
-	cfg.FracUncoop = 0.25 // a quarter of arrivals freeride
-	cfg.WaitPeriod = 500
-	cfg.Seed = 2026
-
-	w, err := world.New(cfg)
+	spec, err := scenario.Get("filesharing")
 	if err != nil {
 		log.Fatal(err)
 	}
-	w.Start()
+	r, err := spec.Start()
+	if err != nil {
+		log.Fatal(err)
+	}
+	w := r.World()
 
+	// The scenario has no scripted phases: it is pure growth. The driver
+	// advances the world in slices to narrate it.
 	fmt.Println("tick    members  coop  freeriders  mean-coop-rep  success-rate")
-	for done := sim.Tick(0); done < sim.Tick(cfg.NumTrans); done += 10_000 {
+	for done := sim.Tick(0); done < sim.Tick(spec.Base.NumTrans); done += 10_000 {
 		w.RunFor(10_000)
 		m := w.Metrics()
 		rep, _ := m.CoopReputation.Last()
@@ -46,8 +44,12 @@ func main() {
 			w.Engine().Now(), w.PopulationSize(), m.CoopInSystem, m.UncoopInSystem,
 			rep.V, m.SuccessRate())
 	}
+	res, err := r.Finish()
+	if err != nil {
+		log.Fatal(err)
+	}
 
-	m := w.Metrics()
+	m := res.Metrics
 	fmt.Printf("\narrivals: %d cooperative, %d freeriding\n", m.ArrivalsCoop, m.ArrivalsUncoop)
 	fmt.Printf("admitted: %d cooperative, %d freeriding (%.0f%% of freeriders kept out)\n",
 		m.AdmittedCoop, m.AdmittedUncoop,

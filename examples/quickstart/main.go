@@ -1,4 +1,6 @@
-// Quickstart: the smallest complete reputation-lending story.
+// Quickstart: the smallest complete reputation-lending story, driven by
+// the built-in "quickstart" scenario (run `replend-sim scenarios dump
+// quickstart` to see its JSON).
 //
 // A founding community of 50 peers runs for a while; a cooperative
 // newcomer and a freerider each ask a member for an introduction; the
@@ -13,111 +15,83 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/config"
 	"repro/internal/id"
-	"repro/internal/peer"
-	"repro/internal/sim"
-	"repro/internal/world"
+	"repro/internal/scenario"
 )
 
 func main() {
-	cfg := config.Default()
-	cfg.NumInit = 50
-	cfg.NumTrans = 30_000 // upper bound; we drive the clock in phases
-	cfg.Lambda = 0        // arrivals are scripted below
-	cfg.WaitPeriod = 200
-	cfg.AuditTrans = 10
-	cfg.Seed = 42
-
-	w, err := world.New(cfg)
+	spec, err := scenario.Get("quickstart")
 	if err != nil {
 		log.Fatal(err)
 	}
-	w.Start()
-
-	// Let the founding community build transaction history.
-	w.RunFor(2_000)
-	fmt.Printf("community warmed up: %d members, mean cooperative reputation %.3f\n",
-		w.PopulationSize(), meanCoopRep(w))
-
-	selective := memberWithStyle(w, peer.Selective)
-	naive := memberWithStyle(w, peer.Naive)
-	fmt.Printf("selective member %s holds reputation %.3f; naive member %s holds %.3f\n",
-		selective.Short(), w.Reputation(selective), naive.Short(), w.Reputation(naive))
-
-	// A cooperative newcomer asks the selective member — granted, staked.
-	honest, err := w.InjectArrival(peer.Cooperative, peer.Selective, selective)
+	r, err := spec.Start()
 	if err != nil {
 		log.Fatal(err)
 	}
-	w.RunFor(sim.Tick(cfg.WaitPeriod + 1))
-	fmt.Printf("honest newcomer %s admitted with lent reputation %.3f (introducer staked: now %.3f)\n",
-		honest.Short(), w.Reputation(honest), w.Reputation(selective))
+	w := r.World()
 
-	// A freerider asks the selective member — usually refused outright.
-	refused, err := w.InjectArrival(peer.Uncooperative, peer.Naive, selective)
-	if err != nil {
-		log.Fatal(err)
-	}
-	w.RunFor(sim.Tick(cfg.WaitPeriod + 1))
+	// Phase 1 at tick 2000: the warmed-up community meets an honest
+	// newcomer, who asks a selective member for an introduction.
+	step(r)
+	honest := labelled(r, "honest")
+	selective := introducerOf(r, "honest")
+	fmt.Printf("community warmed up: %d members\n", w.PopulationSize())
+	fmt.Printf("honest newcomer %s asked selective member %s (reputation %.3f)\n",
+		honest.Short(), selective.Short(), w.Reputation(selective))
+
+	// Phase 2 at tick 2201: the honest newcomer is in; a freerider tries
+	// the same selective member.
+	step(r)
+	fmt.Printf("honest newcomer admitted with lent reputation %.3f (introducer staked: now %.3f)\n",
+		w.Reputation(honest), w.Reputation(selective))
+
+	// Phase 3 at tick 2402: the selective member refused; the same kind
+	// of freerider asks a naive member — always granted.
+	step(r)
 	fmt.Printf("freerider %s asked the selective member: admitted=%v\n",
-		refused.Short(), isAdmitted(w, refused))
+		labelled(r, "refused").Short(), w.IsAdmitted(labelled(r, "refused")))
+	freerider := labelled(r, "freerider")
+	naive := introducerOf(r, "freerider")
+	fmt.Printf("freerider %s asked naive member %s instead\n", freerider.Short(), naive.Short())
 
-	// The same kind of freerider asks a naive member — always granted.
-	freerider, err := w.InjectArrival(peer.Uncooperative, peer.Naive, naive)
+	// Tail: the community transacts, the newcomers build (or burn)
+	// reputation, and after auditTrans completed transactions each is
+	// audited.
+	res, err := r.Finish()
 	if err != nil {
 		log.Fatal(err)
 	}
-	w.RunFor(sim.Tick(cfg.WaitPeriod + 1))
-	fmt.Printf("freerider %s asked the naive member: admitted=%v with lent reputation %.3f (naive member staked: now %.3f)\n",
-		freerider.Short(), isAdmitted(w, freerider), w.Reputation(freerider), w.Reputation(naive))
-
-	// The community transacts; the newcomers build (or burn) reputation,
-	// and after cfg.AuditTrans completed transactions each is audited.
-	w.RunFor(20_000)
-
-	m := w.Metrics()
-	fmt.Printf("\nafter %d more ticks:\n", 20_000)
-	fmt.Printf("  honest newcomer reputation:      %.3f (earned its standing)\n", w.Reputation(honest))
-	fmt.Printf("  freerider reputation:            %.3f (credit burned)\n", w.Reputation(freerider))
+	fmt.Printf("\nat the end of the run (tick %d):\n", spec.Base.NumTrans)
+	fmt.Printf("  freerider admitted by the naive member: %v\n", w.IsAdmitted(freerider))
+	fmt.Printf("  honest newcomer reputation:      %.3f (earned its standing)\n", res.FinalReputation["honest"])
+	fmt.Printf("  freerider reputation:            %.3f (credit burned)\n", res.FinalReputation["freerider"])
 	fmt.Printf("  selective introducer reputation: %.3f (stake returned + reward)\n", w.Reputation(selective))
 	fmt.Printf("  naive introducer reputation:     %.3f (stake forfeited, recouping)\n", w.Reputation(naive))
 	fmt.Printf("  audits: %d satisfied (stake+reward returned), %d forfeited\n",
-		m.AuditsSatisfied, m.AuditsForfeited)
-	fmt.Printf("  decision success rate: %.3f\n", m.SuccessRate())
+		res.Metrics.AuditsSatisfied, res.Metrics.AuditsForfeited)
+	fmt.Printf("  decision success rate: %.3f\n", res.Metrics.SuccessRate())
 }
 
-// memberWithStyle returns the first community member with the given
-// introduction style.
-func memberWithStyle(w *world.World, style peer.Style) (out id.ID) {
-	for _, pid := range w.AdmittedPeers() {
-		if p, ok := w.Peer(pid); ok && p.Style == style {
-			return pid
-		}
+func step(r *scenario.Run) {
+	if _, err := r.StepPhase(); err != nil {
+		log.Fatal(err)
 	}
-	log.Fatalf("no member with style %v", style)
-	return
 }
 
-func isAdmitted(w *world.World, pid id.ID) bool {
-	for _, v := range w.AdmittedPeers() {
-		if v == pid {
-			return true
-		}
+func labelled(r *scenario.Run, name string) id.ID {
+	pid, ok := r.Labeled(name)
+	if !ok {
+		log.Fatalf("label %q not bound", name)
 	}
-	return false
+	return pid
 }
 
-func meanCoopRep(w *world.World) float64 {
-	sum, n := 0.0, 0
-	for _, pid := range w.AdmittedPeers() {
-		if p, ok := w.Peer(pid); ok && p.Class == peer.Cooperative {
-			sum += w.Reputation(pid)
-			n++
+func introducerOf(r *scenario.Run, label string) id.ID {
+	for _, o := range r.Outcomes() {
+		if o.Label == label {
+			return o.Introducer
 		}
 	}
-	if n == 0 {
-		return 0
-	}
-	return sum / float64(n)
+	log.Fatalf("no outcome labelled %q", label)
+	return id.ID{}
 }

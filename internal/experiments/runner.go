@@ -81,15 +81,12 @@ type Replica struct {
 	Proto   lending.Stats
 }
 
-// runReplicas executes opt.Runs independent seeded replicas of cfg in
-// parallel and returns them in seed order. policy may be nil (lending
-// admissions) or a baseline bootstrap rule used when cfg disables
-// introductions.
-func runReplicas(cfg config.Config, opt Options, policy baseline.Policy) ([]Replica, error) {
-	opt = opt.withDefaults()
-	out := make([]Replica, opt.Runs)
+// forEachReplica runs fn for the replica indices 0..opt.Runs-1, at most
+// opt.Parallel at a time, and returns the first error. It is the shared
+// parallelism substrate for both configuration replicas and declarative
+// scenario replicas; opt must already have defaults applied.
+func forEachReplica(opt Options, fn func(i int) error) error {
 	errs := make([]error, opt.Runs)
-
 	sem := make(chan struct{}, opt.Parallel)
 	var wg sync.WaitGroup
 	for i := 0; i < opt.Runs; i++ {
@@ -99,25 +96,45 @@ func runReplicas(cfg config.Config, opt Options, policy baseline.Policy) ([]Repl
 		go func() {
 			defer wg.Done()
 			defer func() { <-sem }()
-			c := cfg
-			c.Seed = opt.SeedBase + uint64(i)*7919 // distinct, well-spread seeds
-			w, err := world.New(c)
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			if policy != nil {
-				w.SetPolicy(policy)
-			}
-			w.Run()
-			out[i] = Replica{Metrics: *w.Metrics(), Proto: w.Protocol().Stats()}
+			errs[i] = fn(i)
 		}()
 	}
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("experiments: replica failed: %w", err)
+			return fmt.Errorf("experiments: replica failed: %w", err)
 		}
+	}
+	return nil
+}
+
+// replicaSeed spreads replica seeds so different replicas (and different
+// sweep points offset by SeedBase) draw independent randomness.
+func replicaSeed(base uint64, i int) uint64 { return base + uint64(i)*7919 }
+
+// runReplicas executes opt.Runs independent seeded replicas of cfg in
+// parallel and returns them in seed order. policy may be nil (lending
+// admissions) or a baseline bootstrap rule used when cfg disables
+// introductions.
+func runReplicas(cfg config.Config, opt Options, policy baseline.Policy) ([]Replica, error) {
+	opt = opt.withDefaults()
+	out := make([]Replica, opt.Runs)
+	err := forEachReplica(opt, func(i int) error {
+		c := cfg
+		c.Seed = replicaSeed(opt.SeedBase, i)
+		w, err := world.New(c)
+		if err != nil {
+			return err
+		}
+		if policy != nil {
+			w.SetPolicy(policy)
+		}
+		w.Run()
+		out[i] = Replica{Metrics: *w.Metrics(), Proto: w.Protocol().Stats()}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

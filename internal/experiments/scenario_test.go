@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/scenario"
+)
+
+func tinyScenario() *scenario.Spec {
+	base := config.Default()
+	base.NumInit = 30
+	base.NumTrans = 3_000
+	base.Lambda = 0.05
+	base.WaitPeriod = 100
+	base.Seed = 21
+	return &scenario.Spec{
+		Name: "tiny-replicated",
+		Base: base,
+		Phases: []scenario.Phase{{Name: "late joiner", At: 1_000, Inject: []scenario.Injection{{
+			As: "joiner", Class: "cooperative", Introducer: scenario.Selector{},
+		}}}},
+	}
+}
+
+func TestRunScenarioReplicas(t *testing.T) {
+	spec := tinyScenario()
+	reps, err := RunScenarioReplicas(spec, Options{Runs: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 3 {
+		t.Fatalf("got %d replicas", len(reps))
+	}
+	seen := map[uint64]bool{}
+	for _, r := range reps {
+		if seen[r.Seed] {
+			t.Fatalf("duplicate replica seed %d", r.Seed)
+		}
+		seen[r.Seed] = true
+		if _, ok := r.Result.FinalReputation["joiner"]; !ok {
+			t.Fatalf("seed %d: scripted injection missing from result", r.Seed)
+		}
+	}
+	if reps[0].Seed != spec.Base.Seed {
+		t.Fatalf("replica 0 seed %d is not the spec's own seed %d", reps[0].Seed, spec.Base.Seed)
+	}
+	if spec.Base.Seed != 21 {
+		t.Fatalf("input spec mutated: seed now %d", spec.Base.Seed)
+	}
+
+	// Replica 0 must be exactly the run the spec describes.
+	direct, err := spec.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct.Metrics.Served != reps[0].Result.Metrics.Served ||
+		direct.Metrics.AdmittedCoop != reps[0].Result.Metrics.AdmittedCoop {
+		t.Fatalf("replica 0 diverged from the direct run: %+v vs %+v",
+			direct.Metrics, reps[0].Result.Metrics)
+	}
+
+	table := ScenarioTable(reps)
+	for _, want := range []string{"tiny-replicated", "success rate", "joiner"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("table missing %q:\n%s", want, table)
+		}
+	}
+}
+
+func TestRunScenarioReplicasRejectsInvalidSpec(t *testing.T) {
+	spec := tinyScenario()
+	spec.Name = ""
+	if _, err := RunScenarioReplicas(spec, Options{Runs: 2}); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+}

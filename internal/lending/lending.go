@@ -257,6 +257,26 @@ func (p *Protocol) verifyEnv(env transport.Envelope, claimedBy id.ID) bool {
 // Stats returns a copy of the protocol counters.
 func (p *Protocol) Stats() Stats { return p.stats }
 
+// Params returns the protocol constants currently in force.
+func (p *Protocol) Params() Params { return p.params }
+
+// SetParams replaces the protocol constants mid-run, after validating
+// them. Introductions already in their waiting period keep the wait they
+// were scheduled with; every later decision (reputation floor, lend
+// amount, reward, audit threshold) uses the new values. This is the hook
+// scenario phases use for policy flips and parameter sweeps on a live
+// community.
+func (p *Protocol) SetParams(params Params) error {
+	if err := params.Validate(); err != nil {
+		return err
+	}
+	if params.NumSM != p.params.NumSM {
+		return errors.New("lending: NumSM cannot change mid-run (score-manager placement is structural)")
+	}
+	p.params = params
+	return nil
+}
+
 // RegisterPeer records a member's signing identity and attaches the
 // score-manager message handler to its node (every member can become a
 // score manager for someone).

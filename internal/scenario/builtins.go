@@ -1,0 +1,224 @@
+package scenario
+
+import (
+	"repro/internal/config"
+	"repro/internal/world"
+)
+
+// The built-in scenarios. The first five are the declarative forms of the
+// repo's examples/* programs and are pinned by golden tests: under the
+// same seed each reproduces, metric for metric, the run its hard-coded
+// predecessor produced. The rest showcase spec features the examples
+// never needed (parameter deltas, traitors).
+func init() {
+	for name, build := range map[string]func() *Spec{
+		"quickstart":  Quickstart,
+		"churn":       Churn,
+		"collusion":   Collusion,
+		"filesharing": Filesharing,
+		"api":         API,
+		"churn-wave":  ChurnWave,
+		"traitor":     TraitorMilking,
+	} {
+		if err := Register(name, build); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// Quickstart is the smallest complete reputation-lending story: a warm
+// founding community, an honest newcomer admitted through a selective
+// member, a freerider refused by the same member, and a second freerider
+// waved in by a naive member — who forfeits the stake at audit time.
+func Quickstart() *Spec {
+	base := config.Default()
+	base.NumInit = 50
+	base.NumTrans = 22_603 // 2000 warm-up + 3×(wait+1) + 20000 settling
+	base.Lambda = 0
+	base.WaitPeriod = 200
+	base.AuditTrans = 10
+	base.Seed = 42
+	return &Spec{
+		Name: "quickstart",
+		Description: "Warmed 50-peer community; an honest newcomer, then a freerider, ask a " +
+			"selective member; a second freerider asks a naive member. Stakes, audits, rewards.",
+		Base: base,
+		Phases: []Phase{
+			{Name: "honest newcomer", At: 2_000, Inject: []Injection{{
+				As: "honest", Class: "cooperative", Style: "selective",
+				Introducer: Selector{Style: "selective"},
+			}}},
+			{Name: "freerider asks selective", At: 2_201, Inject: []Injection{{
+				As: "refused", Class: "uncooperative", Style: "naive",
+				Introducer: Selector{Style: "selective"},
+			}}},
+			{Name: "freerider asks naive", At: 2_402, Inject: []Injection{{
+				As: "freerider", Class: "uncooperative", Style: "naive",
+				Introducer: Selector{Style: "naive"},
+			}}},
+		},
+	}
+}
+
+// Churn is the DHT substrate under membership churn: the community grows
+// under steady arrivals, half of a reputable naive member's score
+// managers crash mid-introduction, and the lend still lands through the
+// surviving replicas.
+func Churn() *Spec {
+	base := config.Default()
+	base.NumInit = 100
+	base.NumTrans = 50_201
+	base.Lambda = 0.02
+	base.WaitPeriod = 200
+	base.Seed = 5
+	reputableNaive := Selector{Style: "naive", MinRep: 0.6, FallbackFirst: true}
+	return &Spec{
+		Name: "churn",
+		Description: "Growing ring under λ=0.02 arrivals; at tick 50000 half the introducer's " +
+			"score managers crash mid-introduction and the lend survives on the remaining replicas.",
+		Base: base,
+		Phases: []Phase{
+			{Name: "crash and introduce", At: 50_000,
+				Crash: &Fault{ScoreManagersOf: reputableNaive, Fraction: 0.5},
+				Inject: []Injection{{
+					As: "newcomer", Class: "cooperative", Style: "selective",
+					Introducer: reputableNaive,
+				}}},
+			{Name: "recover", At: 50_201, Recover: true},
+		},
+	}
+}
+
+// Collusion is the attack the paper's introduction worries about: a mole
+// farms reputation honestly, then introduces a ring of twelve freeriding
+// colluders, one per waiting period, until staking drains it below the
+// introduction floor.
+func Collusion() *Spec {
+	base := config.Default()
+	base.NumInit = 150
+	base.NumTrans = 76_012 // 30000 farming + 12×(wait+1) spree + 40000 dust-settling
+	base.Lambda = 0
+	base.WaitPeriod = 500
+	base.AuditTrans = 10
+	base.Seed = 99
+	return &Spec{
+		Name: "collusion",
+		Description: "A mole enters honestly, farms reputation for 30000 ticks, then introduces " +
+			"12 freeriding colluders one waiting-period apart; staking caps the ring.",
+		Base: base,
+		Phases: []Phase{
+			{Name: "mole enters", At: 0, Inject: []Injection{{
+				As: "mole", Class: "cooperative", Style: "naive",
+				Introducer: Selector{Style: "naive", FallbackFirst: true},
+			}}},
+			{Name: "introduction spree", At: 30_000, Inject: []Injection{{
+				As: "colluder", Class: "uncooperative", Style: "naive",
+				Introducer: Selector{Ref: "mole"},
+				Count:      12, SpacedBy: 501,
+			}}},
+		},
+	}
+}
+
+// Filesharing is the paper's motivating workload: a scale-free community
+// under a steady arrival stream, a quarter of it freeriders, defended
+// only by reputation lending.
+func Filesharing() *Spec {
+	base := config.Default()
+	base.NumInit = 200
+	base.NumTrans = 60_000
+	base.Lambda = 0.05
+	base.FracUncoop = 0.25
+	base.WaitPeriod = 500
+	base.Seed = 2026
+	return &Spec{
+		Name: "filesharing",
+		Description: "Scale-free file-sharing community growing under λ=0.05 arrivals, 25% " +
+			"freeriders; lending keeps most of them out while cooperative peers flow in.",
+		Base: base,
+	}
+}
+
+// API is the introduction-chain story the core-API example tells:
+// a founder introduces B, B earns standing, then B introduces C —
+// reputation lending composing across generations.
+func API() *Spec {
+	base := config.Default()
+	base.NumInit = 80
+	base.NumTrans = 57_002 // 5000 warm-up + (wait+1) + 30000 + (wait+1) + 20000
+	base.Lambda = 0.02
+	base.FracUncoop = 0.25
+	base.Seed = 7
+	return &Spec{
+		Name: "api",
+		Description: "Introduction chain across generations: a founder introduces B; after 30000 " +
+			"ticks of standing-building, B introduces C. Background arrivals at λ=0.02.",
+		Base: base,
+		Phases: []Phase{
+			{Name: "generation 1", At: 5_000, Inject: []Injection{{
+				As: "b", Class: "cooperative", Style: "selective",
+				Introducer: Selector{}, // first admitted member: a founder
+			}}},
+			{Name: "generation 2", At: 36_001, Inject: []Injection{{
+				As: "c", Class: "cooperative", Style: "selective",
+				Introducer: Selector{Ref: "b"},
+			}}},
+		},
+	}
+}
+
+// ChurnWave showcases parameter deltas: a calm community takes a churn
+// wave (λ spikes 10×, 60% of the wave uncooperative), then the wave
+// passes and parameters return to baseline.
+func ChurnWave() *Spec {
+	base := config.Default()
+	base.NumInit = 150
+	base.NumTrans = 30_000
+	base.Lambda = 0.02
+	base.WaitPeriod = 500
+	base.Seed = 12
+	lambdaHot, lambdaCalm := 0.2, 0.02
+	uncoopHot, uncoopCalm := 0.6, 0.25
+	return &Spec{
+		Name: "churn-wave",
+		Description: "Calm growth, then a 10000-tick churn wave (λ×10, 60% freeriders), then " +
+			"calm again — the phase-delta machinery on a live community.",
+		Base: base,
+		Phases: []Phase{
+			{Name: "wave hits", At: 10_000, Set: &world.Delta{
+				Lambda: &lambdaHot, FracUncoop: &uncoopHot,
+			}},
+			{Name: "wave passes", At: 20_000, Set: &world.Delta{
+				Lambda: &lambdaCalm, FracUncoop: &uncoopCalm,
+			}},
+		},
+	}
+}
+
+// TraitorMilking scripts the reputation-milking attack of the extension
+// experiments: three peers enter honestly, pass their audits (returning
+// the introducers' stakes), and defect mid-run; ROCQ's sliding window
+// collapses their reputations afterwards.
+func TraitorMilking() *Spec {
+	base := config.Default()
+	base.NumInit = 150
+	base.NumTrans = 60_000
+	base.Lambda = 0
+	base.WaitPeriod = 500
+	base.AuditTrans = 10
+	base.Seed = 17
+	return &Spec{
+		Name: "traitor",
+		Description: "Three reputation milkers enter honestly, pass the one-shot audit, then " +
+			"defect 20000 ticks in; the sliding window contains what the audit cannot.",
+		Base: base,
+		Phases: []Phase{
+			{Name: "milkers enter", At: 0, Inject: []Injection{{
+				As: "traitor", Class: "cooperative", Style: "selective",
+				Introducer: Selector{Style: "naive", FallbackFirst: true},
+				Count:      3, SpacedBy: 501,
+				DefectAfter: 20_000,
+			}}},
+		},
+	}
+}

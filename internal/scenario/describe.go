@@ -1,0 +1,127 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/world"
+)
+
+// Describe renders a human-readable account of the scenario: the story,
+// the base community, and the timed phases — what `replend-sim scenarios
+// describe` prints.
+func (s *Spec) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n\n", s.Name, s.Description)
+	fmt.Fprintf(&b, "base: %d founders, %d ticks, λ=%g, %g%% of arrivals uncooperative, topology %s, wait %d, seed %d\n",
+		s.Base.NumInit, s.Base.NumTrans, s.Base.Lambda, 100*s.Base.FracUncoop,
+		s.Base.Topology, s.Base.WaitPeriod, s.Base.Seed)
+	if len(s.Phases) == 0 {
+		b.WriteString("phases: none (the base workload runs uninterrupted)\n")
+		return b.String()
+	}
+	b.WriteString("phases:\n")
+	for i := range s.Phases {
+		ph := &s.Phases[i]
+		var acts []string
+		if ph.Set != nil {
+			acts = append(acts, "set "+describeDelta(ph.Set))
+		}
+		if ph.Crash != nil {
+			acts = append(acts, fmt.Sprintf("crash %.0f%% of the score managers of %s",
+				100*ph.Crash.Fraction, describeSelector(ph.Crash.ScoreManagersOf)))
+		}
+		for j := range ph.Inject {
+			acts = append(acts, describeInjection(&ph.Inject[j]))
+		}
+		if ph.Recover {
+			acts = append(acts, "recover all crashed nodes")
+		}
+		fmt.Fprintf(&b, "  at %-8d %s: %s\n", ph.At, ph.label(), strings.Join(acts, "; "))
+	}
+	return b.String()
+}
+
+func describeDelta(d *world.Delta) string {
+	var parts []string
+	add := func(name string, v any) { parts = append(parts, fmt.Sprintf("%s=%v", name, v)) }
+	if d.Lambda != nil {
+		add("λ", *d.Lambda)
+	}
+	if d.FracUncoop != nil {
+		add("fracUncoop", *d.FracUncoop)
+	}
+	if d.FracNaive != nil {
+		add("fracNaive", *d.FracNaive)
+	}
+	if d.ErrSel != nil {
+		add("errSel", *d.ErrSel)
+	}
+	if d.WaitPeriod != nil {
+		add("wait", *d.WaitPeriod)
+	}
+	if d.AuditTrans != nil {
+		add("auditTrans", *d.AuditTrans)
+	}
+	if d.IntroAmt != nil {
+		add("introAmt", *d.IntroAmt)
+	}
+	if d.Reward != nil {
+		add("reward", *d.Reward)
+	}
+	if d.MinIntroRep != nil {
+		add("minIntroRep", *d.MinIntroRep)
+	}
+	if d.AuditThreshold != nil {
+		add("auditThreshold", *d.AuditThreshold)
+	}
+	if d.RequireIntroductions != nil {
+		add("requireIntroductions", *d.RequireIntroductions)
+	}
+	if d.SampleEvery != nil {
+		add("sampleEvery", *d.SampleEvery)
+	}
+	return strings.Join(parts, ", ")
+}
+
+func describeInjection(in *Injection) string {
+	var b strings.Builder
+	if n := in.count(); n > 1 {
+		fmt.Fprintf(&b, "inject %d %s peers", n, in.Class)
+	} else {
+		fmt.Fprintf(&b, "inject 1 %s peer", in.Class)
+	}
+	if in.Style != "" {
+		fmt.Fprintf(&b, " (%s)", in.Style)
+	}
+	fmt.Fprintf(&b, " via %s", describeSelector(in.Introducer))
+	if in.SpacedBy > 0 {
+		fmt.Fprintf(&b, ", one per %d ticks", in.SpacedBy)
+	}
+	if in.DefectAfter > 0 {
+		fmt.Fprintf(&b, ", defecting %d ticks after entry", in.DefectAfter)
+	}
+	if in.As != "" {
+		fmt.Fprintf(&b, ", as %q", in.As)
+	}
+	return b.String()
+}
+
+func describeSelector(sel Selector) string {
+	if sel.Ref != "" {
+		return fmt.Sprintf("the peer labelled %q", sel.Ref)
+	}
+	var parts []string
+	if sel.Style != "" {
+		parts = append(parts, sel.Style)
+	}
+	parts = append(parts, "member")
+	desc := "the first " + strings.Join(parts, " ")
+	if sel.MinRep > 0 {
+		desc += fmt.Sprintf(" with reputation > %g", sel.MinRep)
+	}
+	if sel.FallbackFirst {
+		desc += " (else the first member)"
+	}
+	return desc
+}

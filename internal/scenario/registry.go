@@ -1,0 +1,47 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// registry maps scenario names to spec builders. Builders (not shared
+// *Spec values) keep Get callers from mutating each other's specs.
+var registry = map[string]func() *Spec{}
+
+// Register adds a named scenario to the registry. Built-ins register at
+// init; programs embedding the library may add their own.
+func Register(name string, build func() *Spec) error {
+	if name == "" || build == nil {
+		return fmt.Errorf("scenario: Register needs a name and a builder")
+	}
+	if _, dup := registry[name]; dup {
+		return fmt.Errorf("scenario: %q already registered", name)
+	}
+	registry[name] = build
+	return nil
+}
+
+// Names lists the registered scenario names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Get builds a fresh, validated copy of a registered scenario.
+func Get(name string) (*Spec, error) {
+	build, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("scenario: unknown scenario %q (have: %s)", name, strings.Join(Names(), ", "))
+	}
+	s := build()
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("scenario: registered %q is invalid: %w", name, err)
+	}
+	return s, nil
+}

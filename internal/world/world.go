@@ -48,9 +48,10 @@ type World struct {
 	// ring epoch (assignments only move when membership changes).
 	smCache map[id.ID]*smCacheEntry
 
-	seq      int64   // peer id sequence
-	arrClock float64 // continuous arrival clock for the Poisson process
-	started  bool    // workload processes armed
+	seq        int64   // peer id sequence
+	arrClock   float64 // continuous arrival clock for the Poisson process
+	arrivalGen int64   // invalidates in-flight arrival chains on λ changes
+	started    bool    // workload processes armed
 
 	m Metrics
 }
@@ -210,6 +211,16 @@ func (w *World) Peer(pid id.ID) (*peer.Peer, bool) {
 
 // PopulationSize returns the number of peers currently in the system.
 func (w *World) PopulationSize() int { return len(w.admitted) }
+
+// IsAdmitted reports whether the peer is currently in the system.
+func (w *World) IsAdmitted(pid id.ID) bool {
+	for _, v := range w.admitted {
+		if v == pid {
+			return true
+		}
+	}
+	return false
+}
 
 // ---------------------------------------------------------------------------
 // lending.Network implementation.
@@ -371,20 +382,41 @@ func (w *World) detachNode(pid id.ID) {
 // Arrival process.
 
 // scheduleNextArrival advances the continuous Poisson clock and schedules
-// the next arrival event.
+// the next arrival event. The chain carries the arrival generation it was
+// armed under: when ApplyDelta changes λ it bumps the generation, so an
+// already-scheduled arrival from the old process aborts instead of firing
+// at the stale rate.
 func (w *World) scheduleNextArrival() {
 	if w.cfg.Lambda <= 0 {
 		return
 	}
+	gen := w.arrivalGen
 	w.arrClock += w.arrivalRand.Exp(w.cfg.Lambda)
 	at := sim.Tick(w.arrClock)
 	if at <= w.engine.Now() {
 		at = w.engine.Now() + 1
 	}
 	w.engine.Schedule(at, "arrival", func() {
+		if gen != w.arrivalGen {
+			return
+		}
 		w.handleArrival()
 		w.scheduleNextArrival()
 	})
+}
+
+// rearmArrivals cancels any in-flight arrival chain and, if λ is positive
+// and the workload is running, starts a fresh Poisson process from now.
+// The continuous clock is reset unconditionally: a residual waiting time
+// drawn under the old rate must not delay the first arrival of the new
+// one.
+func (w *World) rearmArrivals() {
+	w.arrivalGen++
+	if !w.started {
+		return // Start will arm the (new-generation) chain
+	}
+	w.arrClock = float64(w.engine.Now())
+	w.scheduleNextArrival()
 }
 
 // handleArrival creates one new peer and runs the admission path.
@@ -597,7 +629,14 @@ func (w *World) RunFor(n sim.Tick) {
 func (w *World) Run() {
 	w.Start()
 	w.engine.RunUntil(sim.Tick(w.cfg.NumTrans))
-	w.sample() // closing sample at the final tick
+	w.Finish()
+}
+
+// Finish records the closing time-series sample at the current tick.
+// Callers that drive the clock themselves (scenarios, scripted examples)
+// call it once at the end of the run; Run does so implicitly.
+func (w *World) Finish() {
+	w.sample()
 }
 
 // InjectArrival scripts the arrival of a specific peer: class and

@@ -1,0 +1,145 @@
+package world
+
+import (
+	"testing"
+
+	"repro/internal/config"
+)
+
+func deltaTestConfig() config.Config {
+	cfg := config.Default()
+	cfg.NumInit = 40
+	cfg.NumTrans = 10_000
+	cfg.Lambda = 0
+	cfg.WaitPeriod = 100
+	cfg.Seed = 11
+	return cfg
+}
+
+func TestApplyDeltaRejectsInvalidAndLeavesWorldUntouched(t *testing.T) {
+	w, err := New(deltaTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := -1.0
+	if err := w.ApplyDelta(Delta{FracUncoop: &bad}); err == nil {
+		t.Fatal("negative FracUncoop accepted")
+	}
+	if got := w.Config().FracUncoop; got != deltaTestConfig().FracUncoop {
+		t.Fatalf("config mutated by rejected delta: FracUncoop=%v", got)
+	}
+	// Inconsistent pair: IntroAmt raised above MinIntroRep.
+	amt := 0.9
+	if err := w.ApplyDelta(Delta{IntroAmt: &amt}); err == nil {
+		t.Fatal("IntroAmt above MinIntroRep accepted")
+	}
+}
+
+func TestApplyDeltaLambdaStartsAndStopsArrivals(t *testing.T) {
+	w, err := New(deltaTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.RunFor(2_000)
+	if got := w.Metrics().ArrivalsCoop + w.Metrics().ArrivalsUncoop; got != 0 {
+		t.Fatalf("arrivals with λ=0: %d", got)
+	}
+
+	// λ spike: arrivals must start flowing.
+	hot := 0.1
+	if err := w.ApplyDelta(Delta{Lambda: &hot}); err != nil {
+		t.Fatal(err)
+	}
+	w.RunFor(2_000)
+	during := w.Metrics().ArrivalsCoop + w.Metrics().ArrivalsUncoop
+	if during == 0 {
+		t.Fatal("no arrivals after λ spike")
+	}
+
+	// Back to 0: the in-flight chain must be cancelled, not fire once more
+	// per stale schedule.
+	off := 0.0
+	if err := w.ApplyDelta(Delta{Lambda: &off}); err != nil {
+		t.Fatal(err)
+	}
+	w.RunFor(4_000)
+	after := w.Metrics().ArrivalsCoop + w.Metrics().ArrivalsUncoop
+	if after != during {
+		t.Fatalf("arrivals continued after λ=0: %d -> %d", during, after)
+	}
+}
+
+func TestApplyDeltaLambdaSpikeTakesEffectImmediately(t *testing.T) {
+	// Raising λ from a positive trickle must not wait out a residual gap
+	// drawn under the old rate: the Poisson clock restarts from now.
+	cfg := deltaTestConfig()
+	cfg.Lambda = 0.001 // mean gap 1000 ticks
+	w, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.RunFor(2_000)
+	before := w.Metrics().ArrivalsCoop + w.Metrics().ArrivalsUncoop
+	hot := 0.5
+	if err := w.ApplyDelta(Delta{Lambda: &hot}); err != nil {
+		t.Fatal(err)
+	}
+	w.RunFor(200) // ≈100 expected arrivals at the new rate
+	got := w.Metrics().ArrivalsCoop + w.Metrics().ArrivalsUncoop - before
+	if got < 50 {
+		t.Fatalf("λ spike delayed by stale arrival clock: only %d arrivals in 200 ticks", got)
+	}
+}
+
+func TestApplyDeltaReachesLendingProtocol(t *testing.T) {
+	w, err := New(deltaTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	amt, reward, floor := 0.2, 0.04, 0.4
+	if err := w.ApplyDelta(Delta{IntroAmt: &amt, Reward: &reward, MinIntroRep: &floor}); err != nil {
+		t.Fatal(err)
+	}
+	p := w.Protocol().Params()
+	if p.IntroAmt != amt || p.Reward != reward || p.MinIntroRep != floor {
+		t.Fatalf("protocol params not updated: %+v", p)
+	}
+}
+
+func TestScheduleDeltaFiresAtTick(t *testing.T) {
+	w, err := New(deltaTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac := 0.9
+	w.ScheduleDelta(1_500, "churn-wave", Delta{FracUncoop: &frac})
+	w.RunFor(1_000)
+	if got := w.Config().FracUncoop; got != deltaTestConfig().FracUncoop {
+		t.Fatalf("delta applied early: FracUncoop=%v", got)
+	}
+	w.RunFor(1_000)
+	if got := w.Config().FracUncoop; got != frac {
+		t.Fatalf("delta not applied: FracUncoop=%v", got)
+	}
+}
+
+func TestDeltaDeterminismUnchangedWithoutDeltas(t *testing.T) {
+	// The generation-aware arrival chain must not perturb runs that never
+	// apply a delta: two identical configs give identical metrics.
+	cfg := deltaTestConfig()
+	cfg.Lambda = 0.05
+	a, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Run()
+	b.Run()
+	if am, bm := a.Metrics(), b.Metrics(); am.ArrivalsCoop != bm.ArrivalsCoop ||
+		am.Served != bm.Served || am.CorrectDecisions != bm.CorrectDecisions {
+		t.Fatalf("identical runs diverged: %+v vs %+v", am, bm)
+	}
+}
