@@ -178,6 +178,23 @@ func BenchmarkBaselines(b *testing.B) {
 	}
 }
 
+// BenchmarkFig1Macro is the headline scaling benchmark: the Figure 1
+// population-growth sweep at half paper scale (≈2000 peers by run end,
+// both topologies, 2 replicas). It exercises the simulator's hot paths
+// under sustained arrivals — placement caching under churn, the lending
+// fan-out, per-tick transactions and sampling — and is the wall-clock
+// number BENCH_2.json tracks across PRs.
+func BenchmarkFig1Macro(b *testing.B) {
+	if testing.Short() {
+		b.Skip("macro benchmark: minutes of simulated growth")
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFig1(experiments.Options{Runs: 2, Scale: 0.5, SeedBase: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // ---------------------------------------------------------------------------
 // Substrate micro-benchmarks.
 
@@ -193,7 +210,9 @@ func BenchmarkTransactionTick(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
-	w.Run()
+	if err := w.Run(); err != nil {
+		b.Fatal(err)
+	}
 }
 
 // BenchmarkDHTLookup measures greedy finger-table routing on a 4096-node
@@ -260,6 +279,28 @@ func BenchmarkRingJoin(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := ring.Join(id.HashString(fmt.Sprintf("join-%d", i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRingChurn measures a join/leave pair on a standing 4096-node
+// ring — the refused-peer path that every admission attempt under a
+// selective community exercises.
+func BenchmarkRingChurn(b *testing.B) {
+	ring := overlay.NewRing()
+	for i := 0; i < 4096; i++ {
+		if err := ring.Join(id.HashString(fmt.Sprintf("churn-node-%d", i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := id.HashString(fmt.Sprintf("churn-%d", i))
+		if err := ring.Join(n); err != nil {
+			b.Fatal(err)
+		}
+		if err := ring.Leave(n); err != nil {
 			b.Fatal(err)
 		}
 	}

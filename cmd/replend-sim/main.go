@@ -116,7 +116,9 @@ func run(args []string) error {
 		}
 		w.SetPolicy(pol)
 	}
-	w.Run()
+	if err := w.Run(); err != nil {
+		return err
+	}
 
 	printSummary(w)
 	if *csvPath != "" {

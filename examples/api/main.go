@@ -35,7 +35,9 @@ func main() {
 	fmt.Printf("after warm-up: %d members, success rate %.3f\n",
 		w.PopulationSize(), w.Metrics().SuccessRate())
 	b, _ := r.Labeled("b")
-	w.RunFor(sim.Tick(w.Config().WaitPeriod) + 1)
+	if err := w.RunFor(sim.Tick(w.Config().WaitPeriod) + 1); err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("B admitted by a founder: member=%v, reputation %.3f\n", isMember(r, "b"), w.Reputation(b))
 
 	// Phase 2 at tick 36001: B has earned its standing and introduces C.
@@ -44,7 +46,9 @@ func main() {
 	}
 	fmt.Printf("B established: reputation %.3f\n", w.Reputation(b))
 	c, _ := r.Labeled("c")
-	w.RunFor(sim.Tick(w.Config().WaitPeriod) + 1)
+	if err := w.RunFor(sim.Tick(w.Config().WaitPeriod) + 1); err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("C admitted by B: member=%v, reputation %.3f (B staked: %.3f)\n",
 		isMember(r, "c"), w.Reputation(c), w.Reputation(b))
 

@@ -37,7 +37,9 @@ func main() {
 
 	// Let the mole farm reputation up to the spree phase's tick, so we
 	// can show what it walks in with.
-	w.RunFor(30_000 - w.Engine().Now())
+	if err := w.RunFor(30_000 - w.Engine().Now()); err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("mole %s farmed reputation %.3f (floor for introducing: %.2f, stake per lend: %.2f)\n",
 		mole.Short(), w.Reputation(mole), spec.Base.MinIntroRep, spec.Base.IntroAmt)
 	bound := (w.Reputation(mole) - spec.Base.MinIntroRep) / spec.Base.IntroAmt

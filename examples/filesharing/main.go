@@ -37,7 +37,9 @@ func main() {
 	// advances the world in slices to narrate it.
 	fmt.Println("tick    members  coop  freeriders  mean-coop-rep  success-rate")
 	for done := sim.Tick(0); done < sim.Tick(spec.Base.NumTrans); done += 10_000 {
-		w.RunFor(10_000)
+		if err := w.RunFor(10_000); err != nil {
+			log.Fatal(err)
+		}
 		m := w.Metrics()
 		rep, _ := m.CoopReputation.Last()
 		fmt.Printf("%6d  %7d  %4d  %10d  %13.3f  %12.3f\n",

@@ -111,13 +111,19 @@ func NewCommunity(o Options) (*Community, error) {
 }
 
 // Advance runs the community for n ticks (one resource transaction per
-// tick, plus any configured background arrivals).
-func (c *Community) Advance(n int64) {
+// tick, plus any configured background arrivals). It returns the first
+// run-path failure (overlay or transport errors surfaced by events),
+// which freezes the community's clock at the failing event.
+func (c *Community) Advance(n int64) error {
 	if n < 0 {
 		panic("core: negative Advance")
 	}
-	c.w.RunFor(sim.Tick(n))
+	return c.w.RunFor(sim.Tick(n))
 }
+
+// Err returns the first run-path failure, if any; the community stops
+// advancing once one occurs.
+func (c *Community) Err() error { return c.w.Err() }
 
 // Now returns the community's clock.
 func (c *Community) Now() int64 { return int64(c.w.Engine().Now()) }
@@ -133,12 +139,7 @@ func (c *Community) Size() int { return c.w.PopulationSize() }
 
 // IsMember reports whether the peer has been admitted.
 func (c *Community) IsMember(p PeerID) bool {
-	for _, m := range c.w.AdmittedPeers() {
-		if m == p {
-			return true
-		}
-	}
-	return false
+	return c.w.IsAdmitted(p)
 }
 
 // Reputation returns the peer's aggregate reputation as its score

@@ -64,7 +64,9 @@ func RunCollusion(opt Options) (*Collusion, error) {
 		return nil, err
 	}
 	// Let the mole accumulate reputation: a third of the configured run.
-	w.RunFor(sim.Tick(cfg.NumTrans / 3))
+	if err := w.RunFor(sim.Tick(cfg.NumTrans / 3)); err != nil {
+		return nil, err
+	}
 
 	out := &Collusion{MoleRepBefore: w.Reputation(mole)}
 	out.TheoreticalBound = (out.MoleRepBefore - cfg.MinIntroRep) / cfg.IntroAmt
@@ -80,11 +82,15 @@ func RunCollusion(opt Options) (*Collusion, error) {
 		}
 		colluders = append(colluders, c)
 		out.ColludersTried++
-		w.RunFor(sim.Tick(cfg.WaitPeriod + 1))
+		if err := w.RunFor(sim.Tick(cfg.WaitPeriod + 1)); err != nil {
+			return nil, err
+		}
 	}
 
 	// Phase 3: let audits and reputation dynamics settle.
-	w.RunFor(sim.Tick(cfg.NumTrans / 3))
+	if err := w.RunFor(sim.Tick(cfg.NumTrans / 3)); err != nil {
+		return nil, err
+	}
 
 	out.MoleRepAfter = w.Reputation(mole)
 	sum := 0.0

@@ -129,7 +129,9 @@ func runReplicas(cfg config.Config, opt Options, policy baseline.Policy) ([]Repl
 		if policy != nil {
 			w.SetPolicy(policy)
 		}
-		w.Run()
+		if err := w.Run(); err != nil {
+			return err
+		}
 		out[i] = Replica{Metrics: *w.Metrics(), Proto: w.Protocol().Stats()}
 		return nil
 	})

@@ -66,11 +66,15 @@ func RunTraitor(opt Options) (*Traitor, error) {
 			return nil, err
 		}
 		traitors = append(traitors, tr)
-		w.RunFor(sim.Tick(cfg.WaitPeriod + 1))
+		if err := w.RunFor(sim.Tick(cfg.WaitPeriod + 1)); err != nil {
+			return nil, err
+		}
 	}
 
 	// Honest phase: earn standing, pass audits.
-	w.RunFor(defectAt - w.Engine().Now())
+	if err := w.RunFor(defectAt - w.Engine().Now()); err != nil {
+		return nil, err
+	}
 	out := &Traitor{
 		Traitors:                       nTraitors,
 		RepAtDefection:                 meanRep(w, traitors),
@@ -82,7 +86,9 @@ func RunTraitor(opt Options) (*Traitor, error) {
 	out.CollapseTicks = -1
 	step := sim.Tick(cfg.SampleEvery)
 	for w.Engine().Now() < sim.Tick(cfg.NumTrans) {
-		w.RunFor(step)
+		if err := w.RunFor(step); err != nil {
+			return nil, err
+		}
 		if out.CollapseTicks < 0 && meanRep(w, traitors) < 0.5 {
 			out.CollapseTicks = int64(w.Engine().Now() - defectAt)
 		}

@@ -94,21 +94,49 @@ func (d ID) Short() string {
 }
 
 // Cmp compares two identifiers as 160-bit unsigned integers, returning
-// -1, 0, or +1.
+// -1, 0, or +1. Big-endian storage lets it compare three machine words
+// instead of looping over bytes — this is the innermost operation of
+// every overlay routing step and index lookup, and random identifiers
+// almost always decide on the first word.
 func (d ID) Cmp(o ID) int {
-	for i := 0; i < Bytes; i++ {
-		switch {
-		case d[i] < o[i]:
+	a, b := binary.BigEndian.Uint64(d[0:8]), binary.BigEndian.Uint64(o[0:8])
+	if a != b {
+		if a < b {
 			return -1
-		case d[i] > o[i]:
-			return 1
 		}
+		return 1
+	}
+	a, b = binary.BigEndian.Uint64(d[8:16]), binary.BigEndian.Uint64(o[8:16])
+	if a != b {
+		if a < b {
+			return -1
+		}
+		return 1
+	}
+	x, y := binary.BigEndian.Uint32(d[16:20]), binary.BigEndian.Uint32(o[16:20])
+	switch {
+	case x < y:
+		return -1
+	case x > y:
+		return 1
 	}
 	return 0
 }
 
 // Less reports whether d < o as unsigned integers.
 func (d ID) Less(o ID) bool { return d.Cmp(o) < 0 }
+
+// Contains reports whether x appears in list. Intended for the small
+// fixed-size sets the overlay works with (manager sets, successor
+// lists), where a linear scan beats hashing.
+func Contains(list []ID, x ID) bool {
+	for _, m := range list {
+		if m == x {
+			return true
+		}
+	}
+	return false
+}
 
 // IsZero reports whether the identifier is 0.
 func (d ID) IsZero() bool {

@@ -81,6 +81,12 @@ type Network interface {
 	ScoreManagers(p id.ID) []id.ID
 	// Store returns the reputation store hosted at the given node.
 	Store(node id.ID) *rocq.Store
+	// QueryReputation aggregates the peer's reputation across its current
+	// score managers (rocq.QuerySet over their stores); false when no
+	// manager knows the peer. Part of the interface so the network can
+	// serve it from per-peer placement caches instead of a fresh
+	// placement-plus-store walk per protocol decision.
+	QueryReputation(p id.ID) (float64, bool)
 }
 
 // Reason classifies why an introduction attempt did not admit the peer.
@@ -172,17 +178,24 @@ type Protocol struct {
 	net    Network
 	events Events
 
-	keys    map[id.ID]ed25519.PublicKey
 	signers map[id.ID]*transport.Signer
+	// pubs retains the public keys of departed peers that had actually
+	// signed something: their envelopes may still be in flight (the bus
+	// supports delayed delivery) and must keep verifying. Peers that
+	// never signed leave nothing behind.
+	pubs    map[id.ID]ed25519.PublicKey
 	sm      map[id.ID]*smLendState
 	intro   map[id.ID]*introRecord
 	flagged map[id.ID]bool
 
-	// sigCache remembers signatures that already verified, keyed by the
-	// signature bytes. The bipartite fan-out re-delivers the same envelope
-	// O(numSM²) times per introduction; verifying each copy afresh would
-	// make Ed25519 dominate the simulation.
-	sigCache map[string]bool
+	// sigCache remembers envelopes that already verified, keyed by the
+	// signature bytes with the signed order and key held in the value (a
+	// hit must match all three — caching by signature alone would let a
+	// tampered order ride on a previously verified signature). The
+	// bipartite fan-out re-delivers the same envelope O(numSM²) times per
+	// introduction; verifying each copy afresh would make Ed25519 dominate
+	// the simulation.
+	sigCache map[string]verifiedSig
 
 	nonce uint64
 	stats Stats
@@ -202,9 +215,14 @@ type creditMsg struct {
 }
 
 // rewardMsg tells an introducer's score manager to return the stake plus
-// reward after a satisfactory audit.
+// reward after a satisfactory audit. The signed envelope is materialised
+// lazily: the bus delivers synchronously, and a receiving manager that has
+// already credited this audit's nonce drops the message before examining
+// the signature, so an envelope every receiver dedups is never signed at
+// all — without that, the audit fan-out costs numSM signatures apiece.
 type rewardMsg struct {
-	env    transport.Envelope
+	order  transport.LendOrder       // for the pre-verification nonce dedup
+	sign   func() transport.Envelope // signs the order on first need (idempotent)
 	reward float64
 }
 
@@ -222,33 +240,55 @@ func New(params Params, engine *sim.Engine, bus *transport.Bus, net Network, eve
 		bus:      bus,
 		net:      net,
 		events:   events,
-		keys:     make(map[id.ID]ed25519.PublicKey),
 		signers:  make(map[id.ID]*transport.Signer),
+		pubs:     make(map[id.ID]ed25519.PublicKey),
 		sm:       make(map[id.ID]*smLendState),
 		intro:    make(map[id.ID]*introRecord),
 		flagged:  make(map[id.ID]bool),
-		sigCache: make(map[string]bool),
+		sigCache: make(map[string]verifiedSig),
 	}, nil
+}
+
+// verifiedSig is the content a cached signature was verified over. LendOrder
+// is a comparable struct, so the hit check is a plain equality plus a byte
+// comparison of the key — no encoding, no allocation.
+type verifiedSig struct {
+	order transport.LendOrder
+	pub   ed25519.PublicKey
+}
+
+// sign produces a signed envelope for the order and primes the
+// verification cache with it: a signature this process just produced with
+// a registered key is valid by construction, so the receiving score
+// managers need not redo the Ed25519 math. Envelopes built any other way
+// (forged, tampered, replayed under a different order) miss the cache and
+// are verified in full.
+func (p *Protocol) sign(signer *transport.Signer, order transport.LendOrder) transport.Envelope {
+	env := signer.Sign(order)
+	p.sigCache[string(env.Sig)] = verifiedSig{order: order, pub: env.Pub}
+	return env
 }
 
 // verifyEnv verifies an envelope against the registered key of claimedBy,
 // caching successful signature checks (the equality check against the
 // registered key is repeated every time; only the Ed25519 math is cached).
 func (p *Protocol) verifyEnv(env transport.Envelope, claimedBy id.ID) bool {
-	expected, ok := p.keys[claimedBy]
-	if !ok || !expected.Equal(env.Pub) {
+	var expected ed25519.PublicKey
+	if signer, ok := p.signers[claimedBy]; ok {
+		expected = signer.Public()
+	} else if pub, ok := p.pubs[claimedBy]; ok {
+		expected = pub // departed, but its signatures may still be in flight
+	} else {
 		return false
 	}
-	body := env.Order.Encode()
-	// The cache key binds signature, signed content and key — caching by
-	// signature alone would let a tampered order ride on a previously
-	// verified signature.
-	key := string(env.Sig) + "|" + string(body) + "|" + string(env.Pub)
-	if p.sigCache[key] {
+	if !expected.Equal(env.Pub) {
+		return false
+	}
+	if v, ok := p.sigCache[string(env.Sig)]; ok && v.order == env.Order && v.pub.Equal(env.Pub) {
 		return true
 	}
-	if ed25519.Verify(env.Pub, body, env.Sig) {
-		p.sigCache[key] = true
+	if ed25519.Verify(env.Pub, env.Order.Encode(), env.Sig) {
+		p.sigCache[string(env.Sig)] = verifiedSig{order: env.Order, pub: env.Pub}
 		return true
 	}
 	return false
@@ -282,9 +322,36 @@ func (p *Protocol) SetParams(params Params) error {
 // score manager for someone).
 func (p *Protocol) RegisterPeer(pid id.ID, signer *transport.Signer) {
 	p.signers[pid] = signer
-	p.keys[pid] = signer.Public()
 	p.bus.Register(pid, p.handle(pid))
 }
+
+// UnregisterPeer forgets a departed member's signing identity and its
+// score-manager state. Both are unreachable once the node has left the
+// overlay — no placement returns it, so no message can arrive — but
+// without eviction a high-refusal workload accretes one signer and one
+// manager state per refused peer forever.
+func (p *Protocol) UnregisterPeer(pid id.ID) {
+	if s, ok := p.signers[pid]; ok {
+		if pub, signed := s.GeneratedPublic(); signed {
+			p.pubs[pid] = pub // envelopes from this peer may still be in flight
+		}
+	}
+	delete(p.signers, pid)
+	delete(p.sm, pid)
+	// Defensive: only admitted peers gain intro records today, and only
+	// never-admitted peers depart — but a future departure path should
+	// not inherit a leak. The flagged set is deliberately kept: it is
+	// punishment history, and Flagged may be queried after departure.
+	delete(p.intro, pid)
+}
+
+// RegisteredPeers returns the number of signing identities on record
+// (leak instrumentation for tests).
+func (p *Protocol) RegisteredPeers() int { return len(p.signers) }
+
+// ManagerStates returns the number of per-node score-manager lending
+// states on record (leak instrumentation for tests).
+func (p *Protocol) ManagerStates() int { return len(p.sm) }
 
 // Flagged reports whether the peer was caught double-introducing.
 func (p *Protocol) Flagged(pid id.ID) bool { return p.flagged[pid] }
@@ -336,17 +403,13 @@ func (p *Protocol) emitRefused(newcomer, introducer id.ID, reason Reason) {
 // executeLend runs step 2–4 of the protocol at the end of the waiting
 // period.
 func (p *Protocol) executeLend(newcomer, introducer id.ID) {
-	introSMs := p.net.ScoreManagers(introducer)
-	stores := make([]*rocq.Store, len(introSMs))
-	for i, n := range introSMs {
-		stores[i] = p.net.Store(n)
-	}
-	rep, known := rocq.QuerySet(stores, introducer)
+	rep, known := p.net.QueryReputation(introducer)
 	if !known || rep < p.params.MinIntroRep {
 		p.stats.RefusedRep++
 		p.emitRefused(newcomer, introducer, RefusedIntroducerRep)
 		return
 	}
+	introSMs := p.net.ScoreManagers(introducer)
 
 	signer, ok := p.signers[introducer]
 	if !ok {
@@ -359,14 +422,17 @@ func (p *Protocol) executeLend(newcomer, introducer id.ID) {
 		Amount:     p.params.IntroAmt,
 		Nonce:      p.nonce,
 	}
-	env := signer.Sign(order)
+	env := p.sign(signer, order)
 
+	// Box the payload once: the fan-out reuses the same immutable envelope
+	// for every manager, so per-send interface boxing is pure allocation.
+	var payload any = env
 	for _, smNode := range introSMs {
 		p.bus.Send(transport.Message{
 			From:    introducer,
 			To:      smNode,
 			Kind:    kindLend,
-			Payload: env,
+			Payload: payload,
 		})
 	}
 
@@ -416,22 +482,23 @@ func (p *Protocol) handle(node id.ID) transport.Handler {
 // verify, deduplicate, debit the stake and fan the credit out to every
 // score manager of the newcomer.
 func (p *Protocol) onLend(node id.ID, env transport.Envelope) {
-	if !p.verifyEnv(env, env.Order.Introducer) {
-		return // forged or tampered order: drop silently
-	}
 	st := p.smState(node)
 	if st.seenLend[env.Order.Nonce] {
-		return
+		return // duplicate: dropped whatever the signature says
+	}
+	if !p.verifyEnv(env, env.Order.Introducer) {
+		return // forged or tampered order: drop silently
 	}
 	st.seenLend[env.Order.Nonce] = true
 	p.net.Store(node).Debit(env.Order.Introducer, env.Order.Amount)
 
+	var payload any = creditMsg{env: env}
 	for _, smNode := range p.net.ScoreManagers(env.Order.NewPeer) {
 		p.bus.Send(transport.Message{
 			From:    node,
 			To:      smNode,
 			Kind:    kindCredit,
-			Payload: creditMsg{env: env},
+			Payload: payload,
 		})
 	}
 }
@@ -481,13 +548,9 @@ func (p *Protocol) Audit(newcomer id.ID) {
 	}
 	rec.audited = true
 
-	newSMs := p.net.ScoreManagers(newcomer)
-	stores := make([]*rocq.Store, len(newSMs))
-	for i, n := range newSMs {
-		stores[i] = p.net.Store(n)
-	}
-	rep, known := rocq.QuerySet(stores, newcomer)
+	rep, known := p.net.QueryReputation(newcomer)
 	satisfactory := known && rep >= p.params.AuditThreshold
+	newSMs := p.net.ScoreManagers(newcomer)
 
 	if satisfactory {
 		p.stats.AuditsSatisfied++
@@ -510,13 +573,21 @@ func (p *Protocol) Audit(newcomer id.ID) {
 			if !ok {
 				continue
 			}
-			env := signer.Sign(order)
+			var env *transport.Envelope
+			sign := func() transport.Envelope {
+				if env == nil {
+					e := p.sign(signer, order)
+					env = &e
+				}
+				return *env
+			}
+			var payload any = rewardMsg{order: order, sign: sign, reward: p.params.Reward}
 			for _, to := range introSMs {
 				p.bus.Send(transport.Message{
 					From:    from,
 					To:      to,
 					Kind:    kindReward,
-					Payload: rewardMsg{env: env, reward: p.params.Reward},
+					Payload: payload,
 				})
 			}
 		}
@@ -539,13 +610,19 @@ func (p *Protocol) Audit(newcomer id.ID) {
 // after a satisfactory audit: credit introAmt + reward, "subject to the
 // reputation not exceeding 1" (Credit clamps), once per audit nonce.
 func (p *Protocol) onReward(node, from id.ID, msg rewardMsg) {
-	if !p.verifyEnv(msg.env, from) {
-		return // the sender must be the peer whose key signed the return
-	}
 	st := p.smState(node)
-	if st.seenReward[msg.env.Order.Nonce] {
+	if st.seenReward[msg.order.Nonce] {
+		// Duplicate of an already-credited return: it would be dropped
+		// whatever the signature says, so drop it before asking the
+		// sender to materialise a signature. The audit fan-out delivers
+		// numSM copies per manager, each signed by a different manager;
+		// this ordering keeps the redundant copies free.
 		return
 	}
-	st.seenReward[msg.env.Order.Nonce] = true
-	p.net.Store(node).Credit(msg.env.Order.Introducer, msg.env.Order.Amount+msg.reward)
+	env := msg.sign()
+	if !p.verifyEnv(env, from) {
+		return // the sender must be the peer whose key signed the return
+	}
+	st.seenReward[env.Order.Nonce] = true
+	p.net.Store(node).Credit(env.Order.Introducer, env.Order.Amount+msg.reward)
 }

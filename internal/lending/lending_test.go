@@ -24,6 +24,14 @@ func newFakeNet() *fakeNet {
 
 func (f *fakeNet) ScoreManagers(p id.ID) []id.ID { return f.sms[p] }
 
+func (f *fakeNet) QueryReputation(p id.ID) (float64, bool) {
+	stores := make([]*rocq.Store, 0, len(f.sms[p]))
+	for _, n := range f.sms[p] {
+		stores = append(stores, f.Store(n))
+	}
+	return rocq.QuerySet(stores, p)
+}
+
 func (f *fakeNet) Store(node id.ID) *rocq.Store {
 	s, ok := f.stores[node]
 	if !ok {

@@ -18,7 +18,6 @@ package overlay
 import (
 	"errors"
 	"fmt"
-	"sort"
 
 	"repro/internal/id"
 )
@@ -28,13 +27,21 @@ import (
 // sizes (≤ ~10k nodes) comfortably.
 const SuccessorListLen = 8
 
-// Node is one overlay member's routing state. Routing state is repaired
-// lazily: a node's pointers are refreshed the first time they are consulted
-// after a membership change, which keeps joins and leaves O(log n + n move)
-// instead of O(n·log n) — essential because the simulated communities grow
-// by thousands of nodes.
+// Node is one overlay member's routing state. Neighbour pointers (next,
+// prev) are maintained eagerly on every join and leave — the incremental
+// analogue of Chord stabilisation fixing adjacent successors first — while
+// the finger table is repaired lazily the first time it is consulted after
+// a membership change. Joins and leaves are therefore O(log n), essential
+// because the simulated communities grow by thousands of nodes.
 type Node struct {
 	ID id.ID
+
+	next, prev *Node // live ring neighbours, maintained on join/leave
+
+	// Membership-index (treap) threading; see treap.go.
+	tLeft, tRight *Node
+	keyHi         uint64 // first 8 bytes of ID: fast-path comparand
+	prio          uint64 // deterministic heap priority
 
 	pred       id.ID
 	succs      []id.ID        // successor list, nearest first
@@ -67,10 +74,22 @@ func (n *Node) Finger(k int) id.ID { return n.fingers[k] }
 // deterministically instead of running Chord's periodic stabilisation
 // protocol; the routing state it maintains per node is exactly what
 // stabilisation would converge to.
+//
+// Membership lives in two structures kept in lockstep: a treap keyed by
+// identifier (O(log n) join/leave/ceiling, deterministic shape) and a
+// circular doubly-linked list threading the member nodes in ring order
+// (O(1) neighbour access for successor-list maintenance).
 type Ring struct {
-	sorted []id.ID // current members, ascending
-	nodes  map[id.ID]*Node
-	epoch  int64 // bumped on every membership change
+	nodes map[id.ID]*Node
+	root  *Node // ordered membership index (treap threaded through Nodes)
+	size  int
+	epoch int64 // bumped on every membership change
+
+	// replicaKeys memoises each member's score-manager replica keys
+	// Hash(peer ‖ r): they are a pure function of the identifier, but
+	// placement consults them on every recompute and the SHA-1 otherwise
+	// dominates. Entries are dropped when the member leaves.
+	replicaKeys map[id.ID][]id.ID
 
 	lookups  int64
 	hopTotal int64
@@ -85,11 +104,14 @@ var (
 
 // NewRing returns an empty overlay.
 func NewRing() *Ring {
-	return &Ring{nodes: make(map[id.ID]*Node)}
+	return &Ring{
+		nodes:       make(map[id.ID]*Node),
+		replicaKeys: make(map[id.ID][]id.ID),
+	}
 }
 
 // Size returns the number of member nodes.
-func (r *Ring) Size() int { return len(r.sorted) }
+func (r *Ring) Size() int { return r.size }
 
 // Epoch returns the membership epoch, which advances on every join or
 // leave. Callers may cache placement decisions keyed by it.
@@ -97,7 +119,15 @@ func (r *Ring) Epoch() int64 { return r.epoch }
 
 // Members returns the member identifiers in ascending order (copy).
 func (r *Ring) Members() []id.ID {
-	return append([]id.ID(nil), r.sorted...)
+	if r.size == 0 {
+		return nil
+	}
+	out := make([]id.ID, 0, r.size)
+	first := treapMin(r.root)
+	for n, i := first, 0; i < r.size; n, i = n.next, i+1 {
+		out = append(out, n.ID)
+	}
+	return out
 }
 
 // Contains reports membership.
@@ -117,63 +147,79 @@ func (r *Ring) Node(n id.ID) (*Node, error) {
 	return node, nil
 }
 
-// Join adds a node to the ring. Routing state of existing nodes is repaired
-// lazily the next time it is consulted.
+// Join adds a node to the ring: O(log n) index insert plus an O(1) splice
+// into the neighbour list. Finger tables of existing nodes are repaired
+// lazily the next time they are consulted.
 func (r *Ring) Join(n id.ID) error {
 	if _, ok := r.nodes[n]; ok {
 		return fmt.Errorf("%w: %s", ErrDuplicate, n.Short())
 	}
-	i := r.searchIndex(n)
-	r.sorted = append(r.sorted, id.ID{})
-	copy(r.sorted[i+1:], r.sorted[i:])
-	r.sorted[i] = n
+	node := &Node{ID: n, keyHi: keyHi(n), prio: treapPriority(n)}
+	if r.size == 0 {
+		node.next, node.prev = node, node
+	} else {
+		// The first member clockwise from n takes n as its new
+		// predecessor; splice n in front of it.
+		succ := treapCeiling(r.root, n)
+		if succ == nil {
+			succ = treapMin(r.root)
+		}
+		node.prev = succ.prev
+		node.next = succ
+		succ.prev.next = node
+		succ.prev = node
+	}
+	r.root = treapInsert(r.root, node)
+	r.size++
 	r.epoch++
-	r.nodes[n] = &Node{ID: n, repairedAt: r.epoch - 1}
+	node.repairedAt = r.epoch - 1
+	r.nodes[n] = node
 	return nil
 }
 
 // Leave removes a node (graceful departure or crash — routing-wise they are
 // the same once neighbours repair).
 func (r *Ring) Leave(n id.ID) error {
-	if _, ok := r.nodes[n]; !ok {
+	node, ok := r.nodes[n]
+	if !ok {
 		return fmt.Errorf("%w: %s", ErrNotMember, n.Short())
 	}
-	i := r.searchIndex(n)
-	// searchIndex returns the insertion point; the member is at i.
-	r.sorted = append(r.sorted[:i], r.sorted[i+1:]...)
+	node.prev.next = node.next
+	node.next.prev = node.prev
+	r.root = treapRemove(r.root, n)
 	delete(r.nodes, n)
+	delete(r.replicaKeys, n)
+	r.size--
 	r.epoch++
 	return nil
 }
 
-// searchIndex returns the index of n in sorted, or where it would insert.
-func (r *Ring) searchIndex(n id.ID) int {
-	return sort.Search(len(r.sorted), func(i int) bool {
-		return r.sorted[i].Cmp(n) >= 0
-	})
+// NextMember returns the member immediately clockwise from n (n's live
+// successor), and false if n is not a member. On a single-member ring it
+// returns n itself.
+func (r *Ring) NextMember(n id.ID) (id.ID, bool) {
+	node, ok := r.nodes[n]
+	if !ok {
+		return id.ID{}, false
+	}
+	return node.next.ID, true
 }
 
 // repairNode refreshes one node's predecessor, successor list and finger
-// table against current membership, if stale. This is the lazy analogue of
-// Chord's stabilisation: the state produced is exactly what the periodic
-// protocol converges to.
+// table against current membership, if stale. Neighbour pointers are
+// already live, so the predecessor and successor list are read off the
+// ring in O(SuccessorListLen); only the finger table costs O(Bits·log n).
 func (r *Ring) repairNode(node *Node) {
 	if node.repairedAt == r.epoch {
 		return
 	}
-	n := len(r.sorted)
-	i := r.searchIndex(node.ID)
-	node.pred = r.sorted[(i-1+n)%n]
+	node.pred = node.prev.ID
 	node.succs = node.succs[:0]
-	if n == 1 {
+	if r.size == 1 {
 		node.succs = append(node.succs, node.ID)
 	} else {
-		for j := 1; j <= SuccessorListLen; j++ {
-			s := r.sorted[(i+j)%n]
-			if s == node.ID {
-				break // wrapped all the way around a small ring
-			}
-			node.succs = append(node.succs, s)
+		for s, j := node.next, 0; j < SuccessorListLen && s != node; s, j = s.next, j+1 {
+			node.succs = append(node.succs, s.ID)
 		}
 	}
 	for k := 0; k < id.Bits; k++ {
@@ -184,19 +230,19 @@ func (r *Ring) repairNode(node *Node) {
 
 // successorID returns the owner of key: the first member clockwise from it.
 func (r *Ring) successorID(key id.ID) id.ID {
-	if len(r.sorted) == 0 {
+	if r.size == 0 {
 		panic("overlay: successorID on empty ring")
 	}
-	i := r.searchIndex(key)
-	if i == len(r.sorted) {
-		i = 0
+	owner := treapCeiling(r.root, key)
+	if owner == nil {
+		owner = treapMin(r.root)
 	}
-	return r.sorted[i]
+	return owner.ID
 }
 
 // Successor returns the node owning key, per the ring oracle (no routing).
 func (r *Ring) Successor(key id.ID) (id.ID, error) {
-	if len(r.sorted) == 0 {
+	if r.size == 0 {
 		return id.ID{}, ErrEmpty
 	}
 	return r.successorID(key), nil
@@ -208,7 +254,7 @@ func (r *Ring) Successor(key id.ID) (id.ID, error) {
 // and the number of hops taken, and records them in the ring's routing
 // statistics.
 func (r *Ring) Lookup(from, key id.ID) (owner id.ID, hops int, err error) {
-	if len(r.sorted) == 0 {
+	if r.size == 0 {
 		return id.ID{}, 0, ErrEmpty
 	}
 	cur, ok := r.nodes[from]
@@ -231,7 +277,7 @@ func (r *Ring) Lookup(from, key id.ID) (owner id.ID, hops int, err error) {
 		}
 		cur = r.nodes[next]
 		hops++
-		if hops > len(r.sorted)+id.Bits {
+		if hops > r.size+id.Bits {
 			return id.ID{}, hops, fmt.Errorf("overlay: lookup for %s did not converge", key.Short())
 		}
 	}
@@ -271,23 +317,37 @@ func (r *Ring) closestPreceding(n *Node, key id.ID) id.ID {
 // reputation); the replica index keeps advancing until numSM distinct
 // managers are found.
 func (r *Ring) ScoreManagers(peer id.ID, numSM int) ([]id.ID, error) {
+	return r.ScoreManagersTracked(peer, numSM, nil)
+}
+
+// ScoreManagersTracked is ScoreManagers with an observation hook: track
+// (when non-nil) receives every (key, owner) ownership decision the
+// placement consulted — each replica key with its owning member, plus a
+// (peer, next-member) pair whenever self-ownership forced a clockwise
+// skip. The result is a pure function of those decisions, so a caller
+// caching it stays exact by invalidating whenever a membership change can
+// alter any reported arc (key, owner]: this is how the simulation world
+// turns whole-ring epoch invalidation into per-peer incremental eviction.
+func (r *Ring) ScoreManagersTracked(peer id.ID, numSM int, track func(key, owner id.ID)) ([]id.ID, error) {
 	if numSM <= 0 {
 		return nil, fmt.Errorf("overlay: numSM must be positive, got %d", numSM)
 	}
-	if len(r.sorted) == 0 {
+	if r.size == 0 {
 		return nil, ErrEmpty
 	}
 	managers := make([]id.ID, 0, numSM)
-	seen := make(map[id.ID]bool, numSM)
-	othersAvailable := len(r.sorted) > 1 || !r.Contains(peer)
+	othersAvailable := r.size > 1 || !r.Contains(peer)
 	maxReplica := numSM * 8 // generous: hash collisions across replicas are rare
 	for rep := 0; rep < maxReplica && len(managers) < numSM; rep++ {
-		owner := r.successorID(peer.Replica(rep))
+		key := r.replicaKey(peer, rep)
+		owner := r.successorID(key)
+		if track != nil {
+			track(key, owner)
+		}
 		if owner == peer {
 			if !othersAvailable {
 				// Single-member ring: the peer must self-manage.
-				if !seen[owner] {
-					seen[owner] = true
+				if !id.Contains(managers, owner) {
 					managers = append(managers, owner)
 				}
 				continue
@@ -295,11 +355,12 @@ func (r *Ring) ScoreManagers(peer id.ID, numSM int) ([]id.ID, error) {
 			// A peer must not manage its own reputation: walk clockwise to
 			// the next member, like replica placement past a responsible
 			// node in a real DHT.
-			i := r.searchIndex(owner)
-			owner = r.sorted[(i+1)%len(r.sorted)]
+			owner = r.nodes[peer].next.ID
+			if track != nil {
+				track(peer, owner)
+			}
 		}
-		if !seen[owner] {
-			seen[owner] = true
+		if !id.Contains(managers, owner) {
 			managers = append(managers, owner)
 		}
 	}
@@ -310,6 +371,26 @@ func (r *Ring) ScoreManagers(peer id.ID, numSM int) ([]id.ID, error) {
 		managers = append(managers, managers[i%distinct])
 	}
 	return managers, nil
+}
+
+// replicaKey returns replica key rep for the peer, memoised for members:
+// the keys are a pure function of the identifier, so each is hashed at
+// most once per membership stint (the cache is dropped when the member
+// leaves). Non-member queries compute without caching — only Leave evicts,
+// so memoising them would leak for the ring's lifetime.
+func (r *Ring) replicaKey(peer id.ID, rep int) id.ID {
+	keys := r.replicaKeys[peer]
+	if rep < len(keys) {
+		return keys[rep]
+	}
+	if !r.Contains(peer) {
+		return peer.Replica(rep)
+	}
+	for len(keys) <= rep {
+		keys = append(keys, peer.Replica(len(keys)))
+	}
+	r.replicaKeys[peer] = keys
+	return keys[rep]
 }
 
 // RoutingStats reports the number of lookups performed and the mean hop

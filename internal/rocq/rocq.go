@@ -203,6 +203,7 @@ type Store struct {
 	subjects map[id.ID]*subjectState
 	cred     map[id.ID]float64
 
+	known   int // subjects with evidence (present slots)
 	reports int64
 }
 
@@ -212,10 +213,16 @@ type Store struct {
 // shift S by amount·(W + PriorWeight), which moves the read value by
 // exactly ±amount and then fades as further evidence accumulates — the
 // paper's "recoup … by behaving cooperatively".
+// A slot may exist before any evidence arrives (Ref pre-resolves slots so
+// hot query paths are pointer reads instead of map lookups); present
+// distinguishes real evidence from such placeholders, and is what Query,
+// Known and Subjects report. Slots are never replaced once created — Init
+// resets in place — so a Ref stays valid for the life of the store.
 type subjectState struct {
 	s       float64 // weighted opinion sum (plus lending adjustments)
 	w       float64 // total opinion weight
 	reports int64
+	present bool // the store has actually heard about this subject
 }
 
 // NewStore returns an empty score-manager store.
@@ -231,10 +238,29 @@ func NewStore(p Params) *Store {
 }
 
 // Subjects returns the number of subjects with stored reputation.
-func (s *Store) Subjects() int { return len(s.subjects) }
+func (s *Store) Subjects() int { return s.known }
 
 // Reports returns the total number of reports folded in.
 func (s *Store) Reports() int64 { return s.reports }
+
+// slot returns the subject's state, creating an empty (non-present)
+// placeholder if the store has no slot for it yet.
+func (s *Store) slot(subject id.ID) *subjectState {
+	st, ok := s.subjects[subject]
+	if !ok {
+		st = &subjectState{}
+		s.subjects[subject] = st
+	}
+	return st
+}
+
+// materialize marks a slot as holding real evidence.
+func (s *Store) materialize(st *subjectState) {
+	if !st.present {
+		st.present = true
+		s.known++
+	}
+}
 
 // initWeight is the evidence weight behind an explicitly initialised
 // reputation (founders, baseline admissions): solid but not immovable.
@@ -245,15 +271,16 @@ const initWeight = 20
 // it for the founding community members, which the paper assumes "are
 // honest and cooperative" from the start.
 func (s *Store) Init(subject id.ID, rep float64) {
-	st := &subjectState{w: initWeight}
+	st := s.slot(subject)
+	s.materialize(st)
+	*st = subjectState{w: initWeight, present: true}
 	st.s = clamp01(rep) * (st.w + s.params.PriorWeight)
-	s.subjects[subject] = st
 }
 
 // Known reports whether the store holds state for the subject.
 func (s *Store) Known(subject id.ID) bool {
-	_, ok := s.subjects[subject]
-	return ok
+	st, ok := s.subjects[subject]
+	return ok && st.present
 }
 
 // value reads the reputation of one subject state.
@@ -266,10 +293,49 @@ func (s *Store) value(st *subjectState) float64 {
 // peer that was never admitted).
 func (s *Store) Query(subject id.ID) (float64, bool) {
 	st, ok := s.subjects[subject]
-	if !ok {
+	if !ok || !st.present {
 		return 0, false
 	}
 	return s.value(st), true
+}
+
+// Ref is a stable handle to one subject's slot in this store: Query
+// through it is two pointer reads, no hashing. The handle stays valid for
+// the life of the store (slots are reset in place, never replaced) and
+// observes evidence that arrives after it was taken.
+type Ref struct {
+	store *Store
+	st    *subjectState
+}
+
+// Ref resolves a handle for the subject, pre-creating an empty slot that
+// Query, Known and Subjects ignore until evidence arrives.
+func (s *Store) Ref(subject id.ID) Ref {
+	return Ref{store: s, st: s.slot(subject)}
+}
+
+// Forget drops the subject's slot entirely — used when the subject's node
+// has left the network for good, so the store need not retain (or keep a
+// placeholder for) evidence nobody can query again. Refs previously taken
+// for the subject keep reading the detached slot; callers must ensure
+// none outlive the forget.
+func (s *Store) Forget(subject id.ID) {
+	st, ok := s.subjects[subject]
+	if !ok {
+		return
+	}
+	if st.present {
+		s.known--
+	}
+	delete(s.subjects, subject)
+}
+
+// Query is Store.Query through the pre-resolved handle.
+func (r Ref) Query() (float64, bool) {
+	if !r.st.present {
+		return 0, false
+	}
+	return r.store.value(r.st), true
 }
 
 // Credibility returns the store's current credibility for a reporter.
@@ -287,16 +353,22 @@ func (s *Store) Credibility(reporter id.ID) float64 {
 // the resulting aggregate. A report about an unknown subject creates the
 // subject at the zero prior first — an unintroduced peer starts at 0.
 func (s *Store) Report(reporter, subject id.ID, op Opinion) {
+	s.reportTo(s.slot(subject), reporter, op)
+}
+
+// Report folds the report into the handle's subject, sparing the
+// subject-map lookup on the per-transaction feedback path.
+func (r Ref) Report(reporter id.ID, op Opinion) {
+	r.store.reportTo(r.st, reporter, op)
+}
+
+func (s *Store) reportTo(st *subjectState, reporter id.ID, op Opinion) {
 	if op.Value < 0 || op.Value > 1 || op.Quality < 0 || op.Quality > 1 {
 		panic(fmt.Sprintf("rocq: report out of range: %+v", op))
 	}
 	s.reports++
 	cred := s.Credibility(reporter)
-	st, ok := s.subjects[subject]
-	if !ok {
-		st = &subjectState{}
-		s.subjects[subject] = st
-	}
+	s.materialize(st)
 	w := cred * op.Quality
 	st.s += w * op.Value
 	st.w += w
@@ -332,11 +404,8 @@ func (s *Store) updateCred(reporter id.ID, cred, opinion, aggregate float64) {
 // clamping) by moving the weighted sum, creating the subject at the zero
 // prior first if unknown.
 func (s *Store) adjust(subject id.ID, delta float64) {
-	st, ok := s.subjects[subject]
-	if !ok {
-		st = &subjectState{}
-		s.subjects[subject] = st
-	}
+	st := s.slot(subject)
+	s.materialize(st)
 	st.s += delta * (st.w + s.params.PriorWeight)
 	// Keep the evidence sum inside the representable [0,1] value range so
 	// clamped adjustments do not bank hidden credit or debt.
@@ -372,11 +441,8 @@ func (s *Store) Debit(subject id.ID, amount float64) {
 // Zero forces the subject's stored reputation to 0; the punishment for a
 // peer caught soliciting duplicate introductions.
 func (s *Store) Zero(subject id.ID) {
-	st, ok := s.subjects[subject]
-	if !ok {
-		st = &subjectState{}
-		s.subjects[subject] = st
-	}
+	st := s.slot(subject)
+	s.materialize(st)
 	st.s = 0
 }
 
@@ -392,6 +458,23 @@ func QuerySet(stores []*Store, subject id.ID) (float64, bool) {
 	sum, n := 0.0, 0
 	for _, st := range stores {
 		if v, ok := st.Query(subject); ok {
+			sum += v
+			n++
+		}
+	}
+	if n == 0 {
+		return 0, false
+	}
+	return sum / float64(n), true
+}
+
+// QueryRefs is QuerySet over pre-resolved handles — the form the
+// simulator's per-tick query path uses, since it avoids rehashing the
+// subject once per manager on every read.
+func QueryRefs(refs []Ref) (float64, bool) {
+	sum, n := 0.0, 0
+	for _, r := range refs {
+		if v, ok := r.Query(); ok {
 			sum += v
 			n++
 		}

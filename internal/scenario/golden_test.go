@@ -127,16 +127,26 @@ func TestGoldenQuickstart(t *testing.T) {
 		t.Fatal(err)
 	}
 	w.Start()
-	w.RunFor(2_000)
+	if err := w.RunFor(2_000); err != nil {
+		t.Fatal(err)
+	}
 	selective := firstWithStyle(t, w, peer.Selective)
 	naive := firstWithStyle(t, w, peer.Naive)
 	honest := mustInject(t, w, peer.Cooperative, peer.Selective, selective)
-	w.RunFor(201)
+	if err := w.RunFor(201); err != nil {
+		t.Fatal(err)
+	}
 	refused := mustInject(t, w, peer.Uncooperative, peer.Naive, selective)
-	w.RunFor(201)
+	if err := w.RunFor(201); err != nil {
+		t.Fatal(err)
+	}
 	freerider := mustInject(t, w, peer.Uncooperative, peer.Naive, naive)
-	w.RunFor(201)
-	w.RunFor(20_000)
+	if err := w.RunFor(201); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.RunFor(20_000); err != nil {
+		t.Fatal(err)
+	}
 	w.Finish()
 	want := worldDigest(w, map[string]id.ID{"honest": honest, "refused": refused, "freerider": freerider})
 	want.End = 22_603 // the spec states the real run length instead of an upper bound
@@ -157,7 +167,9 @@ func TestGoldenChurn(t *testing.T) {
 		t.Fatal(err)
 	}
 	w.Start()
-	w.RunFor(50_000)
+	if err := w.RunFor(50_000); err != nil {
+		t.Fatal(err)
+	}
 	introducer := w.AdmittedPeers()[0]
 	for _, pid := range w.AdmittedPeers() {
 		if p, ok := w.Peer(pid); ok && p.Style == peer.Naive && w.Reputation(pid) > 0.6 {
@@ -170,7 +182,9 @@ func TestGoldenChurn(t *testing.T) {
 		w.Bus().Crash(sm)
 	}
 	newcomer := mustInject(t, w, peer.Cooperative, peer.Selective, introducer)
-	w.RunFor(201)
+	if err := w.RunFor(201); err != nil {
+		t.Fatal(err)
+	}
 	for _, sm := range sms[:len(sms)/2] {
 		w.Bus().Recover(sm)
 	}
@@ -203,14 +217,20 @@ func TestGoldenCollusion(t *testing.T) {
 		}
 	}
 	mole := mustInject(t, w, peer.Cooperative, peer.Naive, entry)
-	w.RunFor(30_000)
+	if err := w.RunFor(30_000); err != nil {
+		t.Fatal(err)
+	}
 	actors := map[string]id.ID{"mole": mole}
 	for wave := 1; wave <= 12; wave++ {
 		colluder := mustInject(t, w, peer.Uncooperative, peer.Naive, mole)
-		w.RunFor(501)
+		if err := w.RunFor(501); err != nil {
+			t.Fatal(err)
+		}
 		actors[fmt.Sprintf("colluder-%d", wave)] = colluder
 	}
-	w.RunFor(40_000)
+	if err := w.RunFor(40_000); err != nil {
+		t.Fatal(err)
+	}
 	w.Finish()
 	want := worldDigest(w, actors)
 	want.End = 76_012
@@ -233,7 +253,9 @@ func TestGoldenFilesharing(t *testing.T) {
 	}
 	w.Start()
 	for i := 0; i < 6; i++ { // the pre-refactor program stepped 6×10000
-		w.RunFor(10_000)
+		if err := w.RunFor(10_000); err != nil {
+			t.Fatal(err)
+		}
 	}
 	w.Finish()
 	want := worldDigest(w, map[string]id.ID{})

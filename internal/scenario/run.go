@@ -105,7 +105,9 @@ func (r *Run) StepPhase() (*Phase, error) {
 			r.spec.Name, ph.label(), ph.At, now)
 	}
 	if at > now {
-		r.w.RunFor(at - now)
+		if err := r.w.RunFor(at - now); err != nil {
+			return nil, fmt.Errorf("scenario %q: advancing to phase %s: %w", r.spec.Name, ph.label(), err)
+		}
 	}
 	if ph.Set != nil {
 		if err := r.w.ApplyDelta(*ph.Set); err != nil {
@@ -145,7 +147,9 @@ func (r *Run) Finish() (*Result, error) {
 	}
 	end := sim.Tick(r.spec.Base.NumTrans)
 	if now := r.w.Engine().Now(); now < end {
-		r.w.RunFor(end - now)
+		if err := r.w.RunFor(end - now); err != nil {
+			return nil, fmt.Errorf("scenario %q: %w", r.spec.Name, err)
+		}
 	}
 	r.w.Finish()
 	r.done = true
@@ -209,7 +213,9 @@ func (r *Run) inject(in *Injection, ph *Phase) error {
 			r.labels[o.Label] = pid
 		}
 		if in.SpacedBy > 0 {
-			r.w.RunFor(sim.Tick(in.SpacedBy))
+			if err := r.w.RunFor(sim.Tick(in.SpacedBy)); err != nil {
+				return err
+			}
 		}
 		r.outcomes = append(r.outcomes, o)
 		if r.AfterInjection != nil {

@@ -17,8 +17,12 @@ import (
 // as a unique id to prevent duplicate requests". Signer/Envelope implement
 // that: Ed25519 signatures over a canonical encoding of the lend order.
 
-// Signer holds a node's Ed25519 keypair.
+// Signer holds a node's Ed25519 keypair, generated lazily on first use:
+// most simulated peers never sign anything (only introducers and auditing
+// score managers do), and key generation is a scalar multiplication —
+// expensive enough to dominate the arrival path if done eagerly.
 type Signer struct {
+	src  *rng.Source
 	pub  ed25519.PublicKey
 	priv ed25519.PrivateKey
 }
@@ -36,19 +40,49 @@ func (d detRand) Read(p []byte) (int, error) {
 	return len(p), nil
 }
 
-// NewSigner generates a keypair from the deterministic source, keeping
-// whole simulation runs reproducible.
+// NewSigner wraps a deterministic source as a signing identity. The
+// keypair itself is derived on first use; the source is private to this
+// signer, so the deferral cannot perturb any other random stream and whole
+// simulation runs stay reproducible.
 func NewSigner(src *rng.Source) (*Signer, error) {
-	pub, priv, err := ed25519.GenerateKey(detRand{src})
-	if err != nil {
-		return nil, fmt.Errorf("transport: generating keypair: %w", err)
+	if src == nil {
+		return nil, errors.New("transport: signer needs a randomness source")
 	}
-	return &Signer{pub: pub, priv: priv}, nil
+	return &Signer{src: src}, nil
+}
+
+// materialize derives the keypair from the signer's source if it has not
+// been derived yet.
+func (s *Signer) materialize() {
+	if s.priv != nil {
+		return
+	}
+	pub, priv, err := ed25519.GenerateKey(detRand{s.src})
+	if err != nil {
+		// detRand cannot fail, and ed25519.GenerateKey has no other
+		// error path for a working reader.
+		panic(fmt.Sprintf("transport: generating keypair: %v", err))
+	}
+	s.pub, s.priv = pub, priv
 }
 
 // Public returns the public key, which peers distribute alongside their
 // identifier when they join.
-func (s *Signer) Public() ed25519.PublicKey { return s.pub }
+func (s *Signer) Public() ed25519.PublicKey {
+	s.materialize()
+	return s.pub
+}
+
+// GeneratedPublic returns the public key only if the keypair has already
+// been derived (i.e. the signer has signed or been asked for its key),
+// without forcing derivation. Consumers use it to decide whether any
+// signature from this identity can exist in flight.
+func (s *Signer) GeneratedPublic() (ed25519.PublicKey, bool) {
+	if s.priv == nil {
+		return nil, false
+	}
+	return s.pub, true
+}
 
 // LendOrder is the canonical content of a signed lend instruction: who
 // lends how much to whom, with a unique nonce that score managers use to
@@ -99,6 +133,7 @@ var ErrBadSignature = errors.New("transport: signature verification failed")
 
 // Sign wraps the order in a verified envelope.
 func (s *Signer) Sign(o LendOrder) Envelope {
+	s.materialize()
 	body := o.Encode()
 	return Envelope{Order: o, Sig: ed25519.Sign(s.priv, body), Pub: s.pub}
 }

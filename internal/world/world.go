@@ -40,25 +40,55 @@ type World struct {
 	behaveRand   *rng.Source
 	keyRand      *rng.Source
 
-	peers    map[id.ID]*peer.Peer
-	admitted []id.ID // peers currently in the system, in admission order
-	stores   map[id.ID]*rocq.Store
+	peers         map[id.ID]*peer.Peer
+	admittedPeers []*peer.Peer       // members in admission order
+	admittedSet   map[id.ID]struct{} // O(1) membership view of admittedPeers
+	stores        map[id.ID]*rocq.Store
 
-	// smCache caches score-manager assignments per peer, invalidated by
-	// ring epoch (assignments only move when membership changes).
+	// smCache caches score-manager assignments (and their resolved
+	// stores) per peer. Invalidation is incremental: each entry records
+	// the ownership arcs its placement consulted, and smDeps indexes the
+	// entries by the member that answered, so a join or leave evicts only
+	// the peers whose successor set can actually change instead of the
+	// whole cache (the old whole-epoch scheme collapsed to a ~0% hit rate
+	// under arrivals, recomputing placement on every transaction).
 	smCache map[id.ID]*smCacheEntry
+	// smDeps maps an owner member to the peers whose cached entry depended
+	// on it when filled. The index is lazy: eviction leaves stale slice
+	// entries behind (an O(1) eviction instead of per-dependency deletes),
+	// scans validate against the live entry and compact as they go, and a
+	// global rebuild runs when the slot count outgrows the live cache so
+	// staleness stays bounded.
+	smDeps     map[id.ID][]id.ID
+	smDepSlots int // total index slots, live and stale
 
 	seq        int64   // peer id sequence
 	arrClock   float64 // continuous arrival clock for the Poisson process
 	arrivalGen int64   // invalidates in-flight arrival chains on λ changes
 	started    bool    // workload processes armed
+	err        error   // first run-path failure; stops the engine
 
 	m Metrics
 }
 
+// smCacheEntry is one peer's cached placement: the score-manager set, the
+// pre-resolved stores behind it (so the per-transaction QuerySet path does
+// no map lookups), and the ownership arcs the placement depends on. Each
+// dep (key, owner) means "owner was the first member clockwise from key";
+// the entry stays valid exactly as long as every such decision would
+// repeat, which eviction enforces on membership changes.
 type smCacheEntry struct {
-	epoch int64
-	sms   []id.ID
+	sms    []id.ID
+	stores []*rocq.Store
+	refs   []rocq.Ref // the peer's own slot in each manager store
+	deps   []smDep
+	padded bool // placement cycled because fewer than numSM distinct owners exist
+}
+
+type smDep struct {
+	key   id.ID // arc start (the replica key, or the peer for a self-skip)
+	owner id.ID // arc end: the member that answered
+	skip  bool  // this dep is the clockwise-skip taken after the previous, self-owned dep
 }
 
 // Metrics collects everything the experiment harness needs.
@@ -132,8 +162,10 @@ func New(cfg config.Config) (*World, error) {
 		behaveRand:   root.Split(),
 		keyRand:      root.Split(),
 		peers:        make(map[id.ID]*peer.Peer),
+		admittedSet:  make(map[id.ID]struct{}),
 		stores:       make(map[id.ID]*rocq.Store),
 		smCache:      make(map[id.ID]*smCacheEntry),
+		smDeps:       make(map[id.ID][]id.ID),
 		policy:       baseline.MidSpectrum{},
 		m: Metrics{
 			CoopCount:      &metrics.Series{Name: "coop"},
@@ -210,33 +242,285 @@ func (w *World) Peer(pid id.ID) (*peer.Peer, bool) {
 }
 
 // PopulationSize returns the number of peers currently in the system.
-func (w *World) PopulationSize() int { return len(w.admitted) }
+func (w *World) PopulationSize() int { return len(w.admittedPeers) }
 
 // IsAdmitted reports whether the peer is currently in the system.
 func (w *World) IsAdmitted(pid id.ID) bool {
-	for _, v := range w.admitted {
-		if v == pid {
-			return true
-		}
+	_, ok := w.admittedSet[pid]
+	return ok
+}
+
+// Err returns the first run-path failure, if any. Run and RunFor surface
+// it; drivers stepping the engine directly should check it after stepping.
+func (w *World) Err() error { return w.err }
+
+// fail records the first run-path failure and stops the engine after the
+// in-flight event, so Run/RunFor return instead of computing on in a
+// corrupt world.
+func (w *World) fail(err error) {
+	if w.err == nil {
+		w.err = err
+		w.engine.Stop()
 	}
-	return false
 }
 
 // ---------------------------------------------------------------------------
 // lending.Network implementation.
 
 // ScoreManagers returns the current score-manager node set for a peer,
-// cached per overlay epoch.
+// cached with incremental invalidation on membership changes.
 func (w *World) ScoreManagers(p id.ID) []id.ID {
-	if e, ok := w.smCache[p]; ok && e.epoch == w.ring.Epoch() {
-		return e.sms
+	return w.smEntry(p).sms
+}
+
+// emptySMEntry is returned on the (defensive) placement-failure path so
+// callers iterating the result degrade to no-ops while fail stops the run.
+var emptySMEntry = &smCacheEntry{}
+
+// smEntry returns the peer's cached placement, computing and indexing it
+// on a miss. Tiny rings (fewer than two members) are never cached: their
+// placement can take the self-managing branch, whose validity depends on
+// the ring size itself rather than on any ownership arc.
+func (w *World) smEntry(p id.ID) *smCacheEntry {
+	if e, ok := w.smCache[p]; ok {
+		return e
 	}
-	sms, err := w.ring.ScoreManagers(p, w.cfg.NumSM)
+	e := &smCacheEntry{}
+	var track func(key, owner id.ID)
+	// Non-members (post-run queries about departed peers) are never
+	// cached: leave-time eviction could not reach them, so an entry would
+	// linger for the world's lifetime.
+	cacheable := w.ring.Size() > 1 && w.ring.Contains(p)
+	if cacheable {
+		e.deps = make([]smDep, 0, w.cfg.NumSM+2)
+		track = func(key, owner id.ID) {
+			n := len(e.deps)
+			skip := key == p && n > 0 && !e.deps[n-1].skip && e.deps[n-1].owner == p
+			e.deps = append(e.deps, smDep{key: key, owner: owner, skip: skip})
+		}
+	}
+	sms, err := w.ring.ScoreManagersTracked(p, w.cfg.NumSM, track)
 	if err != nil {
-		panic(fmt.Sprintf("sim: score managers for %s: %v", p.Short(), err))
+		w.fail(fmt.Errorf("sim: score managers for %s: %w", p.Short(), err))
+		return emptySMEntry
 	}
-	w.smCache[p] = &smCacheEntry{epoch: w.ring.Epoch(), sms: sms}
-	return sms
+	e.sms = sms
+	e.padded = len(sms) > 1 && id.Contains(sms[:len(sms)-1], sms[len(sms)-1])
+	e.stores = make([]*rocq.Store, len(sms))
+	e.refs = make([]rocq.Ref, len(sms))
+	for i, n := range sms {
+		e.stores[i] = w.Store(n)
+		e.refs[i] = e.stores[i].Ref(p)
+	}
+	if cacheable {
+		w.smCache[p] = e
+		w.indexDeps(p, e)
+		// Amortised staleness bound: when evicted fills have left more
+		// dead slots than the live cache could account for, rebuild the
+		// index from the cache. Keeps total index memory O(live entries).
+		if w.smDepSlots > 2*len(w.smCache)*(w.cfg.NumSM+2)+64 {
+			w.rebuildSMDeps()
+		}
+	}
+	return e
+}
+
+// indexDeps appends the entry's dependency owners to the owner index.
+func (w *World) indexDeps(p id.ID, e *smCacheEntry) {
+	seen := id.ID{}
+	for i, d := range e.deps {
+		// Owners repeat back-to-back (a replica arc followed by a
+		// self-skip arc, or consecutive replicas on one owner); skip
+		// the adjacent duplicates cheaply, tolerate the rest — the
+		// index is advisory and scans dedupe via the entry itself.
+		if i > 0 && d.owner == seen {
+			continue
+		}
+		seen = d.owner
+		w.smDeps[d.owner] = append(w.smDeps[d.owner], p)
+		w.smDepSlots++
+	}
+}
+
+// rebuildSMDeps drops every stale index slot by reindexing the live cache.
+func (w *World) rebuildSMDeps() {
+	clear(w.smDeps)
+	w.smDepSlots = 0
+	for p, e := range w.smCache {
+		w.indexDeps(p, e)
+	}
+}
+
+// dependsOn reports whether the entry recorded owner as a dependency.
+func (e *smCacheEntry) dependsOn(owner id.ID) bool {
+	for _, d := range e.deps {
+		if d.owner == owner {
+			return true
+		}
+	}
+	return false
+}
+
+// rebuildEntry recomputes the entry's manager set purely from its patched
+// dependency arcs — the placement loop's dedup/skip logic replayed over
+// recorded owners, no ring queries and no hashing. It returns false when
+// the recorded arcs no longer pin the placement (a self-skip would be
+// needed that was never recorded, or dedup merged owners below numSM so
+// the real walk would examine further replicas); the caller evicts and the
+// next use recomputes from the ring.
+func (w *World) rebuildEntry(p id.ID, e *smCacheEntry) bool {
+	if e.padded {
+		return false
+	}
+	numSM := w.cfg.NumSM
+	// Fresh slices: callers may still hold the previously returned manager
+	// set (the protocol keeps one across a fan-out), so the old backing
+	// arrays must stay intact.
+	sms := make([]id.ID, 0, numSM)
+	for i := 0; i < len(e.deps) && len(sms) < numSM; i++ {
+		d := e.deps[i]
+		if d.skip {
+			continue // consumed via lookahead below when still reachable
+		}
+		eff := d.owner
+		if eff == p {
+			// Self-owned arc: the effective manager is the recorded
+			// clockwise skip, if the walk took one.
+			if i+1 < len(e.deps) && e.deps[i+1].skip {
+				eff = e.deps[i+1].owner
+			} else {
+				return false
+			}
+		}
+		if !id.Contains(sms, eff) {
+			sms = append(sms, eff)
+		}
+	}
+	if len(sms) < numSM {
+		return false
+	}
+	e.sms = sms
+	e.stores = make([]*rocq.Store, 0, numSM)
+	e.refs = make([]rocq.Ref, 0, numSM)
+	for _, n := range sms {
+		st := w.Store(n)
+		e.stores = append(e.stores, st)
+		e.refs = append(e.refs, st.Ref(p))
+	}
+	return true
+}
+
+// noteRingJoin repairs the cached placements a new member invalidates. A
+// join moves ownership only for keys on the arc between the joiner and its
+// live successor, so only entries with a dependency ending at that
+// successor can change — everything else stays cached, which is what keeps
+// the hit rate high under sustained arrivals. Affected entries are patched
+// in place (the captured arcs now end at the joiner) and their manager
+// sets rebuilt from the recorded arcs without touching the ring; entries
+// the patch cannot pin down are evicted instead. The index slice for the
+// successor is compacted in the same pass.
+func (w *World) noteRingJoin(x id.ID) {
+	succ, ok := w.ring.NextMember(x)
+	if !ok || succ == x {
+		return // first member: nothing was cached
+	}
+	peers, ok := w.smDeps[succ]
+	if !ok {
+		return
+	}
+	live := peers[:0]
+	for _, p := range peers {
+		e, ok := w.smCache[p]
+		if !ok || !e.dependsOn(succ) {
+			continue // stale index entry from an evicted or refilled fill
+		}
+		patched := false
+		for j := range e.deps {
+			d := &e.deps[j]
+			if d.owner != succ || d.key == succ {
+				// d.key == succ: the key is owned by itself; no joiner
+				// can take that ownership over.
+				continue
+			}
+			if d.skip {
+				// Skip arc (member, succ]: x becomes the new clockwise
+				// neighbour iff it lands strictly inside.
+				if x.Between(d.key, succ) {
+					d.owner = x
+					patched = true
+				}
+			} else if x == d.key || x.Between(d.key, succ) {
+				// Replica arc: x captures ownership iff x ∈ [key, succ).
+				d.owner = x
+				patched = true
+			}
+		}
+		if !patched {
+			live = append(live, p)
+			continue
+		}
+		if w.rebuildEntry(p, e) {
+			w.smDeps[x] = append(w.smDeps[x], p)
+			w.smDepSlots++
+			if e.dependsOn(succ) {
+				live = append(live, p)
+			}
+		} else {
+			delete(w.smCache, p)
+		}
+	}
+	w.smDepSlots -= len(peers) - len(live)
+	if len(live) == 0 {
+		delete(w.smDeps, succ)
+	} else {
+		w.smDeps[succ] = live
+	}
+}
+
+// noteRingLeave repairs or evicts the entries that depended on a departed
+// member. Ownership moves only for keys the leaver owned — they fall to
+// the leaver's live successor (captured before the leave) — and any entry
+// that consulted those keys recorded the leaver as a dependency, so the
+// affected set is exact. Patched entries whose arcs now degenerate (the
+// successor is the peer itself, or dedup merges owners short of numSM)
+// are evicted and recomputed on next use.
+func (w *World) noteRingLeave(x, succ id.ID) {
+	delete(w.smCache, x)
+	peers, ok := w.smDeps[x]
+	if !ok {
+		return
+	}
+	for _, p := range peers {
+		e, ok := w.smCache[p]
+		if !ok || !e.dependsOn(x) {
+			continue
+		}
+		if succ == p || succ == x || w.ring.Size() <= 1 {
+			delete(w.smCache, p)
+			continue
+		}
+		for j := range e.deps {
+			d := &e.deps[j]
+			if d.owner == x {
+				d.owner = succ
+			}
+		}
+		if w.rebuildEntry(p, e) {
+			w.smDeps[succ] = append(w.smDeps[succ], p)
+			w.smDepSlots++
+		} else {
+			delete(w.smCache, p)
+		}
+	}
+	w.smDepSlots -= len(peers)
+	delete(w.smDeps, x)
+}
+
+// QueryReputation aggregates the peer's reputation across its current
+// score managers, served from the placement cache's pre-resolved store
+// slots. The boolean is false when no manager knows the peer.
+func (w *World) QueryReputation(pid id.ID) (float64, bool) {
+	return rocq.QueryRefs(w.smEntry(pid).refs)
 }
 
 // Store returns (allocating) the reputation store hosted at a node.
@@ -272,12 +556,12 @@ func (w *World) createFounders() error {
 	}
 	// Founders start fully reputed; their score managers now exist, so
 	// initialise their state.
-	for _, pid := range w.admitted {
-		for _, sm := range w.ScoreManagers(pid) {
-			w.Store(sm).Init(pid, w.cfg.FounderRep)
+	for _, p := range w.admittedPeers {
+		for _, st := range w.smEntry(p.ID).stores {
+			st.Init(p.ID, w.cfg.FounderRep)
 		}
 	}
-	return nil
+	return w.err
 }
 
 // attachNode joins a peer's node to the overlay and registers its signing
@@ -286,6 +570,7 @@ func (w *World) attachNode(p *peer.Peer) error {
 	if err := w.ring.Join(p.ID); err != nil {
 		return fmt.Errorf("sim: joining overlay: %w", err)
 	}
+	w.noteRingJoin(p.ID)
 	signer, err := transport.NewSigner(w.keyRand.Split())
 	if err != nil {
 		return err
@@ -299,7 +584,8 @@ func (w *World) attachNode(p *peer.Peer) error {
 // and introducer.
 func (w *World) admit(p *peer.Peer, at sim.Tick) {
 	p.JoinedAt = at
-	w.admitted = append(w.admitted, p.ID)
+	w.admittedPeers = append(w.admittedPeers, p)
+	w.admittedSet[p.ID] = struct{}{}
 	w.topo.Add(p.ID)
 	if p.Class == peer.Cooperative {
 		w.m.CoopInSystem++
@@ -366,15 +652,40 @@ func (w *World) onFlagged(pid id.ID, at sim.Tick) {
 	}
 }
 
-// detachNode removes a never-admitted peer's node from the overlay and
-// the transport.
+// detachNode removes a never-admitted peer's node from the overlay, the
+// transport, and every per-node table, so refused or departed peers leave
+// no residue: the placement cache and dependency index (its entry, plus
+// any entry that had it as a score manager), the store it hosted (its node
+// leaves the ring with its data, exactly Chord churn semantics — once it
+// is no longer a member, no placement can reach that store again), and the
+// peer table. It never held a topology slot: only admission adds one.
 func (w *World) detachNode(pid id.ID) {
 	if w.ring.Contains(pid) {
-		if err := w.ring.Leave(pid); err != nil {
-			panic(fmt.Sprintf("sim: detaching %s: %v", pid.Short(), err))
+		// The departed peer's reputation slots in its current managers'
+		// stores can never be queried again (only the peer's own
+		// placement reads them); drop them. The placement is resolved
+		// fresh and uncached — filling the cache for a peer about to
+		// leave would be torn down again two lines later. Slots written
+		// under an *older* placement that since migrated stay behind —
+		// exactly the orphaned replicas a real DHT leaves on nodes that
+		// lost responsibility.
+		if sms, err := w.ring.ScoreManagers(pid, w.cfg.NumSM); err == nil {
+			for _, n := range sms {
+				if st, ok := w.stores[n]; ok {
+					st.Forget(pid)
+				}
+			}
 		}
+		succ, _ := w.ring.NextMember(pid) // the heir of pid's arcs, read before the leave
+		if err := w.ring.Leave(pid); err != nil {
+			w.fail(fmt.Errorf("sim: detaching %s: %w", pid.Short(), err))
+			return
+		}
+		w.noteRingLeave(pid, succ)
 	}
+	delete(w.stores, pid)
 	w.bus.Unregister(pid)
+	w.proto.UnregisterPeer(pid)
 	delete(w.peers, pid)
 }
 
@@ -394,7 +705,17 @@ func (w *World) scheduleNextArrival() {
 	w.arrClock += w.arrivalRand.Exp(w.cfg.Lambda)
 	at := sim.Tick(w.arrClock)
 	if at <= w.engine.Now() {
+		// The tick grid caps arrivals at one per tick. Re-anchor the
+		// continuous clock at the clamped time: otherwise a burst leaves
+		// the clock behind real time and every subsequent draw clamps
+		// too, spraying one arrival per tick regardless of λ until the
+		// lagging clock catches up. Discarding the sub-tick residual
+		// means rates at or above the cap saturate slightly below one
+		// per tick (Exp-spaced gaps from the clamped time) — the
+		// intended capped semantics; at the paper's rates (λ ≤ 0.2)
+		// clamps are rare and the effect is far below run-to-run noise.
 		at = w.engine.Now() + 1
+		w.arrClock = float64(at)
 	}
 	w.engine.Schedule(at, "arrival", func() {
 		if gen != w.arrivalGen {
@@ -433,10 +754,11 @@ func (w *World) handleArrival() {
 	if !w.cfg.RequireIntroductions {
 		// Baseline: admit immediately with the policy's bootstrap value.
 		if err := w.attachNode(p); err != nil {
-			panic(err)
+			w.fail(fmt.Errorf("sim: arrival: %w", err))
+			return
 		}
-		for _, sm := range w.ScoreManagers(p.ID) {
-			w.Store(sm).Init(p.ID, w.policy.InitialReputation())
+		for _, st := range w.smEntry(p.ID).stores {
+			st.Init(p.ID, w.policy.InitialReputation())
 		}
 		w.admit(p, w.engine.Now())
 		if p.Class == peer.Cooperative {
@@ -455,7 +777,8 @@ func (w *World) handleArrival() {
 		return
 	}
 	if err := w.attachNode(p); err != nil {
-		panic(err)
+		w.fail(fmt.Errorf("sim: arrival: %w", err))
+		return
 	}
 	introducer := w.peers[introducerID]
 	w.record(trace.Arrival, p.ID, introducerID, p.Class.String())
@@ -482,19 +805,20 @@ func (w *World) scheduleTransactions() {
 // biased respondent, serve decision by requester reputation, mutual
 // feedback to score managers on completion.
 func (w *World) transact() {
-	n := len(w.admitted)
+	n := len(w.admittedPeers)
 	if n < 2 {
 		return
 	}
-	requesterID := w.admitted[w.workloadRand.Intn(n)]
+	requester := w.admittedPeers[w.workloadRand.Intn(n)]
+	requesterID := requester.ID
 	respondentID, ok := w.topo.Pick(requesterID)
 	if !ok {
 		return
 	}
-	requester := w.peers[requesterID]
 	respondent := w.peers[respondentID]
 
-	rep, _ := rocq.QuerySet(w.smStores(requesterID), requesterID)
+	reqEntry := w.smEntry(requesterID)
+	rep, _ := rocq.QueryRefs(reqEntry.refs)
 	serve := respondent.WillServe(rep, w.workloadRand)
 
 	if respondent.Class == peer.Cooperative && !respondent.Defected(w.engine.Now()) {
@@ -515,21 +839,21 @@ func (w *World) transact() {
 
 	// Completed transaction: each party records first-hand experience and
 	// reports its opinion of the partner to the partner's score managers.
-	w.report(requester, respondent)
-	w.report(respondent, requester)
+	w.report(requester, respondent, w.smEntry(respondentID))
+	w.report(respondent, requester, reqEntry)
 
 	w.noteCompleted(requester)
 	w.noteCompleted(respondent)
 }
 
 // report sends rater's updated opinion about subject to subject's score
-// managers.
-func (w *World) report(rater, subject *peer.Peer) {
+// managers (whose placement entry the caller already holds).
+func (w *World) report(rater, subject *peer.Peer, subjectEntry *smCacheEntry) {
 	now := w.engine.Now()
 	rating := rater.RateAt(now, subject.BehavesWellAt(now))
 	op := rater.Opinions.Record(subject.ID, rating)
-	for _, sm := range w.ScoreManagers(subject.ID) {
-		w.Store(sm).Report(rater.ID, subject.ID, op)
+	for _, ref := range subjectEntry.refs {
+		ref.Report(rater.ID, op)
 	}
 }
 
@@ -545,20 +869,10 @@ func (w *World) noteCompleted(p *peer.Peer) {
 	}
 }
 
-// smStores resolves the stores behind a peer's current score managers.
-func (w *World) smStores(pid id.ID) []*rocq.Store {
-	sms := w.ScoreManagers(pid)
-	stores := make([]*rocq.Store, len(sms))
-	for i, n := range sms {
-		stores[i] = w.Store(n)
-	}
-	return stores
-}
-
 // Reputation returns a peer's aggregate reputation as its score managers
 // currently see it.
 func (w *World) Reputation(pid id.ID) float64 {
-	v, _ := rocq.QuerySet(w.smStores(pid), pid)
+	v, _ := rocq.QueryRefs(w.smEntry(pid).refs)
 	return v
 }
 
@@ -585,11 +899,11 @@ func (w *World) sample() {
 	w.m.UncoopCount.Append(int64(now), float64(w.m.UncoopInSystem))
 
 	sum, n := 0.0, 0
-	for _, pid := range w.admitted {
-		if w.peers[pid].Class != peer.Cooperative {
+	for _, p := range w.admittedPeers {
+		if p.Class != peer.Cooperative {
 			continue
 		}
-		sum += w.Reputation(pid)
+		sum += w.Reputation(p.ID)
 		n++
 	}
 	mean := 0.0
@@ -615,21 +929,35 @@ func (w *World) Start() {
 	w.scheduleSampling()
 }
 
-// RunFor advances the simulation by n ticks.
-func (w *World) RunFor(n sim.Tick) {
+// RunFor advances the simulation by n ticks. It returns the first
+// run-path failure (overlay or transport errors surfaced by events), which
+// stops the clock at the failing event.
+func (w *World) RunFor(n sim.Tick) error {
 	if n < 0 {
 		panic("world: negative RunFor duration")
 	}
+	if w.err != nil {
+		return w.err // a failed world must not keep simulating
+	}
 	w.Start()
 	w.engine.RunUntil(w.engine.Now() + n)
+	return w.err
 }
 
 // Run executes the configured workload: cfg.NumTrans ticks of one
-// transaction each, Poisson arrivals, periodic sampling.
-func (w *World) Run() {
+// transaction each, Poisson arrivals, periodic sampling. It returns the
+// first run-path failure instead of panicking mid-run.
+func (w *World) Run() error {
+	if w.err != nil {
+		return w.err // a failed world must not keep simulating
+	}
 	w.Start()
 	w.engine.RunUntil(sim.Tick(w.cfg.NumTrans))
+	if w.err != nil {
+		return w.err
+	}
 	w.Finish()
+	return w.err
 }
 
 // Finish records the closing time-series sample at the current tick.
@@ -681,5 +1009,9 @@ func (w *World) InjectTraitor(style peer.Style, introducerID id.ID, defectAt sim
 // AdmittedPeers returns the identifiers of peers currently in the system,
 // in admission order (copy).
 func (w *World) AdmittedPeers() []id.ID {
-	return append([]id.ID(nil), w.admitted...)
+	out := make([]id.ID, len(w.admittedPeers))
+	for i, p := range w.admittedPeers {
+		out[i] = p.ID
+	}
+	return out
 }

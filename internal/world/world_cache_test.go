@@ -1,0 +1,138 @@
+package world
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/id"
+	"repro/internal/peer"
+	"repro/internal/rng"
+	"repro/internal/rocq"
+)
+
+// TestScoreManagerCacheMatchesFreshPlacement is the cache oracle: across a
+// randomized join/leave/crash sequence, the cached ScoreManagers result for
+// every live peer must always equal a fresh ring.ScoreManagers call. This
+// pins the incremental invalidation rule (arc-dependency eviction) against
+// the ground truth it claims to track.
+func TestScoreManagerCacheMatchesFreshPlacement(t *testing.T) {
+	cfg := config.Default()
+	cfg.NumInit = 30
+	cfg.Lambda = 0
+	cfg.Seed = 3
+	w, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	src := rng.New(99)
+	var extras []*peer.Peer
+	checkAll := func(step int) {
+		t.Helper()
+		for pid := range w.peers {
+			if !w.ring.Contains(pid) {
+				continue
+			}
+			got := w.ScoreManagers(pid)
+			want, err := w.ring.ScoreManagers(pid, cfg.NumSM)
+			if err != nil {
+				t.Fatalf("step %d: fresh placement for %s: %v", step, pid.Short(), err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("step %d: peer %s: cached %v != fresh %v", step, pid.Short(), got, want)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("step %d: peer %s: cached %v != fresh %v", step, pid.Short(), got, want)
+				}
+			}
+		}
+	}
+
+	for step := 0; step < 400; step++ {
+		switch op := src.Intn(10); {
+		case op < 5: // join a new node
+			p := peer.New(id.HashString(fmt.Sprintf("cache-prop-%d", step)), peer.Cooperative, peer.Naive, rocq.DefaultParams())
+			if err := w.attachNode(p); err != nil {
+				t.Fatal(err)
+			}
+			extras = append(extras, p)
+		case op < 8: // leave: detach a previously joined extra node
+			if len(extras) == 0 {
+				continue
+			}
+			i := src.Intn(len(extras))
+			w.detachNode(extras[i].ID)
+			extras = append(extras[:i], extras[i+1:]...)
+		default: // crash a transport node: must not disturb placement
+			if len(extras) > 0 {
+				w.Bus().Crash(extras[src.Intn(len(extras))].ID)
+			}
+		}
+		// Query a random subset between membership events so the cache
+		// holds warm entries when the next change lands.
+		for i := 0; i < 5; i++ {
+			for pid := range w.peers {
+				if w.ring.Contains(pid) {
+					_ = w.ScoreManagers(pid)
+					break
+				}
+			}
+		}
+		checkAll(step)
+		if w.Err() != nil {
+			t.Fatalf("step %d: world failed: %v", step, w.Err())
+		}
+	}
+}
+
+// TestDetachEvictsAllPerPeerState is the leak regression: a high-refusal
+// workload (all-selective introducers, mostly uncooperative arrivals) must
+// not accrete per-peer state for the peers it turns away. Every map the
+// world or protocol keys by node must track the live population.
+func TestDetachEvictsAllPerPeerState(t *testing.T) {
+	c := smallCfg()
+	c.FracNaive = 0 // every introducer is selective
+	c.ErrSel = 0    // and never errs: every uncooperative arrival is refused
+	c.FracUncoop = 0.8
+	c.NumTrans = 12000
+	w, err := New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	m := w.Metrics()
+	refused := m.RefusedSelectiveCoop + m.RefusedSelectiveUncoop + m.RefusedRepCoop + m.RefusedRepUncoop
+	if refused == 0 {
+		t.Fatal("scenario produced no refusals; leak regression needs them")
+	}
+	// Live population: admitted members plus arrivals still waiting.
+	live := int64(w.PopulationSize()) + m.Pending
+	check := func(name string, got int) {
+		if int64(got) > live {
+			t.Errorf("%s holds %d entries for %d live peers (leak of refused peers)", name, got, live)
+		}
+	}
+	check("peers", len(w.peers))
+	check("ring", w.Ring().Size())
+	check("stores", len(w.stores))
+	check("smCache", len(w.smCache))
+	check("protocol signers", w.Protocol().RegisteredPeers())
+	check("protocol manager states", w.Protocol().ManagerStates())
+	if got := w.topo.Len(); got != w.PopulationSize() {
+		t.Errorf("topology tracks %d peers, population is %d", got, w.PopulationSize())
+	}
+	// The dependency index is lazy, but it must not exceed one slot per
+	// (peer, manager) pair for the live population by more than the
+	// transient slack of entries awaiting compaction.
+	slots := 0
+	for _, peers := range w.smDeps {
+		slots += len(peers)
+	}
+	if max := int(live+1) * (c.NumSM + 2) * 2; slots > max {
+		t.Errorf("dependency index holds %d slots, want <= %d", slots, max)
+	}
+}

@@ -40,7 +40,9 @@ func TestApplyDeltaLambdaStartsAndStopsArrivals(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	w.RunFor(2_000)
+	if err := w.RunFor(2_000); err != nil {
+		t.Fatal(err)
+	}
 	if got := w.Metrics().ArrivalsCoop + w.Metrics().ArrivalsUncoop; got != 0 {
 		t.Fatalf("arrivals with λ=0: %d", got)
 	}
@@ -50,7 +52,9 @@ func TestApplyDeltaLambdaStartsAndStopsArrivals(t *testing.T) {
 	if err := w.ApplyDelta(Delta{Lambda: &hot}); err != nil {
 		t.Fatal(err)
 	}
-	w.RunFor(2_000)
+	if err := w.RunFor(2_000); err != nil {
+		t.Fatal(err)
+	}
 	during := w.Metrics().ArrivalsCoop + w.Metrics().ArrivalsUncoop
 	if during == 0 {
 		t.Fatal("no arrivals after λ spike")
@@ -62,7 +66,9 @@ func TestApplyDeltaLambdaStartsAndStopsArrivals(t *testing.T) {
 	if err := w.ApplyDelta(Delta{Lambda: &off}); err != nil {
 		t.Fatal(err)
 	}
-	w.RunFor(4_000)
+	if err := w.RunFor(4_000); err != nil {
+		t.Fatal(err)
+	}
 	after := w.Metrics().ArrivalsCoop + w.Metrics().ArrivalsUncoop
 	if after != during {
 		t.Fatalf("arrivals continued after λ=0: %d -> %d", during, after)
@@ -78,13 +84,17 @@ func TestApplyDeltaLambdaSpikeTakesEffectImmediately(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	w.RunFor(2_000)
+	if err := w.RunFor(2_000); err != nil {
+		t.Fatal(err)
+	}
 	before := w.Metrics().ArrivalsCoop + w.Metrics().ArrivalsUncoop
 	hot := 0.5
 	if err := w.ApplyDelta(Delta{Lambda: &hot}); err != nil {
 		t.Fatal(err)
 	}
-	w.RunFor(200) // ≈100 expected arrivals at the new rate
+	if err := w.RunFor(200); err != nil { // ≈100 expected arrivals at the new rate
+		t.Fatal(err)
+	}
 	got := w.Metrics().ArrivalsCoop + w.Metrics().ArrivalsUncoop - before
 	if got < 50 {
 		t.Fatalf("λ spike delayed by stale arrival clock: only %d arrivals in 200 ticks", got)
@@ -113,13 +123,45 @@ func TestScheduleDeltaFiresAtTick(t *testing.T) {
 	}
 	frac := 0.9
 	w.ScheduleDelta(1_500, "churn-wave", Delta{FracUncoop: &frac})
-	w.RunFor(1_000)
+	if err := w.RunFor(1_000); err != nil {
+		t.Fatal(err)
+	}
 	if got := w.Config().FracUncoop; got != deltaTestConfig().FracUncoop {
 		t.Fatalf("delta applied early: FracUncoop=%v", got)
 	}
-	w.RunFor(1_000)
+	if err := w.RunFor(1_000); err != nil {
+		t.Fatal(err)
+	}
 	if got := w.Config().FracUncoop; got != frac {
 		t.Fatalf("delta not applied: FracUncoop=%v", got)
+	}
+}
+
+func TestArrivalClampKeepsPoissonRate(t *testing.T) {
+	// The tick grid caps arrivals at one per tick. Before the fix, a rate
+	// above the cap left the continuous clock permanently behind the
+	// engine: every draw clamped to now+1 and the process degraded to
+	// exactly one arrival per tick regardless of λ, forever. Re-anchoring
+	// the clock on clamp keeps proper Exp-spaced gaps. λ=1.2 sits just
+	// above the cap, where the distortion is widest: correct clamping
+	// leaves Exp-length gaps (observed ≈3430 arrivals in 4000 ticks),
+	// while the lagging clock of the old bug locks to ≈4000.
+	cfg := deltaTestConfig()
+	cfg.Lambda = 1.2
+	cfg.NumTrans = 4_000
+	w, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.RunFor(4_000); err != nil {
+		t.Fatal(err)
+	}
+	got := w.Metrics().ArrivalsCoop + w.Metrics().ArrivalsUncoop
+	if got >= 3_900 {
+		t.Fatalf("arrival process locked to one per tick (%d arrivals in 4000 ticks): clamp did not re-anchor the Poisson clock", got)
+	}
+	if got < 3_000 {
+		t.Fatalf("arrival process lost its rate after clamping: %d arrivals in 4000 ticks at λ=1.2", got)
 	}
 }
 
@@ -136,8 +178,12 @@ func TestDeltaDeterminismUnchangedWithoutDeltas(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a.Run()
-	b.Run()
+	if err := a.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Run(); err != nil {
+		t.Fatal(err)
+	}
 	if am, bm := a.Metrics(), b.Metrics(); am.ArrivalsCoop != bm.ArrivalsCoop ||
 		am.Served != bm.Served || am.CorrectDecisions != bm.CorrectDecisions {
 		t.Fatalf("identical runs diverged: %+v vs %+v", am, bm)

@@ -20,7 +20,9 @@ func runWithPolicy(t *testing.T, pol baseline.Policy) *World {
 		t.Fatal(err)
 	}
 	w.SetPolicy(pol)
-	w.Run()
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
 	return w
 }
 
@@ -63,7 +65,9 @@ func TestFixedCreditGrantsExactAmount(t *testing.T) {
 		t.Fatal(err)
 	}
 	w.SetPolicy(baseline.FixedCredit{Amount: 0.35})
-	w.Run()
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
 	found := false
 	for _, pid := range w.AdmittedPeers() {
 		p, _ := w.Peer(pid)
@@ -104,17 +108,23 @@ func TestInjectTraitorLifecycle(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	w.RunFor(sim.Tick(c.WaitPeriod + 1))
+	if err := w.RunFor(sim.Tick(c.WaitPeriod + 1)); err != nil {
+		t.Fatal(err)
+	}
 	p, ok := w.Peer(traitor)
 	if !ok || p.DefectAt != defectAt {
 		t.Fatal("traitor not configured")
 	}
-	w.RunFor(defectAt - w.Engine().Now())
+	if err := w.RunFor(defectAt - w.Engine().Now()); err != nil {
+		t.Fatal(err)
+	}
 	atDefect := w.Reputation(traitor)
 	if atDefect < 0.5 {
 		t.Fatalf("traitor failed to earn standing before defection: %v", atDefect)
 	}
-	w.RunFor(20000)
+	if err := w.RunFor(20000); err != nil {
+		t.Fatal(err)
+	}
 	if after := w.Reputation(traitor); after >= atDefect {
 		t.Fatalf("traitor reputation did not fall after defection: %v -> %v", atDefect, after)
 	}

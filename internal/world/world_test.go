@@ -64,7 +64,7 @@ func TestFoundersSetup(t *testing.T) {
 func founders(w *World) map[[20]byte]*peer.Peer {
 	out := map[[20]byte]*peer.Peer{}
 	for i := 0; i < w.PopulationSize(); i++ {
-		pid := w.admitted[i]
+		pid := w.admittedPeers[i].ID
 		p, _ := w.Peer(pid)
 		out[pid] = p
 	}
@@ -105,7 +105,9 @@ func TestClosedCommunityStaysHealthy(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	w.Run()
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
 	m := w.Metrics()
 	if m.Served == 0 {
 		t.Fatal("no transactions completed")
@@ -124,7 +126,9 @@ func TestArrivalsAdmittedThroughLending(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	w.Run()
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
 	m := w.Metrics()
 	if m.ArrivalsCoop+m.ArrivalsUncoop == 0 {
 		t.Fatal("no arrivals happened")
@@ -163,7 +167,9 @@ func TestSelectiveIntroducersFilterUncooperative(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	w.Run()
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
 	m := w.Metrics()
 	if m.AdmittedUncoop != 0 {
 		t.Fatalf("%d uncooperative peers admitted through all-selective, zero-error introducers", m.AdmittedUncoop)
@@ -184,7 +190,9 @@ func TestAllNaiveAdmitsUncooperative(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	w.Run()
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
 	m := w.Metrics()
 	if m.AdmittedUncoop == 0 {
 		t.Fatal("all-naive introducers admitted no uncooperative peers")
@@ -198,10 +206,12 @@ func TestUncooperativeReputationsStayLow(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	w.Run()
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
 	checked := 0
 	for i := 0; i < w.PopulationSize(); i++ {
-		pid := w.admitted[i]
+		pid := w.admittedPeers[i].ID
 		p, _ := w.Peer(pid)
 		if p.Class != peer.Uncooperative {
 			continue
@@ -229,7 +239,9 @@ func TestAuditsFire(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	w.Run()
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
 	m := w.Metrics()
 	if m.AuditsSatisfied+m.AuditsForfeited == 0 {
 		t.Fatal("no admission audits fired")
@@ -248,7 +260,9 @@ func TestBaselinePolicyPath(t *testing.T) {
 		t.Fatal(err)
 	}
 	w.SetPolicy(baseline.MidSpectrum{})
-	w.Run()
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
 	m := w.Metrics()
 	arrivals := m.ArrivalsCoop + m.ArrivalsUncoop
 	if arrivals == 0 {
@@ -269,7 +283,9 @@ func TestDeterminismSameSeed(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		w.Run()
+		if err := w.Run(); err != nil {
+			t.Fatal(err)
+		}
 		return *w.Metrics()
 	}
 	a, b := run(), run()
@@ -290,8 +306,12 @@ func TestDifferentSeedsDiffer(t *testing.T) {
 	c2.Seed = 8
 	w1, _ := New(c1)
 	w2, _ := New(c2)
-	w1.Run()
-	w2.Run()
+	if err := w1.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Run(); err != nil {
+		t.Fatal(err)
+	}
 	if w1.Metrics().Served == w2.Metrics().Served &&
 		w1.Metrics().AdmittedCoop == w2.Metrics().AdmittedCoop &&
 		w1.Metrics().CorrectDecisions == w2.Metrics().CorrectDecisions {
@@ -306,7 +326,9 @@ func TestRandomTopologyRuns(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	w.Run()
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
 	if w.Metrics().Served == 0 {
 		t.Fatal("random topology run served nothing")
 	}
@@ -318,7 +340,9 @@ func TestSeriesSampling(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	w.Run()
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
 	m := w.Metrics()
 	wantSamples := int(c.NumTrans/c.SampleEvery) + 1 // includes tick 0
 	if len(m.CoopCount.Points) != wantSamples {
@@ -345,7 +369,9 @@ func TestSuccessRateWithFreeriders(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	w.Run()
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
 	if sr := w.Metrics().SuccessRate(); sr < 0.7 {
 		t.Fatalf("success rate %v too low", sr)
 	}

@@ -22,7 +22,9 @@ func TestTraceInvariantsOverFullRun(t *testing.T) {
 	}
 	log := trace.New(0)
 	w.SetTrace(log)
-	w.Run()
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
 
 	if log.Len() == 0 {
 		t.Fatal("no events recorded")
@@ -69,7 +71,9 @@ func TestLendingSurvivesMessageLoss(t *testing.T) {
 	w.Bus().SetFaultRand(newFaultRand())
 	log := trace.New(0)
 	w.SetTrace(log)
-	w.Run()
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
 
 	m := w.Metrics()
 	arrivals := m.ArrivalsCoop + m.ArrivalsUncoop
