@@ -1,0 +1,35 @@
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/id"
+	"repro/internal/overlay"
+)
+
+// BenchmarkFingerRepair measures one full finger-table repair against a
+// fresh membership epoch on a standing 4096-node ring — the cost a
+// lookup pays after any membership change.
+func BenchmarkFingerRepair(b *testing.B) {
+	ring := overlay.NewRing()
+	for i := 0; i < 4096; i++ {
+		if err := ring.Join(id.HashString(fmt.Sprintf("repair-node-%d", i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+	m := id.HashString("repair-node-7")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := id.HashString(fmt.Sprintf("repair-churn-%d", i))
+		if err := ring.Join(n); err != nil {
+			b.Fatal(err)
+		}
+		if err := ring.Leave(n); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ring.Node(m); err != nil { // repairs against the new epoch
+			b.Fatal(err)
+		}
+	}
+}

@@ -195,6 +195,38 @@ func BenchmarkFig1Macro(b *testing.B) {
 	}
 }
 
+// BenchmarkChurnMacro is the membership-churn macro benchmark: the churn
+// sweep (four μ points, 2 replicas each) at half paper scale. On top of
+// Fig1Macro's hot paths it exercises the departure clocks, batch
+// detachment, score-manager state migration and the incremental sampling
+// flush under sustained membership loss — the BENCH_3.json workload.
+func BenchmarkChurnMacro(b *testing.B) {
+	if testing.Short() {
+		b.Skip("macro benchmark: minutes of simulated churn")
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunChurn(nil, experiments.Options{Runs: 2, Scale: 0.5, SeedBase: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkChurnNullSign is BenchmarkChurnMacro with signing switched to
+// null identities — the measured value of the explicit Ed25519 opt-out
+// on the churn sweep (compare the two directly; BENCH_3.json also
+// records the opt-out on the admission-heavy Fig-1 macro, where the
+// signature floor is ~22% of the wall clock).
+func BenchmarkChurnNullSign(b *testing.B) {
+	if testing.Short() {
+		b.Skip("macro benchmark: minutes of simulated churn")
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunChurn(nil, experiments.Options{Runs: 2, Scale: 0.5, SeedBase: 1, NullSign: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // ---------------------------------------------------------------------------
 // Substrate micro-benchmarks.
 

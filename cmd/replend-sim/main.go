@@ -62,6 +62,8 @@ func run(args []string) error {
 		reward     = fs.Float64("reward", 0.02, "reward for introducing a cooperative peer")
 		seed       = fs.Uint64("seed", 1, "random seed")
 		noIntro    = fs.Bool("no-introductions", false, "open admission instead of reputation lending")
+		nullSign   = fs.Bool("null-sign", false, "replace Ed25519 signing with cheap null identities (fidelity opt-out for huge sweeps)")
+		mu         = fs.Float64("mu", 0, "membership departure rate per tick (0 = the paper's model, no departures)")
 		policyName = fs.String("policy", "mid-spectrum", "bootstrap policy with -no-introductions: complaints-based, positive-only, mid-spectrum, fixed-credit")
 		csvPath    = fs.String("csv", "", "write population/reputation time series as CSV to this file")
 	)
@@ -103,6 +105,15 @@ func run(args []string) error {
 		cfg.Reward = *reward
 		cfg.Seed = *seed
 		cfg.RequireIntroductions = !*noIntro
+		cfg.NullSign = *nullSign
+		if *mu > 0 {
+			// The flag-built churn process uses the steady-state defaults;
+			// scenario files expose the full parameter set.
+			cfg.Churn.Mu = *mu
+			cfg.Churn.CrashFrac = 0.25
+			cfg.Churn.RejoinProb = 0.4
+			cfg.Churn.DowntimeMean = 2_500
+		}
 	}
 
 	w, err := world.New(cfg)
@@ -245,6 +256,10 @@ func printSummary(w *world.World) {
 		m.AuditsSatisfied, m.AuditsForfeited)
 	fmt.Printf("protocol:     %d lends granted, %d duplicate-introduction punishments\n",
 		ps.Granted, ps.DuplicateAttempts)
+	if c := m.Churn; c.Departures+c.Crashes+c.Rejoins+c.Migrated+c.Wipeouts > 0 {
+		fmt.Printf("churn:        %d departures, %d crashes, %d rejoins; %d records migrated, %d wiped out\n",
+			c.Departures, c.Crashes, c.Rejoins, c.Migrated, c.Wipeouts)
+	}
 	if last, ok := m.CoopReputation.Last(); ok {
 		fmt.Printf("reputation:   mean cooperative reputation %.4f at end\n", last.V)
 	}

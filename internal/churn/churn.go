@@ -1,0 +1,260 @@
+// Package churn models membership churn of *admitted* peers — the
+// extension the paper's model leaves out. The paper admits peers but never
+// removes them, yet its central mechanism (replicated score managers
+// pinned to DHT ownership arcs) only earns its keep when membership
+// changes move those arcs and reputation state must survive the move.
+//
+// The package has two halves:
+//
+//   - A departure process: a global Poisson departure clock alongside the
+//     simulator's arrival clock, or per-peer session clocks drawn from a
+//     configurable session-length distribution (exponential, uniform or
+//     Pareto). Each departure is a graceful leave or an abrupt crash, and
+//     may be followed by a rejoin after a drawn downtime. Process owns all
+//     the randomness so a dedicated stream keeps churn draws from
+//     perturbing any other stream of a run.
+//
+//   - Score-manager state migration: when ownership arcs shift, the new
+//     owner pulls the replicated reputation records from the surviving
+//     replicas. Reconcile implements the majority-of-replicas rule used
+//     when survivors disagree; data is lost only when every replica of a
+//     record dies in the same event, which the caller counts as a wipeout.
+//
+// The simulation world (internal/world) wires both halves to the engine:
+// it schedules the clocks, applies departures, and runs the pull on every
+// arc change.
+package churn
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/rng"
+	"repro/internal/rocq"
+)
+
+// Session-length distribution names.
+const (
+	// SessionExponential draws session lengths from Exp(1/mean) — the
+	// memoryless model matching a Poisson departure clock per peer.
+	SessionExponential = "exponential"
+	// SessionUniform draws uniformly from [mean/2, 3·mean/2].
+	SessionUniform = "uniform"
+	// SessionPareto draws from a Pareto(α=1.5) tail scaled to the mean —
+	// the heavy-tailed session lengths measured in deployed P2P systems
+	// (many short visits, a few very long residents).
+	SessionPareto = "pareto"
+)
+
+// paretoAlpha is the tail exponent of the Pareto session model. 1.5 keeps
+// a finite mean (α > 1) with the pronounced heavy tail churn studies
+// report.
+const paretoAlpha = 1.5
+
+// Params configures membership churn. The zero value is the paper's
+// model: members never leave.
+type Params struct {
+	// Mu is the global departure rate per tick (Poisson clock): each event
+	// departs one uniformly chosen admitted peer. 0 disables the clock.
+	Mu float64 `json:"mu,omitempty"`
+	// CrashFrac is the fraction of departures that are abrupt crashes: the
+	// leaving node's store is destroyed before any handoff, so records it
+	// was the last surviving replica of are lost. The rest are graceful
+	// leaves, whose store participates in the handoff.
+	CrashFrac float64 `json:"crashFrac,omitempty"`
+	// RejoinProb is the probability that a departed peer returns after a
+	// downtime drawn from Exp(1/DowntimeMean).
+	RejoinProb float64 `json:"rejoinProb,omitempty"`
+	// DowntimeMean is the mean downtime, in ticks, before a rejoin.
+	DowntimeMean float64 `json:"downtimeMean,omitempty"`
+	// SessionDist selects the per-peer session-length distribution
+	// ("exponential", "uniform" or "pareto"); empty defaults to
+	// exponential when SessionMean is set.
+	SessionDist string `json:"sessionDist,omitempty"`
+	// SessionMean, when positive, arms a session clock on every admission:
+	// the peer departs once its drawn session length elapses. The session
+	// model and the Mu clock may run together.
+	SessionMean float64 `json:"sessionMean,omitempty"`
+	// MinPopulation floors the community size: departure events that would
+	// shrink the admitted population to or below it are skipped. 0 means
+	// numSM+1 — enough members for a full distinct replica set.
+	MinPopulation int `json:"minPopulation,omitempty"`
+	// Migrate forces score-manager state migration on even without a
+	// departure process — for scenarios that churn only through scripted
+	// depart/rejoin actions.
+	Migrate bool `json:"migrate,omitempty"`
+}
+
+// Active reports whether any churn machinery (departure clocks or state
+// migration) is enabled.
+func (p Params) Active() bool {
+	return p.Mu > 0 || p.SessionMean > 0 || p.Migrate
+}
+
+// Validate checks the parameters.
+func (p Params) Validate() error {
+	switch {
+	case p.Mu < 0:
+		return fmt.Errorf("churn: Mu %v negative", p.Mu)
+	case p.CrashFrac < 0 || p.CrashFrac > 1:
+		return fmt.Errorf("churn: CrashFrac %v out of [0,1]", p.CrashFrac)
+	case p.RejoinProb < 0 || p.RejoinProb > 1:
+		return fmt.Errorf("churn: RejoinProb %v out of [0,1]", p.RejoinProb)
+	case p.DowntimeMean < 0:
+		return fmt.Errorf("churn: DowntimeMean %v negative", p.DowntimeMean)
+	case p.RejoinProb > 0 && p.DowntimeMean <= 0:
+		return fmt.Errorf("churn: RejoinProb %v needs a positive DowntimeMean", p.RejoinProb)
+	case p.SessionMean < 0:
+		return fmt.Errorf("churn: SessionMean %v negative", p.SessionMean)
+	case p.MinPopulation < 0:
+		return fmt.Errorf("churn: MinPopulation %d negative", p.MinPopulation)
+	}
+	switch p.SessionDist {
+	case "", SessionExponential, SessionUniform, SessionPareto:
+	default:
+		return fmt.Errorf("churn: unknown session distribution %q (want %q, %q or %q)",
+			p.SessionDist, SessionExponential, SessionUniform, SessionPareto)
+	}
+	return nil
+}
+
+// Process draws the stochastic choices of a churn run from a dedicated
+// randomness stream, so enabling churn cannot reshuffle the workload,
+// arrival or behaviour draws of an otherwise identical run.
+type Process struct {
+	src    *rng.Source
+	params Params
+}
+
+// NewProcess returns a process drawing from src under the given
+// (validated) parameters.
+func NewProcess(src *rng.Source, params Params) *Process {
+	if src == nil {
+		panic("churn: process needs a randomness source")
+	}
+	return &Process{src: src, params: params}
+}
+
+// SetParams replaces the parameters mid-run (the delta path). The stream
+// position is unaffected.
+func (p *Process) SetParams(params Params) { p.params = params }
+
+// Params returns the parameters currently in force.
+func (p *Process) Params() Params { return p.params }
+
+// DepartureGap draws the next inter-departure time of the global Poisson
+// clock. It panics when Mu is zero (the caller must not arm the clock).
+func (p *Process) DepartureGap() float64 {
+	return p.src.Exp(p.params.Mu)
+}
+
+// Victim draws the index of the departing peer among n admitted peers.
+func (p *Process) Victim(n int) int { return p.src.Intn(n) }
+
+// Crashes draws whether a departure is an abrupt crash.
+func (p *Process) Crashes() bool { return p.src.Bernoulli(p.params.CrashFrac) }
+
+// Rejoins draws whether a departed peer will return, and after how many
+// ticks. The downtime is exponential with mean DowntimeMean, floored at
+// one tick.
+func (p *Process) Rejoins() (after float64, ok bool) {
+	if !p.src.Bernoulli(p.params.RejoinProb) {
+		return 0, false
+	}
+	d := p.src.Exp(1 / p.params.DowntimeMean)
+	if d < 1 {
+		d = 1
+	}
+	return d, true
+}
+
+// SessionLength draws one session length under the configured
+// distribution, floored at one tick.
+func (p *Process) SessionLength() float64 {
+	mean := p.params.SessionMean
+	var s float64
+	switch p.params.SessionDist {
+	case SessionUniform:
+		s = mean/2 + mean*p.src.Float64()
+	case SessionPareto:
+		// Pareto(α) with scale xm chosen so the mean is SessionMean:
+		// mean = α·xm/(α−1).
+		xm := mean * (paretoAlpha - 1) / paretoAlpha
+		s = xm / math.Pow(1-p.src.Float64(), 1/paretoAlpha)
+	default: // exponential
+		s = p.src.Exp(1 / mean)
+	}
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// ---------------------------------------------------------------------------
+// State migration.
+
+// Stats counts churn activity; the world embeds it in its metrics.
+type Stats struct {
+	// Departures counts graceful leaves of admitted peers; Crashes counts
+	// abrupt ones.
+	Departures int64
+	Crashes    int64
+	// Rejoins counts departed peers readmitted with their reputation
+	// restored from their score managers.
+	Rejoins int64
+	// Migrated counts reputation records handed to a new owner after an
+	// arc change.
+	Migrated int64
+	// Wipeouts counts records whose every surviving replica died in one
+	// event — the only way churn loses reputation state.
+	Wipeouts int64
+}
+
+// Reconcile applies the majority-of-replicas rule to the surviving
+// snapshots of one record: if a strict majority agree exactly, their
+// version wins; otherwise the snapshot with the median read value is
+// taken (deterministic tie-breaking by full snapshot ordering). The
+// boolean is false when no survivor exists — a wipeout.
+func Reconcile(snaps []rocq.Snapshot) (rocq.Snapshot, bool) {
+	switch len(snaps) {
+	case 0:
+		return rocq.Snapshot{}, false
+	case 1:
+		return snaps[0], true
+	}
+	sorted := append([]rocq.Snapshot(nil), snaps...)
+	sort.Slice(sorted, func(i, j int) bool { return snapLess(sorted[i], sorted[j]) })
+	// Majority scan over the sorted copy: equal snapshots are adjacent.
+	runStart, best, bestLen := 0, 0, 1
+	for i := 1; i <= len(sorted); i++ {
+		if i < len(sorted) && sorted[i] == sorted[runStart] {
+			continue
+		}
+		if n := i - runStart; n > bestLen {
+			best, bestLen = runStart, n
+		}
+		runStart = i
+	}
+	if 2*bestLen > len(sorted) {
+		return sorted[best], true
+	}
+	// No majority: the median-by-value survivor.
+	return sorted[len(sorted)/2], true
+}
+
+// snapLess orders snapshots by read value, then by the full evidence
+// tuple, so reconciliation is deterministic.
+func snapLess(a, b rocq.Snapshot) bool {
+	av, bv := a.Value(), b.Value()
+	if av != bv {
+		return av < bv
+	}
+	if a.S != b.S {
+		return a.S < b.S
+	}
+	if a.W != b.W {
+		return a.W < b.W
+	}
+	return a.Reports < b.Reports
+}

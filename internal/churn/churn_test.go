@@ -1,0 +1,139 @@
+package churn
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/rocq"
+)
+
+func TestParamsValidate(t *testing.T) {
+	good := []Params{
+		{},
+		{Mu: 0.01, CrashFrac: 0.5, RejoinProb: 0.5, DowntimeMean: 100},
+		{SessionMean: 500, SessionDist: SessionPareto},
+		{Migrate: true, MinPopulation: 10},
+	}
+	for _, p := range good {
+		if err := p.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v, want nil", p, err)
+		}
+	}
+	bad := []Params{
+		{Mu: -1},
+		{CrashFrac: 1.5},
+		{RejoinProb: -0.1},
+		{DowntimeMean: -5},
+		{RejoinProb: 0.5}, // rejoin without a downtime
+		{SessionMean: -1},
+		{SessionMean: 100, SessionDist: "weibull"},
+		{MinPopulation: -2},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("Validate(%+v) accepted", p)
+		}
+	}
+}
+
+func TestParamsActive(t *testing.T) {
+	if (Params{}).Active() {
+		t.Fatal("zero params must be inactive (the paper's model)")
+	}
+	for _, p := range []Params{{Mu: 0.1}, {SessionMean: 100}, {Migrate: true}} {
+		if !p.Active() {
+			t.Errorf("%+v must be active", p)
+		}
+	}
+}
+
+func TestSessionLengthsMatchMeans(t *testing.T) {
+	for _, dist := range []string{SessionExponential, SessionUniform, SessionPareto} {
+		p := NewProcess(rng.New(1), Params{SessionMean: 1000, SessionDist: dist})
+		sum := 0.0
+		n := 20_000
+		for i := 0; i < n; i++ {
+			s := p.SessionLength()
+			if s < 1 {
+				t.Fatalf("%s: session %v below the one-tick floor", dist, s)
+			}
+			sum += s
+		}
+		mean := sum / float64(n)
+		if math.Abs(mean-1000) > 100 {
+			t.Errorf("%s: empirical mean %v, want ≈1000", dist, mean)
+		}
+	}
+}
+
+func TestRejoinsRespectProbabilityAndFloor(t *testing.T) {
+	p := NewProcess(rng.New(2), Params{RejoinProb: 0.5, DowntimeMean: 50})
+	yes := 0
+	n := 10_000
+	for i := 0; i < n; i++ {
+		after, ok := p.Rejoins()
+		if ok {
+			yes++
+			if after < 1 {
+				t.Fatalf("downtime %v below the one-tick floor", after)
+			}
+		}
+	}
+	if frac := float64(yes) / float64(n); math.Abs(frac-0.5) > 0.03 {
+		t.Errorf("rejoin fraction %v, want ≈0.5", frac)
+	}
+}
+
+func snap(s, w float64, reports int64) rocq.Snapshot {
+	return rocq.Snapshot{S: s, W: w, Reports: reports, Prior: 0.5}
+}
+
+func TestReconcileEmpty(t *testing.T) {
+	if _, ok := Reconcile(nil); ok {
+		t.Fatal("no survivors must reconcile to nothing (a wipeout)")
+	}
+}
+
+func TestReconcileSingleAndUnanimous(t *testing.T) {
+	a := snap(3, 4, 7)
+	if got, ok := Reconcile([]rocq.Snapshot{a}); !ok || got != a {
+		t.Fatalf("single survivor: got %+v ok=%v", got, ok)
+	}
+	if got, ok := Reconcile([]rocq.Snapshot{a, a, a}); !ok || got != a {
+		t.Fatalf("unanimous survivors: got %+v ok=%v", got, ok)
+	}
+}
+
+func TestReconcileMajorityWins(t *testing.T) {
+	maj := snap(3, 4, 7)
+	odd := snap(9, 9.5, 2)
+	got, ok := Reconcile([]rocq.Snapshot{odd, maj, maj})
+	if !ok || got != maj {
+		t.Fatalf("majority did not win: got %+v", got)
+	}
+}
+
+// TestReconcileNoMajorityTakesMedian pins the disagreement rule: with no
+// strict majority the median-by-value snapshot is taken, deterministically
+// regardless of survivor order.
+func TestReconcileNoMajorityTakesMedian(t *testing.T) {
+	lo, mid, hi := snap(1, 9, 1), snap(5, 9, 1), snap(9, 9, 1)
+	want := mid
+	perms := [][]rocq.Snapshot{
+		{lo, mid, hi}, {hi, mid, lo}, {mid, hi, lo}, {lo, hi, mid},
+	}
+	for _, ps := range perms {
+		got, ok := Reconcile(ps)
+		if !ok || got != want {
+			t.Fatalf("order %v: got %+v, want the median %+v", ps, got, want)
+		}
+	}
+}
+
+func TestSnapshotValue(t *testing.T) {
+	s := snap(3, 4, 7) // 3 / (4 + 0.5)
+	if got, want := s.Value(), 3.0/4.5; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Value() = %v, want %v", got, want)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"repro/internal/churn"
 	"repro/internal/topology"
 )
 
@@ -68,6 +69,16 @@ type Config struct {
 	SampleEvery int64 `json:"sampleEvery"`
 	// Seed drives all randomness of a run.
 	Seed uint64 `json:"seed"`
+	// Churn configures membership churn of admitted peers — departures,
+	// crashes and rejoins with score-manager state migration. The zero
+	// value is the paper's model: members never leave.
+	Churn churn.Params `json:"churn,omitzero"`
+	// NullSign replaces the Ed25519 signing identities with cheap
+	// id-bound null identities: lend orders carry no real signature and
+	// none is verified. An explicit fidelity opt-out for huge churn
+	// sweeps where the per-lend signature floor dominates; the default
+	// (false) keeps the paper's signed protocol.
+	NullSign bool `json:"nullSign,omitempty"`
 }
 
 // Default returns the paper's Table 1 defaults.
@@ -143,6 +154,9 @@ func (c Config) Validate() error {
 		return fmt.Errorf("config: SampleEvery %d must be positive", c.SampleEvery)
 	}
 	if _, err := topology.ParseKind(string(c.Topology)); err != nil {
+		return fmt.Errorf("config: %w", err)
+	}
+	if err := c.Churn.Validate(); err != nil {
 		return fmt.Errorf("config: %w", err)
 	}
 	return nil

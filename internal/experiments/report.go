@@ -15,7 +15,7 @@ type Report interface {
 
 // Names lists every runnable experiment identifier, in paper order.
 func Names() []string {
-	return []string{"fig1", "successrate", "fig2", "fig3", "fig4", "fig6", "collusion", "baselines", "whitewash", "ablation", "traitor"}
+	return []string{"fig1", "successrate", "fig2", "fig3", "fig4", "fig6", "collusion", "baselines", "whitewash", "ablation", "traitor", "churn"}
 }
 
 // Run dispatches one experiment by name ("fig5" is an alias of "fig4";
@@ -44,6 +44,8 @@ func Run(name string, opt Options) (Report, error) {
 		return RunAblation(opt)
 	case "traitor":
 		return RunTraitor(opt)
+	case "churn":
+		return RunChurn(nil, opt)
 	}
 	return nil, errUnknownExperiment(name)
 }

@@ -32,6 +32,9 @@ type Options struct {
 	// SeedBase offsets the replica seeds, so different experiments (and
 	// different sweep points) draw independent randomness.
 	SeedBase uint64
+	// NullSign runs every replica with null signing identities — the
+	// explicit Ed25519 opt-out for huge sweeps (config.NullSign).
+	NullSign bool
 }
 
 // withDefaults fills unset options with paper-scale values.
@@ -122,6 +125,9 @@ func runReplicas(cfg config.Config, opt Options, policy baseline.Policy) ([]Repl
 	err := forEachReplica(opt, func(i int) error {
 		c := cfg
 		c.Seed = replicaSeed(opt.SeedBase, i)
+		if opt.NullSign {
+			c.NullSign = true
+		}
 		w, err := world.New(c)
 		if err != nil {
 			return err

@@ -178,12 +178,12 @@ type Protocol struct {
 	net    Network
 	events Events
 
-	signers map[id.ID]*transport.Signer
-	// pubs retains the public keys of departed peers that had actually
-	// signed something: their envelopes may still be in flight (the bus
-	// supports delayed delivery) and must keep verifying. Peers that
-	// never signed leave nothing behind.
-	pubs    map[id.ID]ed25519.PublicKey
+	signers map[id.ID]transport.Identity
+	// tombs retains verification-only identities of departed peers that
+	// had actually signed something: their envelopes may still be in
+	// flight (the bus supports delayed delivery) and must keep verifying.
+	// Peers that never signed leave nothing behind.
+	tombs   map[id.ID]transport.Identity
 	sm      map[id.ID]*smLendState
 	intro   map[id.ID]*introRecord
 	flagged map[id.ID]bool
@@ -196,6 +196,14 @@ type Protocol struct {
 	// introduction; verifying each copy afresh would make Ed25519 dominate
 	// the simulation.
 	sigCache map[string]verifiedSig
+
+	// nullFallback, set when the community runs on null identities,
+	// lets verifyEnv re-derive a departed sender's identity from its
+	// identifier instead of keeping a tombstone per departed peer (null
+	// identities are stateless; retaining them would defeat the
+	// huge-sweep mode they exist for). Never set under real signing,
+	// where an unsigned envelope must keep failing verification.
+	nullFallback bool
 
 	nonce uint64
 	stats Stats
@@ -240,8 +248,8 @@ func New(params Params, engine *sim.Engine, bus *transport.Bus, net Network, eve
 		bus:      bus,
 		net:      net,
 		events:   events,
-		signers:  make(map[id.ID]*transport.Signer),
-		pubs:     make(map[id.ID]ed25519.PublicKey),
+		signers:  make(map[id.ID]transport.Identity),
+		tombs:    make(map[id.ID]transport.Identity),
 		sm:       make(map[id.ID]*smLendState),
 		intro:    make(map[id.ID]*introRecord),
 		flagged:  make(map[id.ID]bool),
@@ -262,37 +270,54 @@ type verifiedSig struct {
 // a registered key is valid by construction, so the receiving score
 // managers need not redo the Ed25519 math. Envelopes built any other way
 // (forged, tampered, replayed under a different order) miss the cache and
-// are verified in full.
-func (p *Protocol) sign(signer *transport.Signer, order transport.LendOrder) transport.Envelope {
-	env := signer.Sign(order)
-	p.sigCache[string(env.Sig)] = verifiedSig{order: order, pub: env.Pub}
+// are verified in full. Null identities produce signatureless envelopes,
+// which bypass the cache entirely (there is nothing to cache).
+func (p *Protocol) sign(ident transport.Identity, order transport.LendOrder) transport.Envelope {
+	env := ident.Sign(order)
+	if len(env.Sig) > 0 {
+		p.sigCache[string(env.Sig)] = verifiedSig{order: order, pub: env.Pub}
+	}
 	return env
 }
 
-// verifyEnv verifies an envelope against the registered key of claimedBy,
-// caching successful signature checks (the equality check against the
-// registered key is repeated every time; only the Ed25519 math is cached).
+// verifyEnv verifies an envelope against the registered identity of
+// claimedBy, caching successful signature checks (the key-binding check
+// against the registered identity is repeated every time; only the
+// Ed25519 math is cached).
 func (p *Protocol) verifyEnv(env transport.Envelope, claimedBy id.ID) bool {
-	var expected ed25519.PublicKey
-	if signer, ok := p.signers[claimedBy]; ok {
-		expected = signer.Public()
-	} else if pub, ok := p.pubs[claimedBy]; ok {
-		expected = pub // departed, but its signatures may still be in flight
-	} else {
+	ident, ok := p.signers[claimedBy]
+	if !ok {
+		// Departed, but its envelopes may still be in flight: use the
+		// retained tombstone, or re-derive the null identity when the
+		// community runs unsigned.
+		if ident, ok = p.tombs[claimedBy]; !ok {
+			if !p.nullFallback || len(env.Sig) != 0 {
+				return false
+			}
+			ident = transport.NewNullIdentity(claimedBy)
+		}
+	}
+	if !ident.PublicEquals(env.Pub) {
 		return false
 	}
-	if !expected.Equal(env.Pub) {
-		return false
+	if len(env.Sig) > 0 {
+		if v, ok := p.sigCache[string(env.Sig)]; ok && v.order == env.Order && v.pub.Equal(env.Pub) {
+			return true
+		}
 	}
-	if v, ok := p.sigCache[string(env.Sig)]; ok && v.order == env.Order && v.pub.Equal(env.Pub) {
-		return true
-	}
-	if ed25519.Verify(env.Pub, env.Order.Encode(), env.Sig) {
-		p.sigCache[string(env.Sig)] = verifiedSig{order: env.Order, pub: env.Pub}
+	if ident.VerifyEnvelope(env) {
+		if len(env.Sig) > 0 {
+			p.sigCache[string(env.Sig)] = verifiedSig{order: env.Order, pub: env.Pub}
+		}
 		return true
 	}
 	return false
 }
+
+// SetNullFallback declares that the community runs on null identities,
+// enabling stateless verification of departed senders' envelopes (see
+// the nullFallback field). The world sets it once at construction.
+func (p *Protocol) SetNullFallback(on bool) { p.nullFallback = on }
 
 // Stats returns a copy of the protocol counters.
 func (p *Protocol) Stats() Stats { return p.stats }
@@ -319,10 +344,19 @@ func (p *Protocol) SetParams(params Params) error {
 
 // RegisterPeer records a member's signing identity and attaches the
 // score-manager message handler to its node (every member can become a
-// score manager for someone).
-func (p *Protocol) RegisterPeer(pid id.ID, signer *transport.Signer) {
-	p.signers[pid] = signer
+// score manager for someone). A rejoining peer re-registers with the
+// identity it departed with.
+func (p *Protocol) RegisterPeer(pid id.ID, ident transport.Identity) {
+	p.signers[pid] = ident
+	delete(p.tombs, pid) // superseded by the live identity
 	p.bus.Register(pid, p.handle(pid))
+}
+
+// Identity returns the registered signing identity of a member — the
+// world stashes it across a departure so a rejoining peer keeps its key.
+func (p *Protocol) Identity(pid id.ID) (transport.Identity, bool) {
+	ident, ok := p.signers[pid]
+	return ident, ok
 }
 
 // UnregisterPeer forgets a departed member's signing identity and its
@@ -331,17 +365,18 @@ func (p *Protocol) RegisterPeer(pid id.ID, signer *transport.Signer) {
 // without eviction a high-refusal workload accretes one signer and one
 // manager state per refused peer forever.
 func (p *Protocol) UnregisterPeer(pid id.ID) {
-	if s, ok := p.signers[pid]; ok {
-		if pub, signed := s.GeneratedPublic(); signed {
-			p.pubs[pid] = pub // envelopes from this peer may still be in flight
+	if ident, ok := p.signers[pid]; ok {
+		if t := ident.Tombstone(); t != nil {
+			p.tombs[pid] = t // envelopes from this peer may still be in flight
 		}
 	}
 	delete(p.signers, pid)
 	delete(p.sm, pid)
-	// Defensive: only admitted peers gain intro records today, and only
-	// never-admitted peers depart — but a future departure path should
-	// not inherit a leak. The flagged set is deliberately kept: it is
-	// punishment history, and Flagged may be queried after departure.
+	// Departed peers keep no intro record: a rejoin re-admits through its
+	// surviving reputation, not through the old introduction, and refused
+	// peers must not leak records. The flagged set is deliberately kept:
+	// it is punishment history, and Flagged may be queried after
+	// departure.
 	delete(p.intro, pid)
 }
 
@@ -352,6 +387,11 @@ func (p *Protocol) RegisteredPeers() int { return len(p.signers) }
 // ManagerStates returns the number of per-node score-manager lending
 // states on record (leak instrumentation for tests).
 func (p *Protocol) ManagerStates() int { return len(p.sm) }
+
+// Tombstones returns the number of retained verification-only
+// identities of departed peers (leak instrumentation for tests; always
+// zero under null signing, whose identities are re-derived on demand).
+func (p *Protocol) Tombstones() int { return len(p.tombs) }
 
 // Flagged reports whether the peer was caught double-introducing.
 func (p *Protocol) Flagged(pid id.ID) bool { return p.flagged[pid] }
@@ -413,7 +453,12 @@ func (p *Protocol) executeLend(newcomer, introducer id.ID) {
 
 	signer, ok := p.signers[introducer]
 	if !ok {
-		panic(fmt.Sprintf("lending: introducer %s has no registered signer", introducer.Short()))
+		// The introducer departed during the waiting period: nobody can
+		// sign the lend order, so the attempt fails like any other
+		// protocol breakdown.
+		p.stats.RefusedProtocol++
+		p.emitRefused(newcomer, introducer, RefusedProtocolFailure)
+		return
 	}
 	p.nonce++
 	order := transport.LendOrder{
@@ -554,6 +599,22 @@ func (p *Protocol) Audit(newcomer id.ID) {
 
 	if satisfactory {
 		p.stats.AuditsSatisfied++
+		_, registered := p.signers[rec.introducer]
+		if _, known := p.net.QueryReputation(rec.introducer); !known && !registered {
+			// The introducer is gone for good: no longer registered and no
+			// score manager holds any standing for it (its records were
+			// dropped at the permanent departure). A stake return for such
+			// a peer would fabricate zero-prior slots that resurrect it
+			// one replica at a time and leak forever, so the stake is
+			// simply stranded — the cost of leaving before the audit pays
+			// out. A *live* introducer whose records were wiped out, and a
+			// departed-but-rejoinable one whose records survive, are both
+			// still paid.
+			if p.events.AuditOutcome != nil {
+				p.events.AuditOutcome(newcomer, rec.introducer, satisfactory, p.engine.Now())
+			}
+			return
+		}
 		// The newcomer's managers tell the introducer's managers to return
 		// the stake and pay the reward; same bipartite fan-out and nonce
 		// deduplication as the lend itself. Each manager signs with its own

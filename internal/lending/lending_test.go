@@ -476,7 +476,11 @@ func TestStakeConservationDuringLend(t *testing.T) {
 	}
 }
 
-func TestUnregisteredIntroducerPanics(t *testing.T) {
+// TestUnregisteredIntroducerRefuses pins the churn-era semantics: an
+// introducer with no registered signing identity at lend time (it
+// departed during the waiting period) fails the introduction as a
+// protocol breakdown instead of panicking the run.
+func TestUnregisteredIntroducerRefuses(t *testing.T) {
 	h := newHarness(t)
 	ghost := id.HashString("ghost")
 	h.net.assign(ghost, 3, "ghost")
@@ -487,12 +491,16 @@ func TestUnregisteredIntroducerPanics(t *testing.T) {
 	}
 	newcomer, _ := h.addPeer("newcomer", -1)
 	h.proto.Begin(newcomer, ghost, true)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic for unregistered introducer")
-		}
-	}()
 	h.engine.RunUntil(2000)
+	if len(h.admitted) != 0 {
+		t.Fatalf("newcomer admitted through a signerless introducer")
+	}
+	if len(h.refused) != 1 || h.refused[0] != RefusedProtocolFailure {
+		t.Fatalf("refusals = %v, want one RefusedProtocolFailure", h.refused)
+	}
+	if got := h.proto.Stats().RefusedProtocol; got != 1 {
+		t.Fatalf("RefusedProtocol = %d, want 1", got)
+	}
 }
 
 func TestReasonString(t *testing.T) {

@@ -208,7 +208,12 @@ func (r *Ring) NextMember(n id.ID) (id.ID, bool) {
 // repairNode refreshes one node's predecessor, successor list and finger
 // table against current membership, if stale. Neighbour pointers are
 // already live, so the predecessor and successor list are read off the
-// ring in O(SuccessorListLen); only the finger table costs O(Bits·log n).
+// ring in O(SuccessorListLen). Fingers are repaired by walking the
+// targets n+2^k in increasing clockwise distance: the owner changes only
+// when a target crosses the previous owner, so the index is consulted
+// O(distinct fingers) = O(log n) times instead of once per bit — the
+// membership walk a real Chord node performs along its neighbour list,
+// without the 160 ceiling queries that made lookups regress.
 func (r *Ring) repairNode(node *Node) {
 	if node.repairedAt == r.epoch {
 		return
@@ -217,13 +222,31 @@ func (r *Ring) repairNode(node *Node) {
 	node.succs = node.succs[:0]
 	if r.size == 1 {
 		node.succs = append(node.succs, node.ID)
-	} else {
-		for s, j := node.next, 0; j < SuccessorListLen && s != node; s, j = s.next, j+1 {
-			node.succs = append(node.succs, s.ID)
+		for k := 0; k < id.Bits; k++ {
+			node.fingers[k] = node.ID
 		}
+		node.repairedAt = r.epoch
+		return
 	}
-	for k := 0; k < id.Bits; k++ {
-		node.fingers[k] = r.successorID(node.ID.AddPow2(k))
+	for s, j := node.next, 0; j < SuccessorListLen && s != node; s, j = s.next, j+1 {
+		node.succs = append(node.succs, s.ID)
+	}
+	// fingers[0] targets node+1; identifiers are integers on the ring, so
+	// the open arc (node, node+1) holds no member and the owner is the
+	// live successor.
+	target := node.ID.AddPow2(0)
+	owner := node.next.ID
+	node.fingers[0] = owner
+	for k := 1; k < id.Bits; k++ {
+		prev := target
+		target = node.ID.AddPow2(k)
+		// The previous owner keeps answering while the target stays inside
+		// (prev, owner]: prev was in the owner's arc, so everything up to
+		// the owner still is. Past it, ask the membership index once.
+		if owner == prev || !target.BetweenRightIncl(prev, owner) {
+			owner = r.successorID(target)
+		}
+		node.fingers[k] = owner
 	}
 	node.repairedAt = r.epoch
 }

@@ -1,0 +1,67 @@
+package overlay
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/id"
+	"repro/internal/rng"
+)
+
+// TestFingerRepairMatchesOracleUnderChurn pins the incremental finger
+// walk (repairNode consults the membership index only when a target
+// crosses the previous owner) against the per-bit oracle, across ring
+// sizes and sustained join/leave churn — every bit of every table, not a
+// sample.
+func TestFingerRepairMatchesOracleUnderChurn(t *testing.T) {
+	ring := NewRing()
+	src := rng.New(77)
+	var members []id.ID
+	join := func(tag string) {
+		n := id.HashString(tag)
+		if err := ring.Join(n); err != nil {
+			t.Fatal(err)
+		}
+		members = append(members, n)
+	}
+	checkAll := func(when string) {
+		t.Helper()
+		for _, m := range members {
+			node, err := ring.Node(m) // repairs against current membership
+			if err != nil {
+				t.Fatal(err)
+			}
+			for k := 0; k < id.Bits; k++ {
+				want, err := ring.Successor(m.AddPow2(k))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if node.Finger(k) != want {
+					t.Fatalf("%s: member %s finger %d = %s, want %s",
+						when, m.Short(), k, node.Finger(k).Short(), want.Short())
+				}
+			}
+		}
+	}
+
+	for i := 0; i < 3; i++ { // tiny rings first: 1, 2, 3 members
+		join(fmt.Sprintf("seed-%d", i))
+		checkAll(fmt.Sprintf("size-%d", ring.Size()))
+	}
+	for i := 0; i < 60; i++ {
+		join(fmt.Sprintf("grow-%d", i))
+	}
+	checkAll("grown")
+	for step := 0; step < 40; step++ {
+		if len(members) > 4 && src.Bool() {
+			i := src.Intn(len(members))
+			if err := ring.Leave(members[i]); err != nil {
+				t.Fatal(err)
+			}
+			members = append(members[:i], members[i+1:]...)
+		} else {
+			join(fmt.Sprintf("churn-%d", step))
+		}
+		checkAll(fmt.Sprintf("churn step %d", step))
+	}
+}

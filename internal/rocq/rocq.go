@@ -29,6 +29,7 @@ package rocq
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/id"
 )
@@ -205,6 +206,12 @@ type Store struct {
 
 	known   int // subjects with evidence (present slots)
 	reports int64
+
+	// onChange, when set, observes every mutation of a subject's stored
+	// evidence (reports, credits, debits, zeroing, init, adoption,
+	// forgetting). The simulation world uses it to dirty-track reputation
+	// reads so periodic sampling touches only subjects that changed.
+	onChange func(subject id.ID)
 }
 
 // subjectState is the credibility-weighted evidence about one subject:
@@ -219,6 +226,7 @@ type Store struct {
 // Known and Subjects report. Slots are never replaced once created — Init
 // resets in place — so a Ref stays valid for the life of the store.
 type subjectState struct {
+	subject id.ID   // the subject this slot is about (for change notification)
 	s       float64 // weighted opinion sum (plus lending adjustments)
 	w       float64 // total opinion weight
 	reports int64
@@ -243,12 +251,22 @@ func (s *Store) Subjects() int { return s.known }
 // Reports returns the total number of reports folded in.
 func (s *Store) Reports() int64 { return s.reports }
 
+// SetOnChange attaches the evidence-mutation observer; nil detaches it.
+func (s *Store) SetOnChange(fn func(subject id.ID)) { s.onChange = fn }
+
+// notify reports a mutation of the slot's subject to the observer.
+func (s *Store) notify(st *subjectState) {
+	if s.onChange != nil {
+		s.onChange(st.subject)
+	}
+}
+
 // slot returns the subject's state, creating an empty (non-present)
 // placeholder if the store has no slot for it yet.
 func (s *Store) slot(subject id.ID) *subjectState {
 	st, ok := s.subjects[subject]
 	if !ok {
-		st = &subjectState{}
+		st = &subjectState{subject: subject}
 		s.subjects[subject] = st
 	}
 	return st
@@ -273,8 +291,9 @@ const initWeight = 20
 func (s *Store) Init(subject id.ID, rep float64) {
 	st := s.slot(subject)
 	s.materialize(st)
-	*st = subjectState{w: initWeight, present: true}
+	*st = subjectState{subject: subject, w: initWeight, present: true}
 	st.s = clamp01(rep) * (st.w + s.params.PriorWeight)
+	s.notify(st)
 }
 
 // Known reports whether the store holds state for the subject.
@@ -326,6 +345,7 @@ func (s *Store) Forget(subject id.ID) {
 	}
 	if st.present {
 		s.known--
+		s.notify(st)
 	}
 	delete(s.subjects, subject)
 }
@@ -381,6 +401,7 @@ func (s *Store) reportTo(st *subjectState, reporter id.ID, op Opinion) {
 	}
 	st.reports++
 	s.updateCred(reporter, cred, op.Value, s.value(st))
+	s.notify(st)
 }
 
 // updateCred moves the reporter's credibility toward 1−|opinion−aggregate|:
@@ -415,6 +436,7 @@ func (s *Store) adjust(subject id.ID, delta float64) {
 	if st.s < 0 {
 		st.s = 0
 	}
+	s.notify(st)
 }
 
 // Credit raises the subject's stored reputation by amount (clamped to 1),
@@ -444,6 +466,60 @@ func (s *Store) Zero(subject id.ID) {
 	st := s.slot(subject)
 	s.materialize(st)
 	st.s = 0
+	s.notify(st)
+}
+
+// ---------------------------------------------------------------------------
+// Record migration (churn handoff).
+
+// Snapshot is the portable form of one subject's stored evidence — what a
+// score manager hands to the replica taking over its ownership arc when
+// membership changes. It carries the raw weighted evidence, not the read
+// value, so adoption preserves the window dynamics exactly.
+type Snapshot struct {
+	S       float64 // weighted opinion sum
+	W       float64 // total opinion weight
+	Reports int64   // reports folded into this replica
+	Prior   float64 // the source store's prior weight (for Value)
+}
+
+// Value reads the reputation the snapshot encodes.
+func (sn Snapshot) Value() float64 {
+	return clamp01(sn.S / (sn.W + sn.Prior))
+}
+
+// Export captures the subject's stored evidence, and false when the store
+// holds none.
+func (s *Store) Export(subject id.ID) (Snapshot, bool) {
+	st, ok := s.subjects[subject]
+	if !ok || !st.present {
+		return Snapshot{}, false
+	}
+	return Snapshot{S: st.s, W: st.w, Reports: st.reports, Prior: s.params.PriorWeight}, true
+}
+
+// Adopt installs a migrated snapshot as the subject's stored evidence,
+// replacing whatever the store held. The slot is reset in place, so Refs
+// taken before the adoption keep observing the subject.
+func (s *Store) Adopt(subject id.ID, sn Snapshot) {
+	st := s.slot(subject)
+	s.materialize(st)
+	st.s, st.w, st.reports = sn.S, sn.W, sn.Reports
+	s.notify(st)
+}
+
+// SubjectIDs returns the subjects with stored evidence in ascending
+// identifier order — the deterministic iteration the churn handoff needs
+// when a node's store is enumerated at departure.
+func (s *Store) SubjectIDs() []id.ID {
+	out := make([]id.ID, 0, s.known)
+	for subject, st := range s.subjects {
+		if st.present {
+			out = append(out, subject)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
 }
 
 // ---------------------------------------------------------------------------

@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"repro/internal/churn"
 	"repro/internal/config"
 	"repro/internal/world"
 )
@@ -9,16 +10,20 @@ import (
 // repo's examples/* programs and are pinned by golden tests: under the
 // same seed each reproduces, metric for metric, the run its hard-coded
 // predecessor produced. The rest showcase spec features the examples
-// never needed (parameter deltas, traitors).
+// never needed (parameter deltas, traitors, membership churn with
+// score-manager state migration).
 func init() {
 	for name, build := range map[string]func() *Spec{
-		"quickstart":  Quickstart,
-		"churn":       Churn,
-		"collusion":   Collusion,
-		"filesharing": Filesharing,
-		"api":         API,
-		"churn-wave":  ChurnWave,
-		"traitor":     TraitorMilking,
+		"quickstart":   Quickstart,
+		"churn":        Churn,
+		"collusion":    Collusion,
+		"filesharing":  Filesharing,
+		"api":          API,
+		"churn-wave":   ChurnWave,
+		"traitor":      TraitorMilking,
+		"churn-steady": ChurnSteady,
+		"flash-crowd":  FlashCrowd,
+		"sm-wipeout":   SMWipeout,
 	} {
 		if err := Register(name, build); err != nil {
 			panic(err)
@@ -191,6 +196,112 @@ func ChurnWave() *Spec {
 			{Name: "wave passes", At: 20_000, Set: &world.Delta{
 				Lambda: &lambdaCalm, FracUncoop: &uncoopCalm,
 			}},
+		},
+	}
+}
+
+// ChurnSteady is the steady-state churn workload at half paper scale:
+// the paper's Table 1 community with a departure clock running against
+// the arrival clock, a quarter of the departures abrupt crashes, and
+// two-fifths of the departed peers returning with their reputation
+// restored from their (migrating) score managers. The paper's model
+// never removes members; this is the extension scenario that exercises
+// score-manager state migration under sustained membership loss.
+func ChurnSteady() *Spec {
+	base := config.Default()
+	base.NumInit = 250
+	base.NumTrans = 250_000
+	base.WaitPeriod = 500
+	base.SampleEvery = 2_500
+	base.Seed = 29
+	base.Churn = churn.Params{
+		Mu:           0.005,
+		CrashFrac:    0.25,
+		RejoinProb:   0.4,
+		DowntimeMean: 2_500,
+	}
+	return &Spec{
+		Name: "churn-steady",
+		Description: "Half-paper-scale community under steady churn: departures at μ=0.005 against " +
+			"λ=0.01 arrivals, 25% crashes, 40% rejoins; reputation state migrates across every arc change.",
+		Base: base,
+	}
+}
+
+// FlashCrowd is the flash-crowd-then-exodus stress: a calm community
+// takes a 10000-tick arrival flood, then the crowd stampedes out (the
+// departure rate spikes 40×, half of it crashes) before calm returns.
+// The delta machinery re-arms both Poisson clocks mid-run.
+func FlashCrowd() *Spec {
+	base := config.Default()
+	base.NumInit = 150
+	base.NumTrans = 60_000
+	base.Lambda = 0.02
+	base.WaitPeriod = 500
+	base.Seed = 23
+	base.Churn = churn.Params{
+		Mu:           0.002,
+		CrashFrac:    0.1,
+		RejoinProb:   0.3,
+		DowntimeMean: 2_000,
+	}
+	lambdaHot, lambdaCalm := 0.3, 0.02
+	uncoopHot, uncoopCalm := 0.4, 0.25
+	muHot, muCalm := 0.08, 0.002
+	crashHot, crashCalm := 0.5, 0.1
+	return &Spec{
+		Name: "flash-crowd",
+		Description: "Flash crowd then exodus: λ×15 arrival flood for 10000 ticks, then departures " +
+			"spike 40× (half crashes) as the crowd leaves, then calm — churn deltas on both clocks.",
+		Base: base,
+		Phases: []Phase{
+			{Name: "flash crowd", At: 15_000, Set: &world.Delta{
+				Lambda: &lambdaHot, FracUncoop: &uncoopHot,
+			}},
+			{Name: "exodus", At: 25_000, Set: &world.Delta{
+				Lambda: &lambdaCalm, FracUncoop: &uncoopCalm,
+				Mu: &muHot, CrashFrac: &crashHot,
+			}},
+			{Name: "calm", At: 40_000, Set: &world.Delta{
+				Mu: &muCalm, CrashFrac: &crashCalm,
+			}},
+		},
+	}
+}
+
+// SMWipeout is the durability-limit experiment: a newcomer earns
+// standing, every one of its score managers crashes in a single
+// membership event (the only data-loss case — the wipeout counter
+// records it), the peer rebuilds its reputation from zero through
+// fresh transactions, then departs gracefully and rejoins with the
+// rebuilt standing restored by its new score managers.
+func SMWipeout() *Spec {
+	base := config.Default()
+	base.NumInit = 60
+	base.NumTrans = 30_000
+	base.Lambda = 0
+	base.WaitPeriod = 200
+	base.AuditTrans = 10
+	base.Seed = 31
+	base.Churn = churn.Params{Migrate: true}
+	return &Spec{
+		Name: "sm-wipeout",
+		Description: "A newcomer's entire score-manager set crashes in one tick — the only way churn " +
+			"loses state (counted as a wipeout); the peer rebuilds, departs, and rejoins restored.",
+		Base: base,
+		Phases: []Phase{
+			{Name: "victim enters", At: 0, Inject: []Injection{{
+				As: "victim", Class: "cooperative", Style: "selective",
+				Introducer: Selector{Style: "naive", FallbackFirst: true},
+			}}},
+			{Name: "replica wipeout", At: 10_000, Depart: &Departure{
+				ScoreManagersOf: &Selector{Ref: "victim"},
+				Crash:           true,
+			}},
+			{Name: "victim departs", At: 18_000, Depart: &Departure{
+				Peers: &Selector{Ref: "victim"},
+			}},
+			{Name: "victim returns", At: 24_000, Rejoin: []string{"victim"}},
 		},
 	}
 }

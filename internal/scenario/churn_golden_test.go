@@ -1,0 +1,140 @@
+package scenario
+
+import (
+	"testing"
+
+	"repro/internal/id"
+	"repro/internal/peer"
+	"repro/internal/sim"
+	"repro/internal/world"
+)
+
+// The churn built-ins are pinned the same way the original five are: an
+// inline replication through the direct World API must reproduce the
+// registry-built scenario run metric for metric. Because the two sides
+// are independently constructed worlds under the same seed, each test
+// also pins byte-stable determinism of the churn machinery (departure
+// clocks, migration order, rejoin scheduling).
+
+// TestGoldenChurnSteady pins "churn-steady": the half-paper-scale
+// steady-churn workload, replicated as a plain configured run.
+func TestGoldenChurnSteady(t *testing.T) {
+	spec, err := Get("churn-steady")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := world.New(spec.Base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	m := w.Metrics()
+	if m.Churn.Departures == 0 || m.Churn.Crashes == 0 || m.Churn.Rejoins == 0 {
+		t.Fatalf("steady churn produced no lifecycle activity: %+v", m.Churn)
+	}
+	if m.Churn.Migrated == 0 {
+		t.Fatal("steady churn migrated no records; the handoff protocol is dead")
+	}
+	want := worldDigest(w, map[string]id.ID{})
+	compareDigests(t, want, runBuiltin(t, "churn-steady"))
+}
+
+// TestGoldenFlashCrowd pins "flash-crowd": the delta-driven flood and
+// exodus, replicated with direct ApplyDelta calls at the phase ticks.
+func TestGoldenFlashCrowd(t *testing.T) {
+	spec, err := Get("flash-crowd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := world.New(spec.Base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Start()
+	now := int64(0)
+	for i := range spec.Phases {
+		ph := &spec.Phases[i]
+		if err := w.RunFor(sim.Tick(ph.At - now)); err != nil {
+			t.Fatal(err)
+		}
+		now = ph.At
+		if err := w.ApplyDelta(*ph.Set); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.RunFor(sim.Tick(spec.Base.NumTrans - now)); err != nil {
+		t.Fatal(err)
+	}
+	w.Finish()
+	m := w.Metrics()
+	if m.Churn.Departures+m.Churn.Crashes < 100 {
+		t.Fatalf("exodus departed only %d peers", m.Churn.Departures+m.Churn.Crashes)
+	}
+	want := worldDigest(w, map[string]id.ID{})
+	compareDigests(t, want, runBuiltin(t, "flash-crowd"))
+}
+
+// TestGoldenSMWipeout pins "sm-wipeout" and the two headline churn
+// invariants: a full-replica crash is counted as a wipeout, and a
+// departed peer rejoins with exactly the reputation its score managers
+// held for it at departure.
+func TestGoldenSMWipeout(t *testing.T) {
+	spec, err := Get("sm-wipeout")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := world.New(spec.Base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Start()
+	naive := firstWithStyle(t, w, peer.Naive)
+	victim := mustInject(t, w, peer.Cooperative, peer.Selective, naive)
+	if err := w.RunFor(10_000); err != nil {
+		t.Fatal(err)
+	}
+	// Crash the victim's entire (distinct, admitted) score-manager set in
+	// one membership event.
+	var managers []id.ID
+	for _, m := range w.ScoreManagers(victim) {
+		if !id.Contains(managers, m) && w.IsAdmitted(m) {
+			managers = append(managers, m)
+		}
+	}
+	if err := w.DepartBatch(managers, false); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Metrics().Churn.Wipeouts; got < 1 {
+		t.Fatalf("full-replica crash recorded %d wipeouts, want >= 1", got)
+	}
+	if !w.WipedOut(victim) {
+		t.Fatal("victim's record survived a crash of its entire manager set")
+	}
+	if err := w.RunFor(8_000); err != nil {
+		t.Fatal(err)
+	}
+	repBefore := w.Reputation(victim)
+	if repBefore <= 0 {
+		t.Fatal("victim rebuilt no reputation before departing")
+	}
+	if err := w.Depart(victim); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.RunFor(6_000); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Rejoin(victim); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Reputation(victim); got != repBefore {
+		t.Fatalf("rejoined reputation %v, want the pre-departure %v restored", got, repBefore)
+	}
+	if err := w.RunFor(6_000); err != nil {
+		t.Fatal(err)
+	}
+	w.Finish()
+	want := worldDigest(w, map[string]id.ID{"victim": victim})
+	compareDigests(t, want, runBuiltin(t, "sm-wipeout"))
+}

@@ -31,8 +31,14 @@ func (s *Spec) Describe() string {
 			acts = append(acts, fmt.Sprintf("crash %.0f%% of the score managers of %s",
 				100*ph.Crash.Fraction, describeSelector(ph.Crash.ScoreManagersOf)))
 		}
+		if ph.Depart != nil {
+			acts = append(acts, describeDeparture(ph.Depart))
+		}
 		for j := range ph.Inject {
 			acts = append(acts, describeInjection(&ph.Inject[j]))
+		}
+		for _, ref := range ph.Rejoin {
+			acts = append(acts, fmt.Sprintf("rejoin the peer labelled %q", ref))
 		}
 		if ph.Recover {
 			acts = append(acts, "recover all crashed nodes")
@@ -81,7 +87,48 @@ func describeDelta(d *world.Delta) string {
 	if d.SampleEvery != nil {
 		add("sampleEvery", *d.SampleEvery)
 	}
+	if d.Mu != nil {
+		add("μ", *d.Mu)
+	}
+	if d.CrashFrac != nil {
+		add("crashFrac", *d.CrashFrac)
+	}
+	if d.RejoinProb != nil {
+		add("rejoinProb", *d.RejoinProb)
+	}
+	if d.DowntimeMean != nil {
+		add("downtimeMean", *d.DowntimeMean)
+	}
 	return strings.Join(parts, ", ")
+}
+
+func describeDeparture(d *Departure) string {
+	verb := "depart"
+	if d.Crash {
+		verb = "crash-depart"
+	}
+	if d.ScoreManagersOf != nil {
+		frac := d.Fraction
+		if frac == 0 {
+			frac = 1
+		}
+		return fmt.Sprintf("%s %.0f%% of the score managers of %s",
+			verb, 100*frac, describeSelector(*d.ScoreManagersOf))
+	}
+	sel := Selector{}
+	if d.Peers != nil {
+		sel = *d.Peers
+	}
+	var b strings.Builder
+	if n := d.count(); n > 1 {
+		fmt.Fprintf(&b, "%s %d members matching %s", verb, n, describeSelector(sel))
+	} else {
+		fmt.Fprintf(&b, "%s %s", verb, describeSelector(sel))
+	}
+	if d.As != "" {
+		fmt.Fprintf(&b, ", as %q", d.As)
+	}
+	return b.String()
 }
 
 func describeInjection(in *Injection) string {
@@ -112,6 +159,9 @@ func describeSelector(sel Selector) string {
 		return fmt.Sprintf("the peer labelled %q", sel.Ref)
 	}
 	var parts []string
+	if sel.Class != "" {
+		parts = append(parts, sel.Class)
+	}
 	if sel.Style != "" {
 		parts = append(parts, sel.Style)
 	}

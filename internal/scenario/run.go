@@ -90,9 +90,9 @@ func (r *Run) Outcomes() []InjectionOutcome {
 func (r *Run) PhasesRemaining() int { return len(r.spec.Phases) - r.next }
 
 // StepPhase advances the clock to the next phase's tick and executes its
-// actions in order: set, crash, inject, recover. It returns the executed
-// phase, or nil when every phase has already run. Spaced injections leave
-// the clock at phase.At + count·spacedBy.
+// actions in order: set, crash, depart, inject, rejoin, recover. It
+// returns the executed phase, or nil when every phase has already run.
+// Spaced injections leave the clock at phase.At + count·spacedBy.
 func (r *Run) StepPhase() (*Phase, error) {
 	if r.next >= len(r.spec.Phases) {
 		return nil, nil
@@ -119,9 +119,23 @@ func (r *Run) StepPhase() (*Phase, error) {
 			return nil, fmt.Errorf("scenario %q: phase %s: %w", r.spec.Name, ph.label(), err)
 		}
 	}
+	if ph.Depart != nil {
+		if err := r.depart(ph.Depart); err != nil {
+			return nil, fmt.Errorf("scenario %q: phase %s: depart: %w", r.spec.Name, ph.label(), err)
+		}
+	}
 	for j := range ph.Inject {
 		if err := r.inject(&ph.Inject[j], ph); err != nil {
 			return nil, fmt.Errorf("scenario %q: phase %s: injection %d: %w", r.spec.Name, ph.label(), j, err)
+		}
+	}
+	for _, ref := range ph.Rejoin {
+		pid, ok := r.labels[ref]
+		if !ok {
+			return nil, fmt.Errorf("scenario %q: phase %s: rejoin: label %q is not bound", r.spec.Name, ph.label(), ref)
+		}
+		if err := r.w.Rejoin(pid); err != nil {
+			return nil, fmt.Errorf("scenario %q: phase %s: rejoin %q: %w", r.spec.Name, ph.label(), ref, err)
 		}
 	}
 	if ph.Recover {
@@ -225,28 +239,99 @@ func (r *Run) inject(in *Injection, ph *Phase) error {
 	return nil
 }
 
+// depart executes one departure action: resolve the victims, remove them
+// in a single membership event, and bind any labels for later rejoins.
+func (r *Run) depart(d *Departure) error {
+	var victims []id.ID
+	if d.ScoreManagersOf != nil {
+		target, err := r.resolve(*d.ScoreManagersOf)
+		if err != nil {
+			return err
+		}
+		sms := r.w.ScoreManagers(target)
+		frac := d.Fraction
+		if frac == 0 {
+			frac = 1
+		}
+		n := int(frac * float64(len(sms)))
+		if n == 0 {
+			n = 1 // any positive fraction departs at least one manager
+		}
+		for _, m := range sms[:n] {
+			// Padded placements repeat managers; a manager may also be a
+			// pending (not yet admitted) newcomer, which cannot depart.
+			if !id.Contains(victims, m) && r.w.IsAdmitted(m) {
+				victims = append(victims, m)
+			}
+		}
+		if len(victims) == 0 {
+			return fmt.Errorf("no admitted score manager of the selected member to depart")
+		}
+	} else {
+		sel := Selector{}
+		if d.Peers != nil {
+			sel = *d.Peers
+		}
+		var err error
+		victims, err = r.resolveMany(sel, d.count())
+		if err != nil {
+			return err
+		}
+	}
+	if err := r.w.DepartBatch(victims, !d.Crash); err != nil {
+		return err
+	}
+	for i, l := range d.labels() {
+		r.labels[l] = victims[i]
+	}
+	return nil
+}
+
 // resolve picks the member a selector describes, at the current tick.
 func (r *Run) resolve(sel Selector) (id.ID, error) {
+	out, err := r.resolveMany(sel, 1)
+	if err != nil {
+		return id.ID{}, err
+	}
+	return out[0], nil
+}
+
+// resolveMany picks the first count members the selector matches, in
+// admission order.
+func (r *Run) resolveMany(sel Selector, count int) ([]id.ID, error) {
 	if sel.Ref != "" {
 		pid, ok := r.labels[sel.Ref]
 		if !ok {
-			return id.ID{}, fmt.Errorf("selector ref %q is not bound", sel.Ref)
+			return nil, fmt.Errorf("selector ref %q is not bound", sel.Ref)
 		}
-		return pid, nil
+		if count != 1 {
+			return nil, fmt.Errorf("selector ref %q names a single peer, need %d", sel.Ref, count)
+		}
+		return []id.ID{pid}, nil
 	}
 	admitted := r.w.AdmittedPeers()
 	if len(admitted) == 0 {
-		return id.ID{}, errors.New("no admitted members to select from")
+		return nil, errors.New("no admitted members to select from")
 	}
 	var style peer.Style
 	wantStyle := sel.Style != ""
 	if wantStyle {
 		s, err := parseStyle(sel.Style)
 		if err != nil {
-			return id.ID{}, err
+			return nil, err
 		}
 		style = s
 	}
+	var class peer.Class
+	wantClass := sel.Class != ""
+	if wantClass {
+		c, err := parseClass(sel.Class)
+		if err != nil {
+			return nil, err
+		}
+		class = c
+	}
+	var out []id.ID
 	for _, pid := range admitted {
 		p, ok := r.w.Peer(pid)
 		if !ok {
@@ -255,15 +340,26 @@ func (r *Run) resolve(sel Selector) (id.ID, error) {
 		if wantStyle && p.Style != style {
 			continue
 		}
+		if wantClass && p.Class != class {
+			continue
+		}
 		if sel.MinRep > 0 && r.w.Reputation(pid) <= sel.MinRep {
 			continue
 		}
-		return pid, nil
+		out = append(out, pid)
+		if len(out) == count {
+			return out, nil
+		}
 	}
-	if sel.FallbackFirst {
-		return admitted[0], nil
+	if len(out) == 0 {
+		if sel.FallbackFirst && count == 1 {
+			return []id.ID{admitted[0]}, nil
+		}
+		return nil, fmt.Errorf("no member matches selector (style=%q class=%q minRep=%v)",
+			sel.Style, sel.Class, sel.MinRep)
 	}
-	return id.ID{}, fmt.Errorf("no member matches selector (style=%q minRep=%v)", sel.Style, sel.MinRep)
+	return nil, fmt.Errorf("only %d of %d members match selector (style=%q class=%q minRep=%v)",
+		len(out), count, sel.Style, sel.Class, sel.MinRep)
 }
 
 // Result is a finished scenario run.
@@ -335,6 +431,10 @@ func (res *Result) Summary() string {
 		m.AuditsSatisfied, m.AuditsForfeited)
 	fmt.Fprintf(&b, "protocol:     %d lends granted, %d duplicate-introduction punishments\n",
 		res.Proto.Granted, res.Proto.DuplicateAttempts)
+	if c := m.Churn; c.Departures+c.Crashes+c.Rejoins+c.Migrated+c.Wipeouts > 0 {
+		fmt.Fprintf(&b, "churn:        %d departures, %d crashes, %d rejoins; %d records migrated, %d wiped out\n",
+			c.Departures, c.Crashes, c.Rejoins, c.Migrated, c.Wipeouts)
+	}
 	if last, ok := m.CoopReputation.Last(); ok {
 		fmt.Fprintf(&b, "reputation:   mean cooperative reputation %.4f at end\n", last.V)
 	}

@@ -42,8 +42,9 @@ type Spec struct {
 
 // Phase is one timed intervention. When the simulation clock reaches At,
 // its actions run in a fixed order: Set (parameter delta), Crash (fault
-// injection), Inject (scripted arrivals, possibly spaced over following
-// ticks), Recover (heal every node crashed so far).
+// injection), Depart (membership departures), Inject (scripted arrivals,
+// possibly spaced over following ticks), Rejoin (departed members
+// return), Recover (heal every node crashed so far).
 type Phase struct {
 	// Name labels the phase in logs and descriptions.
 	Name string `json:"name,omitempty"`
@@ -54,8 +55,15 @@ type Phase struct {
 	Set *world.Delta `json:"set,omitempty"`
 	// Crash marks a fraction of a member's score managers crashed.
 	Crash *Fault `json:"crash,omitempty"`
+	// Depart removes admitted members — gracefully or by crash — in one
+	// membership event, with score-manager state handoff when the base
+	// configuration enables churn.
+	Depart *Departure `json:"depart,omitempty"`
 	// Inject scripts arrivals through chosen introducers.
 	Inject []Injection `json:"inject,omitempty"`
+	// Rejoin readmits the departed peers bound to these labels, restoring
+	// their reputation from their score managers.
+	Rejoin []string `json:"rejoin,omitempty"`
 	// Recover heals every node crashed by earlier phases.
 	Recover bool `json:"recover,omitempty"`
 }
@@ -91,17 +99,49 @@ type Injection struct {
 // selector picks the first admitted member. Ref is mutually exclusive
 // with the scan fields.
 type Selector struct {
-	// Ref picks the peer a previous injection bound with As.
+	// Ref picks the peer a previous injection (or departure) bound with
+	// As.
 	Ref string `json:"ref,omitempty"`
 	// Style restricts the scan to members with this introduction style
 	// ("naive" or "selective").
 	Style string `json:"style,omitempty"`
+	// Class restricts the scan to members of this behaviour class
+	// ("cooperative" or "uncooperative").
+	Class string `json:"class,omitempty"`
 	// MinRep, when positive, restricts the scan to members whose current
 	// reputation strictly exceeds it.
 	MinRep float64 `json:"minRep,omitempty"`
 	// FallbackFirst falls back to the first admitted member when no
 	// member matches, instead of failing the run.
 	FallbackFirst bool `json:"fallbackFirst,omitempty"`
+}
+
+// Departure is one membership-departure action: either the first Count
+// admitted members matching Peers, or a fraction of the current score
+// managers of a selected member (the availability-attack form), leave in
+// a single membership event.
+type Departure struct {
+	// Peers selects departing members by scanning admitted peers in
+	// admission order; Count takes the first Count matches (default 1).
+	// Mutually exclusive with ScoreManagersOf; with both absent the
+	// first admitted member departs.
+	Peers *Selector `json:"peers,omitempty"`
+	// Count is the number of matching members to depart (default 1).
+	Count int `json:"count,omitempty"`
+	// ScoreManagersOf departs the current score managers of the selected
+	// member instead — the replica-wipeout experiment.
+	ScoreManagersOf *Selector `json:"scoreManagersOf,omitempty"`
+	// Fraction is the leading share of that score-manager set to depart
+	// (default 1 = all of it; any positive fraction departs at least
+	// one manager).
+	Fraction float64 `json:"fraction,omitempty"`
+	// Crash makes the departure abrupt: the leaving stores are destroyed
+	// before any handoff, so records whose every replica dies in this
+	// event are wiped out.
+	Crash bool `json:"crash,omitempty"`
+	// As labels the departed peers for a later rejoin phase ("label", or
+	// "label-1"… when Count > 1). Only valid with Peers selection.
+	As string `json:"as,omitempty"`
 }
 
 // Fault crashes part of a member's score-manager set: the members hosting
@@ -170,7 +210,8 @@ func (s *Spec) Validate() error {
 				where, ph.At, cursor)
 		}
 		cursor = ph.At
-		if ph.Set == nil && ph.Crash == nil && len(ph.Inject) == 0 && !ph.Recover {
+		if ph.Set == nil && ph.Crash == nil && ph.Depart == nil &&
+			len(ph.Inject) == 0 && len(ph.Rejoin) == 0 && !ph.Recover {
 			return fmt.Errorf("%s: has no actions", where)
 		}
 		if ph.Set != nil {
@@ -191,6 +232,17 @@ func (s *Spec) Validate() error {
 				return fmt.Errorf("%s: crash: %w", where, err)
 			}
 		}
+		if ph.Depart != nil {
+			if err := ph.Depart.validate(labels); err != nil {
+				return fmt.Errorf("%s: depart: %w", where, err)
+			}
+			for _, l := range ph.Depart.labels() {
+				if labels[l] {
+					return fmt.Errorf("%s: depart: duplicate label %q", where, l)
+				}
+				labels[l] = true
+			}
+		}
 		for j := range ph.Inject {
 			in := &ph.Inject[j]
 			if err := in.validate(labels); err != nil {
@@ -202,6 +254,14 @@ func (s *Spec) Validate() error {
 					return fmt.Errorf("%s: injection %d: duplicate label %q", where, j, l)
 				}
 				labels[l] = true
+			}
+		}
+		for _, ref := range ph.Rejoin {
+			if ref == "" {
+				return fmt.Errorf("%s: rejoin: empty label", where)
+			}
+			if !labels[ref] {
+				return fmt.Errorf("%s: rejoin: %q does not name an earlier injection or departure label", where, ref)
 			}
 		}
 	}
@@ -230,6 +290,68 @@ func (in *Injection) count() int {
 		return 1
 	}
 	return in.Count
+}
+
+// count is Count with its default applied.
+func (d *Departure) count() int {
+	if d.Count <= 0 {
+		return 1
+	}
+	return d.Count
+}
+
+// labels returns the label each departed peer binds: As itself for a
+// single departure, "As-1" … "As-n" for a counted one, nothing when
+// unlabelled.
+func (d *Departure) labels() []string {
+	if d.As == "" {
+		return nil
+	}
+	n := d.count()
+	if n == 1 {
+		return []string{d.As}
+	}
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("%s-%d", d.As, i+1)
+	}
+	return out
+}
+
+func (d *Departure) validate(labels map[string]bool) error {
+	if d.Count < 0 {
+		return fmt.Errorf("negative count %d", d.Count)
+	}
+	if d.Fraction < 0 || d.Fraction > 1 {
+		return fmt.Errorf("fraction %v out of [0,1]", d.Fraction)
+	}
+	if d.ScoreManagersOf != nil {
+		if d.Peers != nil {
+			return fmt.Errorf("peers and scoreManagersOf are mutually exclusive")
+		}
+		if d.Count != 0 {
+			return fmt.Errorf("count applies to peers selection, not scoreManagersOf")
+		}
+		if d.As != "" {
+			return fmt.Errorf("as cannot label a scoreManagersOf departure (its size is only known at run time)")
+		}
+		if err := d.ScoreManagersOf.validate(labels); err != nil {
+			return fmt.Errorf("scoreManagersOf: %w", err)
+		}
+		return nil
+	}
+	if d.Fraction != 0 {
+		return fmt.Errorf("fraction applies to scoreManagersOf, not peers selection")
+	}
+	if d.Peers != nil {
+		if err := d.Peers.validate(labels); err != nil {
+			return fmt.Errorf("peers: %w", err)
+		}
+		if d.Peers.FallbackFirst && d.count() > 1 {
+			return fmt.Errorf("fallbackFirst only applies to single-peer departures")
+		}
+	}
+	return nil
 }
 
 // labels returns the label each repeat binds: As itself for a single
@@ -297,8 +419,8 @@ func (in *Injection) validate(labels map[string]bool) error {
 
 func (sel *Selector) validate(labels map[string]bool) error {
 	if sel.Ref != "" {
-		if sel.Style != "" || sel.MinRep != 0 || sel.FallbackFirst {
-			return fmt.Errorf("ref %q cannot combine with style/minRep/fallbackFirst", sel.Ref)
+		if sel.Style != "" || sel.Class != "" || sel.MinRep != 0 || sel.FallbackFirst {
+			return fmt.Errorf("ref %q cannot combine with style/class/minRep/fallbackFirst", sel.Ref)
 		}
 		if !labels[sel.Ref] {
 			return fmt.Errorf("ref %q does not name an earlier injection's label", sel.Ref)
@@ -307,6 +429,11 @@ func (sel *Selector) validate(labels map[string]bool) error {
 	}
 	if sel.Style != "" {
 		if _, err := parseStyle(sel.Style); err != nil {
+			return err
+		}
+	}
+	if sel.Class != "" {
+		if _, err := parseClass(sel.Class); err != nil {
 			return err
 		}
 	}

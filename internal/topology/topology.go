@@ -48,6 +48,10 @@ func ParseKind(s string) (Kind, error) {
 type Selector interface {
 	// Add registers a newly arrived peer, wiring it into the topology.
 	Add(peer id.ID)
+	// Remove detaches a departed peer: it can no longer be picked, and a
+	// later Add re-wires it afresh (a rejoining peer re-attaches like a
+	// newcomer). Removing an unregistered peer is a no-op.
+	Remove(peer id.ID)
 	// Pick draws one peer according to the topology's bias, excluding the
 	// given peer (the requester cannot be its own respondent). It returns
 	// false when no eligible peer exists.
@@ -97,6 +101,19 @@ func (u *Uniform) Add(peer id.ID) {
 	u.peers = append(u.peers, peer)
 }
 
+// Remove drops a peer in O(1) by swapping the last slot into its place.
+func (u *Uniform) Remove(peer id.ID) {
+	i, ok := u.index[peer]
+	if !ok {
+		return
+	}
+	last := len(u.peers) - 1
+	u.peers[i] = u.peers[last]
+	u.index[u.peers[i]] = i
+	u.peers = u.peers[:last]
+	delete(u.index, peer)
+}
+
 // Pick draws a uniform peer other than exclude.
 func (u *Uniform) Pick(exclude id.ID) (id.ID, bool) {
 	n := len(u.peers)
@@ -130,7 +147,9 @@ func (u *Uniform) Contains(peer id.ID) bool {
 const DefaultAttachEdges = 2
 
 // ScaleFree selects peers proportionally to their degree in a graph grown
-// by preferential attachment.
+// by preferential attachment. Departed peers leave tombstone slots (stubs
+// index into the peers slice, so slots are never reused); their stubs are
+// compacted away on removal, which keeps every live stub drawable.
 type ScaleFree struct {
 	src    *rng.Source
 	attach int
@@ -138,6 +157,8 @@ type ScaleFree struct {
 	peers  []id.ID
 	index  map[id.ID]int
 	degree []int64
+	alive  []bool
+	live   int // registered (non-tombstone) peers
 	// stubs lists peer indices, one entry per unit of degree; uniform
 	// draws from it are degree-proportional draws. This is the classic
 	// O(1) preferential-attachment sampler.
@@ -154,7 +175,8 @@ func NewScaleFree(src *rng.Source, attach int) *ScaleFree {
 }
 
 // Add wires a new peer into the graph: it attaches to up to attach
-// distinct existing peers chosen proportionally to degree.
+// distinct existing peers chosen proportionally to degree. A re-added
+// (rejoining) peer attaches afresh, like a newcomer.
 func (s *ScaleFree) Add(peer id.ID) {
 	if _, ok := s.index[peer]; ok {
 		panic(fmt.Sprintf("topology: duplicate peer %s", peer.Short()))
@@ -163,6 +185,8 @@ func (s *ScaleFree) Add(peer id.ID) {
 	s.index[peer] = idx
 	s.peers = append(s.peers, peer)
 	s.degree = append(s.degree, 0)
+	s.alive = append(s.alive, true)
+	s.live++
 
 	targets := s.pickAttachTargets(idx)
 	for _, tgt := range targets {
@@ -177,10 +201,33 @@ func (s *ScaleFree) Add(peer id.ID) {
 	}
 }
 
-// pickAttachTargets draws up to attach distinct existing peers,
+// Remove detaches a departed peer: its slot becomes a tombstone and every
+// stub pointing at it is compacted away, so subsequent degree-biased
+// draws never land on it. Its neighbours keep the degree the departed
+// edges earned them — accumulated attractiveness outlives any single
+// contact, the usual preferential-attachment churn treatment.
+func (s *ScaleFree) Remove(peer id.ID) {
+	idx, ok := s.index[peer]
+	if !ok {
+		return
+	}
+	delete(s.index, peer)
+	s.alive[idx] = false
+	s.degree[idx] = 0
+	s.live--
+	kept := s.stubs[:0]
+	for _, t := range s.stubs {
+		if int(t) != idx {
+			kept = append(kept, t)
+		}
+	}
+	s.stubs = kept
+}
+
+// pickAttachTargets draws up to attach distinct live existing peers,
 // preferentially by degree.
 func (s *ScaleFree) pickAttachTargets(newIdx int) []int {
-	existing := newIdx // peers 0..newIdx-1 exist
+	existing := s.live - 1 // live peers other than the one being added
 	if existing == 0 {
 		return nil
 	}
@@ -188,20 +235,21 @@ func (s *ScaleFree) pickAttachTargets(newIdx int) []int {
 	if want > existing {
 		want = existing
 	}
+	probe := newIdx // uniform probes span the slots before the new peer
 	chosen := make(map[int]bool, want)
 	out := make([]int, 0, want)
 	for len(out) < want {
 		var t int
 		if len(s.stubs) == 0 {
-			t = s.src.Intn(existing)
+			t = s.src.Intn(probe)
 		} else {
 			t = int(s.stubs[s.src.Intn(len(s.stubs))])
 		}
-		if t >= newIdx || chosen[t] {
+		if t >= newIdx || chosen[t] || !s.alive[t] {
 			// Fall back to uniform probing when the stub draw keeps
-			// hitting duplicates (tiny graphs).
-			t = s.src.Intn(existing)
-			if chosen[t] {
+			// hitting duplicates (tiny graphs) or tombstones.
+			t = s.src.Intn(probe)
+			if chosen[t] || !s.alive[t] {
 				continue
 			}
 		}
@@ -213,11 +261,10 @@ func (s *ScaleFree) pickAttachTargets(newIdx int) []int {
 
 // Pick draws a peer proportionally to degree, excluding the given peer.
 func (s *ScaleFree) Pick(exclude id.ID) (id.ID, bool) {
-	n := len(s.peers)
-	if n == 0 {
+	if s.live == 0 {
 		return id.ID{}, false
 	}
-	if _, excluded := s.index[exclude]; excluded && n == 1 {
+	if _, excluded := s.index[exclude]; excluded && s.live == 1 {
 		return id.ID{}, false
 	}
 	// Degree-proportional draw with bounded rejection on the excluded
@@ -229,15 +276,18 @@ func (s *ScaleFree) Pick(exclude id.ID) (id.ID, bool) {
 		}
 	}
 	for {
-		p := s.peers[s.src.Intn(n)]
-		if p != exclude {
+		i := s.src.Intn(len(s.peers))
+		if !s.alive[i] {
+			continue
+		}
+		if p := s.peers[i]; p != exclude {
 			return p, true
 		}
 	}
 }
 
 // Len returns the number of registered peers.
-func (s *ScaleFree) Len() int { return len(s.peers) }
+func (s *ScaleFree) Len() int { return s.live }
 
 // Contains reports registration.
 func (s *ScaleFree) Contains(peer id.ID) bool {

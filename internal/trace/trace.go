@@ -26,6 +26,9 @@ const (
 	AuditOK   Kind = "audit-ok"  // audit satisfied; stake returned + reward
 	AuditFail Kind = "audit-bad" // audit unsatisfied; stake forfeited
 	Flagged   Kind = "flagged"   // duplicate-introduction punishment
+	Departed  Kind = "departed"  // an admitted member left (detail: "leave" or "crash")
+	Rejoined  Kind = "rejoined"  // a departed member returned, reputation restored
+	Wipeout   Kind = "wipeout"   // every replica of a peer's reputation died at once
 )
 
 // Event is one recorded occurrence.
@@ -108,7 +111,7 @@ func (l *Log) Summary(perKind int) string {
 		}
 	}
 	var b strings.Builder
-	for _, k := range []Kind{Arrival, Admitted, Refused, AuditOK, AuditFail, Flagged} {
+	for _, k := range []Kind{Arrival, Admitted, Refused, AuditOK, AuditFail, Flagged, Departed, Rejoined, Wipeout} {
 		if counts[k] == 0 {
 			continue
 		}
@@ -138,6 +141,7 @@ func (l *Log) Summary(perKind int) string {
 //   - an admitted/refused event must follow an arrival of the same peer
 //   - a peer cannot be both admitted and refused
 //   - an audit event must follow the peer's admission
+//   - a rejoined event must follow a departure of the same peer
 //   - events must be time-ordered
 //
 // A bounded log can only be verified if nothing was dropped; Verify
@@ -150,6 +154,7 @@ func (l *Log) Verify() []string {
 	arrived := map[string]bool{}
 	admitted := map[string]bool{}
 	refused := map[string]bool{}
+	departed := map[string]bool{}
 	var prev int64
 	for i, e := range l.events {
 		if e.At < prev {
@@ -179,6 +184,13 @@ func (l *Log) Verify() []string {
 			if !admitted[e.Peer] {
 				violations = append(violations, fmt.Sprintf("peer %s audited without admission", e.Peer))
 			}
+		case Departed:
+			departed[e.Peer] = true
+		case Rejoined:
+			if !departed[e.Peer] {
+				violations = append(violations, fmt.Sprintf("peer %s rejoined without departing", e.Peer))
+			}
+			delete(departed, e.Peer)
 		}
 	}
 	return violations

@@ -17,6 +17,27 @@ import (
 // as a unique id to prevent duplicate requests". Signer/Envelope implement
 // that: Ed25519 signatures over a canonical encoding of the lend order.
 
+// Identity is a node's pluggable signing identity. The default is Signer
+// (real Ed25519 keys); NullIdentity is the explicit fidelity opt-out for
+// huge simulation sweeps where the per-lend signature floor dominates.
+// Verification is split so callers can gate the expensive half behind a
+// cache: PublicEquals is the cheap "is this the claimed node's key" check,
+// VerifyEnvelope the cryptographic one.
+type Identity interface {
+	// Sign wraps the order in an envelope attributable to this identity.
+	Sign(o LendOrder) Envelope
+	// PublicEquals reports whether pub is this identity's verification key.
+	PublicEquals(pub ed25519.PublicKey) bool
+	// VerifyEnvelope checks that the envelope's signature matches its own
+	// public key; callers check PublicEquals first.
+	VerifyEnvelope(env Envelope) bool
+	// Tombstone returns a verification-only identity able to validate
+	// signatures this identity already produced — kept after the node
+	// departs, since its envelopes may still be in flight — or nil when
+	// no such signature can exist.
+	Tombstone() Identity
+}
+
 // Signer holds a node's Ed25519 keypair, generated lazily on first use:
 // most simulated peers never sign anything (only introducers and auditing
 // score managers do), and key generation is a scalar multiplication —
@@ -83,6 +104,81 @@ func (s *Signer) GeneratedPublic() (ed25519.PublicKey, bool) {
 	}
 	return s.pub, true
 }
+
+// PublicEquals reports whether pub is this signer's verification key,
+// deriving the keypair if needed.
+func (s *Signer) PublicEquals(pub ed25519.PublicKey) bool {
+	s.materialize()
+	return s.pub.Equal(pub)
+}
+
+// VerifyEnvelope runs the Ed25519 check of the envelope against its own
+// public key (the caller has already matched that key via PublicEquals).
+func (s *Signer) VerifyEnvelope(env Envelope) bool {
+	return ed25519.Verify(env.Pub, env.Order.Encode(), env.Sig)
+}
+
+// Tombstone returns a verification-only identity when the signer has ever
+// derived its keypair (so a signature of its may be in flight), nil
+// otherwise.
+func (s *Signer) Tombstone() Identity {
+	pub, ok := s.GeneratedPublic()
+	if !ok {
+		return nil
+	}
+	return verifyOnly{pub: pub}
+}
+
+// verifyOnly is the tombstone of a departed Signer: it can validate the
+// departed node's past signatures but can never produce new ones.
+type verifyOnly struct{ pub ed25519.PublicKey }
+
+func (v verifyOnly) Sign(LendOrder) Envelope {
+	panic("transport: departed identity cannot sign")
+}
+func (v verifyOnly) PublicEquals(pub ed25519.PublicKey) bool { return v.pub.Equal(pub) }
+func (v verifyOnly) VerifyEnvelope(env Envelope) bool {
+	return ed25519.Verify(env.Pub, env.Order.Encode(), env.Sig)
+}
+func (v verifyOnly) Tombstone() Identity { return v }
+
+// nullTag fills the 12 public-key bytes past the 20-byte node identifier,
+// marking a null identity's pseudo-key.
+const nullTag = "null-sign///"
+
+// NullIdentity is the opt-out signing identity: envelopes carry no
+// signature and verification only checks that the pseudo public key —
+// the owner's identifier padded with a marker — matches the claimed
+// sender. Identity binding (a lend order is attributed to exactly one
+// node) survives; cryptographic unforgeability is explicitly given up.
+type NullIdentity struct{ pub ed25519.PublicKey }
+
+// NewNullIdentity derives the null identity of a node.
+func NewNullIdentity(owner id.ID) NullIdentity {
+	pub := make(ed25519.PublicKey, ed25519.PublicKeySize)
+	copy(pub, owner[:])
+	copy(pub[id.Bytes:], nullTag)
+	return NullIdentity{pub: pub}
+}
+
+// Sign wraps the order in an unsigned envelope carrying the pseudo key.
+func (n NullIdentity) Sign(o LendOrder) Envelope { return Envelope{Order: o, Pub: n.pub} }
+
+// PublicEquals reports whether pub is this identity's pseudo key.
+func (n NullIdentity) PublicEquals(pub ed25519.PublicKey) bool { return n.pub.Equal(pub) }
+
+// VerifyEnvelope accepts exactly the unsigned envelopes this identity
+// produces.
+func (n NullIdentity) VerifyEnvelope(env Envelope) bool {
+	return len(env.Sig) == 0 && n.pub.Equal(env.Pub)
+}
+
+// Tombstone returns nil: a null identity is a pure function of its
+// owner's identifier, so a verifier can re-derive it on demand instead
+// of retaining per-departed-peer state — retention would accrete one
+// entry per refused or departed peer for the run's lifetime, in exactly
+// the huge-sweep mode null signing exists for.
+func (n NullIdentity) Tombstone() Identity { return nil }
 
 // LendOrder is the canonical content of a signed lend instruction: who
 // lends how much to whom, with a unique nonce that score managers use to

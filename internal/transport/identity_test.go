@@ -1,0 +1,80 @@
+package transport
+
+import (
+	"testing"
+
+	"repro/internal/id"
+	"repro/internal/rng"
+)
+
+func TestSignerImplementsIdentity(t *testing.T) {
+	s, err := NewSigner(rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ident Identity = s
+	order := LendOrder{Introducer: id.FromUint64(1), NewPeer: id.FromUint64(2), Amount: 0.1, Nonce: 7}
+	env := ident.Sign(order)
+	if !ident.PublicEquals(env.Pub) {
+		t.Fatal("signer does not recognise its own key")
+	}
+	if !ident.VerifyEnvelope(env) {
+		t.Fatal("signer rejects its own envelope")
+	}
+	env.Order.Amount = 0.9
+	if ident.VerifyEnvelope(env) {
+		t.Fatal("tampered order verified")
+	}
+}
+
+func TestSignerTombstone(t *testing.T) {
+	s, err := NewSigner(rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Tombstone() != nil {
+		t.Fatal("a signer that never signed must leave no tombstone")
+	}
+	order := LendOrder{Introducer: id.FromUint64(3), Nonce: 1}
+	env := s.Sign(order)
+	tomb := s.Tombstone()
+	if tomb == nil {
+		t.Fatal("a signer that signed must leave a tombstone")
+	}
+	if !tomb.PublicEquals(env.Pub) || !tomb.VerifyEnvelope(env) {
+		t.Fatal("tombstone cannot verify the departed signer's envelope")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("tombstone Sign must panic")
+		}
+	}()
+	tomb.Sign(order)
+}
+
+func TestNullIdentity(t *testing.T) {
+	owner := id.HashString("null-peer")
+	n := NewNullIdentity(owner)
+	order := LendOrder{Introducer: owner, NewPeer: id.FromUint64(5), Amount: 0.1, Nonce: 3}
+	env := n.Sign(order)
+	if len(env.Sig) != 0 {
+		t.Fatal("null identity produced a signature")
+	}
+	if !n.PublicEquals(env.Pub) || !n.VerifyEnvelope(env) {
+		t.Fatal("null identity rejects its own envelope")
+	}
+	// Identity binding survives: another node's null identity must not
+	// accept this envelope.
+	other := NewNullIdentity(id.HashString("other-peer"))
+	if other.PublicEquals(env.Pub) || other.VerifyEnvelope(env) {
+		t.Fatal("null envelope verified against the wrong identity")
+	}
+	// A real signature on a null-claimed envelope is rejected too.
+	env.Sig = []byte{1, 2, 3}
+	if n.VerifyEnvelope(env) {
+		t.Fatal("null identity accepted a signed envelope")
+	}
+	if n.Tombstone() != nil {
+		t.Fatal("null identity must leave no tombstone (verifiers re-derive it)")
+	}
+}

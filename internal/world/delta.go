@@ -43,6 +43,19 @@ type Delta struct {
 	RequireIntroductions *bool `json:"requireIntroductions,omitempty"`
 	// SampleEvery changes the time-series sampling interval.
 	SampleEvery *int64 `json:"sampleEvery,omitempty"`
+	// Mu changes the Poisson departure rate of admitted peers. The
+	// departure process is re-armed from the current tick; setting 0
+	// stops clock-driven departures (in-flight session clocks and
+	// scheduled rejoins still fire).
+	Mu *float64 `json:"mu,omitempty"`
+	// CrashFrac changes the fraction of subsequent departures that are
+	// abrupt crashes.
+	CrashFrac *float64 `json:"crashFrac,omitempty"`
+	// RejoinProb changes the probability that subsequently departed peers
+	// later rejoin.
+	RejoinProb *float64 `json:"rejoinProb,omitempty"`
+	// DowntimeMean changes the mean downtime before those rejoins.
+	DowntimeMean *float64 `json:"downtimeMean,omitempty"`
 }
 
 // IsZero reports whether the delta changes nothing.
@@ -86,6 +99,18 @@ func (d Delta) applyTo(c *config.Config) {
 	if d.SampleEvery != nil {
 		c.SampleEvery = *d.SampleEvery
 	}
+	if d.Mu != nil {
+		c.Churn.Mu = *d.Mu
+	}
+	if d.CrashFrac != nil {
+		c.Churn.CrashFrac = *d.CrashFrac
+	}
+	if d.RejoinProb != nil {
+		c.Churn.RejoinProb = *d.RejoinProb
+	}
+	if d.DowntimeMean != nil {
+		c.Churn.DowntimeMean = *d.DowntimeMean
+	}
 }
 
 // Preview returns the configuration that would result from applying the
@@ -110,6 +135,7 @@ func (w *World) ApplyDelta(d Delta) error {
 		return err
 	}
 	lambdaChanged := next.Lambda != w.cfg.Lambda
+	muChanged := next.Churn.Mu != w.cfg.Churn.Mu
 	w.cfg = next
 	if err := w.proto.SetParams(lending.Params{
 		IntroAmt:       next.IntroAmt,
@@ -121,8 +147,12 @@ func (w *World) ApplyDelta(d Delta) error {
 	}); err != nil {
 		return err // unreachable for a validated config; defensive
 	}
+	w.churnProc.SetParams(next.Churn)
 	if lambdaChanged {
 		w.rearmArrivals()
+	}
+	if muChanged {
+		w.rearmDepartures()
 	}
 	return nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/baseline"
+	"repro/internal/churn"
 	"repro/internal/config"
 	"repro/internal/id"
 	"repro/internal/lending"
@@ -34,7 +35,8 @@ type World struct {
 
 	// Independent random streams keep the workload, the arrival process
 	// and behavioural coin flips decoupled, so e.g. changing λ does not
-	// reshuffle transaction outcomes.
+	// reshuffle transaction outcomes. The churn stream is split last so
+	// enabling departures leaves every earlier stream untouched.
 	arrivalRand  *rng.Source
 	workloadRand *rng.Source
 	behaveRand   *rng.Source
@@ -44,6 +46,22 @@ type World struct {
 	admittedPeers []*peer.Peer       // members in admission order
 	admittedSet   map[id.ID]struct{} // O(1) membership view of admittedPeers
 	stores        map[id.ID]*rocq.Store
+
+	// Membership churn (see churn.go): the departure process, departed
+	// peers eligible to rejoin, and the record-wipeout set.
+	churnProc *churn.Process
+	departed  map[id.ID]*departedPeer
+	wiped     map[id.ID]bool
+	departClk float64 // continuous departure clock (Poisson process)
+	departGen int64   // invalidates in-flight departure chains on μ changes
+
+	// Incremental sampling state: the running sum of cached cooperative
+	// reputations and the dirty set of peers whose reputation may have
+	// moved since the last flush (see sample).
+	repSum    float64
+	repCached map[id.ID]float64
+	dirtyRep  []id.ID // insertion-ordered for deterministic flushing
+	dirtyIn   map[id.ID]struct{}
 
 	// smCache caches score-manager assignments (and their resolved
 	// stores) per peer. Invalidation is incremental: each entry records
@@ -129,6 +147,10 @@ type Metrics struct {
 	AuditsForfeited int64
 	FlaggedPeers    int64
 
+	// Churn counts membership-lifecycle activity: departures, crashes,
+	// rejoins, migrated records and full-replica wipeouts.
+	Churn churn.Stats
+
 	// Time series sampled every cfg.SampleEvery ticks.
 	CoopCount      *metrics.Series // cooperative peers in system
 	UncoopCount    *metrics.Series // uncooperative peers in system
@@ -166,6 +188,10 @@ func New(cfg config.Config) (*World, error) {
 		stores:       make(map[id.ID]*rocq.Store),
 		smCache:      make(map[id.ID]*smCacheEntry),
 		smDeps:       make(map[id.ID][]id.ID),
+		departed:     make(map[id.ID]*departedPeer),
+		wiped:        make(map[id.ID]bool),
+		repCached:    make(map[id.ID]float64),
+		dirtyIn:      make(map[id.ID]struct{}),
 		policy:       baseline.MidSpectrum{},
 		m: Metrics{
 			CoopCount:      &metrics.Series{Name: "coop"},
@@ -178,6 +204,10 @@ func New(cfg config.Config) (*World, error) {
 		return nil, err
 	}
 	w.topo = topo
+	// Split after every pre-existing stream: a run without churn draws
+	// nothing from this source, and a run with churn perturbs no other
+	// stream.
+	w.churnProc = churn.NewProcess(root.Split(), cfg.Churn)
 
 	proto, err := lending.New(lending.Params{
 		IntroAmt:       cfg.IntroAmt,
@@ -196,6 +226,9 @@ func New(cfg config.Config) (*World, error) {
 		return nil, err
 	}
 	w.proto = proto
+	if cfg.NullSign {
+		proto.SetNullFallback(true)
+	}
 
 	if err := w.createFounders(); err != nil {
 		return nil, err
@@ -420,6 +453,14 @@ func (w *World) rebuildEntry(p id.ID, e *smCacheEntry) bool {
 // the patch cannot pin down are evicted instead. The index slice for the
 // successor is compacted in the same pass.
 func (w *World) noteRingJoin(x id.ID) {
+	if w.ring.Size() == 2 {
+		// Leaving the single-member regime: the first member's placement
+		// was computed uncached (self-managed) and now changes, so requeue
+		// everyone for the sampling flush by hand.
+		for _, p := range w.admittedPeers {
+			w.markRepDirty(p.ID)
+		}
+	}
 	succ, ok := w.ring.NextMember(x)
 	if !ok || succ == x {
 		return // first member: nothing was cached
@@ -459,6 +500,9 @@ func (w *World) noteRingJoin(x id.ID) {
 			live = append(live, p)
 			continue
 		}
+		// The manager set (and so the aggregate read) may change with the
+		// patched arcs: requeue the peer for the sampling flush.
+		w.markRepDirty(p)
 		if w.rebuildEntry(p, e) {
 			w.smDeps[x] = append(w.smDeps[x], p)
 			w.smDepSlots++
@@ -495,6 +539,7 @@ func (w *World) noteRingLeave(x, succ id.ID) {
 		if !ok || !e.dependsOn(x) {
 			continue
 		}
+		w.markRepDirty(p) // the manager set changes with the leaver's arcs
 		if succ == p || succ == x || w.ring.Size() <= 1 {
 			delete(w.smCache, p)
 			continue
@@ -523,11 +568,14 @@ func (w *World) QueryReputation(pid id.ID) (float64, bool) {
 	return rocq.QueryRefs(w.smEntry(pid).refs)
 }
 
-// Store returns (allocating) the reputation store hosted at a node.
+// Store returns (allocating) the reputation store hosted at a node. Every
+// store reports evidence mutations into the sampling dirty set, so the
+// periodic mean only recomputes subjects that actually changed.
 func (w *World) Store(node id.ID) *rocq.Store {
 	s, ok := w.stores[node]
 	if !ok {
 		s = rocq.NewStore(rocq.DefaultParams())
+		s.SetOnChange(w.markRepDirty)
 		w.stores[node] = s
 	}
 	return s
@@ -564,19 +612,38 @@ func (w *World) createFounders() error {
 	return w.err
 }
 
-// attachNode joins a peer's node to the overlay and registers its signing
-// identity (it may become a score manager for others immediately).
+// attachNode joins a peer's node to the overlay under a fresh signing
+// identity (it may become a score manager for others immediately). With
+// cfg.NullSign the identity is the cheap null one — an explicit opt-out
+// of the Ed25519 floor for huge sweeps.
 func (w *World) attachNode(p *peer.Peer) error {
+	var ident transport.Identity
+	if w.cfg.NullSign {
+		ident = transport.NewNullIdentity(p.ID)
+	} else {
+		signer, err := transport.NewSigner(w.keyRand.Split())
+		if err != nil {
+			return err
+		}
+		ident = signer
+	}
+	return w.attachNodeIdentity(p, ident)
+}
+
+// attachNodeIdentity is attachNode with a caller-supplied identity — the
+// rejoin path re-attaches a departed peer under the identity it left
+// with. When state migration is active the new node immediately pulls
+// the records it now owns from the surviving replicas.
+func (w *World) attachNodeIdentity(p *peer.Peer, ident transport.Identity) error {
 	if err := w.ring.Join(p.ID); err != nil {
 		return fmt.Errorf("sim: joining overlay: %w", err)
 	}
 	w.noteRingJoin(p.ID)
-	signer, err := transport.NewSigner(w.keyRand.Split())
-	if err != nil {
-		return err
-	}
-	w.proto.RegisterPeer(p.ID, signer)
+	w.proto.RegisterPeer(p.ID, ident)
 	w.peers[p.ID] = p
+	if w.migrating() {
+		w.migrateAfterJoin(p.ID)
+	}
 	return nil
 }
 
@@ -589,8 +656,16 @@ func (w *World) admit(p *peer.Peer, at sim.Tick) {
 	w.topo.Add(p.ID)
 	if p.Class == peer.Cooperative {
 		w.m.CoopInSystem++
+		// Seed the sampling cache at zero and let the flush pick up the
+		// real value: the bootstrap credit (or founder Init) lands through
+		// the store hooks and dirties the peer anyway.
+		w.repCached[p.ID] = 0
+		w.markRepDirty(p.ID)
 	} else {
 		w.m.UncoopInSystem++
+	}
+	if w.cfg.Churn.SessionMean > 0 {
+		w.scheduleSessionEnd(p)
 	}
 }
 
@@ -676,12 +751,20 @@ func (w *World) detachNode(pid id.ID) {
 				}
 			}
 		}
+		// Under state migration, records this node hosted for *others*
+		// are handed to the owners inheriting its arcs (a refused peer
+		// leaves gracefully: its store participates in the pull).
+		var records []handoffRecord
+		if w.migrating() {
+			records = w.captureHandoff([]leaver{{pid: pid, graceful: true}})
+		}
 		succ, _ := w.ring.NextMember(pid) // the heir of pid's arcs, read before the leave
 		if err := w.ring.Leave(pid); err != nil {
 			w.fail(fmt.Errorf("sim: detaching %s: %w", pid.Short(), err))
 			return
 		}
 		w.noteRingLeave(pid, succ)
+		w.applyHandoff(records)
 	}
 	delete(w.stores, pid)
 	w.bus.Unregister(pid)
@@ -889,7 +972,11 @@ func (w *World) scheduleSampling() {
 }
 
 // sample records the population counts and the mean cooperative
-// reputation (the paper's Figure 2 series).
+// reputation (the paper's Figure 2 series). The mean is served from the
+// incremental sum maintained by the dirty set: only peers whose stored
+// evidence (or placement) moved since the last sample are re-read, so
+// the pass costs O(changed peers) instead of walking the whole
+// population every interval.
 func (w *World) sample() {
 	now := w.engine.Now()
 	if last, ok := w.m.CoopCount.Last(); ok && last.T == int64(now) {
@@ -898,19 +985,43 @@ func (w *World) sample() {
 	w.m.CoopCount.Append(int64(now), float64(w.m.CoopInSystem))
 	w.m.UncoopCount.Append(int64(now), float64(w.m.UncoopInSystem))
 
-	sum, n := 0.0, 0
-	for _, p := range w.admittedPeers {
-		if p.Class != peer.Cooperative {
-			continue
-		}
-		sum += w.Reputation(p.ID)
-		n++
-	}
+	w.flushDirtyRep()
 	mean := 0.0
-	if n > 0 {
-		mean = sum / float64(n)
+	if w.m.CoopInSystem > 0 {
+		mean = w.repSum / float64(w.m.CoopInSystem)
 	}
 	w.m.CoopReputation.Append(int64(now), mean)
+}
+
+// markRepDirty queues a subject whose aggregate reputation may have moved
+// (evidence mutation, placement change, migration). Insertion order is
+// preserved so the flush is deterministic.
+func (w *World) markRepDirty(pid id.ID) {
+	if _, ok := w.dirtyIn[pid]; ok {
+		return
+	}
+	w.dirtyIn[pid] = struct{}{}
+	w.dirtyRep = append(w.dirtyRep, pid)
+}
+
+// flushDirtyRep folds the dirty set into the running cooperative
+// reputation sum. Subjects that are not admitted cooperative peers are
+// simply discarded (their aggregate is not part of the sampled mean).
+func (w *World) flushDirtyRep() {
+	for _, pid := range w.dirtyRep {
+		delete(w.dirtyIn, pid)
+		if _, ok := w.admittedSet[pid]; !ok {
+			continue
+		}
+		p := w.peers[pid]
+		if p == nil || p.Class != peer.Cooperative {
+			continue
+		}
+		v := w.Reputation(pid)
+		w.repSum += v - w.repCached[pid]
+		w.repCached[pid] = v
+	}
+	w.dirtyRep = w.dirtyRep[:0]
 }
 
 // ---------------------------------------------------------------------------
@@ -926,6 +1037,7 @@ func (w *World) Start() {
 	w.started = true
 	w.scheduleTransactions()
 	w.scheduleNextArrival()
+	w.scheduleNextDeparture()
 	w.scheduleSampling()
 }
 
