@@ -20,11 +20,13 @@
 package repro
 
 import (
+	"encoding/json"
 	"fmt"
 	"testing"
 
 	"repro/internal/config"
 	"repro/internal/experiments"
+	"repro/internal/fleet"
 	"repro/internal/id"
 	"repro/internal/overlay"
 	"repro/internal/rng"
@@ -380,6 +382,56 @@ func BenchmarkTraitor(b *testing.B) {
 				"rep_at_defection", tr.RepAtDefection,
 				"rep_after", tr.RepAfter,
 			)
+		}
+	}
+}
+
+// BenchmarkChurnMacroFleet is BenchmarkChurnMacro dispatched through the
+// fleet coordinator (2 protocol workers, in-process transports): the same
+// units flow through job serialization, the scheduler, heartbeats and
+// result decoding, so the delta against BenchmarkChurnMacro is the
+// fleet's protocol-and-scheduling overhead. Cross-process scaling numbers
+// (real worker processes, 1/2/4 workers) are recorded in BENCH_4.json —
+// on a multi-core box the sweep parallelizes across worker processes;
+// the protocol cost measured here is what bounds the 1-worker penalty.
+func BenchmarkChurnMacroFleet(b *testing.B) {
+	if testing.Short() {
+		b.Skip("macro benchmark: minutes of simulated churn")
+	}
+	f, err := fleet.New(fleet.Config{Workers: 2, Spawn: fleet.PipeSpawn()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.Close()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunChurn(nil, experiments.Options{Runs: 2, Scale: 0.5, SeedBase: 1, Fleet: f}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFleetProtocol is the protocol microbenchmark: one tiny unit
+// round-tripped through a single pipe worker — frame encode, dispatch,
+// worker decode, execution of a minimal world, result encode and merge.
+// The non-execution share is the per-unit floor a fleet adds.
+func BenchmarkFleetProtocol(b *testing.B) {
+	f, err := fleet.New(fleet.Config{Workers: 1, Spawn: fleet.PipeSpawn()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.Close()
+	c := config.Default()
+	c.NumInit = 20
+	c.NumTrans = 100
+	c.Lambda = 0
+	data, err := json.Marshal(c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.Run([]fleet.Job{{Kind: fleet.KindConfig, Config: data, Seed: 1}}); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

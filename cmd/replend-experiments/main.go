@@ -4,6 +4,8 @@
 //
 //	replend-experiments [-scale f] [-runs n] [-out dir] [experiment ...]
 //	replend-experiments -all
+//	replend-experiments -workers k [...]       # shard replicas over k processes
+//	replend-experiments -worker                # fleet worker mode (stdio)
 //
 // Experiments: fig1 successrate fig2 fig3 fig4 fig6 collusion baselines
 // ("fig5" shares fig4's sweep and is included in its output).
@@ -13,6 +15,12 @@
 // couple of minutes. Each experiment writes <name>.txt (the comparison
 // table, with the paper's expected shape quoted underneath) and <name>.csv
 // (the raw series) into the output directory, and prints the tables.
+//
+// With -workers the replicas of every sweep point are sharded across k
+// local worker processes (this binary re-exec'd in -worker mode); with
+// -fleet-listen remote machines can join the sweep via
+// `replend-sim -worker-connect`. Outputs are byte-identical to the
+// in-process path. Tables go to stdout; progress chatter goes to stderr.
 package main
 
 import (
@@ -23,6 +31,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/fleet"
 )
 
 func main() {
@@ -41,9 +50,17 @@ func run(args []string) error {
 		seed     = fs.Uint64("seed", 1, "base random seed")
 		outDir   = fs.String("out", "results", "output directory for .txt and .csv files")
 		all      = fs.Bool("all", false, "run every experiment")
+
+		worker      = fs.Bool("worker", false, "run as a fleet worker on stdin/stdout (spawned by a coordinator)")
+		workers     = fs.Int("workers", 0, "shard replicas across this many local worker processes")
+		fleetListen = fs.String("fleet-listen", "", "with -workers: also accept remote workers on this host:port")
+		fleetToken  = fs.String("fleet-token", "", "shared token gating remote fleet joins")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *worker {
+		return fleet.ServeWorker(os.Stdin, os.Stdout, fleet.WorkerOptions{Logf: logf})
 	}
 	names := fs.Args()
 	if *all || len(names) == 0 {
@@ -59,9 +76,28 @@ func run(args []string) error {
 		Scale:    *scale,
 		SeedBase: *seed,
 	}
+	if *workers > 0 || *fleetListen != "" {
+		cfg := fleet.Config{Workers: *workers, Listen: *fleetListen, Token: *fleetToken, Logf: logf}
+		if *workers > 0 {
+			spawn, err := fleet.SelfSpawn()
+			if err != nil {
+				return err
+			}
+			cfg.Spawn = spawn
+		}
+		f, err := fleet.New(cfg)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if *fleetListen != "" {
+			logf("fleet accepting remote workers on %s", f.Addr())
+		}
+		opt.Fleet = f
+	}
 	for _, name := range names {
 		start := time.Now()
-		fmt.Printf("=== %s (scale %g, %d runs) ===\n", name, *scale, *runs)
+		logf("=== %s (scale %g, %d runs) ===", name, *scale, *runs)
 		rep, err := experiments.Run(name, opt)
 		if err != nil {
 			return fmt.Errorf("%s: %w", name, err)
@@ -72,7 +108,7 @@ func run(args []string) error {
 			fmt.Println(plot)
 			table += "\n" + plot
 		}
-		fmt.Printf("(%s in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+		logf("(%s in %v)", name, time.Since(start).Round(time.Millisecond))
 
 		if err := os.WriteFile(filepath.Join(*outDir, rep.Name()+".txt"), []byte(table), 0o644); err != nil {
 			return err
@@ -81,6 +117,12 @@ func run(args []string) error {
 			return err
 		}
 	}
-	fmt.Printf("results written to %s\n", *outDir)
+	logf("results written to %s", *outDir)
 	return nil
+}
+
+// logf is the progress/log channel: stderr, never stdout — stdout belongs
+// to the tables (and to protocol frames in worker mode).
+func logf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "replend-experiments: "+format+"\n", args...)
 }

@@ -5,6 +5,9 @@
 //
 //	replend-sim [flags]
 //	replend-sim -scenario file.json [-runs n] [-csv out.csv]
+//	replend-sim -scenario name -runs n -workers k   # local fleet
+//	replend-sim -worker                             # fleet worker (stdio)
+//	replend-sim -worker-connect host:port -fleet-token t
 //	replend-sim scenarios list
 //	replend-sim scenarios describe <name>
 //	replend-sim scenarios dump <name>
@@ -16,6 +19,11 @@
 //	replend-sim -config experiment.json -csv out.csv
 //	replend-sim -scenario collusion                 # built-in by name
 //	replend-sim -scenario my-workload.json -runs 10 # averaged replicas
+//	replend-sim -scenario churn-steady -runs 10 -workers 4
+//
+// Results go to stdout; progress and log chatter go to stderr, so stdout
+// stays machine-parseable (and, in -worker mode, carries nothing but
+// protocol frames). See docs/fleet.md for the distributed runner.
 package main
 
 import (
@@ -27,6 +35,7 @@ import (
 	"repro/internal/baseline"
 	"repro/internal/config"
 	"repro/internal/experiments"
+	"repro/internal/fleet"
 	"repro/internal/metrics"
 	"repro/internal/scenario"
 	"repro/internal/topology"
@@ -66,15 +75,31 @@ func run(args []string) error {
 		mu         = fs.Float64("mu", 0, "membership departure rate per tick (0 = the paper's model, no departures)")
 		policyName = fs.String("policy", "mid-spectrum", "bootstrap policy with -no-introductions: complaints-based, positive-only, mid-spectrum, fixed-credit")
 		csvPath    = fs.String("csv", "", "write population/reputation time series as CSV to this file")
+
+		worker      = fs.Bool("worker", false, "run as a fleet worker on stdin/stdout (spawned by a coordinator; stdout carries only protocol frames)")
+		workerConn  = fs.String("worker-connect", "", "join a remote fleet coordinator at this host:port as a worker")
+		fleetToken  = fs.String("fleet-token", "", "shared token gating remote fleet joins (both sides)")
+		workers     = fs.Int("workers", 0, "with -scenario and -runs: shard replicas across this many local worker processes")
+		fleetListen = fs.String("fleet-listen", "", "with -workers: also accept remote workers on this host:port")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *worker {
+		return fleet.ServeWorker(os.Stdin, os.Stdout, fleet.WorkerOptions{Logf: logf})
+	}
+	if *workerConn != "" {
+		logf("joining fleet coordinator at %s", *workerConn)
+		return fleet.DialWorker(*workerConn, *fleetToken, fleet.WorkerOptions{Logf: logf})
 	}
 	if *scenPath != "" {
 		if *configPath != "" {
 			return fmt.Errorf("-scenario and -config are mutually exclusive")
 		}
-		return runScenario(*scenPath, *runs, *csvPath, os.Stdout)
+		return runScenario(*scenPath, *runs, *csvPath, *workers, *fleetListen, *fleetToken, os.Stdout)
+	}
+	if *workers > 0 || *fleetListen != "" {
+		return fmt.Errorf("-workers and -fleet-listen need -scenario (only replica sweeps shard)")
 	}
 
 	cfg := config.Default()
@@ -138,7 +163,7 @@ func run(args []string) error {
 		if err := os.WriteFile(*csvPath, []byte(csv), 0o644); err != nil {
 			return err
 		}
-		fmt.Printf("series written to %s\n", *csvPath)
+		logf("series written to %s", *csvPath)
 	}
 	return nil
 }
@@ -154,13 +179,25 @@ func loadScenario(nameOrPath string) (*scenario.Spec, error) {
 	return scenario.Get(nameOrPath)
 }
 
-// runScenario executes a scenario (optionally replicated) and prints the
-// summary; with -csv it writes the spec-selected series of the primary
-// run (the spec's own seed).
-func runScenario(nameOrPath string, runs int, csvPath string, out io.Writer) error {
+// runScenario executes a scenario (optionally replicated, optionally on
+// a worker fleet) and prints the summary; with -csv it writes the
+// spec-selected series of the primary run (the spec's own seed).
+func runScenario(nameOrPath string, runs int, csvPath string, workers int, fleetListen, fleetToken string, out io.Writer) error {
 	spec, err := loadScenario(nameOrPath)
 	if err != nil {
 		return err
+	}
+	opt := experiments.Options{Runs: runs}
+	if workers > 0 || fleetListen != "" {
+		if runs <= 1 {
+			return fmt.Errorf("-workers shards replicas; give it work with -runs > 1")
+		}
+		f, err := newLocalFleet(workers, fleetListen, fleetToken)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		opt.Fleet = f
 	}
 	var primary *scenario.Result
 	if runs <= 1 {
@@ -171,7 +208,7 @@ func runScenario(nameOrPath string, runs int, csvPath string, out io.Writer) err
 		primary = res
 		fmt.Fprint(out, res.Summary())
 	} else {
-		reps, err := experiments.RunScenarioReplicas(spec, experiments.Options{Runs: runs})
+		reps, err := experiments.RunScenarioReplicas(spec, opt)
 		if err != nil {
 			return err
 		}
@@ -186,9 +223,37 @@ func runScenario(nameOrPath string, runs int, csvPath string, out io.Writer) err
 		if err := os.WriteFile(csvPath, []byte(csv), 0o644); err != nil {
 			return err
 		}
-		fmt.Fprintf(out, "series written to %s\n", csvPath)
+		logf("series written to %s", csvPath)
 	}
 	return nil
+}
+
+// newLocalFleet builds the coordinator for -workers/-fleet-listen: n
+// copies of this binary in -worker mode, plus an optional TCP join
+// listener for remote workers.
+func newLocalFleet(n int, listen, token string) (*fleet.Fleet, error) {
+	cfg := fleet.Config{Workers: n, Listen: listen, Token: token, Logf: logf}
+	if n > 0 {
+		spawn, err := fleet.SelfSpawn()
+		if err != nil {
+			return nil, err
+		}
+		cfg.Spawn = spawn
+	}
+	f, err := fleet.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if listen != "" {
+		logf("fleet accepting remote workers on %s", f.Addr())
+	}
+	return f, nil
+}
+
+// logf is the progress/log channel: stderr, never stdout — stdout belongs
+// to results (and to protocol frames in worker mode).
+func logf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "replend-sim: "+format+"\n", args...)
 }
 
 // scenariosCmd implements `replend-sim scenarios list|describe|dump`.
@@ -203,7 +268,7 @@ func scenariosCmd(args []string, out io.Writer) error {
 			if err != nil {
 				return err
 			}
-			fmt.Fprintf(out, "%-12s %s\n", name, s.Description)
+			fmt.Fprintf(out, "%-15s %s\n", name, s.Description)
 		}
 		return nil
 	case "describe", "dump":

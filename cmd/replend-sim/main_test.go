@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -160,5 +161,83 @@ func TestPolicyByName(t *testing.T) {
 	}
 	if _, err := policyByName("bogus"); err == nil {
 		t.Fatal("unknown policy accepted")
+	}
+}
+
+// buildSim compiles the real binary once per test run; the process-fleet
+// tests exercise actual worker subprocesses, not in-process stand-ins.
+func buildSim(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "replend-sim")
+	out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("building replend-sim: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestProcessFleetByteIdenticalCLI is the end-to-end golden: the same
+// scenario replica sweep through 3 real worker processes must print the
+// byte-identical stdout of the in-process run, with stdout free of any
+// progress chatter.
+func TestProcessFleetByteIdenticalCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and spawns real processes")
+	}
+	bin := buildSim(t)
+	runCLI := func(args ...string) (string, string) {
+		var stdout, stderr bytes.Buffer
+		cmd := exec.Command(bin, args...)
+		cmd.Stdout, cmd.Stderr = &stdout, &stderr
+		if err := cmd.Run(); err != nil {
+			t.Fatalf("%v: %v\nstderr:\n%s", args, err, stderr.String())
+		}
+		return stdout.String(), stderr.String()
+	}
+	inproc, _ := runCLI("-scenario", "sm-wipeout", "-runs", "3")
+	fleet, stderr := runCLI("-scenario", "sm-wipeout", "-runs", "3", "-workers", "3")
+	if inproc != fleet {
+		t.Fatalf("process-fleet stdout differs from in-process stdout:\n--- in-process ---\n%s\n--- fleet ---\n%s", inproc, fleet)
+	}
+	if !strings.Contains(stderr, "worker") {
+		t.Fatalf("fleet run logged no worker chatter on stderr:\n%s", stderr)
+	}
+}
+
+// TestWorkerModeSpeaksProtocolOnStdout pins the worker contract: stdout
+// carries nothing but protocol frames (first a hello), chatter goes to
+// stderr.
+func TestWorkerModeSpeaksProtocolOnStdout(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and spawns real processes")
+	}
+	bin := buildSim(t)
+	cmd := exec.Command(bin, "-worker")
+	cmd.Stdin = strings.NewReader("") // immediate EOF: clean worker exit
+	var stdout bytes.Buffer
+	cmd.Stdout = &stdout
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("worker mode exited with error: %v", err)
+	}
+	out := stdout.Bytes()
+	if len(out) < 4 {
+		t.Fatalf("worker wrote no hello frame, got %d bytes", len(out))
+	}
+	n := int(out[0])<<24 | int(out[1])<<16 | int(out[2])<<8 | int(out[3])
+	if len(out) != 4+n {
+		t.Fatalf("stdout is not exactly one length-prefixed frame: %d bytes, frame claims %d", len(out), n)
+	}
+	if !bytes.Contains(out[4:], []byte(`"hello"`)) {
+		t.Fatalf("first frame is not a hello: %s", out[4:])
+	}
+}
+
+// TestWorkersFlagValidation rejects fleet flags without shardable work.
+func TestWorkersFlagValidation(t *testing.T) {
+	if err := run([]string{"-workers", "2", "-ticks", "2000"}); err == nil {
+		t.Fatal("-workers without -scenario accepted")
+	}
+	if err := run([]string{"-scenario", "sm-wipeout", "-workers", "2"}); err == nil {
+		t.Fatal("-workers with a single run accepted")
 	}
 }

@@ -83,3 +83,16 @@ func (f FixedCredit) amount() float64 {
 func All() []Policy {
 	return []Policy{ComplaintsBased{}, PositiveOnly{}, MidSpectrum{}, FixedCredit{}}
 }
+
+// ByName resolves a policy by its Name() string. The bare alias
+// "fixed-credit" resolves to the default-amount fixed credit, matching the
+// CLI's -policy spelling; fleet workers use this to reconstruct the
+// coordinator's policy from its wire name.
+func ByName(name string) (Policy, error) {
+	for _, p := range All() {
+		if p.Name() == name || (name == "fixed-credit" && p.Name() == "fixed-credit(0.1)") {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("baseline: unknown policy %q", name)
+}

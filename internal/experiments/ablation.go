@@ -52,7 +52,7 @@ func RunAblation(opt Options) (*Ablation, error) {
 		cfg := opt.apply(ablationConfig())
 		cfg.Reward = ratio * cfg.IntroAmt
 		o := opt
-		o.SeedBase = opt.SeedBase + uint64(i)*1_000_003
+		o.SeedBase = sweepSeed(opt.SeedBase, i)
 		rs, err := runReplicas(cfg, o, nil)
 		if err != nil {
 			return nil, err
@@ -73,7 +73,7 @@ func RunAblation(opt Options) (*Ablation, error) {
 		cfg := opt.apply(ablationConfig())
 		cfg.AuditTrans = at
 		o := opt
-		o.SeedBase = opt.SeedBase + uint64(100+i)*1_000_003
+		o.SeedBase = sweepSeed(opt.SeedBase, 100+i)
 		rs, err := runReplicas(cfg, o, nil)
 		if err != nil {
 			return nil, err

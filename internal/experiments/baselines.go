@@ -57,7 +57,7 @@ func RunBaselines(opt Options) (*Baselines, error) {
 		c := opt.apply(baselinesConfig())
 		c.RequireIntroductions = false
 		o := opt
-		o.SeedBase = opt.SeedBase + uint64(i+1)*1_000_003
+		o.SeedBase = sweepSeed(opt.SeedBase, i+1)
 		rs, err := runReplicas(c, o, pol)
 		if err != nil {
 			return nil, err

@@ -58,7 +58,7 @@ func RunChurn(mus []float64, opt Options) (*ChurnSweep, error) {
 	for i, mu := range mus {
 		cfg := opt.apply(churnConfig(mu))
 		o := opt
-		o.SeedBase = opt.SeedBase + uint64(i)*1_000_003
+		o.SeedBase = sweepSeed(opt.SeedBase, i)
 		rs, err := runReplicas(cfg, o, nil)
 		if err != nil {
 			return nil, err

@@ -339,3 +339,32 @@ func TestTraitorMilkingContained(t *testing.T) {
 		t.Fatal("report rendering broken")
 	}
 }
+
+func TestSessionSweepShape(t *testing.T) {
+	s, err := RunSessions(nil, tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Dists) != 3 || s.Dists[0] != "exponential" || s.Dists[2] != "pareto" {
+		t.Fatalf("swept distributions = %v", s.Dists)
+	}
+	for i, dist := range s.Dists {
+		if s.Departed[i] == 0 {
+			t.Fatalf("%s: session clocks drove no departures", dist)
+		}
+		if s.FinalPop[i] <= 0 {
+			t.Fatalf("%s: community extinguished", dist)
+		}
+		// The calibration story: equal-mean session models migrate state
+		// instead of losing it.
+		if s.Migrated[i] == 0 {
+			t.Fatalf("%s: no records migrated under session churn", dist)
+		}
+	}
+	if !strings.Contains(s.Table(), "Pareto") {
+		t.Fatal("table missing the calibration note")
+	}
+	if !strings.HasPrefix(s.CSV(), "session_dist,") {
+		t.Fatal("CSV header wrong")
+	}
+}

@@ -49,7 +49,7 @@ func RunFig1(opt Options) (*Fig1, error) {
 		cfg := opt.apply(fig1Config())
 		cfg.Topology = kind
 		o := opt
-		o.SeedBase = opt.SeedBase + uint64(i)*1_000_003
+		o.SeedBase = sweepSeed(opt.SeedBase, i)
 		rs, err := runReplicas(cfg, o, nil)
 		if err != nil {
 			return nil, err

@@ -50,7 +50,7 @@ func RunFig2(lambdas []float64, opt Options) (*Fig2, error) {
 	for i, lam := range lambdas {
 		cfg := opt.apply(fig2Config(lam))
 		o := opt
-		o.SeedBase = opt.SeedBase + uint64(i)*1_000_003
+		o.SeedBase = sweepSeed(opt.SeedBase, i)
 		rs, err := runReplicas(cfg, o, nil)
 		if err != nil {
 			return nil, err

@@ -45,7 +45,7 @@ func RunFig3(fractions []float64, opt Options) (*Fig3, error) {
 	for i, fn := range fractions {
 		cfg := opt.apply(fig3Config(fn))
 		o := opt
-		o.SeedBase = opt.SeedBase + uint64(i)*1_000_003
+		o.SeedBase = sweepSeed(opt.SeedBase, i)
 		rs, err := runReplicas(cfg, o, nil)
 		if err != nil {
 			return nil, err

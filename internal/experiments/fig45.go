@@ -52,7 +52,7 @@ func RunFig45(amounts []float64, opt Options) (*Fig45, error) {
 	for i, amt := range amounts {
 		cfg := opt.apply(fig45Config(amt))
 		o := opt
-		o.SeedBase = opt.SeedBase + uint64(i)*1_000_003
+		o.SeedBase = sweepSeed(opt.SeedBase, i)
 		rs, err := runReplicas(cfg, o, nil)
 		if err != nil {
 			return nil, err

@@ -44,7 +44,7 @@ func RunFig6(percentages []float64, opt Options) (*Fig6, error) {
 	for i, pct := range percentages {
 		cfg := opt.apply(fig6Config(pct))
 		o := opt
-		o.SeedBase = opt.SeedBase + uint64(i)*1_000_003
+		o.SeedBase = sweepSeed(opt.SeedBase, i)
 		rs, err := runReplicas(cfg, o, nil)
 		if err != nil {
 			return nil, err

@@ -15,7 +15,7 @@ type Report interface {
 
 // Names lists every runnable experiment identifier, in paper order.
 func Names() []string {
-	return []string{"fig1", "successrate", "fig2", "fig3", "fig4", "fig6", "collusion", "baselines", "whitewash", "ablation", "traitor", "churn"}
+	return []string{"fig1", "successrate", "fig2", "fig3", "fig4", "fig6", "collusion", "baselines", "whitewash", "ablation", "traitor", "churn", "sessions"}
 }
 
 // Run dispatches one experiment by name ("fig5" is an alias of "fig4";
@@ -46,6 +46,8 @@ func Run(name string, opt Options) (Report, error) {
 		return RunTraitor(opt)
 	case "churn":
 		return RunChurn(nil, opt)
+	case "sessions":
+		return RunSessions(nil, opt)
 	}
 	return nil, errUnknownExperiment(name)
 }

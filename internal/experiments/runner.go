@@ -7,14 +7,17 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
 	"runtime"
 	"sync"
 
 	"repro/internal/baseline"
 	"repro/internal/config"
+	"repro/internal/fleet"
 	"repro/internal/lending"
 	"repro/internal/metrics"
+	"repro/internal/rng"
 	"repro/internal/world"
 )
 
@@ -35,6 +38,12 @@ type Options struct {
 	// NullSign runs every replica with null signing identities — the
 	// explicit Ed25519 opt-out for huge sweeps (config.NullSign).
 	NullSign bool
+	// Fleet, when non-nil, dispatches replicas to the fleet's worker
+	// processes instead of running them on in-process goroutines. Replica
+	// seeds are keyed splits of (SeedBase, replicaIndex) either way, so
+	// the two backends produce byte-identical results; Parallel is
+	// ignored (the fleet's worker count is the parallelism).
+	Fleet *fleet.Fleet
 }
 
 // withDefaults fills unset options with paper-scale values.
@@ -111,16 +120,48 @@ func forEachReplica(opt Options, fn func(i int) error) error {
 	return nil
 }
 
-// replicaSeed spreads replica seeds so different replicas (and different
-// sweep points offset by SeedBase) draw independent randomness.
-func replicaSeed(base uint64, i int) uint64 { return base + uint64(i)*7919 }
+// replicaSeed gives replica i of a data point its own root seed: replica 0
+// is the base itself (exactly the run the caller describes), and every
+// later replica draws a keyed-split stream. The seed is a pure function of
+// (base, i) — independent of dispatch order, worker assignment and
+// completion order — so in-process and fleet execution agree replica for
+// replica, and distinct replicas of one base can never collide (the old
+// arithmetic spread base+7919·i could run into the next sweep point's
+// block once Runs exceeded ~127).
+func replicaSeed(base uint64, i int) uint64 {
+	if i == 0 {
+		return base
+	}
+	return rng.DeriveSeed(base, uint64(i))
+}
+
+// sweepSeed gives sweep point i of an experiment its own replica seed
+// base, again as a keyed split of the experiment's root SeedBase. Point 0
+// keeps the root itself (the unswept experiment). Sweep keys live in a
+// disjoint range from replica keys so "replica j of point 0" and "replica
+// 0 of point j" never meet.
+func sweepSeed(base uint64, i int) uint64 {
+	if i == 0 {
+		return base
+	}
+	return rng.DeriveSeed(base, sweepKeyBase+uint64(i))
+}
+
+// sweepKeyBase domain-separates sweep-point keys from replica keys in the
+// keyed split (replica indices stay far below it).
+const sweepKeyBase = 1 << 40
 
 // runReplicas executes opt.Runs independent seeded replicas of cfg in
 // parallel and returns them in seed order. policy may be nil (lending
 // admissions) or a baseline bootstrap rule used when cfg disables
-// introductions.
+// introductions. With a fleet attached the replicas run on worker
+// processes instead; either way replica i is the pure function of
+// (SeedBase, i) the keyed seed split defines.
 func runReplicas(cfg config.Config, opt Options, policy baseline.Policy) ([]Replica, error) {
 	opt = opt.withDefaults()
+	if opt.Fleet != nil {
+		return runReplicasFleet(cfg, opt, policy)
+	}
 	out := make([]Replica, opt.Runs)
 	err := forEachReplica(opt, func(i int) error {
 		c := cfg
@@ -143,6 +184,41 @@ func runReplicas(cfg config.Config, opt Options, policy baseline.Policy) ([]Repl
 	})
 	if err != nil {
 		return nil, err
+	}
+	return out, nil
+}
+
+// runReplicasFleet is the distributed backend of runReplicas: one fleet
+// work unit per replica, merged back in unit order.
+func runReplicasFleet(cfg config.Config, opt Options, policy baseline.Policy) ([]Replica, error) {
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: encoding config for the fleet: %w", err)
+	}
+	policyName := ""
+	if policy != nil {
+		policyName = policy.Name()
+	}
+	jobs := make([]fleet.Job, opt.Runs)
+	for i := range jobs {
+		jobs[i] = fleet.Job{
+			Kind:     fleet.KindConfig,
+			Config:   data,
+			Seed:     replicaSeed(opt.SeedBase, i),
+			Policy:   policyName,
+			NullSign: opt.NullSign,
+		}
+	}
+	results, err := opt.Fleet.Run(jobs)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: fleet batch: %w", err)
+	}
+	out := make([]Replica, len(results))
+	for i, r := range results {
+		if r == nil || r.Config == nil {
+			return nil, fmt.Errorf("experiments: fleet returned no payload for replica %d", i)
+		}
+		out[i] = Replica{Metrics: r.Config.Metrics, Proto: r.Config.Proto}
 	}
 	return out, nil
 }

@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/churn"
+	"repro/internal/config"
+)
+
+// SessionSweep is the heavy-tailed churn calibration experiment: the
+// Figure-1 growth workload under per-peer session clocks, swept over the
+// session-length distribution at a fixed mean. The memoryless exponential
+// model (what a global μ clock amounts to) is the control; the uniform
+// distribution removes the short-session mass; Pareto(α=1.5) matches the
+// measured shape of deployed P2P systems — many short visits, a few
+// near-permanent residents. The question it answers: at equal mean
+// session length, does the measured tail help or hurt — do long-lived
+// residents anchor the replica sets (fewer wipeouts, steadier
+// population), or do the many short visits churn the arcs harder?
+type SessionSweep struct {
+	// Dists are the swept session distributions.
+	Dists []string
+	// Per sweep point, averaged over replicas:
+	FinalPop    []float64
+	Departed    []float64
+	Rejoins     []float64
+	Migrated    []float64
+	Wipeouts    []float64
+	SuccessRate []float64
+	MeanRep     []float64
+}
+
+// DefaultSessionDists are the swept distributions, control first.
+var DefaultSessionDists = []string{churn.SessionExponential, churn.SessionUniform, churn.SessionPareto}
+
+// sessionConfig is one sweep point: Figure 1's growth conditions with
+// session-clock churn and the steady-state crash and rejoin mix. The
+// session mean is set by RunSessions after scaling (it tracks the run
+// length), not here.
+func sessionConfig(dist string) config.Config {
+	c := config.Default()
+	c.Lambda = 0.1
+	c.NumTrans = 50_000
+	c.Churn.SessionDist = dist
+	c.Churn.CrashFrac = 0.25
+	c.Churn.RejoinProb = 0.4
+	c.Churn.DowntimeMean = 2_000
+	c.Churn.Migrate = true
+	return c
+}
+
+// RunSessions executes the session-distribution sweep at the given scale.
+func RunSessions(dists []string, opt Options) (*SessionSweep, error) {
+	opt = opt.withDefaults()
+	if len(dists) == 0 {
+		dists = DefaultSessionDists
+	}
+	out := &SessionSweep{Dists: dists}
+	for i, dist := range dists {
+		cfg := opt.apply(sessionConfig(dist))
+		// The calibration: mean session = run length / 5, set after
+		// scaling so the expected session ends per peer are
+		// scale-invariant, like the arrival rate.
+		cfg.Churn.SessionMean = float64(cfg.NumTrans) / 5
+		o := opt
+		o.SeedBase = sweepSeed(opt.SeedBase, i)
+		rs, err := runReplicas(cfg, o, nil)
+		if err != nil {
+			return nil, err
+		}
+		out.FinalPop = append(out.FinalPop, meanOf(rs, func(r Replica) int64 {
+			return r.Metrics.CoopInSystem + r.Metrics.UncoopInSystem
+		}))
+		out.Departed = append(out.Departed, meanOf(rs, func(r Replica) int64 {
+			return r.Metrics.Churn.Departures + r.Metrics.Churn.Crashes
+		}))
+		out.Rejoins = append(out.Rejoins, meanOf(rs, func(r Replica) int64 { return r.Metrics.Churn.Rejoins }))
+		out.Migrated = append(out.Migrated, meanOf(rs, func(r Replica) int64 { return r.Metrics.Churn.Migrated }))
+		out.Wipeouts = append(out.Wipeouts, meanOf(rs, func(r Replica) int64 { return r.Metrics.Churn.Wipeouts }))
+		sr := statOf(rs, func(r Replica) float64 { return r.Metrics.SuccessRate() })
+		out.SuccessRate = append(out.SuccessRate, sr.Mean())
+		rep := statOf(rs, func(r Replica) float64 {
+			last, _ := r.Metrics.CoopReputation.Last()
+			return last.V
+		})
+		out.MeanRep = append(out.MeanRep, rep.Mean())
+	}
+	return out, nil
+}
+
+// Name implements Report.
+func (s *SessionSweep) Name() string { return "sessions" }
+
+// Table renders the sweep.
+func (s *SessionSweep) Table() string {
+	t := &TextTable{
+		Title:  "Session-distribution sweep — equal-mean churn, exponential vs uniform vs Pareto(1.5) (extension)",
+		Header: []string{"sessionDist", "final pop", "departed", "rejoins", "migrated", "wipeouts", "success rate", "mean coop rep"},
+	}
+	for i, dist := range s.Dists {
+		t.AddRow(dist, s.FinalPop[i], s.Departed[i], s.Rejoins[i], s.Migrated[i], s.Wipeouts[i],
+			s.SuccessRate[i], s.MeanRep[i])
+	}
+	var b strings.Builder
+	b.WriteString(t.String())
+	b.WriteString("\nexpected: equal means, different tails — Pareto's short-session mass departs\n" +
+		"young peers early (more lifecycle events) while its resident tail anchors replica\n" +
+		"sets, so migration volume shifts relative to the memoryless control with wipeouts\n" +
+		"staying ≈ 0 and decision quality flat; the calibrated tail is a population story,\n" +
+		"not a correctness story\n")
+	return b.String()
+}
+
+// CSV renders the sweep series.
+func (s *SessionSweep) CSV() string {
+	var b strings.Builder
+	b.WriteString("session_dist,final_pop,departed,rejoins,migrated,wipeouts,success_rate,mean_coop_rep\n")
+	for i, dist := range s.Dists {
+		fmt.Fprintf(&b, "%s,%g,%g,%g,%g,%g,%g,%g\n", dist, s.FinalPop[i], s.Departed[i],
+			s.Rejoins[i], s.Migrated[i], s.Wipeouts[i], s.SuccessRate[i], s.MeanRep[i])
+	}
+	return b.String()
+}

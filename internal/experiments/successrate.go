@@ -44,7 +44,7 @@ func RunSuccessRate(opt Options) (*SuccessRate, error) {
 	cfgWithout := opt.apply(successRateConfig())
 	cfgWithout.RequireIntroductions = false
 	o := opt
-	o.SeedBase = opt.SeedBase + 1_000_003
+	o.SeedBase = sweepSeed(opt.SeedBase, 1)
 	// "All nodes were allowed in the system": open admission at the
 	// mid-spectrum default.
 	rsWithout, err := runReplicas(cfgWithout, o, baseline.MidSpectrum{})

@@ -1,0 +1,55 @@
+package fleet
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"sync"
+)
+
+// procConn is the transport to a spawned worker process: writes go to the
+// child's stdin, reads come from its stdout, and Close kills the child.
+type procConn struct {
+	cmd    *exec.Cmd
+	stdin  io.WriteCloser
+	stdout io.ReadCloser
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// startProc launches the worker command with protocol pipes.
+func startProc(command []string) (io.ReadWriteCloser, error) {
+	cmd := exec.Command(command[0], command[1:]...)
+	cmd.Stderr = os.Stderr
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return nil, err
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("fleet: starting worker %q: %w", command[0], err)
+	}
+	return &procConn{cmd: cmd, stdin: stdin, stdout: stdout}, nil
+}
+
+func (p *procConn) Read(b []byte) (int, error)  { return p.stdout.Read(b) }
+func (p *procConn) Write(b []byte) (int, error) { return p.stdin.Write(b) }
+
+// Close ends the worker: closing stdin lets a healthy worker exit on EOF,
+// the kill covers a wedged one, and Wait reaps the process either way.
+func (p *procConn) Close() error {
+	p.closeOnce.Do(func() {
+		p.stdin.Close()
+		if p.cmd.Process != nil {
+			_ = p.cmd.Process.Kill()
+		}
+		p.closeErr = p.cmd.Wait()
+		p.stdout.Close()
+	})
+	return p.closeErr
+}

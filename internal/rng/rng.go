@@ -62,6 +62,28 @@ func (r *Source) Split() *Source {
 	return New(r.Uint64() ^ 0xa5a5a5a5deadbeef)
 }
 
+// DeriveSeed is the keyed split: it maps a (root, key) pair to the seed of
+// an independent child stream, as a pure function of the pair. Unlike
+// Split, no generator state is consumed, so the derivation is immune to
+// draw order — the property the distributed experiment harness relies on
+// to give work unit k the same stream no matter which worker runs it, or
+// in what order. For a fixed root, distinct keys always yield distinct
+// seeds (the key enters through a bijective mix).
+func DeriveSeed(root, key uint64) uint64 {
+	// Hash the root once, fold the key in through an odd-multiplier
+	// (bijective) golden-ratio spread, and finalize with a second
+	// splitmix64 round.
+	_, a := splitmix64(root)
+	_, out := splitmix64(a ^ (0x9e3779b97f4a7c15 * (key + 1)))
+	return out
+}
+
+// Derive returns a Source seeded by the keyed split of (root, key). See
+// DeriveSeed.
+func Derive(root, key uint64) *Source {
+	return New(DeriveSeed(root, key))
+}
+
 // Float64 returns a uniform float64 in [0, 1).
 func (r *Source) Float64() float64 {
 	// 53 high-quality bits into the mantissa.

@@ -138,3 +138,38 @@ func TestGoldenSMWipeout(t *testing.T) {
 	want := worldDigest(w, map[string]id.ID{"victim": victim})
 	compareDigests(t, want, runBuiltin(t, "sm-wipeout"))
 }
+
+// TestGoldenChurnHeavytail pins "churn-heavytail": Pareto session clocks
+// at the calibrated mean, replicated as a plain configured run. Beyond
+// byte-stability, it checks the calibration's signature: sessions, not a
+// global rate, drive the lifecycle (departures happen, state migrates,
+// and the long Pareto tail keeps the community from collapsing the way a
+// rate-matched exponential flood would).
+func TestGoldenChurnHeavytail(t *testing.T) {
+	spec, err := Get("churn-heavytail")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Base.Churn.SessionDist != "pareto" || spec.Base.Churn.SessionMean <= 0 {
+		t.Fatalf("churn-heavytail is not a Pareto session workload: %+v", spec.Base.Churn)
+	}
+	w, err := world.New(spec.Base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	m := w.Metrics()
+	if m.Churn.Departures+m.Churn.Crashes == 0 {
+		t.Fatal("heavy-tailed sessions produced no departures")
+	}
+	if m.Churn.Migrated == 0 {
+		t.Fatal("heavy-tailed churn migrated no records; the handoff protocol is dead")
+	}
+	if pop := m.CoopInSystem + m.UncoopInSystem; pop < int64(spec.Base.NumInit)/2 {
+		t.Fatalf("population collapsed to %d under the calibrated tail; the long-session anchor is gone", pop)
+	}
+	want := worldDigest(w, map[string]id.ID{})
+	compareDigests(t, want, runBuiltin(t, "churn-heavytail"))
+}

@@ -376,11 +376,22 @@ func (w *World) indexDeps(p id.ID, e *smCacheEntry) {
 }
 
 // rebuildSMDeps drops every stale index slot by reindexing the live cache.
+// The cache is walked in ascending identifier order, not map order: the
+// index slices feed the join/leave invalidation scans, whose markRepDirty
+// calls set the accumulation order of the sampled reputation sum — a map
+// walk here let that float sum vary per process in its last ulps, which
+// the fleet's byte-identity contract (and any cross-process comparison of
+// high-churn runs) surfaces.
 func (w *World) rebuildSMDeps() {
 	clear(w.smDeps)
 	w.smDepSlots = 0
-	for p, e := range w.smCache {
-		w.indexDeps(p, e)
+	keys := make([]id.ID, 0, len(w.smCache))
+	for p := range w.smCache {
+		keys = append(keys, p)
+	}
+	sortIDs(keys)
+	for _, p := range keys {
+		w.indexDeps(p, w.smCache[p])
 	}
 }
 
