@@ -50,6 +50,7 @@ func run(args []string) error {
 		seed     = fs.Uint64("seed", 1, "base random seed")
 		outDir   = fs.String("out", "results", "output directory for .txt and .csv files")
 		all      = fs.Bool("all", false, "run every experiment")
+		list     = fs.Bool("list", false, "print the runnable experiment names and exit")
 
 		worker      = fs.Bool("worker", false, "run as a fleet worker on stdin/stdout (spawned by a coordinator)")
 		workers     = fs.Int("workers", 0, "shard replicas across this many local worker processes")
@@ -61,6 +62,12 @@ func run(args []string) error {
 	}
 	if *worker {
 		return fleet.ServeWorker(os.Stdin, os.Stdout, fleet.WorkerOptions{Logf: logf})
+	}
+	if *list {
+		for _, name := range experiments.Names() {
+			fmt.Println(name)
+		}
+		return nil
 	}
 	names := fs.Args()
 	if *all || len(names) == 0 {

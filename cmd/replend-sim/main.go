@@ -73,6 +73,7 @@ func run(args []string) error {
 		noIntro    = fs.Bool("no-introductions", false, "open admission instead of reputation lending")
 		nullSign   = fs.Bool("null-sign", false, "replace Ed25519 signing with cheap null identities (fidelity opt-out for huge sweeps)")
 		mu         = fs.Float64("mu", 0, "membership departure rate per tick (0 = the paper's model, no departures)")
+		stakeTO    = fs.Int64("stake-timeout", 0, "audit deadline in ticks for admission stakes: pending stakes are refunded to survivors (or stranded), offline peers' stake records expire under the same TTL; 0 disables")
 		policyName = fs.String("policy", "mid-spectrum", "bootstrap policy with -no-introductions: complaints-based, positive-only, mid-spectrum, fixed-credit")
 		csvPath    = fs.String("csv", "", "write population/reputation time series as CSV to this file")
 
@@ -131,6 +132,7 @@ func run(args []string) error {
 		cfg.Seed = *seed
 		cfg.RequireIntroductions = !*noIntro
 		cfg.NullSign = *nullSign
+		cfg.StakeTimeout = *stakeTO
 		if *mu > 0 {
 			// The flag-built churn process uses the steady-state defaults;
 			// scenario files expose the full parameter set.
@@ -324,6 +326,12 @@ func printSummary(w *world.World) {
 	if c := m.Churn; c.Departures+c.Crashes+c.Rejoins+c.Migrated+c.Wipeouts > 0 {
 		fmt.Printf("churn:        %d departures, %d crashes, %d rejoins; %d records migrated, %d wiped out\n",
 			c.Departures, c.Crashes, c.Rejoins, c.Migrated, c.Wipeouts)
+	}
+	if cfg.StakeTimeout > 0 {
+		c := m.Churn
+		fmt.Printf("stakes:       %d refunded, %d stranded, %d expired records (timeout %d); mass %.2f staked = %.2f settled + %.2f refunded + %.2f stranded + %.2f pending\n",
+			c.StakesRefunded, c.StakesStranded, c.StakesExpired, cfg.StakeTimeout,
+			ps.StakedMass, ps.SettledMass, ps.RefundedMass, ps.StrandedMass, ps.PendingMass)
 	}
 	if last, ok := m.CoopReputation.Last(); ok {
 		fmt.Printf("reputation:   mean cooperative reputation %.4f at end\n", last.V)

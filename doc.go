@@ -1,12 +1,67 @@
 // Package repro is a from-scratch Go reproduction of "Reputation Lending
 // for Virtual Communities" (Garg, Montresor, Battiti; University of
-// Trento TR DIT-05-086, 2005 / ICDE 2006 workshops).
+// Trento TR DIT-05-086, 2005 / ICDE 2006 workshops), grown into a small
+// simulation platform for admission economics in P2P communities.
 //
-// The library lives under internal/ (see README.md for the map), the
-// runnable tools under cmd/, narrated walkthroughs under examples/
-// (each a thin driver over a declarative scenario — see
-// docs/scenarios.md for authoring your own), and the benchmarks that
-// regenerate every table and figure of the paper's evaluation in
-// bench_test.go. DESIGN.md holds the system inventory and experiment
-// index; EXPERIMENTS.md records paper-vs-measured outcomes.
+// The tree is 21 packages: this root, and twenty under internal/, in
+// dependency order:
+//
+// Substrates:
+//
+//   - internal/id — the 160-bit circular identifier space naming peers
+//     and keys.
+//   - internal/rng — splittable deterministic randomness; every
+//     stochastic choice flows through a seeded stream.
+//   - internal/sim — the discrete-event engine: integer ticks, FIFO
+//     within a tick, RunUntil/Step.
+//   - internal/metrics — time series, Welford statistics, CSV.
+//   - internal/transport — the simulated message bus (instant delivery,
+//     crash injection) and pluggable signing identities (Ed25519 or the
+//     null opt-out).
+//   - internal/overlay — the Chord-like ring: treap-backed membership,
+//     finger lookups, score-manager placement.
+//   - internal/topology — random and scale-free respondent/introducer
+//     bias.
+//
+// The paper's model:
+//
+//   - internal/peer — behaviour classes: cooperative vs freeriding,
+//     naive vs selective introducers, traitor semantics.
+//   - internal/rocq — the ROCQ reputation substrate the lending
+//     protocol sits on.
+//   - internal/churn — the membership-churn extension: departure
+//     clocks, session models, crash/rejoin draws, snapshot
+//     reconciliation, lifecycle stats.
+//   - internal/config — Table 1 plus the extension knobs (churn, stake
+//     timeout, null signing), defaults, validation, JSON.
+//   - internal/lending — the paper's contribution: signed lend orders,
+//     bipartite credit fan-out, nonce dedup, the admission audit, and
+//     the stake-lifecycle state machine (pending → settled | refunded |
+//     stranded) with its timeout-and-refund rules (docs/economics.md).
+//   - internal/baseline — the open-admission alternatives the paper
+//     argues against.
+//   - internal/world — the simulator wiring it all together: the
+//     transaction/arrival/departure/sampling loops, state migration,
+//     parameter deltas, the stake clock.
+//
+// Workload and harness layers:
+//
+//   - internal/scenario — declarative JSON workloads: base config,
+//     timed phases, selectors, a registry of golden-pinned built-ins.
+//   - internal/fleet — the distributed runner sharding replica work
+//     units over worker processes and machines, byte-identically.
+//   - internal/experiments — one runnable per paper figure/table plus
+//     the extension sweeps (whitewash, traitor, ablation, churn,
+//     sessions, stakes).
+//   - internal/core — a compact embedding API (Community).
+//   - internal/trace — structured event log with invariant checks.
+//   - internal/asciiplot — terminal line charts for the reports.
+//
+// The runnable tools live under cmd/ (replend-sim, replend-experiments,
+// docs-check), narrated walkthroughs under examples/ (each a thin driver
+// over a declarative scenario — see docs/scenarios.md), and the
+// benchmarks that regenerate the paper's evaluation in bench_test.go.
+// DESIGN.md holds the system inventory and experiment index;
+// EXPERIMENTS.md records paper-vs-measured outcomes; docs/economics.md
+// tells the stake-lifecycle story; docs/fleet.md the distributed runner.
 package repro

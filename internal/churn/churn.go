@@ -209,6 +209,19 @@ type Stats struct {
 	// Wipeouts counts records whose every surviving replica died in one
 	// event — the only way churn loses reputation state.
 	Wipeouts int64
+	// StakesRefunded counts admission stakes the audit-timeout clock
+	// resolved in a surviving party's favour (the introducer repaid, or
+	// the newcomer keeping the lent amount when the introducer is gone
+	// for good); StakesStranded counts stakes lost with nobody left to
+	// pay. Both stay zero without a configured stake timeout — except
+	// that a satisfied audit whose introducer is permanently gone has
+	// always stranded the stake, which is now counted here too.
+	StakesRefunded int64
+	StakesStranded int64
+	// StakesExpired counts stake records of offline peers dropped by the
+	// TTL so rejoin-free churn cannot accrete one record per departed
+	// newcomer.
+	StakesExpired int64
 }
 
 // Reconcile applies the majority-of-replicas rule to the surviving

@@ -1,6 +1,12 @@
-// Package config defines the simulation parameter set of the paper's
-// Table 1, with the paper's default values, validation, and JSON
-// round-tripping for experiment definitions.
+// Package config defines the simulation parameter set: the paper's
+// Table 1 (with its published defaults, validation, and JSON
+// round-tripping for experiment and scenario files) plus the knobs the
+// extensions added — membership churn (Config.Churn, see
+// internal/churn), the admission-stake lifecycle clock
+// (Config.StakeTimeout), and the null-signing fidelity opt-out
+// (Config.NullSign). Default returns Table 1 exactly; Load overlays a
+// JSON document on those defaults and validates the result, so an empty
+// file is the paper's setup and every field is individually optional.
 package config
 
 import (
@@ -73,6 +79,14 @@ type Config struct {
 	// crashes and rejoins with score-manager state migration. The zero
 	// value is the paper's model: members never leave.
 	Churn churn.Params `json:"churn,omitzero"`
+	// StakeTimeout, in ticks, arms the admission-stake lifecycle clock:
+	// a stake still pending this long after the admission is resolved by
+	// the timeout rule (refunded to a surviving party, or stranded when
+	// both parties are gone for good), and stake records of peers offline
+	// this long are expired so rejoin-free churn cannot accrete state.
+	// 0 (the default, and the paper's model) disables the clock: stakes
+	// whose audit never fires stay in limbo, exactly as published.
+	StakeTimeout int64 `json:"stakeTimeout,omitempty"`
 	// NullSign replaces the Ed25519 signing identities with cheap
 	// id-bound null identities: lend orders carry no real signature and
 	// none is verified. An explicit fidelity opt-out for huge churn
@@ -152,6 +166,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("config: FounderRep %v out of (0,1]", c.FounderRep)
 	case c.SampleEvery <= 0:
 		return fmt.Errorf("config: SampleEvery %d must be positive", c.SampleEvery)
+	case c.StakeTimeout < 0:
+		return fmt.Errorf("config: StakeTimeout %d negative", c.StakeTimeout)
 	}
 	if _, err := topology.ParseKind(string(c.Topology)); err != nil {
 		return fmt.Errorf("config: %w", err)

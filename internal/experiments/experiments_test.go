@@ -368,3 +368,47 @@ func TestSessionSweepShape(t *testing.T) {
 		t.Fatal("CSV header wrong")
 	}
 }
+
+// TestStakeSweepConservesMass is the acceptance property of the stakes
+// experiment: at every sweep point — timeout disabled or armed — the
+// staked mass is exactly the sum of settled, refunded, stranded and
+// still-pending mass, and the armed points actually drain the pending
+// leak the disabled point exhibits.
+func TestStakeSweepConservesMass(t *testing.T) {
+	s, err := RunStakes(nil, tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Timeouts) < 3 || s.Timeouts[0] != 0 {
+		t.Fatalf("swept timeouts = %v, want the disabled control first", s.Timeouts)
+	}
+	for i, timeout := range s.Timeouts {
+		sum := s.SettledMass[i] + s.RefundedMass[i] + s.StrandedMass[i] + s.PendingMass[i]
+		if diff := s.StakedMass[i] - sum; diff > 1e-6 || diff < -1e-6 {
+			t.Fatalf("T=%d: staked mass %v != settled+refunded+stranded+pending %v (off by %v)",
+				timeout, s.StakedMass[i], sum, diff)
+		}
+		if timeout == 0 {
+			if s.Refunded[i] != 0 || s.Expired[i] != 0 {
+				t.Fatalf("disabled point ran the clock: %+v", s)
+			}
+			if s.PendingMass[i] <= 0 {
+				t.Fatal("disabled point shows no pending leak; the sweep has nothing to recover")
+			}
+			continue
+		}
+		if s.Refunded[i] == 0 {
+			t.Fatalf("T=%d: the timeout refunded nothing under churn", timeout)
+		}
+		if s.PendingMass[i] >= s.PendingMass[0] {
+			t.Fatalf("T=%d: pending mass %v not below the disabled point's leak %v",
+				timeout, s.PendingMass[i], s.PendingMass[0])
+		}
+	}
+	if !strings.HasPrefix(s.CSV(), "stake_timeout,") {
+		t.Fatal("CSV header wrong")
+	}
+	if !strings.Contains(s.Table(), "conserves") {
+		t.Fatal("table missing the conservation note")
+	}
+}

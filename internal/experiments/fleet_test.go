@@ -85,7 +85,7 @@ func TestFleetSweepsByteIdentical(t *testing.T) {
 	opt := Options{Runs: 2, Scale: 0.04, SeedBase: 11}
 	fopt := opt
 	fopt.Fleet = newTestFleet(t)
-	for _, name := range []string{"fig1", "churn", "sessions"} {
+	for _, name := range []string{"fig1", "churn", "sessions", "stakes"} {
 		t.Run(name, func(t *testing.T) {
 			inproc, err := Run(name, opt)
 			if err != nil {

@@ -124,6 +124,15 @@ func ScenarioTable(reps []ScenarioReplica) string {
 	row("success rate", func(r ScenarioReplica) float64 { return r.Result.Metrics.SuccessRate() })
 	row("audits satisfied", func(r ScenarioReplica) float64 { return float64(r.Result.Metrics.AuditsSatisfied) })
 	row("audits forfeited", func(r ScenarioReplica) float64 { return float64(r.Result.Metrics.AuditsForfeited) })
+	if spec.Base.StakeTimeout > 0 {
+		// The stake-lifecycle rows exist only when the timeout clock is
+		// armed, so outputs of every pre-existing scenario stay
+		// byte-identical.
+		row("stakes refunded", func(r ScenarioReplica) float64 { return float64(r.Result.Metrics.Churn.StakesRefunded) })
+		row("stakes stranded", func(r ScenarioReplica) float64 { return float64(r.Result.Metrics.Churn.StakesStranded) })
+		row("stake records expired", func(r ScenarioReplica) float64 { return float64(r.Result.Metrics.Churn.StakesExpired) })
+		row("stake mass pending at end", func(r ScenarioReplica) float64 { return r.Result.Proto.PendingMass })
+	}
 	row("mean coop reputation at end", func(r ScenarioReplica) float64 {
 		last, _ := r.Result.Metrics.CoopReputation.Last()
 		return last.V

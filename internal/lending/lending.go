@@ -128,9 +128,19 @@ type Events struct {
 	// Flagged fires when a peer is caught soliciting duplicate
 	// introductions.
 	Flagged func(p id.ID, at sim.Tick)
+	// StakeResolved fires when a stake leaves the pending state by any
+	// path other than an ordinary settlement: refunded by the audit
+	// timeout, or stranded (timeout with both parties gone, or a
+	// satisfied audit whose introducer is gone for good).
+	StakeResolved func(newcomer, introducer id.ID, state StakeState, at sim.Tick)
 }
 
-// Stats counts protocol activity.
+// Stats counts protocol activity. The mass fields are the stake-lifecycle
+// ledger: every executed lend adds its amount to StakedMass and
+// PendingMass, and every terminal transition moves exactly that amount
+// from PendingMass into one of SettledMass, RefundedMass or StrandedMass,
+// so StakedMass = SettledMass + RefundedMass + StrandedMass + PendingMass
+// holds (to float addition error) at every instant.
 type Stats struct {
 	Requests          int64 // introduction requests begun
 	Granted           int64 // introducer said yes (before the rep check)
@@ -141,15 +151,25 @@ type Stats struct {
 	AuditsSatisfied   int64 // stake returned + reward paid
 	AuditsForfeited   int64 // stake lost, newcomer debited
 	DuplicateAttempts int64 // newcomers punished for double introductions
+
+	StakesRefunded int64 // stakes resolved by the audit timeout in a survivor's favour
+	StakesStranded int64 // stakes lost with nobody to pay (counted, never silent)
+
+	StakedMass   float64 // total reputation staked across executed lends
+	SettledMass  float64 // closed by the audit (satisfied or forfeited)
+	RefundedMass float64 // closed by the timeout in a survivor's favour
+	StrandedMass float64 // lost: no surviving party could be paid
+	PendingMass  float64 // still awaiting audit or timeout
 }
 
-// introRecord is the coordinator's note of one granted introduction,
-// consulted at audit time.
+// introRecord is the coordinator's note of one granted introduction: the
+// stake behind the newcomer's admission, carrying its lifecycle state
+// (see stake.go for the state machine).
 type introRecord struct {
 	introducer id.ID
 	amount     float64
 	nonce      uint64
-	audited    bool
+	state      StakeState
 }
 
 // smLendState is the lending bookkeeping one score-manager node keeps.
@@ -204,6 +224,11 @@ type Protocol struct {
 	// huge-sweep mode they exist for). Never set under real signing,
 	// where an unsigned envelope must keep failing verification.
 	nullFallback bool
+
+	// retainStakes keeps departed newcomers' stake records on the books
+	// so the audit-timeout clock can still resolve them; the world sets
+	// it exactly when a stake timeout is configured (see stake.go).
+	retainStakes bool
 
 	nonce uint64
 	stats Stats
@@ -376,8 +401,12 @@ func (p *Protocol) UnregisterPeer(pid id.ID) {
 	// surviving reputation, not through the old introduction, and refused
 	// peers must not leak records. The flagged set is deliberately kept:
 	// it is punishment history, and Flagged may be queried after
-	// departure.
-	delete(p.intro, pid)
+	// departure. With a stake timeout configured the record survives the
+	// departure instead — the timeout clock must still be able to refund
+	// the introducer — and the world's TTL expiry drops it later.
+	if !p.retainStakes {
+		delete(p.intro, pid)
+	}
 }
 
 // RegisteredPeers returns the number of signing identities on record
@@ -500,6 +529,8 @@ func (p *Protocol) executeLend(newcomer, introducer id.ID) {
 		return
 	}
 	p.intro[newcomer] = &introRecord{introducer: introducer, amount: order.Amount, nonce: order.Nonce}
+	p.stats.StakedMass += order.Amount
+	p.stats.PendingMass += order.Amount
 	p.stats.Admitted++
 	if p.events.Admitted != nil {
 		p.events.Admitted(newcomer, introducer, p.engine.Now())
@@ -588,10 +619,13 @@ func (p *Protocol) onCredit(node id.ID, msg creditMsg) {
 // Auditing a peer that was never introduced, or twice, is a no-op.
 func (p *Protocol) Audit(newcomer id.ID) {
 	rec, ok := p.intro[newcomer]
-	if !ok || rec.audited {
+	if !ok || rec.state != StakePending {
+		// Never introduced, already audited, or closed by the audit
+		// timeout — the double-settlement guard: an introducer that
+		// rejoins after its stake was refunded must not also collect the
+		// audit payout.
 		return
 	}
-	rec.audited = true
 
 	rep, known := p.net.QueryReputation(newcomer)
 	satisfactory := known && rep >= p.params.AuditThreshold
@@ -599,8 +633,7 @@ func (p *Protocol) Audit(newcomer id.ID) {
 
 	if satisfactory {
 		p.stats.AuditsSatisfied++
-		_, registered := p.signers[rec.introducer]
-		if _, known := p.net.QueryReputation(rec.introducer); !known && !registered {
+		if p.gone(rec.introducer) {
 			// The introducer is gone for good: no longer registered and no
 			// score manager holds any standing for it (its records were
 			// dropped at the permanent departure). A stake return for such
@@ -610,11 +643,16 @@ func (p *Protocol) Audit(newcomer id.ID) {
 			// out. A *live* introducer whose records were wiped out, and a
 			// departed-but-rejoinable one whose records survive, are both
 			// still paid.
+			p.close(rec, StakeStranded)
+			if p.events.StakeResolved != nil {
+				p.events.StakeResolved(newcomer, rec.introducer, rec.state, p.engine.Now())
+			}
 			if p.events.AuditOutcome != nil {
 				p.events.AuditOutcome(newcomer, rec.introducer, satisfactory, p.engine.Now())
 			}
 			return
 		}
+		p.close(rec, StakeSettled)
 		// The newcomer's managers tell the introducer's managers to return
 		// the stake and pay the reward; same bipartite fan-out and nonce
 		// deduplication as the lend itself. Each manager signs with its own
@@ -654,6 +692,7 @@ func (p *Protocol) Audit(newcomer id.ID) {
 		}
 	} else {
 		p.stats.AuditsForfeited++
+		p.close(rec, StakeSettled)
 		// "The introducer loses the lent reputation and no message to its
 		// score managers is sent. The score managers of the new peer also
 		// reduce the stored reputation of the new entrant by introAmt

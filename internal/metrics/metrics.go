@@ -1,7 +1,10 @@
-// Package metrics provides the counters, time series and summary
-// statistics the experiment harness uses to regenerate the paper's figures:
-// admission counts by class, refusal counts by reason, decision success
-// rates, and the sampled mean reputation of cooperative peers over time.
+// Package metrics holds the measurement primitives the simulator and the
+// experiment harness share: Series (a sampled time series with pointwise
+// merging across replicas), Running (Welford mean/variance with 95%
+// confidence intervals for cross-replica aggregates), and CSV rendering
+// over a shared time axis. The world samples its population and
+// reputation series into these types; the experiments package aggregates
+// replicas with them and emits the paper-comparable tables and plots.
 package metrics
 
 import (

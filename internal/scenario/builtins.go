@@ -25,6 +25,7 @@ func init() {
 		"flash-crowd":     FlashCrowd,
 		"sm-wipeout":      SMWipeout,
 		"churn-heavytail": ChurnHeavytail,
+		"stake-churn":     StakeChurn,
 	} {
 		if err := Register(name, build); err != nil {
 			panic(err)
@@ -261,6 +262,43 @@ func ChurnHeavytail() *Spec {
 		Name: "churn-heavytail",
 		Description: "Pareto(α=1.5) session clocks calibrated to measured P2P traces (median ≈ 26 " +
 			"waiting periods, heavy resident tail) on the half-paper-scale community; sessions, not rates.",
+		Base: base,
+	}
+}
+
+// StakeChurn is the admission-economics workload under churn: a growing
+// community whose members keep leaving (a quarter of them for good)
+// while introductions are in flight, with the stake-lifecycle clock
+// armed. Without the timeout every stake whose newcomer or introducer
+// departs before the audit settles hangs in limbo forever; with it each
+// stake ends in exactly one terminal state — settled by the audit,
+// refunded to a surviving party, or stranded (counted) when nobody is
+// left to pay — and offline newcomers' stake records expire under the
+// same TTL instead of accreting. The timeout (12000 ticks) deliberately
+// sits above the typical audit latency (auditTrans=10 completions at a
+// few-hundred-peer population), so the audit remains the common path and
+// the clock only sweeps up what churn orphans.
+func StakeChurn() *Spec {
+	base := config.Default()
+	base.NumInit = 150
+	base.NumTrans = 100_000
+	base.Lambda = 0.02
+	base.WaitPeriod = 500
+	base.AuditTrans = 10
+	base.SampleEvery = 2_500
+	base.Seed = 41
+	base.Churn = churn.Params{
+		Mu:           0.008,
+		CrashFrac:    0.3,
+		RejoinProb:   0.35,
+		DowntimeMean: 2_000,
+	}
+	base.StakeTimeout = 12_000
+	return &Spec{
+		Name: "stake-churn",
+		Description: "Churn-aware admission economics: μ=0.008 departures against λ=0.02 arrivals with " +
+			"the 12000-tick stake clock armed — orphaned stakes refund to survivors, strand when both parties " +
+			"are gone, and offline stake records expire under the TTL.",
 		Base: base,
 	}
 }

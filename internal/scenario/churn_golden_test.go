@@ -139,6 +139,44 @@ func TestGoldenSMWipeout(t *testing.T) {
 	compareDigests(t, want, runBuiltin(t, "sm-wipeout"))
 }
 
+// TestGoldenStakeChurn pins "stake-churn": the admission-economics
+// workload with the stake-lifecycle clock armed, replicated as a plain
+// configured run. Beyond byte-stability it checks the economics the
+// scenario exists for: the timeout actually refunds orphaned stakes,
+// strands some (counted, never silent), expires offline records under
+// the TTL, and the mass ledger conserves — staked = settled + refunded +
+// stranded + pending.
+func TestGoldenStakeChurn(t *testing.T) {
+	spec, err := Get("stake-churn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Base.StakeTimeout <= 0 {
+		t.Fatalf("stake-churn has no stake timeout: %+v", spec.Base.StakeTimeout)
+	}
+	w, err := world.New(spec.Base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	m := w.Metrics()
+	if m.Churn.StakesRefunded == 0 || m.Churn.StakesStranded == 0 || m.Churn.StakesExpired == 0 {
+		t.Fatalf("stake lifecycle idle: %+v", m.Churn)
+	}
+	ps := w.Protocol().Stats()
+	if diff := ps.StakedMass - (ps.SettledMass + ps.RefundedMass + ps.StrandedMass + ps.PendingMass); diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("stake mass not conserved: staked %v, settled %v + refunded %v + stranded %v + pending %v (off by %v)",
+			ps.StakedMass, ps.SettledMass, ps.RefundedMass, ps.StrandedMass, ps.PendingMass, diff)
+	}
+	if ps.AuditsSatisfied+ps.AuditsForfeited == 0 {
+		t.Fatal("no audits settled — the timeout is starving the audit path")
+	}
+	want := worldDigest(w, map[string]id.ID{})
+	compareDigests(t, want, runBuiltin(t, "stake-churn"))
+}
+
 // TestGoldenChurnHeavytail pins "churn-heavytail": Pareto session clocks
 // at the calibrated mean, replicated as a plain configured run. Beyond
 // byte-stability, it checks the calibration's signature: sessions, not a

@@ -4,18 +4,41 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/churn"
 	"repro/internal/world"
 )
 
 // Describe renders a human-readable account of the scenario: the story,
-// the base community, and the timed phases — what `replend-sim scenarios
+// the full effective base configuration (every field, after defaults —
+// so documentation examples can be generated from the tool instead of
+// rotting by hand), and the timed phases — what `replend-sim scenarios
 // describe` prints.
 func (s *Spec) Describe() string {
+	c := &s.Base
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s — %s\n\n", s.Name, s.Description)
 	fmt.Fprintf(&b, "base: %d founders, %d ticks, λ=%g, %g%% of arrivals uncooperative, topology %s, wait %d, seed %d\n",
-		s.Base.NumInit, s.Base.NumTrans, s.Base.Lambda, 100*s.Base.FracUncoop,
-		s.Base.Topology, s.Base.WaitPeriod, s.Base.Seed)
+		c.NumInit, c.NumTrans, c.Lambda, 100*c.FracUncoop, c.Topology, c.WaitPeriod, c.Seed)
+	fmt.Fprintf(&b, "peers: %g%% of cooperative peers naive introducers, errSel %g, founderRep %g\n",
+		100*c.FracNaive, c.ErrSel, c.FounderRep)
+	admission := "reputation lending"
+	if !c.RequireIntroductions {
+		admission = "open (no introductions)"
+	}
+	fmt.Fprintf(&b, "admission: %s; introAmt %g, reward %g, minIntroRep %g, auditThreshold %g, auditTrans %d, numSM %d\n",
+		admission, c.IntroAmt, c.Reward, c.MinIntroRep, c.AuditThreshold, c.AuditTrans, c.NumSM)
+	if c.StakeTimeout > 0 {
+		fmt.Fprintf(&b, "stakes: audit timeout %d ticks (pending stakes refund to survivors or strand; offline stake records expire under the same TTL)\n",
+			c.StakeTimeout)
+	} else {
+		b.WriteString("stakes: no timeout (unsettled stakes stay pending, the paper's model)\n")
+	}
+	b.WriteString(describeChurnParams(c.Churn))
+	signing := "ed25519"
+	if c.NullSign {
+		signing = "null (crypto opt-out)"
+	}
+	fmt.Fprintf(&b, "sampling: every %d ticks; signing: %s\n", c.SampleEvery, signing)
 	if len(s.Phases) == 0 {
 		b.WriteString("phases: none (the base workload runs uninterrupted)\n")
 		return b.String()
@@ -46,6 +69,41 @@ func (s *Spec) Describe() string {
 		fmt.Fprintf(&b, "  at %-8d %s: %s\n", ph.At, ph.label(), strings.Join(acts, "; "))
 	}
 	return b.String()
+}
+
+// describeChurnParams renders the full churn parameter block (the fields
+// PRs 3–4 added: departure clocks, session models, crash/rejoin mix,
+// population floor, forced migration), or a one-liner when churn is off.
+func describeChurnParams(p churn.Params) string {
+	if !p.Active() {
+		return "churn: none (members never leave, the paper's model)\n"
+	}
+	var parts []string
+	if p.Mu > 0 {
+		parts = append(parts, fmt.Sprintf("departure clock μ=%g", p.Mu))
+	}
+	if p.SessionMean > 0 {
+		dist := p.SessionDist
+		if dist == "" {
+			dist = churn.SessionExponential
+		}
+		parts = append(parts, fmt.Sprintf("session clocks %s(mean %g)", dist, p.SessionMean))
+	}
+	parts = append(parts, fmt.Sprintf("%g%% crashes", 100*p.CrashFrac))
+	if p.RejoinProb > 0 {
+		parts = append(parts, fmt.Sprintf("%g%% rejoin after mean %g ticks", 100*p.RejoinProb, p.DowntimeMean))
+	} else {
+		parts = append(parts, "no rejoins")
+	}
+	if p.MinPopulation > 0 {
+		parts = append(parts, fmt.Sprintf("population floor %d", p.MinPopulation))
+	} else {
+		parts = append(parts, "population floor numSM+1")
+	}
+	if p.Migrate {
+		parts = append(parts, "migration forced on")
+	}
+	return "churn: " + strings.Join(parts, ", ") + "\n"
 }
 
 func describeDelta(d *world.Delta) string {

@@ -435,6 +435,12 @@ func (res *Result) Summary() string {
 		fmt.Fprintf(&b, "churn:        %d departures, %d crashes, %d rejoins; %d records migrated, %d wiped out\n",
 			c.Departures, c.Crashes, c.Rejoins, c.Migrated, c.Wipeouts)
 	}
+	if cfg.StakeTimeout > 0 {
+		c, p := m.Churn, res.Proto
+		fmt.Fprintf(&b, "stakes:       %d refunded, %d stranded, %d expired records (timeout %d); mass %.2f staked = %.2f settled + %.2f refunded + %.2f stranded + %.2f pending\n",
+			c.StakesRefunded, c.StakesStranded, c.StakesExpired, cfg.StakeTimeout,
+			p.StakedMass, p.SettledMass, p.RefundedMass, p.StrandedMass, p.PendingMass)
+	}
 	if last, ok := m.CoopReputation.Last(); ok {
 		fmt.Fprintf(&b, "reputation:   mean cooperative reputation %.4f at end\n", last.V)
 	}

@@ -254,3 +254,32 @@ func TestSelectorFailsWithoutMatchUnlessFallback(t *testing.T) {
 		t.Fatalf("fallback selector failed: %v", err)
 	}
 }
+
+// TestDescribeShowsFullEffectiveConfig pins the describe fix: the
+// churn, session and stake fields added in later PRs must appear, so
+// documentation examples can be generated from the tool without rotting.
+func TestDescribeShowsFullEffectiveConfig(t *testing.T) {
+	get := func(name string) string {
+		s, err := Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s.Describe()
+	}
+	stake := get("stake-churn")
+	for _, want := range []string{"μ=0.008", "audit timeout 12000", "35% rejoin", "auditTrans 10", "sampling: every 2500"} {
+		if !strings.Contains(stake, want) {
+			t.Errorf("stake-churn describe missing %q:\n%s", want, stake)
+		}
+	}
+	heavy := get("churn-heavytail")
+	if !strings.Contains(heavy, "session clocks pareto(mean 50000)") {
+		t.Errorf("churn-heavytail describe missing the session model:\n%s", heavy)
+	}
+	plain := get("collusion")
+	for _, want := range []string{"churn: none", "stakes: no timeout"} {
+		if !strings.Contains(plain, want) {
+			t.Errorf("collusion describe missing %q:\n%s", want, plain)
+		}
+	}
+}

@@ -1,8 +1,11 @@
-// Package sim provides the discrete-event simulation core and the
-// simulation "world" that wires the overlay, the ROCQ reputation system and
-// the reputation-lending protocol together, following the experimental
-// setup of the paper: integer simulation time, exactly one resource
-// transaction scheduled per time unit, instant message delivery.
+// Package sim is the discrete-event engine at the bottom of the
+// simulator: integer ticks, a priority queue of scheduled events with
+// FIFO ordering inside a tick (which is what makes whole runs
+// deterministic), and RunUntil/Step drivers that advance the clock even
+// when the queue drains, so "run for n ticks" always means n ticks.
+// Everything above it — the world's transaction loop, arrival and
+// departure clocks, audit and stake timers — is expressed as events on
+// this engine; nothing inside a run is concurrent.
 package sim
 
 import (

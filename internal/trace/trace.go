@@ -29,6 +29,11 @@ const (
 	Departed  Kind = "departed"  // an admitted member left (detail: "leave" or "crash")
 	Rejoined  Kind = "rejoined"  // a departed member returned, reputation restored
 	Wipeout   Kind = "wipeout"   // every replica of a peer's reputation died at once
+	// Stake lifecycle events (detail: "refunded" or "stranded"): the
+	// audit-timeout clock resolved a pending stake, or the offline-record
+	// TTL expired a departed newcomer's stake record.
+	StakeClosed  Kind = "stake-closed"
+	StakeExpired Kind = "stake-expired"
 )
 
 // Event is one recorded occurrence.
@@ -111,7 +116,7 @@ func (l *Log) Summary(perKind int) string {
 		}
 	}
 	var b strings.Builder
-	for _, k := range []Kind{Arrival, Admitted, Refused, AuditOK, AuditFail, Flagged, Departed, Rejoined, Wipeout} {
+	for _, k := range []Kind{Arrival, Admitted, Refused, AuditOK, AuditFail, Flagged, Departed, Rejoined, Wipeout, StakeClosed, StakeExpired} {
 		if counts[k] == 0 {
 			continue
 		}

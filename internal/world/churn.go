@@ -327,8 +327,31 @@ func (w *World) departBatch(batch []leaver) {
 		w.proto.UnregisterPeer(l.pid)
 		delete(w.peers, l.pid)
 		w.departed[l.pid] = &departedPeer{peer: p, ident: ident}
+		w.scheduleStakeExpiry(p)
 	}
 	w.applyHandoff(records)
+}
+
+// scheduleStakeExpiry arms the offline-record TTL for a departing
+// newcomer's stake record: if the peer has not been readmitted within
+// StakeTimeout ticks, the record is resolved (if still pending) and
+// dropped, so rejoin-free churn cannot accrete one stake record per
+// departed newcomer. A rejoin bumps p.JoinedAt, which cancels the timer;
+// a later departure arms a fresh one.
+func (w *World) scheduleStakeExpiry(p *peer.Peer) {
+	if w.cfg.StakeTimeout <= 0 || !w.proto.HasStake(p.ID) {
+		return
+	}
+	joined := p.JoinedAt
+	w.engine.After(sim.Tick(w.cfg.StakeTimeout), "stake-expiry", func() {
+		if w.err != nil || w.IsAdmitted(p.ID) || p.JoinedAt != joined {
+			return
+		}
+		if state, ok := w.proto.ExpireStake(p.ID); ok {
+			w.m.Churn.StakesExpired++
+			w.record(trace.StakeExpired, p.ID, id.ID{}, state.String())
+		}
+	})
 }
 
 // removeAdmitted takes a peer out of the admitted community: membership

@@ -1,3 +1,19 @@
+// Package world wires every substrate into the paper's simulator: a
+// Chord-like overlay hosting replicated ROCQ score managers, the
+// reputation-lending admission protocol, a topology-biased transaction
+// workload (exactly one transaction per tick), Poisson arrivals classed
+// by fracUncoop — and the extensions the later PRs grew: membership
+// churn with score-manager state migration (churn.go), mid-run parameter
+// deltas as the scenario phase hook (delta.go), and the stake-lifecycle
+// clock that refunds or strands admission stakes orphaned by churn.
+//
+// A World is a pure function of its config.Config: independent random
+// streams per process (workload, arrivals, behaviour, keys, churn) keep
+// parameter changes from reshuffling unrelated draws, and nothing inside
+// a run is concurrent — replica parallelism lives in the experiments
+// package. Hot paths are cached (incremental score-manager placement,
+// O(changed-peers) reputation sampling); DESIGN.md's "Performance model"
+// section is the map.
 package world
 
 import (
@@ -217,10 +233,11 @@ func New(cfg config.Config) (*World, error) {
 		Wait:           sim.Tick(cfg.WaitPeriod),
 		NumSM:          cfg.NumSM,
 	}, w.engine, w.bus, w, lending.Events{
-		Admitted:     w.onAdmitted,
-		Refused:      w.onRefused,
-		AuditOutcome: w.onAuditOutcome,
-		Flagged:      w.onFlagged,
+		Admitted:      w.onAdmitted,
+		Refused:       w.onRefused,
+		AuditOutcome:  w.onAuditOutcome,
+		Flagged:       w.onFlagged,
+		StakeResolved: w.onStakeResolved,
 	})
 	if err != nil {
 		return nil, err
@@ -228,6 +245,13 @@ func New(cfg config.Config) (*World, error) {
 	w.proto = proto
 	if cfg.NullSign {
 		proto.SetNullFallback(true)
+	}
+	if cfg.StakeTimeout > 0 {
+		// The stake-lifecycle clock is armed: records of departed
+		// newcomers must survive unregistration so the timeout can still
+		// refund the introducer; the TTL expiry scheduled at departure
+		// keeps them from accreting.
+		proto.SetRetainStakes(true)
 	}
 
 	if err := w.createFounders(); err != nil {
@@ -694,6 +718,29 @@ func (w *World) onAdmitted(newcomer, introducer id.ID, at sim.Tick) {
 	} else {
 		w.m.AdmittedUncoop++
 	}
+	if w.cfg.StakeTimeout > 0 {
+		// Arm the stake's audit deadline: if the audit has not settled it
+		// by then, the timeout rule resolves it (lending.TimeoutStake is
+		// a no-op on an already-terminal stake).
+		w.engine.After(sim.Tick(w.cfg.StakeTimeout), "stake-timeout", func() {
+			if w.err != nil {
+				return
+			}
+			w.proto.TimeoutStake(newcomer)
+		})
+	}
+}
+
+// onStakeResolved counts stake-lifecycle outcomes (the refund/strand
+// counters the churn stats carry) and records them in the trace.
+func (w *World) onStakeResolved(newcomer, introducer id.ID, state lending.StakeState, at sim.Tick) {
+	switch state {
+	case lending.StakeRefunded:
+		w.m.Churn.StakesRefunded++
+	case lending.StakeStranded:
+		w.m.Churn.StakesStranded++
+	}
+	w.record(trace.StakeClosed, newcomer, introducer, state.String())
 }
 
 func (w *World) onRefused(newcomer, introducer id.ID, reason lending.Reason, at sim.Tick) {

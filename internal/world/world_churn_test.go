@@ -379,14 +379,17 @@ func TestNullSignWorldRuns(t *testing.T) {
 // TestPermanentDeparturesDoNotAccrete is the churn leak regression: a
 // process departure that draws no rejoin is final, so neither the
 // world's departed table nor (under null signing) the protocol's
-// tombstone table may grow with it, and its reputation records must not
-// keep riding migrations.
+// tombstone table may grow with it, its reputation records must not
+// keep riding migrations, and — with the stake clock armed — its stake
+// record must fall to the TTL instead of accreting one per departed
+// newcomer.
 func TestPermanentDeparturesDoNotAccrete(t *testing.T) {
 	c := churnTestConfig()
 	c.NullSign = true
 	c.NumTrans = 15_000
 	c.Churn.Mu = 0.05
 	c.Churn.RejoinProb = 0 // every process departure is permanent
+	c.StakeTimeout = 2_000 // stake records of offline peers expire under this TTL
 	w, err := New(c)
 	if err != nil {
 		t.Fatal(err)
@@ -414,6 +417,69 @@ func TestPermanentDeparturesDoNotAccrete(t *testing.T) {
 	if max := (w.PopulationSize() + int(m.Pending)) * c.NumSM * 2; slots > max {
 		t.Fatalf("stores hold %d present slots for %d live peers (departed records accreting)",
 			slots, w.PopulationSize())
+	}
+	// Stake records under the TTL: one per live introduced member, plus
+	// at most the departures of the trailing TTL window whose expiry has
+	// not fired yet — never the cumulative departure count.
+	if m.Churn.StakesExpired == 0 {
+		t.Fatalf("no stake records expired despite permanent churn: %+v", m.Churn)
+	}
+	ttlWindow := int(float64(c.StakeTimeout)*c.Churn.Mu) + 1 // E[departures per TTL]
+	if got, max := w.Protocol().StakeRecords(), w.PopulationSize()+int(m.Pending)+4*ttlWindow; got > max {
+		t.Fatalf("%d stake records for %d live peers (TTL window %d): departed newcomers' stakes accreting",
+			got, w.PopulationSize(), ttlWindow)
+	}
+}
+
+// TestStakeClockLifecycleWorld runs the stake timeout end to end on a
+// churning world: stakes of orphaned introductions refund, offline
+// records expire, the ledger conserves, and a world without the clock
+// counts nothing.
+func TestStakeClockLifecycleWorld(t *testing.T) {
+	c := churnTestConfig()
+	c.NumTrans = 15_000
+	c.Churn.Mu = 0.04
+	c.Churn.CrashFrac = 0.3
+	c.Churn.RejoinProb = 0.3
+	c.Churn.DowntimeMean = 1_000
+	c.StakeTimeout = 2_500
+	w, err := New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	m := w.Metrics()
+	if m.Churn.StakesRefunded == 0 {
+		t.Fatalf("no stakes refunded under churn: %+v", m.Churn)
+	}
+	if m.Churn.StakesExpired == 0 {
+		t.Fatalf("no stake records expired under churn: %+v", m.Churn)
+	}
+	ps := w.Protocol().Stats()
+	if ps.StakedMass <= 0 {
+		t.Fatal("nothing staked")
+	}
+	if diff := ps.StakedMass - (ps.SettledMass + ps.RefundedMass + ps.StrandedMass + ps.PendingMass); math.Abs(diff) > 1e-6 {
+		t.Fatalf("stake mass not conserved: %+v (off by %v)", ps, diff)
+	}
+
+	// The control: the same world without the clock counts no stake
+	// lifecycle activity at all.
+	c.StakeTimeout = 0
+	w0, err := New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w0.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ch := w0.Metrics().Churn; ch.StakesRefunded != 0 || ch.StakesExpired != 0 {
+		t.Fatalf("timeout-disabled world ran the stake clock: %+v", ch)
+	}
+	if ps0 := w0.Protocol().Stats(); ps0.RefundedMass != 0 {
+		t.Fatalf("timeout-disabled world refunded mass: %+v", ps0)
 	}
 }
 
