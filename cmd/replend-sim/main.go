@@ -11,6 +11,7 @@
 //	replend-sim scenarios list
 //	replend-sim scenarios describe <name>
 //	replend-sim scenarios dump <name>
+//	replend-sim checkpoint info <file>
 //
 // The defaults are the paper's Table 1 values. Examples:
 //
@@ -20,6 +21,9 @@
 //	replend-sim -scenario collusion                 # built-in by name
 //	replend-sim -scenario my-workload.json -runs 10 # averaged replicas
 //	replend-sim -scenario churn-steady -runs 10 -workers 4
+//	replend-sim -scenario churn-steady -checkpoint-at 5000 -checkpoint-out s.ckpt
+//	replend-sim -checkpoint-in s.ckpt               # resume to completion
+//	replend-sim -scenario churn-steady -runs 10 -workers 4 -fleet-journal b.journal
 //
 // Results go to stdout; progress and log chatter go to stderr, so stdout
 // stays machine-parseable (and, in -worker mode, carries nothing but
@@ -53,6 +57,9 @@ func run(args []string) error {
 	if len(args) > 0 && args[0] == "scenarios" {
 		return scenariosCmd(args[1:], os.Stdout)
 	}
+	if len(args) > 0 && args[0] == "checkpoint" {
+		return checkpointCmd(args[1:], os.Stdout)
+	}
 	fs := flag.NewFlagSet("replend-sim", flag.ContinueOnError)
 	var (
 		configPath = fs.String("config", "", "JSON configuration file (fields default to Table 1)")
@@ -82,6 +89,11 @@ func run(args []string) error {
 		fleetToken  = fs.String("fleet-token", "", "shared token gating remote fleet joins (both sides)")
 		workers     = fs.Int("workers", 0, "with -scenario and -runs: shard replicas across this many local worker processes")
 		fleetListen = fs.String("fleet-listen", "", "with -workers: also accept remote workers on this host:port")
+		journal     = fs.String("fleet-journal", "", "with -workers: coordinator crash journal; a restarted coordinator reopening the same path re-dispatches only incomplete replicas")
+
+		ckptOut = fs.String("checkpoint-out", "", "run to -checkpoint-at, write the sealed state here and exit (single run or scenario)")
+		ckptAt  = fs.Int64("checkpoint-at", 0, "tick to capture the -checkpoint-out state at")
+		ckptIn  = fs.String("checkpoint-in", "", "resume a checkpoint file to completion instead of starting fresh")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -93,14 +105,39 @@ func run(args []string) error {
 		logf("joining fleet coordinator at %s", *workerConn)
 		return fleet.DialWorker(*workerConn, *fleetToken, fleet.WorkerOptions{Logf: logf})
 	}
+	if *ckptIn != "" {
+		if *scenPath != "" || *configPath != "" || *ckptOut != "" {
+			return fmt.Errorf("-checkpoint-in resumes a finished state description; it is mutually exclusive with -scenario, -config and -checkpoint-out")
+		}
+		if *workers > 0 || *fleetListen != "" {
+			return fmt.Errorf("-checkpoint-in runs in-process; it takes no fleet flags")
+		}
+		return resumeCheckpoint(*ckptIn, *csvPath, os.Stdout)
+	}
+	if *ckptOut != "" && *ckptAt <= 0 {
+		return fmt.Errorf("-checkpoint-out needs -checkpoint-at <tick> > 0")
+	}
 	if *scenPath != "" {
 		if *configPath != "" {
 			return fmt.Errorf("-scenario and -config are mutually exclusive")
 		}
-		return runScenario(*scenPath, *runs, *csvPath, *workers, *fleetListen, *fleetToken, os.Stdout)
+		if *ckptOut != "" {
+			if *runs > 1 || *workers > 0 || *fleetListen != "" {
+				return fmt.Errorf("-checkpoint-out captures a single run; it is mutually exclusive with -runs > 1 and fleet flags")
+			}
+			spec, err := loadScenario(*scenPath)
+			if err != nil {
+				return err
+			}
+			return writeScenarioCheckpoint(spec, *ckptAt, *ckptOut)
+		}
+		return runScenario(*scenPath, *runs, *csvPath, *workers, *fleetListen, *fleetToken, *journal, os.Stdout)
 	}
 	if *workers > 0 || *fleetListen != "" {
 		return fmt.Errorf("-workers and -fleet-listen need -scenario (only replica sweeps shard)")
+	}
+	if *journal != "" {
+		return fmt.Errorf("-fleet-journal needs a fleet (-workers or -fleet-listen)")
 	}
 
 	cfg := config.Default()
@@ -154,6 +191,9 @@ func run(args []string) error {
 		}
 		w.SetPolicy(pol)
 	}
+	if *ckptOut != "" {
+		return writeWorldCheckpoint(w, *ckptAt, *ckptOut)
+	}
 	if err := w.Run(); err != nil {
 		return err
 	}
@@ -184,12 +224,12 @@ func loadScenario(nameOrPath string) (*scenario.Spec, error) {
 // runScenario executes a scenario (optionally replicated, optionally on
 // a worker fleet) and prints the summary; with -csv it writes the
 // spec-selected series of the primary run (the spec's own seed).
-func runScenario(nameOrPath string, runs int, csvPath string, workers int, fleetListen, fleetToken string, out io.Writer) error {
+func runScenario(nameOrPath string, runs int, csvPath string, workers int, fleetListen, fleetToken, journal string, out io.Writer) error {
 	spec, err := loadScenario(nameOrPath)
 	if err != nil {
 		return err
 	}
-	opt := experiments.Options{Runs: runs}
+	opt := experiments.Options{Runs: runs, Journal: journal}
 	if workers > 0 || fleetListen != "" {
 		if runs <= 1 {
 			return fmt.Errorf("-workers shards replicas; give it work with -runs > 1")

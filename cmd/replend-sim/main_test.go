@@ -2,11 +2,14 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"fmt"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestRunTinySimulation(t *testing.T) {
@@ -239,5 +242,195 @@ func TestWorkersFlagValidation(t *testing.T) {
 	}
 	if err := run([]string{"-scenario", "sm-wipeout", "-workers", "2"}); err == nil {
 		t.Fatal("-workers with a single run accepted")
+	}
+}
+
+// TestCheckpointRoundTripWorldCLI: a flag-built run checkpointed at a
+// mid tick and resumed must emit the byte-identical CSV series of the
+// uninterrupted run.
+func TestCheckpointRoundTripWorldCLI(t *testing.T) {
+	dir := t.TempDir()
+	flags := []string{"-init", "40", "-ticks", "3000", "-lambda", "0.05", "-wait", "100", "-seed", "3"}
+	ref := filepath.Join(dir, "ref.csv")
+	if err := run(append(append([]string{}, flags...), "-csv", ref)); err != nil {
+		t.Fatal(err)
+	}
+	ckpt := filepath.Join(dir, "world.ckpt")
+	if err := run(append(append([]string{}, flags...), "-checkpoint-at", "1500", "-checkpoint-out", ckpt)); err != nil {
+		t.Fatal(err)
+	}
+	resumed := filepath.Join(dir, "resumed.csv")
+	if err := run([]string{"-checkpoint-in", ckpt, "-csv", resumed}); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, got) {
+		t.Fatal("resumed run's CSV differs from the uninterrupted run's")
+	}
+}
+
+// TestCheckpointRoundTripScenarioCLI does the same through the scenario
+// path, and exercises `checkpoint info` on the sealed file.
+func TestCheckpointRoundTripScenarioCLI(t *testing.T) {
+	dir := t.TempDir()
+	ref := filepath.Join(dir, "ref.csv")
+	if err := run([]string{"-scenario", "quickstart", "-csv", ref}); err != nil {
+		t.Fatal(err)
+	}
+	ckpt := filepath.Join(dir, "run.ckpt")
+	if err := run([]string{"-scenario", "quickstart", "-checkpoint-at", "11000", "-checkpoint-out", ckpt}); err != nil {
+		t.Fatal(err)
+	}
+	var info bytes.Buffer
+	if err := checkpointCmd([]string{"info", ckpt}, &info); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"kind:     scenario", "scenario: quickstart", "seed:"} {
+		if !strings.Contains(info.String(), want) {
+			t.Fatalf("checkpoint info output missing %q:\n%s", want, info.String())
+		}
+	}
+	resumed := filepath.Join(dir, "resumed.csv")
+	if err := run([]string{"-checkpoint-in", ckpt, "-csv", resumed}); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, got) {
+		t.Fatal("resumed scenario's CSV differs from the uninterrupted run's")
+	}
+}
+
+// TestCheckpointFlagValidation pins the flag interlocks.
+func TestCheckpointFlagValidation(t *testing.T) {
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "x.ckpt")
+	if err := run([]string{"-checkpoint-out", ckpt}); err == nil {
+		t.Fatal("-checkpoint-out without -checkpoint-at accepted")
+	}
+	if err := run([]string{"-scenario", "quickstart", "-checkpoint-at", "999999", "-checkpoint-out", ckpt}); err == nil {
+		t.Fatal("-checkpoint-at past the end of the run accepted")
+	}
+	if err := run([]string{"-checkpoint-in", ckpt, "-scenario", "quickstart"}); err == nil {
+		t.Fatal("-checkpoint-in with -scenario accepted")
+	}
+	if err := run([]string{"-checkpoint-in", filepath.Join(dir, "absent.ckpt")}); err == nil {
+		t.Fatal("missing checkpoint file accepted")
+	}
+	if err := run([]string{"-fleet-journal", filepath.Join(dir, "j"), "-ticks", "2000"}); err == nil {
+		t.Fatal("-fleet-journal without a fleet accepted")
+	}
+	if err := checkpointCmd([]string{"bogus"}, os.Stdout); err == nil {
+		t.Fatal("unknown checkpoint subcommand accepted")
+	}
+	garbage := filepath.Join(dir, "garbage.ckpt")
+	os.WriteFile(garbage, []byte("not a checkpoint"), 0o644)
+	if err := checkpointCmd([]string{"info", garbage}, os.Stdout); err == nil {
+		t.Fatal("garbage checkpoint file accepted by info")
+	}
+	if err := run([]string{"-checkpoint-in", garbage}); err == nil {
+		t.Fatal("garbage checkpoint file accepted by -checkpoint-in")
+	}
+}
+
+// TestProcessFleetJournalResume is the coordinator crash-restart golden:
+// a journaled coordinator killed mid-batch, restarted with the same
+// journal, must print the byte-identical table of an uninterrupted run
+// and must not re-dispatch any unit the journal already records.
+func TestProcessFleetJournalResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and spawns real processes")
+	}
+	bin := buildSim(t)
+	dir := t.TempDir()
+	journal := filepath.Join(dir, "batch.journal")
+	args := []string{"-scenario", "stake-churn", "-runs", "6", "-workers", "1", "-fleet-journal", journal}
+
+	// Uninterrupted reference (its own journal path, same batch shape).
+	var refOut, refErr bytes.Buffer
+	ref := exec.Command(bin, "-scenario", "stake-churn", "-runs", "6", "-workers", "1",
+		"-fleet-journal", filepath.Join(dir, "ref.journal"))
+	ref.Stdout, ref.Stderr = &refOut, &refErr
+	if err := ref.Run(); err != nil {
+		t.Fatalf("reference run: %v\n%s", err, refErr.String())
+	}
+
+	// Start the journaled coordinator and kill it once the journal
+	// records some, but not all, completed units.
+	first := exec.Command(bin, args...)
+	var firstErr bytes.Buffer
+	first.Stderr = &firstErr
+	if err := first.Start(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			first.Process.Kill()
+			t.Fatalf("journal never accumulated completed units:\n%s", firstErr.String())
+		}
+		data, _ := os.ReadFile(journal)
+		if n := bytes.Count(data, []byte("\n")); n >= 3 { // header + >=2 records
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err := first.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	first.Wait()
+
+	// Which units did the first coordinator durably complete?
+	data, err := os.ReadFile(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	completed := map[string]bool{}
+	for i, line := range bytes.Split(data, []byte("\n")) {
+		if i == 0 || len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var rec struct {
+			Unit int `json:"unit"`
+		}
+		if json.Unmarshal(line, &rec) == nil {
+			completed[fmt.Sprintf("unit %d ", rec.Unit)] = true
+		}
+	}
+	if len(completed) == 0 || len(completed) >= 6 {
+		t.Fatalf("kill landed outside mid-batch: %d units completed", len(completed))
+	}
+
+	// Restart with the same journal: only incomplete units may reach a
+	// worker, and the merged output must match the uninterrupted run.
+	var out, stderr bytes.Buffer
+	second := exec.Command(bin, args...)
+	second.Stdout, second.Stderr = &out, &stderr
+	if err := second.Run(); err != nil {
+		t.Fatalf("restarted coordinator: %v\n%s", err, stderr.String())
+	}
+	if out.String() != refOut.String() {
+		t.Fatalf("restarted coordinator's stdout differs from the uninterrupted run:\n--- uninterrupted ---\n%s\n--- resumed ---\n%s", refOut.String(), out.String())
+	}
+	for marker := range completed {
+		if strings.Contains(stderr.String(), marker+"(scenario) started") {
+			t.Fatalf("restarted coordinator re-dispatched a completed unit (%q):\n%s", marker, stderr.String())
+		}
+	}
+	if !strings.Contains(stderr.String(), "(scenario) started") {
+		t.Fatalf("restarted coordinator dispatched nothing — the kill landed after the batch finished?\n%s", stderr.String())
 	}
 }

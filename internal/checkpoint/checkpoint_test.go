@@ -1,0 +1,102 @@
+package checkpoint
+
+import (
+	"strings"
+	"testing"
+)
+
+type payload struct {
+	Name  string `json:"name"`
+	Ticks int64  `json:"ticks"`
+}
+
+func TestSealOpenRoundTrip(t *testing.T) {
+	in := payload{Name: "steady", Ticks: 250000}
+	data, err := Seal(KindWorld, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kind, body, err := Open(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != KindWorld {
+		t.Fatalf("kind = %q, want %q", kind, KindWorld)
+	}
+	var out payload
+	if err := Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip: got %+v, want %+v", out, in)
+	}
+
+	// Sealing the same body twice yields identical bytes: the envelope
+	// adds no nondeterminism of its own.
+	data2, err := Seal(KindWorld, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data2) != string(data) {
+		t.Fatal("sealing the same body twice produced different bytes")
+	}
+}
+
+func TestSealRejectsUnknownKind(t *testing.T) {
+	if _, err := Seal("experiment", payload{}); err == nil {
+		t.Fatal("Seal accepted an unknown kind")
+	}
+}
+
+func TestOpenRejectsDefects(t *testing.T) {
+	good, err := Seal(KindScenario, payload{Name: "quickstart", Ticks: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		data []byte
+		want string
+	}{
+		{"not json", []byte("not a checkpoint"), "parsing envelope"},
+		{"empty envelope", []byte(`{}`), "bad magic"},
+		{"trailing data", append(append([]byte{}, good...), " {}"...), "trailing data"},
+		{"truncated", good[:len(good)-9], "parsing envelope"},
+		{"bit flip in body", flip(good, []byte(`"ticks":7`), []byte(`"ticks":8`)), "digest mismatch"},
+		{"wrong magic", flip(good, []byte("replend-checkpoint/v1"), []byte("replend-checkpoint/v2")), "bad magic"},
+		{"unknown kind", flip(good, []byte(`"kind":"scenario"`), []byte(`"kind":"scenario2"`)), "unknown kind"},
+		{"unknown envelope field", flip(good, []byte(`"magic"`), []byte(`"mägic"`)), "parsing envelope"},
+		{"missing body", []byte(`{"magic":"replend-checkpoint/v1","kind":"world","sha256":""}`), "empty body"},
+		{"null body", []byte(`{"magic":"replend-checkpoint/v1","kind":"world","sha256":"","body":null}`), "digest mismatch"},
+	}
+	for _, tc := range cases {
+		_, _, err := Open(tc.data)
+		if err == nil {
+			t.Errorf("%s: Open accepted the defect", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestUnmarshalIsStrict(t *testing.T) {
+	var dst payload
+	if err := Unmarshal([]byte(`{"name":"x","ticks":1,"extra":true}`), &dst); err == nil {
+		t.Fatal("Unmarshal accepted an unknown field")
+	}
+	if err := Unmarshal([]byte(`{"name":"x"} {"ticks":2}`), &dst); err == nil {
+		t.Fatal("Unmarshal accepted trailing data")
+	}
+}
+
+// flip replaces one occurrence of old with new, failing loudly if the
+// pattern is absent so the corruption cases cannot silently test nothing.
+func flip(data, old, new []byte) []byte {
+	s := strings.Replace(string(data), string(old), string(new), 1)
+	if s == string(data) {
+		panic("flip: pattern not found: " + string(old))
+	}
+	return []byte(s)
+}

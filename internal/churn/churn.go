@@ -140,6 +140,14 @@ func NewProcess(src *rng.Source, params Params) *Process {
 // position is unaffected.
 func (p *Process) SetParams(params Params) { p.params = params }
 
+// SrcState captures the process's generator state for a checkpoint; the
+// parameters themselves are restored from the run configuration.
+func (p *Process) SrcState() [4]uint64 { return p.src.State() }
+
+// RestoreSrc overwrites the process's generator state with a checkpointed
+// one.
+func (p *Process) RestoreSrc(s [4]uint64) { p.src.SetState(s) }
+
 // Params returns the parameters currently in force.
 func (p *Process) Params() Params { return p.params }
 

@@ -44,6 +44,25 @@ type Options struct {
 	// the two backends produce byte-identical results; Parallel is
 	// ignored (the fleet's worker count is the parallelism).
 	Fleet *fleet.Fleet
+	// Journal, when non-empty with Fleet, is the path of a coordinator
+	// crash journal for the batch: completed units are durably recorded
+	// as they land, and a restarted coordinator reopening the same path
+	// re-dispatches only the incomplete units.
+	Journal string
+}
+
+// runFleetBatch dispatches one batch on opt.Fleet, under the coordinator
+// journal when one is configured.
+func runFleetBatch(opt Options, jobs []fleet.Job) ([]*fleet.Result, error) {
+	if opt.Journal == "" {
+		return opt.Fleet.Run(jobs)
+	}
+	j, err := fleet.OpenJournal(opt.Journal, jobs)
+	if err != nil {
+		return nil, err
+	}
+	defer j.Close()
+	return opt.Fleet.RunJournaled(jobs, j)
 }
 
 // withDefaults fills unset options with paper-scale values.
@@ -209,7 +228,7 @@ func runReplicasFleet(cfg config.Config, opt Options, policy baseline.Policy) ([
 			NullSign: opt.NullSign,
 		}
 	}
-	results, err := opt.Fleet.Run(jobs)
+	results, err := runFleetBatch(opt, jobs)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: fleet batch: %w", err)
 	}

@@ -66,7 +66,7 @@ func runScenarioReplicasFleet(spec *scenario.Spec, opt Options) ([]ScenarioRepli
 			Seed: replicaSeed(spec.Base.Seed, i),
 		}
 	}
-	results, err := opt.Fleet.Run(jobs)
+	results, err := runFleetBatch(opt, jobs)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: fleet batch for scenario %q: %w", spec.Name, err)
 	}

@@ -114,6 +114,7 @@ type batch struct {
 	durations []time.Duration   // completed unit times (straggler median)
 	done      int
 	err       error
+	journal   *Journal // nil when the batch is not journaled
 }
 
 // New builds the fleet: spawns the local workers and, when configured,
@@ -273,6 +274,16 @@ func (f *Fleet) handleResultLocked(w *workerConn, res *Result) {
 		}
 		return
 	}
+	if b.journal != nil {
+		// The record is synced before the merge: a coordinator crash
+		// after this point can never lose a completed unit.
+		if err := b.journal.append(res); err != nil {
+			if b.err == nil {
+				b.err = err
+			}
+			return
+		}
+	}
 	b.results[unit] = res
 	b.done++
 	if start, ok := b.started[unit]; ok {
@@ -329,6 +340,25 @@ func (f *Fleet) sendJob(w *workerConn, job Job) {
 // death, heartbeat-based failure detection and straggler re-dispatch all
 // happen inside; a deterministic unit error fails the whole batch.
 func (f *Fleet) Run(jobs []Job) ([]*Result, error) {
+	return f.runBatch(jobs, nil)
+}
+
+// RunJournaled is Run with a crash journal: units the journal already
+// records are merged without being dispatched again, and every newly
+// completed unit is durably appended before it is merged. A restarted
+// coordinator that reopens the same journal therefore re-executes only
+// the incomplete units.
+func (f *Fleet) RunJournaled(jobs []Job, journal *Journal) ([]*Result, error) {
+	if journal == nil {
+		return nil, errors.New("fleet: RunJournaled without a journal")
+	}
+	if len(journal.completed) != len(jobs) {
+		return nil, fmt.Errorf("fleet: journal covers %d units, batch has %d", len(journal.completed), len(jobs))
+	}
+	return f.runBatch(jobs, journal)
+}
+
+func (f *Fleet) runBatch(jobs []Job, journal *Journal) ([]*Result, error) {
 	f.runMu.Lock()
 	defer f.runMu.Unlock()
 	if len(jobs) == 0 {
@@ -345,15 +375,23 @@ func (f *Fleet) Run(jobs []Job) ([]*Result, error) {
 		epoch:    f.epoch,
 		jobs:     jobs,
 		results:  make([]*Result, len(jobs)),
-		pending:  make([]int, len(jobs)),
 		inflight: map[int]int{},
 		retries:  make([]int, len(jobs)),
 		started:  map[int]time.Time{},
+		journal:  journal,
 	}
 	for i := range jobs {
 		jobs[i].Unit = i
 		jobs[i].Epoch = b.epoch
-		b.pending[i] = i
+		if journal != nil && journal.completed[i] != nil {
+			// Completed by a previous coordinator: merge, don't dispatch.
+			res := *journal.completed[i]
+			res.Epoch = b.epoch
+			b.results[i] = &res
+			b.done++
+			continue
+		}
+		b.pending = append(b.pending, i)
 	}
 	f.batch = b
 	f.mu.Unlock()

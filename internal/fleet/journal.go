@@ -1,0 +1,187 @@
+package fleet
+
+// Crash-safe coordinator state: a Journal records each completed unit of
+// one batch as it lands, so a coordinator killed mid-batch can restart,
+// reload the journal and re-dispatch only the incomplete units. The
+// batch is identified by a signature over its jobs (with the
+// coordinator-assigned Unit/Epoch fields zeroed), so a journal can never
+// feed a different batch's results into this one.
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// journalMagic identifies a fleet journal file and its format version.
+const journalMagic = "replend-fleet-journal/v1"
+
+// journalHeader is the first line of a journal.
+type journalHeader struct {
+	Magic     string `json:"magic"`
+	Signature string `json:"signature"`
+	N         int    `json:"n"`
+}
+
+// Journal is an append-only record of one batch's completed units.
+type Journal struct {
+	file      *os.File
+	completed []*Result // by unit index; nil where incomplete
+}
+
+// BatchSignature fingerprints a batch's work independently of how the
+// coordinator numbers it: each job is hashed with Unit and Epoch zeroed.
+func BatchSignature(jobs []Job) (string, error) {
+	h := sha256.New()
+	var n [8]byte
+	for i := range jobs {
+		j := jobs[i]
+		j.Unit, j.Epoch = 0, 0
+		data, err := json.Marshal(j)
+		if err != nil {
+			return "", fmt.Errorf("fleet: hashing job %d: %w", i, err)
+		}
+		binary.BigEndian.PutUint64(n[:], uint64(len(data)))
+		h.Write(n[:])
+		h.Write(data)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// OpenJournal opens (or creates) the journal for the given batch. A
+// fresh or empty file is initialized with the batch header. An existing
+// journal must belong to the same batch — same signature and unit count
+// — or OpenJournal refuses, rather than silently discarding or mixing
+// state; completed results recorded by the previous coordinator are
+// loaded and available through Completed. A partial final line (the
+// previous coordinator died mid-append) is dropped and truncated away.
+func OpenJournal(path string, jobs []Job) (*Journal, error) {
+	sig, err := BatchSignature(jobs)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: opening journal: %w", err)
+	}
+	j := &Journal{file: f, completed: make([]*Result, len(jobs))}
+
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 64<<10), maxFrame)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("fleet: reading journal header: %w", err)
+		}
+		// Empty file: write the header and start fresh.
+		hdr, err := json.Marshal(journalHeader{Magic: journalMagic, Signature: sig, N: len(jobs)})
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		if _, err := f.Write(append(hdr, '\n')); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("fleet: writing journal header: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("fleet: syncing journal: %w", err)
+		}
+		return j, nil
+	}
+	var hdr journalHeader
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("fleet: journal header corrupt: %w", err)
+	}
+	if hdr.Magic != journalMagic {
+		f.Close()
+		return nil, fmt.Errorf("fleet: %s is not a fleet journal (magic %q)", path, hdr.Magic)
+	}
+	if hdr.Signature != sig || hdr.N != len(jobs) {
+		f.Close()
+		return nil, fmt.Errorf("fleet: journal %s belongs to a different batch — delete it or use another path", path)
+	}
+	// Replay completed results. good tracks the end of the last intact
+	// line so a torn final append can be truncated away.
+	good := int64(len(sc.Bytes()) + 1)
+	for sc.Scan() {
+		var res Result
+		if err := json.Unmarshal(sc.Bytes(), &res); err != nil {
+			break // torn tail; truncate below
+		}
+		if res.Unit < 0 || res.Unit >= len(jobs) {
+			f.Close()
+			return nil, fmt.Errorf("fleet: journal records unit %d outside the batch", res.Unit)
+		}
+		if j.completed[res.Unit] != nil {
+			f.Close()
+			return nil, fmt.Errorf("fleet: journal records unit %d twice", res.Unit)
+		}
+		if res.Err != "" {
+			f.Close()
+			return nil, fmt.Errorf("fleet: journal records a failed unit %d: %s", res.Unit, res.Err)
+		}
+		j.completed[res.Unit] = &res
+		good += int64(len(sc.Bytes()) + 1)
+	}
+	if err := sc.Err(); err != nil && err != bufio.ErrTooLong {
+		f.Close()
+		return nil, fmt.Errorf("fleet: reading journal: %w", err)
+	}
+	if err := f.Truncate(good); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("fleet: truncating torn journal tail: %w", err)
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("fleet: seeking journal: %w", err)
+	}
+	return j, nil
+}
+
+// Completed returns the units already recorded, by unit index (nil
+// where incomplete).
+func (j *Journal) Completed() []*Result {
+	out := make([]*Result, len(j.completed))
+	copy(out, j.completed)
+	return out
+}
+
+// CompletedCount returns how many units the journal has recorded.
+func (j *Journal) CompletedCount() int {
+	n := 0
+	for _, r := range j.completed {
+		if r != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// append durably records one completed unit. Called with the fleet lock
+// held; each record is synced before the result is merged, so a crash
+// after the merge can never lose a unit the caller saw complete.
+func (j *Journal) append(res *Result) error {
+	data, err := json.Marshal(res)
+	if err != nil {
+		return fmt.Errorf("fleet: encoding journal record: %w", err)
+	}
+	if _, err := j.file.Write(append(data, '\n')); err != nil {
+		return fmt.Errorf("fleet: appending journal record: %w", err)
+	}
+	if err := j.file.Sync(); err != nil {
+		return fmt.Errorf("fleet: syncing journal: %w", err)
+	}
+	j.completed[res.Unit] = res
+	return nil
+}
+
+// Close releases the journal file. The file itself is left in place —
+// deleting it after a successful batch is the caller's decision.
+func (j *Journal) Close() error { return j.file.Close() }

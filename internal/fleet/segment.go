@@ -1,0 +1,110 @@
+package fleet
+
+// Time-sharded execution: a deep run is phase-split into a chain of
+// checkpoint segments (snapshot in → run k ticks → snapshot out), and
+// many chains advance together — each round is one ordinary Run batch,
+// so segment units inherit the retry, heartbeat and straggler machinery
+// unchanged. Determinism is free: a segment is a pure function of its
+// input checkpoint, so a retried or duplicated segment re-seals the
+// same bytes.
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SegmentPlan is one chained run: a sealed starting checkpoint and the
+// ascending absolute ticks to re-checkpoint at. After the last cut a
+// Final segment finishes the run.
+type SegmentPlan struct {
+	// Checkpoint is the sealed starting state (either checkpoint kind).
+	Checkpoint []byte
+	// Cuts are the absolute ticks to re-checkpoint at, strictly
+	// ascending. Empty is valid: the chain is one Final segment.
+	Cuts []int64
+}
+
+// RunSegmented advances every chain through its cut schedule and
+// returns one final Result per chain, in plan order. Chains progress in
+// lock-step rounds — round r runs each chain with more than r cuts
+// remaining as one batch unit — so all workers stay busy while any
+// chain still has segments, and a coordinator journal (RunJournaled)
+// can cover each round's batch.
+func (f *Fleet) RunSegmented(plans []SegmentPlan) ([]*Result, error) {
+	states := make([][]byte, len(plans))
+	rounds := 0
+	for i, p := range plans {
+		if len(p.Checkpoint) == 0 {
+			return nil, fmt.Errorf("fleet: segment chain %d has no starting checkpoint", i)
+		}
+		for c := 1; c < len(p.Cuts); c++ {
+			if p.Cuts[c] <= p.Cuts[c-1] {
+				return nil, fmt.Errorf("fleet: segment chain %d cuts not ascending at index %d", i, c)
+			}
+		}
+		states[i] = p.Checkpoint
+		if len(p.Cuts) > rounds {
+			rounds = len(p.Cuts)
+		}
+	}
+
+	// Intermediate rounds: each advances every chain that still has a
+	// cut at this round index.
+	for r := 0; r < rounds; r++ {
+		var jobs []Job
+		var chains []int
+		for i, p := range plans {
+			if r < len(p.Cuts) {
+				jobs = append(jobs, Job{Kind: KindSegment, Checkpoint: states[i], Until: p.Cuts[r]})
+				chains = append(chains, i)
+			}
+		}
+		results, err := f.Run(jobs)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: segment round %d: %w", r, err)
+		}
+		for u, res := range results {
+			if res.Segment == nil || len(res.Segment.Checkpoint) == 0 {
+				return nil, fmt.Errorf("fleet: segment round %d unit %d returned no checkpoint", r, u)
+			}
+			states[chains[u]] = res.Segment.Checkpoint
+		}
+	}
+
+	// Final round: every chain finishes.
+	jobs := make([]Job, len(plans))
+	for i := range plans {
+		jobs[i] = Job{Kind: KindSegment, Checkpoint: states[i], Final: true}
+	}
+	results, err := f.Run(jobs)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: final segment round: %w", err)
+	}
+	for i, res := range results {
+		if res.Segment == nil || (res.Segment.Scenario == nil && res.Segment.Config == nil) {
+			return nil, fmt.Errorf("fleet: final segment %d returned no result payload", i)
+		}
+	}
+	return results, nil
+}
+
+// EvenCuts builds a cut schedule for a run of length end starting at
+// tick start: segments of roughly equal length, one per round. It is
+// the default schedule deep CLI runs shard with.
+func EvenCuts(start, end int64, segments int) []int64 {
+	if segments < 2 || end-start < int64(segments) {
+		return nil
+	}
+	cuts := make([]int64, 0, segments-1)
+	for i := 1; i < segments; i++ {
+		cut := start + (end-start)*int64(i)/int64(segments)
+		if len(cuts) > 0 && cut <= cuts[len(cuts)-1] {
+			continue
+		}
+		if cut > start && cut < end {
+			cuts = append(cuts, cut)
+		}
+	}
+	sort.Slice(cuts, func(i, j int) bool { return cuts[i] < cuts[j] })
+	return cuts
+}

@@ -1,0 +1,312 @@
+package fleet
+
+// Segment and journal tests: time-sharded chains must reproduce the
+// uninterrupted run byte for byte, and a journaled batch resumed by a
+// fresh coordinator must re-dispatch only the incomplete units.
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/rng"
+	"repro/internal/scenario"
+	"repro/internal/world"
+)
+
+// worldCheckpoint seals a freshly started world for the given config.
+func worldCheckpoint(t *testing.T, cfg config.Config) []byte {
+	t.Helper()
+	w, err := world.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Start()
+	snap, err := w.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := snap.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestSegmentedMatchesDirectExecution: a run phase-split into chained
+// checkpoint segments must produce the same result payload as the same
+// run executed in one piece, for both checkpoint kinds.
+func TestSegmentedMatchesDirectExecution(t *testing.T) {
+	f, err := New(Config{Workers: 3, Spawn: PipeSpawn(), Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	// World-kind chains, two seeds.
+	var plans []SegmentPlan
+	var want [][]byte
+	for _, seed := range []uint64{rng.DeriveSeed(42, 0), rng.DeriveSeed(42, 1)} {
+		c := config.Default()
+		c.NumInit = 30
+		c.NumTrans = 2_000
+		c.Lambda = 0.05
+		c.WaitPeriod = 100
+		c.Seed = seed
+		plans = append(plans, SegmentPlan{
+			Checkpoint: worldCheckpoint(t, c),
+			Cuts:       EvenCuts(0, c.NumTrans, 4),
+		})
+		ref, err := world.New(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ref.Run(); err != nil {
+			t.Fatal(err)
+		}
+		direct, err := json.Marshal(&ConfigResult{Metrics: *ref.Metrics(), Proto: ref.Protocol().Stats()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, direct)
+	}
+	// One scenario-kind chain.
+	spec, err := scenario.Get("quickstart")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := spec.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := r.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	start, err := st.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plans = append(plans, SegmentPlan{Checkpoint: start, Cuts: EvenCuts(0, spec.Base.NumTrans, 3)})
+	refSpec, err := scenario.Get("quickstart")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := refSpec.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	directScenario, err := json.Marshal(&ScenarioResult{
+		Metrics:         out.Metrics,
+		Proto:           out.Proto,
+		Outcomes:        out.Outcomes,
+		FinalReputation: out.FinalReputation,
+		Members:         out.Members,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = append(want, directScenario)
+
+	results, err := f.RunSegmented(plans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range results {
+		var got []byte
+		switch {
+		case res.Segment.Config != nil:
+			got, err = json.Marshal(res.Segment.Config)
+		case res.Segment.Scenario != nil:
+			got, err = json.Marshal(res.Segment.Scenario)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want[i]) {
+			t.Fatalf("chain %d: segmented result differs from direct execution", i)
+		}
+	}
+}
+
+func TestEvenCuts(t *testing.T) {
+	cuts := EvenCuts(0, 4000, 4)
+	if !reflect.DeepEqual(cuts, []int64{1000, 2000, 3000}) {
+		t.Fatalf("EvenCuts(0,4000,4) = %v", cuts)
+	}
+	if got := EvenCuts(0, 100, 1); got != nil {
+		t.Fatalf("single segment should need no cuts, got %v", got)
+	}
+	if got := EvenCuts(0, 2, 5); got != nil {
+		t.Fatalf("run shorter than the segment count should need no cuts, got %v", got)
+	}
+}
+
+// recordingSpawn runs units in-process and records which unit indices
+// were actually dispatched to a worker.
+func recordingSpawn(mu *sync.Mutex, dispatched *[]int) SpawnFunc {
+	return func(int) (io.ReadWriteCloser, error) {
+		coord, worker := pipePair()
+		go fakeWorker(worker, func(job *Job, send func(*envelope) error) bool {
+			mu.Lock()
+			*dispatched = append(*dispatched, job.Unit)
+			mu.Unlock()
+			return send(&envelope{Type: msgResult, Result: RunJob(job)}) == nil
+		})
+		return coord, nil
+	}
+}
+
+// TestJournalResumeSkipsCompletedUnits is the coordinator-restart pin:
+// a fresh coordinator reopening a journal that already records most of
+// the batch must dispatch only the incomplete units, and the merged
+// results must be byte-identical to the uninterrupted batch.
+func TestJournalResumeSkipsCompletedUnits(t *testing.T) {
+	jobs := tinyJobs(t, 6)
+	path := filepath.Join(t.TempDir(), "batch.journal")
+
+	// First coordinator: run the full batch under a journal.
+	j1, err := OpenJournal(path, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1, err := New(Config{Workers: 2, Spawn: PipeSpawn(), Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := f1.RunJournaled(jobs, j1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1.Close()
+	j1.Close()
+
+	// Simulate a coordinator killed after four completions: rewrite the
+	// journal with only the first four record lines. Records land in
+	// completion order, so the incomplete set is whatever the kept lines
+	// do not mention.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.SplitAfter(data, []byte("\n"))
+	if len(lines) < 7 {
+		t.Fatalf("journal has %d lines, want header + 6 records", len(lines))
+	}
+	if err := os.WriteFile(path, bytes.Join(lines[:5], nil), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	kept := map[int]bool{}
+	for _, line := range lines[1:5] {
+		var rec Result
+		if err := json.Unmarshal(line, &rec); err != nil {
+			t.Fatal(err)
+		}
+		kept[rec.Unit] = true
+	}
+	var incomplete []int
+	for i := range jobs {
+		if !kept[i] {
+			incomplete = append(incomplete, i)
+		}
+	}
+
+	// Restarted coordinator: reload the journal and finish the batch.
+	resumeJobs := tinyJobs(t, 6)
+	j2, err := OpenJournal(path, resumeJobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if n := j2.CompletedCount(); n != 4 {
+		t.Fatalf("reloaded journal has %d completed units, want 4", n)
+	}
+	var mu sync.Mutex
+	var dispatched []int
+	f2, err := New(Config{Workers: 2, Spawn: recordingSpawn(&mu, &dispatched), Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+	got, err := f2.RunJournaled(resumeJobs, j2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	sort.Ints(dispatched)
+	mu.Unlock()
+	if !reflect.DeepEqual(dispatched, incomplete) {
+		t.Fatalf("restarted coordinator dispatched units %v, want only the incomplete %v", dispatched, incomplete)
+	}
+	for i := range want {
+		want[i].Epoch, got[i].Epoch = 0, 0
+		if !bytes.Equal(mustJSON(t, want[i]), mustJSON(t, got[i])) {
+			t.Fatalf("unit %d differs between journaled run and resumed run", i)
+		}
+	}
+}
+
+// TestJournalRejectsForeignBatch: a journal can only resume the batch
+// whose signature it carries.
+func TestJournalRejectsForeignBatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "batch.journal")
+	jobs := tinyJobs(t, 3)
+	j, err := OpenJournal(path, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	other := tinyJobs(t, 3)
+	other[1].Seed++
+	if _, err := OpenJournal(path, other); err == nil {
+		t.Fatal("journal accepted a batch with a different signature")
+	}
+	if _, err := OpenJournal(path, tinyJobs(t, 2)); err == nil {
+		t.Fatal("journal accepted a batch with a different unit count")
+	}
+}
+
+// TestJournalDropsTornTail: a partial final line (coordinator died
+// mid-append) is discarded, not treated as corruption.
+func TestJournalDropsTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "batch.journal")
+	jobs := tinyJobs(t, 2)
+	j1, err := OpenJournal(path, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := New(Config{Workers: 1, Spawn: PipeSpawn(), Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.RunJournaled(jobs, j1); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	j1.Close()
+
+	fh, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fh.WriteString(`{"unit":1,"config":{"metr`); err != nil {
+		t.Fatal(err)
+	}
+	fh.Close()
+
+	j2, err := OpenJournal(path, tinyJobs(t, 2))
+	if err != nil {
+		t.Fatalf("torn tail should be dropped, got %v", err)
+	}
+	defer j2.Close()
+	if n := j2.CompletedCount(); n != 2 {
+		t.Fatalf("torn-tail journal has %d completed units, want 2", n)
+	}
+}

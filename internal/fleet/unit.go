@@ -4,8 +4,10 @@ import (
 	"fmt"
 
 	"repro/internal/baseline"
+	"repro/internal/checkpoint"
 	"repro/internal/config"
 	"repro/internal/scenario"
+	"repro/internal/sim"
 	"repro/internal/world"
 )
 
@@ -40,6 +42,13 @@ func RunJob(job *Job) (res *Result) {
 			return res
 		}
 		res.Config = cr
+	case KindSegment:
+		sr, err := runSegmentUnit(job)
+		if err != nil {
+			res.Err = err.Error()
+			return res
+		}
+		res.Segment = sr
 	default:
 		res.Err = fmt.Sprintf("unknown job kind %q", job.Kind)
 	}
@@ -65,6 +74,87 @@ func runScenarioUnit(job *Job) (*ScenarioResult, error) {
 		FinalReputation: out.FinalReputation,
 		Members:         out.Members,
 	}, nil
+}
+
+// runSegmentUnit resumes a sealed checkpoint and advances it: to the
+// job's target tick (returning the re-sealed state) or, when Final, to
+// the end of the run (returning the result payload). Both checkpoint
+// kinds are accepted; dispatch is on the envelope's kind tag.
+func runSegmentUnit(job *Job) (*SegmentResult, error) {
+	kind, body, err := checkpoint.Open(job.Checkpoint)
+	if err != nil {
+		return nil, err
+	}
+	switch kind {
+	case checkpoint.KindScenario:
+		st, err := scenario.DecodeRunStateBody(body)
+		if err != nil {
+			return nil, err
+		}
+		r, err := scenario.Resume(st)
+		if err != nil {
+			return nil, err
+		}
+		if job.Final {
+			out, err := r.Finish()
+			if err != nil {
+				return nil, err
+			}
+			return &SegmentResult{Scenario: &ScenarioResult{
+				Metrics:         out.Metrics,
+				Proto:           out.Proto,
+				Outcomes:        out.Outcomes,
+				FinalReputation: out.FinalReputation,
+				Members:         out.Members,
+			}}, nil
+		}
+		if err := r.RunToTick(sim.Tick(job.Until)); err != nil {
+			return nil, err
+		}
+		next, err := r.Snapshot()
+		if err != nil {
+			return nil, err
+		}
+		data, err := next.Encode()
+		if err != nil {
+			return nil, err
+		}
+		return &SegmentResult{Checkpoint: data}, nil
+	case checkpoint.KindWorld:
+		snap, err := world.DecodeSnapshotBody(body)
+		if err != nil {
+			return nil, err
+		}
+		w, err := world.Restore(snap)
+		if err != nil {
+			return nil, err
+		}
+		if job.Final {
+			if end := sim.Tick(w.Config().NumTrans); w.Engine().Now() < end {
+				if err := w.RunFor(end - w.Engine().Now()); err != nil {
+					return nil, err
+				}
+			}
+			w.Finish()
+			return &SegmentResult{Config: &ConfigResult{Metrics: *w.Metrics(), Proto: w.Protocol().Stats()}}, nil
+		}
+		if until := sim.Tick(job.Until); w.Engine().Now() < until {
+			if err := w.RunFor(until - w.Engine().Now()); err != nil {
+				return nil, err
+			}
+		}
+		next, err := w.Snapshot()
+		if err != nil {
+			return nil, err
+		}
+		data, err := next.Encode()
+		if err != nil {
+			return nil, err
+		}
+		return &SegmentResult{Checkpoint: data}, nil
+	default:
+		return nil, fmt.Errorf("segment checkpoint of unknown kind %q", kind)
+	}
 }
 
 // runConfigUnit executes a configured-world replica, optionally under a

@@ -447,20 +447,32 @@ func (p *Protocol) smState(node id.ID) *smLendState {
 // Begin starts one introduction attempt: the newcomer has asked the given
 // introducer, whose decision is already known (granted). Nothing is
 // revealed to the newcomer until the waiting period elapses; then either
-// the refusal is delivered or the lend executes.
+// the refusal is delivered or the lend executes. The scheduled events
+// carry IntroWait payloads so a checkpoint can rebuild them.
 func (p *Protocol) Begin(newcomer, introducer id.ID, granted bool) {
 	p.stats.Requests++
+	wait := IntroWait{Newcomer: newcomer, Introducer: introducer}
 	if !granted {
-		p.engine.After(p.params.Wait, "intro-refuse", func() {
-			p.stats.RefusedSelective++
-			p.emitRefused(newcomer, introducer, RefusedByIntroducer)
-		})
+		p.engine.AfterPayload(p.params.Wait, "intro-refuse", wait, p.refuseBody(newcomer, introducer))
 		return
 	}
 	p.stats.Granted++
-	p.engine.After(p.params.Wait, "intro-lend", func() {
+	p.engine.AfterPayload(p.params.Wait, "intro-lend", wait, p.lendBody(newcomer, introducer))
+}
+
+// refuseBody is the waiting-period event body delivering a refusal.
+func (p *Protocol) refuseBody(newcomer, introducer id.ID) func() {
+	return func() {
+		p.stats.RefusedSelective++
+		p.emitRefused(newcomer, introducer, RefusedByIntroducer)
+	}
+}
+
+// lendBody is the waiting-period event body executing a granted lend.
+func (p *Protocol) lendBody(newcomer, introducer id.ID) func() {
+	return func() {
 		p.executeLend(newcomer, introducer)
-	})
+	}
 }
 
 func (p *Protocol) emitRefused(newcomer, introducer id.ID, reason Reason) {

@@ -1,0 +1,223 @@
+package lending
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/id"
+	"repro/internal/transport"
+)
+
+// Checkpoint support. The protocol's serializable state is everything a
+// restored run's future decisions can observe: identities (with their key
+// material and generator positions), departed peers' verification
+// tombstones, per-node score-manager dedup tables, stake records, the
+// punishment set, the nonce counter and the activity counters. The
+// signature cache is a pure performance memo rebuilt on demand, and the
+// waiting-period events in flight live in the engine's queue — they are
+// captured there and rebuilt via RebuildIntroEvent.
+
+// IntroWait is the checkpoint payload of one pending waiting-period event
+// ("intro-refuse" or "intro-lend"): the pair whose introduction attempt
+// is waiting out the period T.
+type IntroWait struct {
+	Newcomer   id.ID `json:"newcomer"`
+	Introducer id.ID `json:"introducer"`
+}
+
+// SignerRecord is one registered identity: a real signer's captured state,
+// or a marker for a stateless null identity re-derived from the ID.
+type SignerRecord struct {
+	ID     id.ID                  `json:"id"`
+	Null   bool                   `json:"null,omitempty"`
+	Signer *transport.SignerState `json:"signer,omitempty"`
+}
+
+// TombRecord is one retained verification-only identity of a departed
+// signer.
+type TombRecord struct {
+	ID  id.ID  `json:"id"`
+	Pub []byte `json:"pub"`
+}
+
+// BootNonceRecord is one accepted bootstrap credit at a score manager.
+type BootNonceRecord struct {
+	Peer  id.ID  `json:"peer"`
+	Nonce uint64 `json:"nonce"`
+}
+
+// SMRecord is the lending bookkeeping of one score-manager node.
+type SMRecord struct {
+	Node       id.ID             `json:"node"`
+	SeenLend   []uint64          `json:"seenLend,omitempty"`
+	SeenReward []uint64          `json:"seenReward,omitempty"`
+	BootNonce  []BootNonceRecord `json:"bootNonce,omitempty"`
+	Flagged    []id.ID           `json:"flagged,omitempty"`
+}
+
+// StakeRecord is one admission stake with its lifecycle state.
+type StakeRecord struct {
+	Newcomer   id.ID      `json:"newcomer"`
+	Introducer id.ID      `json:"introducer"`
+	Amount     float64    `json:"amount"`
+	Nonce      uint64     `json:"nonce"`
+	State      StakeState `json:"state"`
+}
+
+// State is the protocol's full serializable state, with every map-backed
+// structure flattened into ascending-key order for deterministic encoding.
+type State struct {
+	Signers []SignerRecord `json:"signers,omitempty"`
+	Tombs   []TombRecord   `json:"tombs,omitempty"`
+	SM      []SMRecord     `json:"sm,omitempty"`
+	Stakes  []StakeRecord  `json:"stakes,omitempty"`
+	Flagged []id.ID        `json:"flagged,omitempty"`
+	Nonce   uint64         `json:"nonce"`
+	Stats   Stats          `json:"stats"`
+}
+
+// sortedIDKeys returns the map's keys in ascending identifier order.
+func sortedIDKeys[V any](m map[id.ID]V) []id.ID {
+	out := make([]id.ID, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// sortedNonces returns the set's members in ascending order.
+func sortedNonces(m map[uint64]bool) []uint64 {
+	out := make([]uint64, 0, len(m))
+	for n := range m {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ExportState captures the protocol's state for a checkpoint. It fails on
+// identity kinds the format does not know about.
+func (p *Protocol) ExportState() (State, error) {
+	st := State{Nonce: p.nonce, Stats: p.stats}
+	for _, pid := range sortedIDKeys(p.signers) {
+		switch ident := p.signers[pid].(type) {
+		case *transport.Signer:
+			sst := ident.Export()
+			st.Signers = append(st.Signers, SignerRecord{ID: pid, Signer: &sst})
+		case transport.NullIdentity:
+			st.Signers = append(st.Signers, SignerRecord{ID: pid, Null: true})
+		default:
+			return State{}, fmt.Errorf("lending: cannot checkpoint identity type %T for %s", ident, pid.Short())
+		}
+	}
+	for _, pid := range sortedIDKeys(p.tombs) {
+		pub, ok := transport.VerifyOnlyPublic(p.tombs[pid])
+		if !ok {
+			return State{}, fmt.Errorf("lending: cannot checkpoint tombstone type %T for %s", p.tombs[pid], pid.Short())
+		}
+		st.Tombs = append(st.Tombs, TombRecord{ID: pid, Pub: pub})
+	}
+	for _, node := range sortedIDKeys(p.sm) {
+		sm := p.sm[node]
+		rec := SMRecord{
+			Node:       node,
+			SeenLend:   sortedNonces(sm.seenLend),
+			SeenReward: sortedNonces(sm.seenReward),
+			Flagged:    sortedIDKeys(sm.flagged),
+		}
+		for _, peer := range sortedIDKeys(sm.bootNonce) {
+			rec.BootNonce = append(rec.BootNonce, BootNonceRecord{Peer: peer, Nonce: sm.bootNonce[peer]})
+		}
+		st.SM = append(st.SM, rec)
+	}
+	for _, newcomer := range sortedIDKeys(p.intro) {
+		rec := p.intro[newcomer]
+		st.Stakes = append(st.Stakes, StakeRecord{
+			Newcomer:   newcomer,
+			Introducer: rec.introducer,
+			Amount:     rec.amount,
+			Nonce:      rec.nonce,
+			State:      rec.state,
+		})
+	}
+	st.Flagged = sortedIDKeys(p.flagged)
+	return st, nil
+}
+
+// RestoreState installs a checkpointed state into a freshly constructed
+// protocol (same params, engine, bus, net, events and null/retain flags as
+// the captured one). Signers are re-registered through RegisterPeer, which
+// also rebuilds the bus handlers; callers restoring bus crash flags must
+// do so afterwards.
+func (p *Protocol) RestoreState(st State) error {
+	for _, rec := range st.Signers {
+		var ident transport.Identity
+		switch {
+		case rec.Null:
+			ident = transport.NewNullIdentity(rec.ID)
+		case rec.Signer != nil:
+			s, err := transport.SignerFromState(*rec.Signer)
+			if err != nil {
+				return fmt.Errorf("lending: restore: signer %s: %w", rec.ID.Short(), err)
+			}
+			ident = s
+		default:
+			return fmt.Errorf("lending: restore: signer %s has neither key state nor null marker", rec.ID.Short())
+		}
+		p.RegisterPeer(rec.ID, ident)
+	}
+	for _, rec := range st.Tombs {
+		t, err := transport.NewVerifyOnly(rec.Pub)
+		if err != nil {
+			return fmt.Errorf("lending: restore: tombstone %s: %w", rec.ID.Short(), err)
+		}
+		p.tombs[rec.ID] = t
+	}
+	for _, rec := range st.SM {
+		sm := newSMLendState()
+		for _, n := range rec.SeenLend {
+			sm.seenLend[n] = true
+		}
+		for _, n := range rec.SeenReward {
+			sm.seenReward[n] = true
+		}
+		for _, bn := range rec.BootNonce {
+			sm.bootNonce[bn.Peer] = bn.Nonce
+		}
+		for _, f := range rec.Flagged {
+			sm.flagged[f] = true
+		}
+		p.sm[rec.Node] = sm
+	}
+	for _, rec := range st.Stakes {
+		if rec.State < StakePending || rec.State > StakeStranded {
+			return fmt.Errorf("lending: restore: stake for %s has unknown state %d", rec.Newcomer.Short(), rec.State)
+		}
+		p.intro[rec.Newcomer] = &introRecord{
+			introducer: rec.Introducer,
+			amount:     rec.Amount,
+			nonce:      rec.Nonce,
+			state:      rec.State,
+		}
+	}
+	for _, f := range st.Flagged {
+		p.flagged[f] = true
+	}
+	p.nonce = st.Nonce
+	p.stats = st.Stats
+	return nil
+}
+
+// RebuildIntroEvent reconstructs the closure of a checkpointed
+// waiting-period event from its payload. name is the event's label,
+// "intro-refuse" or "intro-lend".
+func (p *Protocol) RebuildIntroEvent(name string, w IntroWait) (func(), error) {
+	switch name {
+	case "intro-refuse":
+		return p.refuseBody(w.Newcomer, w.Introducer), nil
+	case "intro-lend":
+		return p.lendBody(w.Newcomer, w.Introducer), nil
+	}
+	return nil, fmt.Errorf("lending: unknown waiting-period event %q", name)
+}

@@ -20,6 +20,18 @@ type Source struct {
 	s [4]uint64
 }
 
+// State returns the generator's raw xoshiro256** state, for checkpointing.
+// Restoring it with FromState yields a Source that continues the exact
+// stream this one would have produced.
+func (r *Source) State() [4]uint64 { return r.s }
+
+// FromState reconstructs a Source from a state captured with State.
+func FromState(s [4]uint64) *Source { return &Source{s: s} }
+
+// SetState overwrites the generator's state in place, for restoring a
+// checkpoint into a Source that other components already hold a pointer to.
+func (r *Source) SetState(s [4]uint64) { r.s = s }
+
 // New returns a Source seeded from the given seed. Distinct seeds give
 // independent-looking streams; seed 0 is valid.
 func New(seed uint64) *Source {

@@ -1,0 +1,103 @@
+package rocq
+
+import "sort"
+
+import "repro/internal/id"
+
+// Checkpoint support. A Store's behaviour is fully determined by the
+// evidence in its present slots, its per-reporter credibilities and the
+// total report counter; non-present placeholder slots exist only to give
+// Refs stable addresses and are recreated on demand after a restore, so
+// they are not captured. All map-backed state is exported as slices in
+// ascending identifier order, which makes the encoding deterministic —
+// the same store always serializes to the same bytes.
+
+// SubjectRecord is the serializable evidence slot for one subject.
+type SubjectRecord struct {
+	Subject id.ID   `json:"subject"`
+	S       float64 `json:"s"`
+	W       float64 `json:"w"`
+	Reports int64   `json:"reports"`
+}
+
+// CredRecord is the serializable credibility the store holds for one
+// reporter.
+type CredRecord struct {
+	Reporter id.ID   `json:"reporter"`
+	Cred     float64 `json:"cred"`
+}
+
+// StoreState is the serializable state of a score-manager store.
+type StoreState struct {
+	Subjects []SubjectRecord `json:"subjects,omitempty"`
+	Cred     []CredRecord    `json:"cred,omitempty"`
+	Reports  int64           `json:"reports,omitempty"`
+}
+
+// ExportState captures the store's evidence, credibilities and report
+// counter in deterministic order.
+func (s *Store) ExportState() StoreState {
+	out := StoreState{Reports: s.reports}
+	for subject, st := range s.subjects {
+		if !st.present {
+			continue
+		}
+		out.Subjects = append(out.Subjects, SubjectRecord{Subject: subject, S: st.s, W: st.w, Reports: st.reports})
+	}
+	sort.Slice(out.Subjects, func(i, j int) bool { return out.Subjects[i].Subject.Less(out.Subjects[j].Subject) })
+	for reporter, c := range s.cred {
+		out.Cred = append(out.Cred, CredRecord{Reporter: reporter, Cred: c})
+	}
+	sort.Slice(out.Cred, func(i, j int) bool { return out.Cred[i].Reporter.Less(out.Cred[j].Reporter) })
+	return out
+}
+
+// RestoreState overwrites the store's evidence, credibilities and report
+// counter with checkpointed values. Existing slots — including non-present
+// placeholders — are discarded; callers re-resolve any Refs they held.
+func (s *Store) RestoreState(st StoreState) {
+	s.subjects = make(map[id.ID]*subjectState, len(st.Subjects))
+	s.cred = make(map[id.ID]float64, len(st.Cred))
+	s.known = len(st.Subjects)
+	s.reports = st.Reports
+	for _, rec := range st.Subjects {
+		s.subjects[rec.Subject] = &subjectState{
+			subject: rec.Subject,
+			s:       rec.S,
+			w:       rec.W,
+			reports: rec.Reports,
+			present: true,
+		}
+	}
+	for _, rec := range st.Cred {
+		s.cred[rec.Reporter] = rec.Cred
+	}
+}
+
+// PartnerRecord is the serializable first-hand experience a peer holds
+// about one partner.
+type PartnerRecord struct {
+	Partner id.ID   `json:"partner"`
+	Sum     float64 `json:"sum"`
+	Count   int64   `json:"count"`
+}
+
+// ExportState captures the opinion book's experience in ascending partner
+// order.
+func (b *OpinionBook) ExportState() []PartnerRecord {
+	out := make([]PartnerRecord, 0, len(b.partners))
+	for partner, st := range b.partners {
+		out = append(out, PartnerRecord{Partner: partner, Sum: st.sum, Count: st.count})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Partner.Less(out[j].Partner) })
+	return out
+}
+
+// RestoreState overwrites the opinion book's experience with checkpointed
+// values.
+func (b *OpinionBook) RestoreState(recs []PartnerRecord) {
+	b.partners = make(map[id.ID]*opinionState, len(recs))
+	for _, rec := range recs {
+		b.partners[rec.Partner] = &opinionState{sum: rec.Sum, count: rec.Count}
+	}
+}

@@ -1,0 +1,114 @@
+package scenario
+
+// Checkpoint-decoding fuzz: corrupt, truncated or version-skewed
+// checkpoint files must be rejected with an error — never a panic, and
+// never a silently restored partial state. The seed corpus is real
+// sealed snapshots (both kinds) of three built-in scenarios, so the
+// fuzzer starts from deep, structurally valid inputs.
+
+import (
+	"testing"
+
+	"repro/internal/checkpoint"
+	"repro/internal/sim"
+	"repro/internal/world"
+)
+
+// fuzzSeeds captures sealed snapshots of three built-in scenarios at an
+// early tick, in both envelope kinds plus the bare body documents.
+func fuzzSeeds(f *testing.F) (sealed [][]byte, bodies [][]byte) {
+	f.Helper()
+	// The three smallest built-ins: fuzz inputs are mutated whole, so
+	// corpus bytes are the budget that matters.
+	for _, name := range []string{"quickstart", "sm-wipeout", "api"} {
+		spec, err := Get(name)
+		if err != nil {
+			f.Fatal(err)
+		}
+		r, err := spec.Start()
+		if err != nil {
+			f.Fatal(err)
+		}
+		if err := r.RunToTick(sim.Tick(200)); err != nil {
+			f.Fatal(err)
+		}
+		st, err := r.Snapshot()
+		if err != nil {
+			f.Fatal(err)
+		}
+		runFile, err := st.Encode()
+		if err != nil {
+			f.Fatal(err)
+		}
+		ws, err := r.World().Snapshot()
+		if err != nil {
+			f.Fatal(err)
+		}
+		worldFile, err := ws.Encode()
+		if err != nil {
+			f.Fatal(err)
+		}
+		sealed = append(sealed, runFile, worldFile)
+		_, runBody, err := checkpoint.Open(runFile)
+		if err != nil {
+			f.Fatal(err)
+		}
+		_, worldBody, err := checkpoint.Open(worldFile)
+		if err != nil {
+			f.Fatal(err)
+		}
+		bodies = append(bodies, runBody, worldBody)
+	}
+	return sealed, bodies
+}
+
+// FuzzCheckpointDecode drives the whole untrusted-file path: envelope,
+// body, restore. Any outcome but a clean error or a working restore is
+// a bug.
+func FuzzCheckpointDecode(f *testing.F) {
+	sealed, _ := fuzzSeeds(f)
+	for _, s := range sealed {
+		f.Add(s)
+	}
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"magic":"replend-checkpoint/v1","kind":"world","sha256":"","body":{}}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		kind, body, err := checkpoint.Open(data)
+		if err != nil {
+			return
+		}
+		switch kind {
+		case checkpoint.KindWorld:
+			snap, err := world.DecodeSnapshotBody(body)
+			if err != nil {
+				return
+			}
+			_, _ = world.Restore(snap)
+		case checkpoint.KindScenario:
+			st, err := DecodeRunStateBody(body)
+			if err != nil {
+				return
+			}
+			_, _ = Resume(st)
+		}
+	})
+}
+
+// FuzzSnapshotBody skips the envelope digest (which rejects almost every
+// mutation) and fuzzes the body documents directly, so the decoder and
+// restore validation see structurally interesting corruption.
+func FuzzSnapshotBody(f *testing.F) {
+	_, bodies := fuzzSeeds(f)
+	for _, b := range bodies {
+		f.Add(b)
+	}
+	f.Add([]byte(`{"version":1}`))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		if st, err := DecodeRunStateBody(body); err == nil {
+			_, _ = Resume(st)
+		}
+		if snap, err := world.DecodeSnapshotBody(body); err == nil {
+			_, _ = world.Restore(snap)
+		}
+	})
+}

@@ -1,0 +1,149 @@
+package scenario
+
+// Scenario checkpoint property tests: every golden-pinned built-in
+// scenario must produce byte-identical output when interrupted by a
+// mid-run checkpoint, encoded, decoded and resumed in a fresh Run.
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// runOutput renders a result to the bytes the golden tests pin.
+func runOutput(t *testing.T, res *Result) string {
+	t.Helper()
+	csv, err := res.CSV()
+	if err != nil {
+		t.Fatalf("CSV: %v", err)
+	}
+	return res.Summary() + "\n" + csv
+}
+
+func TestScenarioCheckpointResumeByteIdentity(t *testing.T) {
+	for _, name := range Names() {
+		t.Run(name, func(t *testing.T) {
+			spec, err := Get(name)
+			if err != nil {
+				t.Fatalf("Get: %v", err)
+			}
+			ref, err := spec.Run()
+			if err != nil {
+				t.Fatalf("uninterrupted run: %v", err)
+			}
+			want := runOutput(t, ref)
+
+			spec2, err := Get(name)
+			if err != nil {
+				t.Fatalf("Get: %v", err)
+			}
+			r, err := spec2.Start()
+			if err != nil {
+				t.Fatalf("Start: %v", err)
+			}
+			cut := sim.Tick(spec2.Base.NumTrans / 2)
+			if err := r.RunToTick(cut); err != nil {
+				t.Fatalf("RunToTick(%d): %v", cut, err)
+			}
+			st, err := r.Snapshot()
+			if err != nil {
+				t.Fatalf("Snapshot: %v", err)
+			}
+			data, err := st.Encode()
+			if err != nil {
+				t.Fatalf("Encode: %v", err)
+			}
+			dec, err := DecodeRunState(data)
+			if err != nil {
+				t.Fatalf("DecodeRunState: %v", err)
+			}
+			resumed, err := Resume(dec)
+			if err != nil {
+				t.Fatalf("Resume: %v", err)
+			}
+			// Double-checkpoint idempotence at the scenario layer.
+			st2, err := resumed.Snapshot()
+			if err != nil {
+				t.Fatalf("re-Snapshot: %v", err)
+			}
+			data2, err := st2.Encode()
+			if err != nil {
+				t.Fatalf("re-Encode: %v", err)
+			}
+			if !bytes.Equal(data, data2) {
+				t.Fatalf("snapshot(resume(s)) != s (%d vs %d bytes)", len(data), len(data2))
+			}
+			res, err := resumed.Finish()
+			if err != nil {
+				t.Fatalf("Finish after resume: %v", err)
+			}
+			got := runOutput(t, res)
+			if got != want {
+				t.Fatalf("resumed run diverged from uninterrupted run:\nwant %d bytes, got %d bytes", len(want), len(got))
+			}
+		})
+	}
+}
+
+func TestScenarioResumeRejectsDefects(t *testing.T) {
+	spec, err := Get("churn-steady")
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	r, err := spec.Start()
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if err := r.RunToTick(500); err != nil {
+		t.Fatalf("RunToTick: %v", err)
+	}
+	st, err := r.Snapshot()
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	data, err := st.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+
+	if _, err := DecodeRunState(data[:len(data)-7]); err == nil {
+		t.Fatal("truncated scenario checkpoint should be rejected")
+	}
+	corrupt := append([]byte(nil), data...)
+	corrupt[len(corrupt)/3] ^= 0x08
+	if _, err := DecodeRunState(corrupt); err == nil {
+		t.Fatal("bit-flipped scenario checkpoint should be rejected")
+	}
+	// A world checkpoint must not decode as a scenario run.
+	ws, err := r.World().Snapshot()
+	if err != nil {
+		t.Fatalf("world Snapshot: %v", err)
+	}
+	wdata, err := ws.Encode()
+	if err != nil {
+		t.Fatalf("world Encode: %v", err)
+	}
+	if _, err := DecodeRunState(wdata); err == nil || !strings.Contains(err.Error(), "not a scenario run") {
+		t.Fatalf("world checkpoint decoded as scenario run (err=%v)", err)
+	}
+	// Version skew and cursor overrun are rejected by Resume.
+	skew := *st
+	skew.Version = RunStateVersion + 1
+	if _, err := Resume(&skew); err == nil {
+		t.Fatal("version-skewed run state should be rejected")
+	}
+	bad := *st
+	bad.Next = len(spec.Phases) + 1
+	if _, err := Resume(&bad); err == nil {
+		t.Fatal("out-of-range phase cursor should be rejected")
+	}
+	// A finished run refuses to checkpoint.
+	if _, err := r.Finish(); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	if _, err := r.Snapshot(); err == nil {
+		t.Fatal("finished run should refuse to checkpoint")
+	}
+}

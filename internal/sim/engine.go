@@ -11,6 +11,7 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+	"sort"
 )
 
 // Tick is a point in simulation time. The paper schedules one resource
@@ -23,6 +24,12 @@ type Event struct {
 	At   Tick
 	Name string // diagnostic label, e.g. "transaction", "arrival", "audit"
 	Run  func()
+
+	// Payload is the event's checkpoint tag: the data a snapshot needs to
+	// rebuild Run in a fresh process. Events scheduled without a payload
+	// (plain Schedule/After) cannot cross a checkpoint unless the restoring
+	// side knows how to rebuild them from the name alone.
+	Payload any
 
 	seq int64 // tie-break for FIFO ordering within a tick
 }
@@ -91,6 +98,85 @@ func (e *Engine) After(delay Tick, name string, fn func()) {
 		panic(fmt.Sprintf("sim: negative delay %d for %q", delay, name))
 	}
 	e.Schedule(e.now+delay, name, fn)
+}
+
+// SchedulePayload is Schedule with a checkpoint tag: payload is the data a
+// snapshot uses to rebuild fn when restoring in a fresh process.
+func (e *Engine) SchedulePayload(at Tick, name string, payload any, fn func()) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling %q at tick %d before now (%d)", name, at, e.now))
+	}
+	ev := &Event{At: at, Name: name, Run: fn, Payload: payload, seq: e.nextSeq}
+	e.nextSeq++
+	heap.Push(&e.queue, ev)
+}
+
+// AfterPayload is After with a checkpoint tag; see SchedulePayload.
+func (e *Engine) AfterPayload(delay Tick, name string, payload any, fn func()) {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d for %q", delay, name))
+	}
+	e.SchedulePayload(e.now+delay, name, payload, fn)
+}
+
+// PendingEvent is the checkpoint view of one queued event: everything but
+// the closure, which the restoring side rebuilds from (Name, Payload).
+type PendingEvent struct {
+	At      Tick
+	Name    string
+	Seq     int64
+	Payload any
+}
+
+// Pendings returns the queued events in execution order (At, then
+// scheduling order). The closures themselves are not exported; a
+// checkpoint stores (Name, Payload) and rebuilds them on restore.
+func (e *Engine) Pendings() []PendingEvent {
+	out := make([]PendingEvent, 0, len(e.queue))
+	for _, ev := range e.queue {
+		out = append(out, PendingEvent{At: ev.At, Name: ev.Name, Seq: ev.seq, Payload: ev.Payload})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].At != out[j].At {
+			return out[i].At < out[j].At
+		}
+		return out[i].Seq < out[j].Seq
+	})
+	return out
+}
+
+// NextSeq returns the sequence number the next scheduled event would get.
+// Together with Pendings and Now it pins the scheduler's full state.
+func (e *Engine) NextSeq() int64 { return e.nextSeq }
+
+// Restore resets the engine to a checkpointed scheduler state: clock at
+// now, the given pending events re-queued with their original sequence
+// numbers (preserving intra-tick FIFO order exactly), and the sequence
+// counter at nextSeq. rebuild maps each pending event back to its closure;
+// a nil closure or non-nil error aborts the restore, leaving the engine in
+// an unspecified state the caller must discard.
+func (e *Engine) Restore(now Tick, nextSeq int64, events []PendingEvent, rebuild func(PendingEvent) (func(), error)) error {
+	e.queue = e.queue[:0]
+	e.now = now
+	e.nextSeq = nextSeq
+	e.stopped = false
+	for _, pe := range events {
+		if pe.At < now {
+			return fmt.Errorf("sim: restore: event %q at tick %d before now (%d)", pe.Name, pe.At, now)
+		}
+		if pe.Seq >= nextSeq {
+			return fmt.Errorf("sim: restore: event %q has seq %d >= next seq %d", pe.Name, pe.Seq, nextSeq)
+		}
+		fn, err := rebuild(pe)
+		if err != nil {
+			return fmt.Errorf("sim: restore: rebuilding %q at tick %d: %w", pe.Name, pe.At, err)
+		}
+		if fn == nil {
+			return fmt.Errorf("sim: restore: no closure for %q at tick %d", pe.Name, pe.At)
+		}
+		heap.Push(&e.queue, &Event{At: pe.At, Name: pe.Name, Run: fn, Payload: pe.Payload, seq: pe.Seq})
+	}
+	return nil
 }
 
 // Stop makes the current Run invocation return after the in-flight event

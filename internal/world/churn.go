@@ -192,13 +192,19 @@ func (w *World) scheduleNextDeparture() {
 		at = w.engine.Now() + 1
 		w.departClk = float64(at)
 	}
-	w.engine.Schedule(at, "departure", func() {
+	w.engine.SchedulePayload(at, "departure", genPayload{Gen: gen}, w.departureBody(gen))
+}
+
+// departureBody is the departure event armed under the given process
+// generation: it aborts if a μ delta re-armed the chain since.
+func (w *World) departureBody(gen int64) func() {
+	return func() {
 		if gen != w.departGen {
 			return
 		}
 		w.handleDeparture()
 		w.scheduleNextDeparture()
-	})
+	}
 }
 
 // rearmDepartures cancels any in-flight departure chain and, when μ is
@@ -238,8 +244,21 @@ func (w *World) scheduleSessionEnd(p *peer.Peer) {
 // session happened to end during a population trough would become
 // immortal for the rest of the run.
 func (w *World) armSessionEnd(p *peer.Peer, joined, at sim.Tick) {
-	w.engine.Schedule(at, "session-end", func() {
-		if w.err != nil || !w.IsAdmitted(p.ID) || p.JoinedAt != joined {
+	w.engine.SchedulePayload(at, "session-end",
+		sessionPayload{Peer: p.ID, Joined: joined}, w.sessionEndBody(p.ID, joined))
+}
+
+// sessionEndBody is the session-expiry event of the peer admitted at
+// joined. The peer is resolved by identifier at fire time: a departure
+// in the interim removes it from the peer table, a rejoin bumps
+// JoinedAt — either way the stale event aborts.
+func (w *World) sessionEndBody(pid id.ID, joined sim.Tick) func() {
+	return func() {
+		if w.err != nil || !w.IsAdmitted(pid) {
+			return
+		}
+		p, ok := w.peers[pid]
+		if !ok || p.JoinedAt != joined {
 			return
 		}
 		if len(w.admittedPeers) <= w.minPopulation() {
@@ -247,7 +266,7 @@ func (w *World) armSessionEnd(p *peer.Peer, joined, at sim.Tick) {
 			return
 		}
 		w.churnDepart(p)
-	})
+	}
 }
 
 // churnDepart runs one process-driven departure: crash-or-leave draw,
@@ -269,14 +288,19 @@ func (w *World) churnDepart(p *peer.Peer) {
 		return
 	}
 	pid := p.ID
-	w.engine.After(sim.Tick(after), "rejoin", func() {
+	w.engine.AfterPayload(sim.Tick(after), "rejoin", peerPayload{Peer: pid}, w.rejoinBody(pid))
+}
+
+// rejoinBody is the scheduled return of a process-departed peer.
+func (w *World) rejoinBody(pid id.ID) func() {
+	return func() {
 		if w.err != nil || !w.IsDeparted(pid) {
 			return
 		}
 		if err := w.Rejoin(pid); err != nil {
 			w.fail(fmt.Errorf("sim: rejoin of %s: %w", pid.Short(), err))
 		}
-	})
+	}
 }
 
 // forgetDeparted finalises a departure known to be permanent: the peer
@@ -343,15 +367,41 @@ func (w *World) scheduleStakeExpiry(p *peer.Peer) {
 		return
 	}
 	joined := p.JoinedAt
-	w.engine.After(sim.Tick(w.cfg.StakeTimeout), "stake-expiry", func() {
-		if w.err != nil || w.IsAdmitted(p.ID) || p.JoinedAt != joined {
+	w.engine.AfterPayload(sim.Tick(w.cfg.StakeTimeout), "stake-expiry",
+		sessionPayload{Peer: p.ID, Joined: joined}, w.stakeExpiryBody(p.ID, joined))
+}
+
+// stakeExpiryBody is the offline-record TTL event for the peer that
+// departed with JoinedAt == joined. The peer is resolved by identifier:
+// it may still sit in the departed set, be back in the community (a
+// rejoin bumped JoinedAt, cancelling the timer), or be gone for good
+// (forgotten after a no-rejoin draw) — in which case no object remains,
+// JoinedAt cannot have moved, and the expiry proceeds.
+func (w *World) stakeExpiryBody(pid id.ID, joined sim.Tick) func() {
+	return func() {
+		if w.err != nil || w.IsAdmitted(pid) {
 			return
 		}
-		if state, ok := w.proto.ExpireStake(p.ID); ok {
-			w.m.Churn.StakesExpired++
-			w.record(trace.StakeExpired, p.ID, id.ID{}, state.String())
+		if p := w.peerByID(pid); p != nil && p.JoinedAt != joined {
+			return
 		}
-	})
+		if state, ok := w.proto.ExpireStake(pid); ok {
+			w.m.Churn.StakesExpired++
+			w.record(trace.StakeExpired, pid, id.ID{}, state.String())
+		}
+	}
+}
+
+// peerByID resolves a peer object whether it is currently in the system
+// or departed-but-rejoinable; nil when no object remains.
+func (w *World) peerByID(pid id.ID) *peer.Peer {
+	if p, ok := w.peers[pid]; ok {
+		return p
+	}
+	if d, ok := w.departed[pid]; ok {
+		return d.peer
+	}
+	return nil
 }
 
 // removeAdmitted takes a peer out of the admitted community: membership

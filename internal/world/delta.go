@@ -167,9 +167,15 @@ func (w *World) ScheduleDelta(at sim.Tick, name string, d Delta) {
 	if name == "" {
 		name = "phase"
 	}
-	w.engine.Schedule(at, name, func() {
+	w.engine.SchedulePayload(at, name, deltaPayload{Delta: d}, w.deltaBody(name, at, d))
+}
+
+// deltaBody is a scheduled parameter change. The event's name is caller-
+// chosen, so checkpoints identify deltas by payload kind, not by name.
+func (w *World) deltaBody(name string, at sim.Tick, d Delta) func() {
+	return func() {
 		if err := w.ApplyDelta(d); err != nil {
 			panic(fmt.Sprintf("world: scheduled delta %q at tick %d: %v", name, at, err))
 		}
-	})
+	}
 }

@@ -1,0 +1,749 @@
+package world
+
+// Checkpointable worlds. Snapshot captures every piece of state a run's
+// future outputs can observe — peers and their opinion books, the
+// overlay membership, score-manager stores, the lending protocol, the
+// topology selector, all six random streams, the pending event queue,
+// the sampling accumulators and the placement cache — in a versioned,
+// deterministic encoding: the same world always serializes to the same
+// bytes, and a restored world continues byte-identically to the
+// uninterrupted run.
+//
+// Three disciplines make that hold:
+//
+//   - Map-backed state is flattened into sorted slices (or captured in
+//     an explicitly recorded order where the order itself is state: the
+//     admission list, the dirty-reputation queue, the placement-index
+//     slices), so encoding never iterates a Go map.
+//
+//   - Pending events carry typed payloads (see the *Body constructors
+//     in world.go/churn.go/delta.go): a checkpoint stores (name, seq,
+//     payload) and the restore rebuilds the exact closure, re-inserted
+//     under its original sequence number so intra-tick FIFO order is
+//     preserved.
+//
+//   - Caches that are pure functions of captured state (ring structure,
+//     signature memos, store placeholder slots) are rebuilt, while
+//     caches whose *layout* feeds deterministic iteration (the
+//     placement cache and its owner index, including stale slots) are
+//     captured verbatim.
+//
+// Snapshots are refused while transport faults are active: delayed
+// deliveries live in the queue as closures over in-flight messages,
+// which no payload can describe.
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/baseline"
+	"repro/internal/checkpoint"
+	"repro/internal/config"
+	"repro/internal/id"
+	"repro/internal/lending"
+	"repro/internal/metrics"
+	"repro/internal/peer"
+	"repro/internal/rocq"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/transport"
+)
+
+// SnapshotVersion is the world snapshot format version. Incompatible
+// changes to the Snapshot document bump it; Restore rejects any other
+// version.
+const SnapshotVersion = 1
+
+// Event payload types. Each pending-event kind the world schedules has
+// one; the payload pins everything the matching *Body constructor needs.
+type (
+	// genPayload tags the self-rescheduling Poisson chains ("arrival",
+	// "departure") with the process generation they were armed under.
+	genPayload struct {
+		Gen int64 `json:"gen"`
+	}
+	// peerPayload tags events bound to one peer ("stake-timeout",
+	// "rejoin").
+	peerPayload struct {
+		Peer id.ID `json:"peer"`
+	}
+	// sessionPayload tags events guarded by an admission time
+	// ("session-end", "stake-expiry").
+	sessionPayload struct {
+		Peer   id.ID    `json:"peer"`
+		Joined sim.Tick `json:"joined"`
+	}
+	// deltaPayload tags scheduled parameter changes; the event name is
+	// caller-chosen, so the payload kind identifies deltas.
+	deltaPayload struct {
+		Delta Delta `json:"delta"`
+	}
+)
+
+// EventRecord is one pending event: its firing tick, diagnostic name,
+// original sequence number (intra-tick FIFO position) and typed payload.
+type EventRecord struct {
+	At   sim.Tick        `json:"at"`
+	Name string          `json:"name"`
+	Seq  int64           `json:"seq"`
+	Kind string          `json:"kind"`
+	Data json.RawMessage `json:"data,omitempty"`
+}
+
+// PeerRecord is one peer object — live or departed-but-rejoinable.
+type PeerRecord struct {
+	ID         id.ID                `json:"id"`
+	Class      peer.Class           `json:"class"`
+	Style      peer.Style           `json:"style"`
+	JoinedAt   sim.Tick             `json:"joinedAt"`
+	Completed  int                  `json:"completed"`
+	Audited    bool                 `json:"audited,omitempty"`
+	Introducer id.ID                `json:"introducer"`
+	Flagged    bool                 `json:"flagged,omitempty"`
+	DefectAt   sim.Tick             `json:"defectAt,omitempty"`
+	Opinions   []rocq.PartnerRecord `json:"opinions,omitempty"`
+}
+
+// DepartedRecord is one offline peer eligible to rejoin, with the
+// signing identity it left under (neither field set when it departed
+// without one).
+type DepartedRecord struct {
+	Peer   PeerRecord             `json:"peer"`
+	Null   bool                   `json:"null,omitempty"`
+	Signer *transport.SignerState `json:"signer,omitempty"`
+}
+
+// StoreRecord is the reputation store hosted at one overlay node.
+type StoreRecord struct {
+	Node  id.ID           `json:"node"`
+	State rocq.StoreState `json:"state"`
+}
+
+// RepRecord is one entry of the sampling cache.
+type RepRecord struct {
+	Peer id.ID   `json:"peer"`
+	Rep  float64 `json:"rep"`
+}
+
+// SMDepRecord is one recorded ownership arc of a cached placement.
+type SMDepRecord struct {
+	Key   id.ID `json:"key"`
+	Owner id.ID `json:"owner"`
+	Skip  bool  `json:"skip,omitempty"`
+}
+
+// SMCacheRecord is one peer's cached score-manager placement. Stores and
+// refs are re-resolved on restore; the manager set and the dependency
+// arcs are captured verbatim.
+type SMCacheRecord struct {
+	Peer   id.ID         `json:"peer"`
+	SMs    []id.ID       `json:"sms"`
+	Padded bool          `json:"padded,omitempty"`
+	Deps   []SMDepRecord `json:"deps,omitempty"`
+}
+
+// SMDepsRecord is one owner's slice of the placement index, in its exact
+// live order — stale slots included, since scan order feeds the
+// deterministic dirty-marking sequence.
+type SMDepsRecord struct {
+	Owner id.ID   `json:"owner"`
+	Peers []id.ID `json:"peers"`
+}
+
+// RandState is the position of every random stream the world owns
+// directly (the topology selector's stream travels inside its own
+// state; signer streams inside the lending state).
+type RandState struct {
+	Arrival  [4]uint64 `json:"arrival"`
+	Workload [4]uint64 `json:"workload"`
+	Behave   [4]uint64 `json:"behave"`
+	Key      [4]uint64 `json:"key"`
+	Churn    [4]uint64 `json:"churn"`
+}
+
+// Snapshot is the versioned, serializable state of a started world.
+type Snapshot struct {
+	Version int           `json:"version"`
+	Config  config.Config `json:"config"`
+	Policy  string        `json:"policy"`
+
+	Now     sim.Tick      `json:"now"`
+	NextSeq int64         `json:"nextSeq"`
+	Events  []EventRecord `json:"events,omitempty"`
+
+	Rand RandState `json:"rand"`
+
+	Seq        int64   `json:"seq"`
+	ArrClock   float64 `json:"arrClock"`
+	ArrivalGen int64   `json:"arrivalGen"`
+	DepartClk  float64 `json:"departClk"`
+	DepartGen  int64   `json:"departGen"`
+
+	Peers    []PeerRecord     `json:"peers,omitempty"`    // every attached node, ascending ID
+	Admitted []id.ID          `json:"admitted,omitempty"` // members in admission order
+	Departed []DepartedRecord `json:"departed,omitempty"` // ascending ID
+	Wiped    []id.ID          `json:"wiped,omitempty"`    // ascending ID
+
+	Stores   []StoreRecord  `json:"stores,omitempty"` // ascending node ID
+	Topology topology.State `json:"topology"`
+	Lending  lending.State  `json:"lending"`
+
+	Crashed  []id.ID         `json:"crashed,omitempty"` // ascending ID
+	BusStats transport.Stats `json:"busStats"`
+
+	RepSum    float64     `json:"repSum"`
+	RepCached []RepRecord `json:"repCached,omitempty"` // ascending peer ID
+	DirtyRep  []id.ID     `json:"dirtyRep,omitempty"`  // insertion order, verbatim
+
+	SMCache    []SMCacheRecord `json:"smCache,omitempty"` // ascending peer ID
+	SMDeps     []SMDepsRecord  `json:"smDeps,omitempty"`  // ascending owner ID
+	SMDepSlots int             `json:"smDepSlots"`
+
+	Metrics Metrics `json:"metrics"`
+}
+
+// Snapshot captures the world's full state. The world must be started,
+// healthy, and free of transport fault injection; the world itself is
+// not modified and may keep running (the snapshot shares nothing with
+// it).
+func (w *World) Snapshot() (*Snapshot, error) {
+	switch {
+	case !w.started:
+		return nil, fmt.Errorf("world: cannot snapshot before Start")
+	case w.err != nil:
+		return nil, fmt.Errorf("world: cannot snapshot a failed world: %w", w.err)
+	case w.bus.FaultsActive():
+		return nil, fmt.Errorf("world: cannot snapshot with transport faults active (in-flight deliveries are not serializable)")
+	}
+	s := &Snapshot{
+		Version: SnapshotVersion,
+		Config:  w.cfg,
+		Policy:  w.policy.Name(),
+		Now:     w.engine.Now(),
+		NextSeq: w.engine.NextSeq(),
+		Rand: RandState{
+			Arrival:  w.arrivalRand.State(),
+			Workload: w.workloadRand.State(),
+			Behave:   w.behaveRand.State(),
+			Key:      w.keyRand.State(),
+			Churn:    w.churnProc.SrcState(),
+		},
+		Seq:        w.seq,
+		ArrClock:   w.arrClock,
+		ArrivalGen: w.arrivalGen,
+		DepartClk:  w.departClk,
+		DepartGen:  w.departGen,
+		Crashed:    w.bus.CrashedAddrs(),
+		BusStats:   w.bus.Stats(),
+		RepSum:     w.repSum,
+		DirtyRep:   append([]id.ID(nil), w.dirtyRep...),
+		SMDepSlots: w.smDepSlots,
+		Metrics:    w.m,
+	}
+	s.Metrics.CoopCount = copySeries(w.m.CoopCount)
+	s.Metrics.UncoopCount = copySeries(w.m.UncoopCount)
+	s.Metrics.CoopReputation = copySeries(w.m.CoopReputation)
+
+	for _, ev := range w.engine.Pendings() {
+		rec, err := encodeEvent(ev)
+		if err != nil {
+			return nil, err
+		}
+		s.Events = append(s.Events, rec)
+	}
+
+	for _, pid := range sortedWorldIDs(w.peers) {
+		s.Peers = append(s.Peers, peerRecord(w.peers[pid]))
+	}
+	for _, p := range w.admittedPeers {
+		s.Admitted = append(s.Admitted, p.ID)
+	}
+	for _, pid := range sortedWorldIDs(w.departed) {
+		d := w.departed[pid]
+		rec := DepartedRecord{Peer: peerRecord(d.peer)}
+		switch ident := d.ident.(type) {
+		case nil:
+		case *transport.Signer:
+			st := ident.Export()
+			rec.Signer = &st
+		case transport.NullIdentity:
+			rec.Null = true
+		default:
+			return nil, fmt.Errorf("world: cannot checkpoint departed identity type %T for %s", ident, pid.Short())
+		}
+		s.Departed = append(s.Departed, rec)
+	}
+	for _, pid := range sortedWorldIDs(w.wiped) {
+		s.Wiped = append(s.Wiped, pid)
+	}
+	for _, node := range sortedWorldIDs(w.stores) {
+		s.Stores = append(s.Stores, StoreRecord{Node: node, State: w.stores[node].ExportState()})
+	}
+
+	topo, err := topology.ExportState(w.topo)
+	if err != nil {
+		return nil, fmt.Errorf("world: %w", err)
+	}
+	s.Topology = topo
+	lend, err := w.proto.ExportState()
+	if err != nil {
+		return nil, fmt.Errorf("world: %w", err)
+	}
+	s.Lending = lend
+
+	for _, pid := range sortedWorldIDs(w.repCached) {
+		s.RepCached = append(s.RepCached, RepRecord{Peer: pid, Rep: w.repCached[pid]})
+	}
+	for _, pid := range sortedWorldIDs(w.smCache) {
+		e := w.smCache[pid]
+		rec := SMCacheRecord{
+			Peer:   pid,
+			SMs:    append([]id.ID(nil), e.sms...),
+			Padded: e.padded,
+		}
+		for _, d := range e.deps {
+			rec.Deps = append(rec.Deps, SMDepRecord{Key: d.key, Owner: d.owner, Skip: d.skip})
+		}
+		s.SMCache = append(s.SMCache, rec)
+	}
+	for _, owner := range sortedWorldIDs(w.smDeps) {
+		s.SMDeps = append(s.SMDeps, SMDepsRecord{Owner: owner, Peers: append([]id.ID(nil), w.smDeps[owner]...)})
+	}
+	return s, nil
+}
+
+// Encode serializes the snapshot into a sealed checkpoint file: a
+// deterministic JSON body inside a digest-verified envelope.
+func (s *Snapshot) Encode() ([]byte, error) {
+	if s.Version != SnapshotVersion {
+		return nil, fmt.Errorf("world: cannot encode snapshot version %d (want %d)", s.Version, SnapshotVersion)
+	}
+	return checkpoint.Seal(checkpoint.KindWorld, s)
+}
+
+// DecodeSnapshot parses a sealed world checkpoint, verifying the
+// envelope digest, the kind tag and the format version. Corrupt,
+// truncated or version-skewed inputs yield errors, never panics.
+func DecodeSnapshot(data []byte) (*Snapshot, error) {
+	kind, body, err := checkpoint.Open(data)
+	if err != nil {
+		return nil, err
+	}
+	if kind != checkpoint.KindWorld {
+		return nil, fmt.Errorf("world: checkpoint kind %q is not a world snapshot", kind)
+	}
+	return DecodeSnapshotBody(body)
+}
+
+// DecodeSnapshotBody parses the body of an already-opened world
+// checkpoint envelope.
+func DecodeSnapshotBody(body []byte) (*Snapshot, error) {
+	var s Snapshot
+	if err := checkpoint.Unmarshal(body, &s); err != nil {
+		return nil, fmt.Errorf("world: %w", err)
+	}
+	if s.Version != SnapshotVersion {
+		return nil, fmt.Errorf("world: snapshot version %d not supported (want %d)", s.Version, SnapshotVersion)
+	}
+	return &s, nil
+}
+
+// Restore reconstructs a running world from a snapshot. The result is
+// started and continues byte-identically to the world the snapshot was
+// taken from; the snapshot itself is not retained. Defective snapshots
+// (dangling references, unknown event kinds, invalid configurations)
+// yield errors.
+func Restore(s *Snapshot) (*World, error) {
+	if s.Version != SnapshotVersion {
+		return nil, fmt.Errorf("world: snapshot version %d not supported (want %d)", s.Version, SnapshotVersion)
+	}
+	w, err := newBare(s.Config)
+	if err != nil {
+		return nil, fmt.Errorf("world: restore: %w", err)
+	}
+	w.arrivalRand.SetState(s.Rand.Arrival)
+	w.workloadRand.SetState(s.Rand.Workload)
+	w.behaveRand.SetState(s.Rand.Behave)
+	w.keyRand.SetState(s.Rand.Key)
+	w.churnProc.RestoreSrc(s.Rand.Churn)
+
+	policy, err := baseline.ByName(s.Policy)
+	if err != nil {
+		return nil, fmt.Errorf("world: restore: %w", err)
+	}
+	w.policy = policy
+
+	// Peers and the overlay. Records arrive in ascending ID order and the
+	// ring's treap shape is a pure function of membership, so joining in
+	// record order rebuilds the exact structure.
+	for _, rec := range s.Peers {
+		if _, dup := w.peers[rec.ID]; dup {
+			return nil, fmt.Errorf("world: restore: duplicate peer %s", rec.ID.Short())
+		}
+		p := restorePeer(rec)
+		if err := w.ring.Join(p.ID); err != nil {
+			return nil, fmt.Errorf("world: restore: joining %s: %w", p.ID.Short(), err)
+		}
+		w.peers[p.ID] = p
+	}
+
+	// The lending protocol re-registers every live signer's bus handler;
+	// crash flags are reapplied afterwards, since Register clears them.
+	if err := w.proto.RestoreState(s.Lending); err != nil {
+		return nil, fmt.Errorf("world: restore: %w", err)
+	}
+	for _, pid := range s.Crashed {
+		if _, ok := w.peers[pid]; !ok {
+			return nil, fmt.Errorf("world: restore: crashed node %s is not a member", pid.Short())
+		}
+	}
+	w.bus.RestoreCrashed(s.Crashed)
+	w.bus.RestoreStats(s.BusStats)
+
+	for _, pid := range s.Admitted {
+		p, ok := w.peers[pid]
+		if !ok {
+			return nil, fmt.Errorf("world: restore: admitted peer %s has no record", pid.Short())
+		}
+		w.admittedPeers = append(w.admittedPeers, p)
+		w.admittedSet[pid] = struct{}{}
+	}
+	if s.Topology.Kind != w.cfg.Topology {
+		return nil, fmt.Errorf("world: restore: topology state kind %q does not match config %q", s.Topology.Kind, w.cfg.Topology)
+	}
+	topo, err := topology.RestoreState(s.Topology)
+	if err != nil {
+		return nil, fmt.Errorf("world: restore: %w", err)
+	}
+	w.topo = topo
+
+	for _, rec := range s.Stores {
+		if _, dup := w.stores[rec.Node]; dup {
+			return nil, fmt.Errorf("world: restore: duplicate store for %s", rec.Node.Short())
+		}
+		st := rocq.NewStore(rocq.DefaultParams())
+		st.RestoreState(rec.State)
+		st.SetOnChange(w.markRepDirty)
+		w.stores[rec.Node] = st
+	}
+
+	for _, rec := range s.Departed {
+		pid := rec.Peer.ID
+		if _, dup := w.departed[pid]; dup {
+			return nil, fmt.Errorf("world: restore: duplicate departed peer %s", pid.Short())
+		}
+		d := &departedPeer{peer: restorePeer(rec.Peer)}
+		switch {
+		case rec.Null && rec.Signer != nil:
+			return nil, fmt.Errorf("world: restore: departed %s has both null and signer identity", pid.Short())
+		case rec.Null:
+			d.ident = transport.NewNullIdentity(pid)
+		case rec.Signer != nil:
+			signer, err := transport.SignerFromState(*rec.Signer)
+			if err != nil {
+				return nil, fmt.Errorf("world: restore: departed %s: %w", pid.Short(), err)
+			}
+			d.ident = signer
+		}
+		w.departed[pid] = d
+	}
+	for _, pid := range s.Wiped {
+		w.wiped[pid] = true
+	}
+
+	w.seq = s.Seq
+	w.arrClock = s.ArrClock
+	w.arrivalGen = s.ArrivalGen
+	w.departClk = s.DepartClk
+	w.departGen = s.DepartGen
+
+	w.repSum = s.RepSum
+	for _, rec := range s.RepCached {
+		w.repCached[rec.Peer] = rec.Rep
+	}
+	for _, pid := range s.DirtyRep {
+		if _, dup := w.dirtyIn[pid]; dup {
+			return nil, fmt.Errorf("world: restore: duplicate dirty-reputation entry %s", pid.Short())
+		}
+		w.dirtyIn[pid] = struct{}{}
+		w.dirtyRep = append(w.dirtyRep, pid)
+	}
+
+	for _, rec := range s.SMCache {
+		if _, dup := w.smCache[rec.Peer]; dup {
+			return nil, fmt.Errorf("world: restore: duplicate placement entry %s", rec.Peer.Short())
+		}
+		e := &smCacheEntry{
+			sms:    append([]id.ID(nil), rec.SMs...),
+			padded: rec.Padded,
+		}
+		for _, d := range rec.Deps {
+			e.deps = append(e.deps, smDep{key: d.Key, owner: d.Owner, skip: d.Skip})
+		}
+		e.stores = make([]*rocq.Store, len(e.sms))
+		e.refs = make([]rocq.Ref, len(e.sms))
+		for i, n := range e.sms {
+			st, ok := w.stores[n]
+			if !ok {
+				return nil, fmt.Errorf("world: restore: placement of %s references missing store %s", rec.Peer.Short(), n.Short())
+			}
+			e.stores[i] = st
+			e.refs[i] = st.Ref(rec.Peer)
+		}
+		w.smCache[rec.Peer] = e
+	}
+	for _, rec := range s.SMDeps {
+		if _, dup := w.smDeps[rec.Owner]; dup {
+			return nil, fmt.Errorf("world: restore: duplicate placement-index owner %s", rec.Owner.Short())
+		}
+		w.smDeps[rec.Owner] = append([]id.ID(nil), rec.Peers...)
+	}
+	w.smDepSlots = s.SMDepSlots
+
+	w.m = s.Metrics
+	if w.m.CoopCount, err = restoredSeries(s.Metrics.CoopCount, "coop", s.Now); err != nil {
+		return nil, err
+	}
+	if w.m.UncoopCount, err = restoredSeries(s.Metrics.UncoopCount, "uncoop", s.Now); err != nil {
+		return nil, err
+	}
+	if w.m.CoopReputation, err = restoredSeries(s.Metrics.CoopReputation, "coop-reputation", s.Now); err != nil {
+		return nil, err
+	}
+
+	events := make([]sim.PendingEvent, len(s.Events))
+	for i, rec := range s.Events {
+		payload, err := decodeEventPayload(rec)
+		if err != nil {
+			return nil, err
+		}
+		events[i] = sim.PendingEvent{At: rec.At, Name: rec.Name, Seq: rec.Seq, Payload: payload}
+	}
+	w.started = true
+	if err := w.engine.Restore(s.Now, s.NextSeq, events, w.rebuildEvent); err != nil {
+		return nil, fmt.Errorf("world: restore: %w", err)
+	}
+	return w, nil
+}
+
+// encodeEvent serializes one pending event, validating that its payload
+// kind matches its name — unknown combinations mean an event this format
+// cannot rebuild, which fails the snapshot rather than dropping work.
+func encodeEvent(ev sim.PendingEvent) (EventRecord, error) {
+	rec := EventRecord{At: ev.At, Name: ev.Name, Seq: ev.Seq}
+	names := func(allowed ...string) error {
+		for _, n := range allowed {
+			if ev.Name == n {
+				return nil
+			}
+		}
+		return fmt.Errorf("world: pending event %q at tick %d has payload %T, which belongs to %v", ev.Name, ev.At, ev.Payload, allowed)
+	}
+	var payload any
+	switch p := ev.Payload.(type) {
+	case nil:
+		if err := names("transaction", "sample"); err != nil {
+			return rec, fmt.Errorf("world: pending event %q at tick %d has no checkpoint payload", ev.Name, ev.At)
+		}
+		rec.Kind = ev.Name
+		return rec, nil
+	case genPayload:
+		if err := names("arrival", "departure"); err != nil {
+			return rec, err
+		}
+		rec.Kind, payload = ev.Name, p
+	case peerPayload:
+		if err := names("stake-timeout", "rejoin"); err != nil {
+			return rec, err
+		}
+		rec.Kind, payload = ev.Name, p
+	case sessionPayload:
+		if err := names("session-end", "stake-expiry"); err != nil {
+			return rec, err
+		}
+		rec.Kind, payload = ev.Name, p
+	case lending.IntroWait:
+		if err := names("intro-refuse", "intro-lend"); err != nil {
+			return rec, err
+		}
+		rec.Kind, payload = ev.Name, p
+	case deltaPayload:
+		rec.Kind, payload = "delta", p
+	default:
+		return rec, fmt.Errorf("world: cannot checkpoint pending event %q at tick %d (payload %T)", ev.Name, ev.At, ev.Payload)
+	}
+	data, err := json.Marshal(payload)
+	if err != nil {
+		return rec, fmt.Errorf("world: encoding payload of %q: %w", ev.Name, err)
+	}
+	rec.Data = data
+	return rec, nil
+}
+
+// decodeEventPayload parses an event record's payload by kind,
+// validating the kind/name pairing encodeEvent enforced.
+func decodeEventPayload(rec EventRecord) (any, error) {
+	wantName := func() error {
+		if rec.Name != rec.Kind {
+			return fmt.Errorf("world: event kind %q under name %q", rec.Kind, rec.Name)
+		}
+		return nil
+	}
+	switch rec.Kind {
+	case "transaction", "sample":
+		if err := wantName(); err != nil {
+			return nil, err
+		}
+		if len(rec.Data) != 0 {
+			return nil, fmt.Errorf("world: event %q carries unexpected payload data", rec.Kind)
+		}
+		return nil, nil
+	case "arrival", "departure":
+		var p genPayload
+		if err := wantName(); err != nil {
+			return nil, err
+		}
+		if err := checkpoint.Unmarshal(rec.Data, &p); err != nil {
+			return nil, fmt.Errorf("world: event %q: %w", rec.Kind, err)
+		}
+		return p, nil
+	case "stake-timeout", "rejoin":
+		var p peerPayload
+		if err := wantName(); err != nil {
+			return nil, err
+		}
+		if err := checkpoint.Unmarshal(rec.Data, &p); err != nil {
+			return nil, fmt.Errorf("world: event %q: %w", rec.Kind, err)
+		}
+		return p, nil
+	case "session-end", "stake-expiry":
+		var p sessionPayload
+		if err := wantName(); err != nil {
+			return nil, err
+		}
+		if err := checkpoint.Unmarshal(rec.Data, &p); err != nil {
+			return nil, fmt.Errorf("world: event %q: %w", rec.Kind, err)
+		}
+		return p, nil
+	case "intro-refuse", "intro-lend":
+		var p lending.IntroWait
+		if err := wantName(); err != nil {
+			return nil, err
+		}
+		if err := checkpoint.Unmarshal(rec.Data, &p); err != nil {
+			return nil, fmt.Errorf("world: event %q: %w", rec.Kind, err)
+		}
+		return p, nil
+	case "delta":
+		var p deltaPayload
+		if err := checkpoint.Unmarshal(rec.Data, &p); err != nil {
+			return nil, fmt.Errorf("world: event %q: %w", rec.Kind, err)
+		}
+		return p, nil
+	}
+	return nil, fmt.Errorf("world: unknown pending-event kind %q", rec.Kind)
+}
+
+// rebuildEvent maps a restored pending event back to its closure.
+func (w *World) rebuildEvent(pe sim.PendingEvent) (func(), error) {
+	switch p := pe.Payload.(type) {
+	case nil:
+		switch pe.Name {
+		case "transaction":
+			return w.transactionStep, nil
+		case "sample":
+			return w.sampleStep, nil
+		}
+	case genPayload:
+		switch pe.Name {
+		case "arrival":
+			return w.arrivalBody(p.Gen), nil
+		case "departure":
+			return w.departureBody(p.Gen), nil
+		}
+	case peerPayload:
+		switch pe.Name {
+		case "stake-timeout":
+			return w.stakeTimeoutBody(p.Peer), nil
+		case "rejoin":
+			return w.rejoinBody(p.Peer), nil
+		}
+	case sessionPayload:
+		switch pe.Name {
+		case "session-end":
+			return w.sessionEndBody(p.Peer, p.Joined), nil
+		case "stake-expiry":
+			return w.stakeExpiryBody(p.Peer, p.Joined), nil
+		}
+	case lending.IntroWait:
+		return w.proto.RebuildIntroEvent(pe.Name, p)
+	case deltaPayload:
+		return w.deltaBody(pe.Name, pe.At, p.Delta), nil
+	}
+	return nil, fmt.Errorf("world: no rebuild rule for event %q (payload %T)", pe.Name, pe.Payload)
+}
+
+// peerRecord captures one peer object.
+func peerRecord(p *peer.Peer) PeerRecord {
+	return PeerRecord{
+		ID:         p.ID,
+		Class:      p.Class,
+		Style:      p.Style,
+		JoinedAt:   p.JoinedAt,
+		Completed:  p.Completed,
+		Audited:    p.Audited,
+		Introducer: p.Introducer,
+		Flagged:    p.Flagged,
+		DefectAt:   p.DefectAt,
+		Opinions:   p.Opinions.ExportState(),
+	}
+}
+
+// restorePeer rebuilds one peer object from its record.
+func restorePeer(rec PeerRecord) *peer.Peer {
+	p := peer.New(rec.ID, rec.Class, rec.Style, rocq.DefaultParams())
+	p.JoinedAt = rec.JoinedAt
+	p.Completed = rec.Completed
+	p.Audited = rec.Audited
+	p.Introducer = rec.Introducer
+	p.Flagged = rec.Flagged
+	p.DefectAt = rec.DefectAt
+	p.Opinions.RestoreState(rec.Opinions)
+	return p
+}
+
+// copySeries detaches a metrics series from the live world.
+func copySeries(s *metrics.Series) *metrics.Series {
+	if s == nil {
+		return &metrics.Series{}
+	}
+	return &metrics.Series{Name: s.Name, Points: append([]metrics.Point(nil), s.Points...)}
+}
+
+// restoredSeries validates a decoded series (monotonic time axis, no
+// future points) so the sampling process can keep appending to it.
+func restoredSeries(s *metrics.Series, name string, now sim.Tick) (*metrics.Series, error) {
+	if s == nil {
+		return &metrics.Series{Name: name}, nil
+	}
+	out := &metrics.Series{Name: s.Name, Points: append([]metrics.Point(nil), s.Points...)}
+	for i, pt := range out.Points {
+		if i > 0 && pt.T <= out.Points[i-1].T {
+			return nil, fmt.Errorf("world: restore: series %q has non-increasing time axis", name)
+		}
+		if pt.T > int64(now) {
+			return nil, fmt.Errorf("world: restore: series %q has a sample in the future (tick %d > %d)", name, pt.T, now)
+		}
+	}
+	return out, nil
+}
+
+// sortedWorldIDs returns a map's keys in ascending identifier order.
+func sortedWorldIDs[V any](m map[id.ID]V) []id.ID {
+	out := make([]id.ID, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sortIDs(out)
+	return out
+}

@@ -1,0 +1,301 @@
+package world
+
+// Checkpoint property tests: a restored world must continue
+// byte-identically to the uninterrupted run (over randomized
+// churn/crash/rejoin schedules and seed-derived checkpoint ticks),
+// snapshotting must be idempotent (snapshot(restore(s)) == s), and the
+// encoding must be deterministic — the same world serializes to the
+// same bytes every time, which is what catches any map-iteration site
+// that leaks into the capture.
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/churn"
+	"repro/internal/config"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// churnyCfg is a fast configuration that exercises every checkpointable
+// event kind: Poisson arrivals and departures, session clocks with
+// crashes and rejoins, waiting-period intro events, stake timeouts and
+// offline-stake expiries.
+func churnyCfg(seed uint64) config.Config {
+	c := config.Default()
+	c.NumInit = 25
+	c.NumTrans = 4000
+	c.Lambda = 0.05
+	c.WaitPeriod = 150
+	c.SampleEvery = 500
+	c.NumSM = 3
+	c.Seed = seed
+	c.StakeTimeout = 600
+	c.Churn = churn.Params{
+		Mu:           0.01,
+		CrashFrac:    0.4,
+		RejoinProb:   0.5,
+		DowntimeMean: 250,
+		SessionMean:  1500,
+		SessionDist:  churn.SessionPareto,
+	}
+	return c
+}
+
+// fingerprint pins a world's complete observable output: the sealed
+// snapshot encoding plus the rendered time series and protocol stats.
+func fingerprint(t *testing.T, w *World) []byte {
+	t.Helper()
+	snap, err := w.Snapshot()
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	data, err := snap.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	var buf bytes.Buffer
+	buf.Write(data)
+	buf.WriteString(metrics.CSV(w.Metrics().CoopCount, w.Metrics().UncoopCount, w.Metrics().CoopReputation))
+	fmt.Fprintf(&buf, "%+v\n%+v\n", w.Protocol().Stats(), w.Bus().Stats())
+	return buf.Bytes()
+}
+
+// roundTrip encodes, decodes and restores a world, asserting
+// double-checkpoint idempotence along the way.
+func roundTrip(t *testing.T, w *World) *World {
+	t.Helper()
+	snap, err := w.Snapshot()
+	if err != nil {
+		t.Fatalf("Snapshot at tick %d: %v", w.Engine().Now(), err)
+	}
+	data, err := snap.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	dec, err := DecodeSnapshot(data)
+	if err != nil {
+		t.Fatalf("DecodeSnapshot: %v", err)
+	}
+	restored, err := Restore(dec)
+	if err != nil {
+		t.Fatalf("Restore at tick %d: %v", snap.Now, err)
+	}
+	snap2, err := restored.Snapshot()
+	if err != nil {
+		t.Fatalf("re-Snapshot after restore: %v", err)
+	}
+	data2, err := snap2.Encode()
+	if err != nil {
+		t.Fatalf("re-Encode: %v", err)
+	}
+	if !bytes.Equal(data, data2) {
+		t.Fatalf("snapshot(restore(s)) != s at tick %d: %d vs %d bytes", snap.Now, len(data), len(data2))
+	}
+	return restored
+}
+
+func TestSnapshotRestoreByteIdentity(t *testing.T) {
+	for seed := uint64(1); seed <= 4; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			cfg := churnyCfg(seed)
+
+			ref, err := New(cfg)
+			if err != nil {
+				t.Fatalf("New: %v", err)
+			}
+			if err := ref.Run(); err != nil {
+				t.Fatalf("uninterrupted run: %v", err)
+			}
+			want := fingerprint(t, ref)
+
+			// The interrupted run round-trips through chained checkpoints
+			// at seed-derived ticks, restoring into a fresh world each
+			// time.
+			w, err := New(cfg)
+			if err != nil {
+				t.Fatalf("New: %v", err)
+			}
+			w.Start()
+			end := sim.Tick(cfg.NumTrans)
+			cuts := []sim.Tick{
+				sim.Tick(300 + (seed*997)%1200),
+				sim.Tick(1800 + (seed*571)%1000),
+				sim.Tick(3100 + (seed*233)%700),
+			}
+			now := sim.Tick(0)
+			for _, cut := range cuts {
+				if err := w.RunFor(cut - now); err != nil {
+					t.Fatalf("RunFor to %d: %v", cut, err)
+				}
+				w = roundTrip(t, w)
+				now = cut
+			}
+			if err := w.RunFor(end - now); err != nil {
+				t.Fatalf("RunFor tail: %v", err)
+			}
+			w.Finish()
+			got := fingerprint(t, w)
+			if !bytes.Equal(want, got) {
+				t.Fatalf("restored run diverged from uninterrupted run (fingerprints differ: %d vs %d bytes)", len(want), len(got))
+			}
+		})
+	}
+}
+
+// TestSnapshotScriptedChurn exercises the scripted lifecycle paths a
+// process-driven schedule cannot hit deterministically: batch crashes,
+// scripted departures and explicit rejoins around the checkpoint.
+func TestSnapshotScriptedChurn(t *testing.T) {
+	cfg := churnyCfg(9)
+	cfg.Churn.Mu = 0
+	cfg.Churn.SessionMean = 0
+	cfg.Churn.Migrate = true
+
+	script := func(w *World) {
+		if err := w.RunFor(900); err != nil {
+			t.Fatalf("RunFor: %v", err)
+		}
+		admitted := w.AdmittedPeers()
+		if len(admitted) < 8 {
+			t.Fatalf("only %d admitted members", len(admitted))
+		}
+		if err := w.DepartBatch(admitted[2:4], true); err != nil {
+			t.Fatalf("DepartBatch: %v", err)
+		}
+		if err := w.Crash(admitted[5]); err != nil {
+			t.Fatalf("Crash: %v", err)
+		}
+		if err := w.RunFor(400); err != nil {
+			t.Fatalf("RunFor: %v", err)
+		}
+	}
+	after := func(w *World) {
+		departed := w.DepartedPeers()
+		if len(departed) == 0 {
+			t.Fatal("no departed peers to rejoin")
+		}
+		if err := w.Rejoin(departed[0]); err != nil {
+			t.Fatalf("Rejoin: %v", err)
+		}
+		if err := w.RunFor(1200); err != nil {
+			t.Fatalf("RunFor: %v", err)
+		}
+		w.Finish()
+	}
+
+	ref, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ref.Start()
+	script(ref)
+	after(ref)
+	want := fingerprint(t, ref)
+
+	w, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	w.Start()
+	script(w)
+	w = roundTrip(t, w)
+	after(w)
+	got := fingerprint(t, w)
+	if !bytes.Equal(want, got) {
+		t.Fatal("restored scripted-churn run diverged from uninterrupted run")
+	}
+}
+
+// TestSnapshotEncodeDeterministic captures the same world twice and
+// asserts identical bytes — Go randomizes map iteration per walk, so
+// any capture path iterating a map raw fails this with high
+// probability (the PR 4 rebuildSMDeps bug class).
+func TestSnapshotEncodeDeterministic(t *testing.T) {
+	w, err := New(churnyCfg(3))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	w.Start()
+	if err := w.RunFor(1500); err != nil {
+		t.Fatalf("RunFor: %v", err)
+	}
+	var prev []byte
+	for i := 0; i < 3; i++ {
+		snap, err := w.Snapshot()
+		if err != nil {
+			t.Fatalf("Snapshot: %v", err)
+		}
+		data, err := snap.Encode()
+		if err != nil {
+			t.Fatalf("Encode: %v", err)
+		}
+		if prev != nil && !bytes.Equal(prev, data) {
+			t.Fatalf("capture %d of the same world produced different bytes", i)
+		}
+		prev = data
+	}
+}
+
+func TestSnapshotPreconditions(t *testing.T) {
+	w, err := New(churnyCfg(5))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if _, err := w.Snapshot(); err == nil {
+		t.Fatal("Snapshot before Start should fail")
+	}
+	w.Start()
+	if _, err := w.Snapshot(); err != nil {
+		t.Fatalf("Snapshot after Start: %v", err)
+	}
+	w.Bus().SetLoss(0.1)
+	if _, err := w.Snapshot(); err == nil {
+		t.Fatal("Snapshot with transport faults active should fail")
+	}
+	w.Bus().SetLoss(0)
+	if _, err := w.Snapshot(); err != nil {
+		t.Fatalf("Snapshot after clearing faults: %v", err)
+	}
+}
+
+func TestDecodeSnapshotRejectsDefects(t *testing.T) {
+	w, err := New(churnyCfg(6))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	w.Start()
+	if err := w.RunFor(800); err != nil {
+		t.Fatalf("RunFor: %v", err)
+	}
+	snap, err := w.Snapshot()
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	data, err := snap.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+
+	if _, err := DecodeSnapshot(data[:len(data)/2]); err == nil {
+		t.Fatal("truncated checkpoint should be rejected")
+	}
+	corrupt := append([]byte(nil), data...)
+	corrupt[len(corrupt)/2] ^= 0x20
+	if _, err := DecodeSnapshot(corrupt); err == nil {
+		t.Fatal("bit-flipped checkpoint should be rejected")
+	}
+	if _, err := DecodeSnapshot([]byte(`{"magic":"other","kind":"world","sha256":"","body":{}}`)); err == nil {
+		t.Fatal("wrong magic should be rejected")
+	}
+	skew := *snap
+	skew.Version = SnapshotVersion + 1
+	if _, err := Restore(&skew); err == nil {
+		t.Fatal("version-skewed snapshot should be rejected by Restore")
+	}
+	if _, err := skew.Encode(); err == nil {
+		t.Fatal("version-skewed snapshot should be rejected by Encode")
+	}
+}

@@ -186,6 +186,20 @@ func (m *Metrics) SuccessRate() float64 {
 // NewWorld builds a world from the configuration, creating the founding
 // community. Call Run to execute the workload.
 func New(cfg config.Config) (*World, error) {
+	w, err := newBare(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := w.createFounders(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// newBare builds a world's substrates without populating it: the shared
+// construction path of New (which adds the founding community) and
+// Restore (which overwrites the blank state with a checkpoint).
+func newBare(cfg config.Config) (*World, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -252,10 +266,6 @@ func New(cfg config.Config) (*World, error) {
 		// refund the introducer; the TTL expiry scheduled at departure
 		// keeps them from accreting.
 		proto.SetRetainStakes(true)
-	}
-
-	if err := w.createFounders(); err != nil {
-		return nil, err
 	}
 	return w, nil
 }
@@ -722,12 +732,19 @@ func (w *World) onAdmitted(newcomer, introducer id.ID, at sim.Tick) {
 		// Arm the stake's audit deadline: if the audit has not settled it
 		// by then, the timeout rule resolves it (lending.TimeoutStake is
 		// a no-op on an already-terminal stake).
-		w.engine.After(sim.Tick(w.cfg.StakeTimeout), "stake-timeout", func() {
-			if w.err != nil {
-				return
-			}
-			w.proto.TimeoutStake(newcomer)
-		})
+		w.engine.AfterPayload(sim.Tick(w.cfg.StakeTimeout), "stake-timeout",
+			peerPayload{Peer: newcomer}, w.stakeTimeoutBody(newcomer))
+	}
+}
+
+// stakeTimeoutBody is the stake-timeout event: resolve the newcomer's
+// stake by the timeout rule if the audit has not settled it.
+func (w *World) stakeTimeoutBody(newcomer id.ID) func() {
+	return func() {
+		if w.err != nil {
+			return
+		}
+		w.proto.TimeoutStake(newcomer)
 	}
 }
 
@@ -858,13 +875,19 @@ func (w *World) scheduleNextArrival() {
 		at = w.engine.Now() + 1
 		w.arrClock = float64(at)
 	}
-	w.engine.Schedule(at, "arrival", func() {
+	w.engine.SchedulePayload(at, "arrival", genPayload{Gen: gen}, w.arrivalBody(gen))
+}
+
+// arrivalBody is the arrival event armed under the given process
+// generation: it aborts if a λ delta re-armed the chain since.
+func (w *World) arrivalBody(gen int64) func() {
+	return func() {
 		if gen != w.arrivalGen {
 			return
 		}
 		w.handleArrival()
 		w.scheduleNextArrival()
-	})
+	}
 }
 
 // rearmArrivals cancels any in-flight arrival chain and, if λ is positive
@@ -934,12 +957,15 @@ func (w *World) handleArrival() {
 // scheduleTransactions arms the once-per-tick transaction process,
 // starting at tick 1.
 func (w *World) scheduleTransactions() {
-	var step func()
-	step = func() {
-		w.transact()
-		w.engine.After(1, "transaction", step)
-	}
-	w.engine.Schedule(1, "transaction", step)
+	w.engine.Schedule(1, "transaction", w.transactionStep)
+}
+
+// transactionStep runs one transaction and re-arms itself — a named
+// method (rather than a recursive closure) so checkpoints can rebuild
+// the pending event from its name alone.
+func (w *World) transactionStep() {
+	w.transact()
+	w.engine.After(1, "transaction", w.transactionStep)
 }
 
 // transact runs one resource transaction: uniform requester, topology-
@@ -1021,12 +1047,14 @@ func (w *World) Reputation(pid id.ID) float64 {
 // Sampling.
 
 func (w *World) scheduleSampling() {
-	var step func()
-	step = func() {
-		w.sample()
-		w.engine.After(sim.Tick(w.cfg.SampleEvery), "sample", step)
-	}
-	w.engine.Schedule(0, "sample", step)
+	w.engine.Schedule(0, "sample", w.sampleStep)
+}
+
+// sampleStep records one sample and re-arms itself; like
+// transactionStep, a named method so checkpoints can rebuild it.
+func (w *World) sampleStep() {
+	w.sample()
+	w.engine.After(sim.Tick(w.cfg.SampleEvery), "sample", w.sampleStep)
 }
 
 // sample records the population counts and the mean cooperative
