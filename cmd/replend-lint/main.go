@@ -1,0 +1,111 @@
+// Command replend-lint runs the determinism analyzer suite — maporder,
+// rngpurity, nopanic, snapshotfields — that mechanizes the byte-identity
+// discipline documented in docs/determinism.md.
+//
+// Standalone over package patterns:
+//
+//	go run ./cmd/replend-lint ./...
+//	go run ./cmd/replend-lint -analyzers maporder,nopanic ./internal/world/
+//
+// As a vet tool (the go command drives it once per package):
+//
+//	go build -o /tmp/replend-lint ./cmd/replend-lint
+//	go vet -vettool=/tmp/replend-lint ./...
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load failure. Findings
+// are suppressed only by //replend:allow <analyzer> <reason> directives
+// on or directly above the flagged line; the reason is mandatory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/lint/driver"
+	"repro/internal/lint/suite"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	// The go vet driver protocol: -V=full prints an identity line for
+	// the build cache key, -flags reports the tool's analyzer flags
+	// (none), and a single *.cfg argument asks for one package unit.
+	if len(args) == 1 {
+		switch {
+		case strings.HasPrefix(args[0], "-V"):
+			fmt.Println("replend-lint version replend1")
+			return 0
+		case args[0] == "-flags":
+			fmt.Println("[]")
+			return 0
+		case strings.HasSuffix(args[0], ".cfg"):
+			findings, err := driver.RunVetUnit(args[0], suite.All())
+			return report(findings, err)
+		}
+	}
+
+	fs := flag.NewFlagSet("replend-lint", flag.ExitOnError)
+	names := fs.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: replend-lint [-analyzers a,b] packages...\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range suite.All() {
+			doc, _, _ := strings.Cut(a.Doc, "\n")
+			fmt.Printf("%-15s %s\n", a.Name, doc)
+		}
+		return 0
+	}
+	var selected []string
+	if *names != "" {
+		selected = strings.Split(*names, ",")
+	}
+	analyzers, ok := suite.ByName(selected)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "replend-lint: unknown analyzer in %q\n", *names)
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		fs.Usage()
+		return 2
+	}
+	pkgs, err := driver.Load(".", patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	// Directive validation always knows the whole suite: running a
+	// subset must not misreport another analyzer's directives.
+	known := map[string]bool{}
+	for _, a := range suite.All() {
+		known[a.Name] = true
+	}
+	findings, err := driver.Run(pkgs, analyzers, known)
+	return report(findings, err)
+}
+
+func report(findings []driver.Finding, err error) int {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	for _, f := range findings {
+		fmt.Fprintln(os.Stderr, f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "replend-lint: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}

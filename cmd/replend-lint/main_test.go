@@ -1,0 +1,60 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// build compiles the replend-lint binary once per test run.
+func build(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "replend-lint")
+	out, err := exec.Command("go", "build", "-o", bin, "repro/cmd/replend-lint").CombinedOutput()
+	if err != nil {
+		t.Fatalf("building replend-lint: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestVetToolProtocol round-trips the binary through go vet's
+// unitchecker protocol: a clean package passes, a package with a
+// violation fails with a maporder diagnostic.
+func TestVetToolProtocol(t *testing.T) {
+	bin := build(t)
+
+	out, err := exec.Command("go", "vet", "-vettool="+bin, "repro/internal/id").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go vet -vettool on a clean package: %v\n%s", err, out)
+	}
+
+	out, err = exec.Command("go", "vet", "-vettool="+bin,
+		"repro/internal/lint/maporder/testdata/src/rebuildsmdeps").CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet -vettool passed a package with a maporder violation:\n%s", out)
+	}
+	if !strings.Contains(string(out), "maporder") || !strings.Contains(string(out), "rebuildSMDeps bug class") {
+		t.Fatalf("vet output missing the maporder diagnostic:\n%s", out)
+	}
+}
+
+// TestStandaloneExitCodes pins the CLI contract: 0 clean, 1 findings.
+func TestStandaloneExitCodes(t *testing.T) {
+	bin := build(t)
+
+	cmd := exec.Command(bin, "repro/internal/id")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("clean package: %v\n%s", err, out)
+	}
+
+	cmd = exec.Command(bin, "repro/internal/lint/maporder/testdata/src/rebuildsmdeps")
+	out, err := cmd.CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 1 {
+		t.Fatalf("violating package: err=%v, want exit code 1\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "maporder") {
+		t.Fatalf("output missing maporder finding:\n%s", out)
+	}
+}

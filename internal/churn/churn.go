@@ -131,6 +131,7 @@ type Process struct {
 // (validated) parameters.
 func NewProcess(src *rng.Source, params Params) *Process {
 	if src == nil {
+		//replend:allow nopanic construction-time misuse guard: a nil Source is a harness bug, not a run-path state
 		panic("churn: process needs a randomness source")
 	}
 	return &Process{src: src, params: params}

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/metrics"
 	"repro/internal/topology"
 )
 
@@ -410,5 +411,26 @@ func TestStakeSweepConservesMass(t *testing.T) {
 	}
 	if !strings.Contains(s.Table(), "conserves") {
 		t.Fatal("table missing the conservation note")
+	}
+}
+
+func TestFig2LambdasOrdersExtrasDeterministically(t *testing.T) {
+	// Non-standard rates must come out in sorted-descending order no
+	// matter how the map happens to iterate — the table-row ordering bug
+	// replend-lint's maporder analyzer caught.
+	f := &Fig2{Reputation: map[float64]*metrics.Series{
+		0.1: nil, 0.003: nil, 0.03: nil, 0.001: nil, 0.07: nil,
+	}}
+	want := []float64{0.1, 0.001, 0.07, 0.03, 0.003}
+	for i := 0; i < 20; i++ {
+		got := f.Lambdas()
+		if len(got) != len(want) {
+			t.Fatalf("Lambdas() = %v, want %v", got, want)
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("Lambdas() = %v, want %v", got, want)
+			}
+		}
 	}
 }

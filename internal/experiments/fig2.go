@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"repro/internal/config"
@@ -80,7 +81,11 @@ func (f *Fig2) Lambdas() []float64 {
 			out = append(out, lam)
 		}
 	}
-	// Any non-standard rates, in insertion-independent (sorted-desc) order.
+	// Any non-standard rates, in insertion-independent (sorted-desc)
+	// order. The extras are collected and sorted before appending: a map
+	// walk straight into out ordered the table rows process-randomly
+	// (caught by replend-lint's maporder when the suite first ran).
+	var extra []float64
 	for lam := range f.Reputation {
 		found := false
 		for _, o := range out {
@@ -89,9 +94,11 @@ func (f *Fig2) Lambdas() []float64 {
 			}
 		}
 		if !found {
-			out = append(out, lam)
+			extra = append(extra, lam)
 		}
 	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(extra)))
+	out = append(out, extra...)
 	return out
 }
 

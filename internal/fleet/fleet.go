@@ -76,6 +76,7 @@ func (c Config) withDefaults() Config {
 type Fleet struct {
 	cfg      Config
 	listener net.Listener
+	serving  sync.WaitGroup // accept loop + per-worker readers
 
 	mu         sync.Mutex
 	cond       *sync.Cond
@@ -142,6 +143,7 @@ func New(cfg Config) (*Fleet, error) {
 			return nil, fmt.Errorf("fleet: listening on %s: %w", cfg.Listen, err)
 		}
 		f.listener = ln
+		f.serving.Add(1)
 		go f.acceptLoop(ln)
 	}
 	for i := 0; i < cfg.Workers; i++ {
@@ -180,6 +182,7 @@ func (f *Fleet) spawnWorker() error {
 
 // acceptLoop admits remote workers until the listener closes.
 func (f *Fleet) acceptLoop(ln net.Listener) {
+	defer f.serving.Done()
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
@@ -202,7 +205,11 @@ func (f *Fleet) addConn(conn io.ReadWriteCloser, local bool) {
 	f.nextID++
 	f.workers[w.id] = w
 	f.mu.Unlock()
-	go f.serveConn(w)
+	f.serving.Add(1)
+	go func() {
+		defer f.serving.Done()
+		f.serveConn(w)
+	}()
 }
 
 // serveConn is the per-worker reader: it validates the hello, then turns
@@ -595,8 +602,12 @@ func (f *Fleet) Close() {
 		w    *workerConn
 		idle bool
 	}
+	// Walk the worker table in id order so shutdown frames, socket
+	// closes and the resulting log lines land deterministically (the
+	// map walk appended workers process-randomly).
 	workers := make([]closing, 0, len(f.workers))
-	for _, w := range f.workers {
+	for _, wid := range sortedWorkerIDs(f.workers) {
+		w := f.workers[wid]
 		workers = append(workers, closing{w: w, idle: w.ready && w.unit == -1})
 	}
 	f.mu.Unlock()
@@ -612,6 +623,21 @@ func (f *Fleet) Close() {
 		}
 		c.w.conn.Close()
 	}
+	// Wait for the accept loop and every reader goroutine to finish:
+	// their death paths call cfg.Logf, and the callback must never fire
+	// after Close returns (a testing.T's Logf, for one, races with test
+	// completion).
+	f.serving.Wait()
+}
+
+// sortedWorkerIDs returns the worker-table keys in ascending id order.
+func sortedWorkerIDs(m map[int]*workerConn) []int {
+	ids := make([]int, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
 }
 
 // ---------------------------------------------------------------------------

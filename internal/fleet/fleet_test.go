@@ -445,3 +445,48 @@ func TestStaleEpochResultDropped(t *testing.T) {
 		t.Fatal("current-epoch result was not merged")
 	}
 }
+
+func TestSortedWorkerIDsIsDeterministic(t *testing.T) {
+	m := map[int]*workerConn{7: nil, 0: nil, 3: nil, 12: nil, 1: nil}
+	want := []int{0, 1, 3, 7, 12}
+	for i := 0; i < 20; i++ {
+		got := sortedWorkerIDs(m)
+		if len(got) != len(want) {
+			t.Fatalf("sortedWorkerIDs = %v, want %v", got, want)
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("sortedWorkerIDs = %v, want %v", got, want)
+			}
+		}
+	}
+}
+
+// TestCloseWaitsForReaderGoroutines pins the Close contract: the Logf
+// callback must never fire after Close returns. The reader goroutines'
+// death paths log (dropWorker), and callers hand in a testing.T's Logf,
+// which races with test completion if a reader outlives Close.
+func TestCloseWaitsForReaderGoroutines(t *testing.T) {
+	var mu sync.Mutex
+	closed := false
+	logf := func(format string, args ...any) {
+		mu.Lock()
+		defer mu.Unlock()
+		if closed {
+			t.Errorf("Logf fired after Close returned: "+format, args...)
+		}
+	}
+	f, err := New(Config{Workers: 2, Spawn: PipeSpawn(), Logf: logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Run(tinyJobs(t, 2)); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	mu.Lock()
+	closed = true
+	mu.Unlock()
+	// Any straggling reader would log its death path in this window.
+	time.Sleep(100 * time.Millisecond)
+}

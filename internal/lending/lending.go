@@ -192,10 +192,15 @@ func newSMLendState() *smLendState {
 // Protocol is the lending coordinator plus the per-node score-manager
 // logic. It is not safe for concurrent use (single-threaded simulation).
 type Protocol struct {
+	//replend:allow snapshotfields params come from config, which the world snapshot carries; New re-derives them on restore
 	params Params
+	//replend:allow snapshotfields wiring, re-injected by the restoring world at construction
 	engine *sim.Engine
-	bus    *transport.Bus
-	net    Network
+	//replend:allow snapshotfields wiring, re-injected by the restoring world at construction
+	bus *transport.Bus
+	//replend:allow snapshotfields wiring, re-injected by the restoring world at construction
+	net Network
+	//replend:allow snapshotfields wiring, re-injected by the restoring world at construction
 	events Events
 
 	signers map[id.ID]transport.Identity
@@ -215,6 +220,7 @@ type Protocol struct {
 	// bipartite fan-out re-delivers the same envelope O(numSM²) times per
 	// introduction; verifying each copy afresh would make Ed25519 dominate
 	// the simulation.
+	//replend:allow snapshotfields pure verification memo: dropping it on restore re-verifies the same envelopes to the same results
 	sigCache map[string]verifiedSig
 
 	// nullFallback, set when the community runs on null identities,
@@ -223,11 +229,13 @@ type Protocol struct {
 	// identities are stateless; retaining them would defeat the
 	// huge-sweep mode they exist for). Never set under real signing,
 	// where an unsigned envelope must keep failing verification.
+	//replend:allow snapshotfields derived from config.NullSign, which the world snapshot carries; restore re-applies it
 	nullFallback bool
 
 	// retainStakes keeps departed newcomers' stake records on the books
 	// so the audit-timeout clock can still resolve them; the world sets
 	// it exactly when a stake timeout is configured (see stake.go).
+	//replend:allow snapshotfields derived from config.StakeTimeout, which the world snapshot carries; restore re-applies it
 	retainStakes bool
 
 	nonce uint64
@@ -561,6 +569,7 @@ func (p *Protocol) handle(node id.ID) transport.Handler {
 		case kindReward:
 			p.onReward(node, m.From, m.Payload.(rewardMsg))
 		default:
+			//replend:allow nopanic the kind set is closed within this process: only this package sends on the in-memory bus
 			panic(fmt.Sprintf("lending: node %s got unknown message kind %q", node.Short(), m.Kind))
 		}
 	}

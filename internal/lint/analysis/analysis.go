@@ -1,0 +1,66 @@
+// Package analysis defines the analyzer interface the replend-lint suite
+// is written against. It is a deliberate, API-compatible subset of
+// golang.org/x/tools/go/analysis: the container this repo builds in has
+// no module proxy access, so the four determinism analyzers cannot
+// depend on x/tools directly. Every field here keeps the upstream name
+// and meaning, so if the dependency ever becomes available the analyzers
+// port by rewriting one import path.
+//
+// The subset covers single-package, type-aware analyzers without facts
+// or analyzer-to-analyzer dependencies — which is all the determinism
+// suite needs: each analyzer inspects one package's syntax and types and
+// reports diagnostics. Drivers live in internal/lint/driver (go list
+// loader, standalone and go vet -vettool modes) and internal/lint/linttest
+// (the analysistest-style fixture runner).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An Analyzer describes one analysis function: its name, documentation,
+// and how to run it on a single package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics, directives
+	// (//replend:allow <name> <reason>) and command-line selection. It
+	// must be a valid Go identifier.
+	Name string
+
+	// Doc is the analyzer documentation. The first line is the summary
+	// shown by `replend-lint -analyzers`.
+	Doc string
+
+	// Run applies the analyzer to a package and returns an optional
+	// result (unused by this suite, kept for upstream compatibility).
+	// Diagnostics are reported through the Pass.
+	Run func(*Pass) (interface{}, error)
+}
+
+// A Pass provides one analyzer run with the syntax trees, type
+// information and reporting hook for a single package.
+type Pass struct {
+	Analyzer *Analyzer
+
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report emits one diagnostic. Drivers install it; analyzers call
+	// it (usually via Reportf).
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at the given position.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is one finding, tied to a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}

@@ -1,0 +1,99 @@
+package driver
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The suppression mechanism. A finding is allowed — acknowledged as a
+// deliberate, justified exception to the determinism discipline — by a
+// comment of the form
+//
+//	//replend:allow <analyzer> <reason>
+//
+// either on the flagged line or on the line immediately above it. The
+// reason is mandatory: an allowlist entry without a rationale is itself
+// a lint error, and so is one naming an analyzer that does not exist.
+// docs/determinism.md states the policy; the fixtures under each
+// analyzer's testdata exercise both the suppression and the malformed
+// forms.
+
+// directivePrefix introduces an allow directive. The comment must start
+// exactly with this (no space after //, mirroring //go: directives).
+const directivePrefix = "replend:allow"
+
+// Directives indexes the well-formed allow directives of one package by
+// file and line.
+type Directives struct {
+	// byLine maps file name → line → analyzer names allowed there.
+	byLine map[string]map[int][]string
+}
+
+// Allows reports whether a diagnostic from the named analyzer at pos is
+// covered by a directive on the same line or the line above.
+func (d *Directives) Allows(analyzer string, pos token.Position) bool {
+	lines := d.byLine[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, name := range lines[line] {
+			if name == analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ParseDirectives scans the files' comments for allow directives. Known
+// maps valid analyzer names; malformed directives are returned as
+// findings (analyzer "directive") rather than silently ignored.
+func ParseDirectives(fset *token.FileSet, files []*ast.File, known map[string]bool) (*Directives, []Finding) {
+	d := &Directives{byLine: map[string]map[int][]string{}}
+	var bad []Finding
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//"+directivePrefix)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				fields := strings.Fields(text)
+				switch {
+				case len(fields) == 0:
+					bad = append(bad, Finding{
+						Analyzer: "directive",
+						Pos:      pos,
+						Message:  fmt.Sprintf("%s directive names no analyzer", directivePrefix),
+					})
+					continue
+				case !known[fields[0]]:
+					bad = append(bad, Finding{
+						Analyzer: "directive",
+						Pos:      pos,
+						Message:  fmt.Sprintf("%s directive names unknown analyzer %q", directivePrefix, fields[0]),
+					})
+					continue
+				case len(fields) < 2:
+					bad = append(bad, Finding{
+						Analyzer: "directive",
+						Pos:      pos,
+						Message:  fmt.Sprintf("%s %s directive has no reason; justify the exception", directivePrefix, fields[0]),
+					})
+					continue
+				}
+				lines := d.byLine[pos.Filename]
+				if lines == nil {
+					lines = map[int][]string{}
+					d.byLine[pos.Filename] = lines
+				}
+				lines[pos.Line] = append(lines[pos.Line], fields[0])
+			}
+		}
+	}
+	return d, bad
+}

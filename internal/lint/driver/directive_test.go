@@ -1,0 +1,107 @@
+package driver
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func parseOne(t *testing.T, src string) (*token.FileSet, *ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, f
+}
+
+func TestParseDirectivesWellFormed(t *testing.T) {
+	fset, f := parseOne(t, `package p
+
+//replend:allow maporder audited: feeds a set
+var a int
+
+var b int //replend:allow nopanic trailing form, same line
+`)
+	dirs, bad := ParseDirectives(fset, []*ast.File{f}, map[string]bool{"maporder": true, "nopanic": true})
+	if len(bad) != 0 {
+		t.Fatalf("unexpected malformed-directive findings: %v", bad)
+	}
+	at := func(line int) token.Position { return token.Position{Filename: "p.go", Line: line} }
+	// Directive on line 3 covers findings on line 3 and line 4.
+	if !dirs.Allows("maporder", at(3)) || !dirs.Allows("maporder", at(4)) {
+		t.Error("directive above does not cover the next line")
+	}
+	if dirs.Allows("maporder", at(5)) {
+		t.Error("directive leaks two lines down")
+	}
+	if dirs.Allows("nopanic", at(4)) {
+		t.Error("directive covers a different analyzer's finding")
+	}
+	// Trailing directive on line 6 covers its own line.
+	if !dirs.Allows("nopanic", at(6)) {
+		t.Error("trailing same-line directive not honored")
+	}
+}
+
+func TestParseDirectivesMalformed(t *testing.T) {
+	fset, f := parseOne(t, `package p
+
+//replend:allow
+var a int
+
+//replend:allow maporder
+var b int
+
+//replend:allow bogus some reason
+var c int
+`)
+	dirs, bad := ParseDirectives(fset, []*ast.File{f}, map[string]bool{"maporder": true})
+	if len(bad) != 3 {
+		t.Fatalf("got %d malformed-directive findings, want 3: %v", len(bad), bad)
+	}
+	for _, f := range bad {
+		if f.Analyzer != "directive" {
+			t.Errorf("malformed directive reported as %q, want \"directive\"", f.Analyzer)
+		}
+	}
+	wantMsgs := []string{"names no analyzer", "has no reason", "unknown analyzer"}
+	for i, want := range wantMsgs {
+		if !strings.Contains(bad[i].Message, want) {
+			t.Errorf("finding %d = %q, want substring %q", i, bad[i].Message, want)
+		}
+	}
+	// None of the malformed forms suppress anything.
+	for line := 3; line <= 10; line++ {
+		if dirs.Allows("maporder", token.Position{Filename: "p.go", Line: line}) {
+			t.Errorf("malformed directive suppresses findings at line %d", line)
+		}
+	}
+}
+
+func TestSortFindingsIsDeterministic(t *testing.T) {
+	mk := func(file string, line, col int, an string) Finding {
+		return Finding{Analyzer: an, Pos: token.Position{Filename: file, Line: line, Column: col}}
+	}
+	fs := []Finding{
+		mk("b.go", 1, 1, "maporder"),
+		mk("a.go", 9, 2, "nopanic"),
+		mk("a.go", 9, 2, "maporder"),
+		mk("a.go", 2, 7, "rngpurity"),
+	}
+	SortFindings(fs)
+	want := []Finding{
+		mk("a.go", 2, 7, "rngpurity"),
+		mk("a.go", 9, 2, "maporder"),
+		mk("a.go", 9, 2, "nopanic"),
+		mk("b.go", 1, 1, "maporder"),
+	}
+	for i := range want {
+		if fs[i] != want[i] {
+			t.Fatalf("order[%d] = %v, want %v", i, fs[i], want[i])
+		}
+	}
+}

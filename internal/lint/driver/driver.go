@@ -1,0 +1,234 @@
+// Package driver loads and type-checks packages for the replend-lint
+// analyzers and runs the suite over them, without depending on
+// golang.org/x/tools. Import resolution uses the gc export data the go
+// command already produces: `go list -json -deps -export` yields an
+// export file per dependency, and go/importer's gc mode reads them
+// through a lookup function. That keeps the driver fully offline — no
+// module proxy, no source re-typechecking of the standard library.
+//
+// The driver analyzes non-test sources only (go list GoFiles): the
+// determinism contract binds shipped simulation code, while tests are
+// free to use wall clocks, unseeded randomness and unordered walks.
+package driver
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Finding is one diagnostic resolved to a file position, tagged with the
+// analyzer that produced it.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// listedPackage is the subset of `go list -json` output the driver uses.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	ImportMap  map[string]string
+	DepOnly    bool
+}
+
+// Load resolves patterns (e.g. "./...") in dir with the go command,
+// type-checks every matched package from source against the export data
+// of its dependencies, and returns them in deterministic (import path)
+// order.
+func Load(dir string, patterns []string) ([]*Package, error) {
+	args := append([]string{"list", "-json", "-deps", "-export", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	exports := map[string]string{}
+	var targets []listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %w", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && len(p.GoFiles) > 0 {
+			targets = append(targets, p)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	fset := token.NewFileSet()
+	var pkgs []*Package
+	for _, t := range targets {
+		var files []string
+		for _, f := range t.GoFiles {
+			files = append(files, filepath.Join(t.Dir, f))
+		}
+		pkg, err := Check(fset, t.ImportPath, files, NewImporter(fset, exports, t.ImportMap))
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// NewImporter returns a gc-export-data importer: paths are first mapped
+// through importMap (vendored import renames, as reported by go list),
+// then resolved to an export file.
+func NewImporter(fset *token.FileSet, exports, importMap map[string]string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := importMap[path]; ok {
+			path = mapped
+		}
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+// Check parses and type-checks one package from the given source files.
+func Check(fset *token.FileSet, path string, filenames []string, imp types.Importer) (*Package, error) {
+	var files []*ast.File
+	for _, name := range filenames {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Instances:  map[*ast.Ident]types.Instance{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
+	}
+	return &Package{Path: path, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// Run applies each analyzer to each package, filters the diagnostics
+// through the //replend:allow directives found in the sources, and
+// returns the surviving findings sorted by position. Malformed
+// directives (unknown analyzer, missing reason) are findings themselves:
+// the allowlist is part of the contract, so it cannot silently rot.
+//
+// known names every analyzer whose directives are legitimate — pass the
+// full suite's names even when running a subset, or a directive for an
+// unselected analyzer would be misreported as unknown. nil derives the
+// set from the analyzers being run.
+func Run(pkgs []*Package, analyzers []*analysis.Analyzer, known map[string]bool) ([]Finding, error) {
+	if known == nil {
+		known = map[string]bool{}
+		for _, a := range analyzers {
+			known[a.Name] = true
+		}
+	}
+	var findings []Finding
+	for _, pkg := range pkgs {
+		dirs, bad := ParseDirectives(pkg.Fset, pkg.Files, known)
+		findings = append(findings, bad...)
+		for _, a := range analyzers {
+			diags, err := RunOne(pkg, a)
+			if err != nil {
+				return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.Path, err)
+			}
+			for _, d := range diags {
+				pos := pkg.Fset.Position(d.Pos)
+				if dirs.Allows(a.Name, pos) {
+					continue
+				}
+				findings = append(findings, Finding{Analyzer: a.Name, Pos: pos, Message: d.Message})
+			}
+		}
+	}
+	SortFindings(findings)
+	return findings, nil
+}
+
+// RunOne applies a single analyzer to a single package and returns its
+// raw diagnostics (directives not yet applied).
+func RunOne(pkg *Package, a *analysis.Analyzer) ([]analysis.Diagnostic, error) {
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if _, err := a.Run(pass); err != nil {
+		return nil, err
+	}
+	return diags, nil
+}
+
+// SortFindings orders findings by file, line, column, analyzer.
+func SortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}

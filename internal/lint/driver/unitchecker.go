@@ -1,0 +1,76 @@
+package driver
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"os"
+
+	"repro/internal/lint/analysis"
+)
+
+// go vet -vettool support. The go command drives a vet tool once per
+// package: it writes a JSON *.cfg file describing the package (sources,
+// import map, export-data files for every dependency) and invokes the
+// tool with that file as the sole argument. The tool type-checks from
+// the supplied inputs, reports diagnostics on stderr, writes the
+// (possibly empty) facts file the config names, and exits nonzero when
+// it found anything. This mirrors x/tools' unitchecker protocol so
+//
+//	go vet -vettool=$(go env GOPATH)/bin/replend-lint ./...
+//
+// works against a `go build -o`-installed binary.
+
+// VetConfig is the JSON document the go command hands a vet tool. Field
+// set and meaning follow cmd/go's vet configuration.
+type VetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// RunVetUnit executes the analyzers against the package a vet config
+// describes and returns the surviving findings. The facts output file
+// is always written (empty — this suite carries no facts), because the
+// go command records it as a build artifact.
+func RunVetUnit(cfgPath string, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return nil, fmt.Errorf("lint: reading vet config: %w", err)
+	}
+	var cfg VetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("lint: parsing vet config %s: %w", cfgPath, err)
+	}
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			return nil, fmt.Errorf("lint: writing facts output: %w", err)
+		}
+	}
+	if cfg.VetxOnly || len(cfg.GoFiles) == 0 {
+		return nil, nil
+	}
+
+	fset := token.NewFileSet()
+	imp := NewImporter(fset, cfg.PackageFile, cfg.ImportMap)
+	pkg, err := Check(fset, cfg.ImportPath, cfg.GoFiles, imp)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil, nil
+		}
+		return nil, err
+	}
+	return Run([]*Package{pkg}, analyzers, nil)
+}

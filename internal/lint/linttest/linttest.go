@@ -1,0 +1,209 @@
+// Package linttest runs replend-lint analyzers over golden fixture
+// packages — a lightweight analogue of golang.org/x/tools'
+// analysistest, built on the same offline driver the replend-lint
+// binary uses.
+//
+// Fixtures live under testdata/src/<importpath>/ and are ordinary Go
+// files annotated with expectation comments:
+//
+//	for k := range m { // want `appends to out`
+//
+// Each `// want` comment carries one or more quoted regular
+// expressions; each must match exactly one finding reported on that
+// line, and every finding must be matched by an expectation. The
+// fixture's import path is the <importpath> directory name, so
+// analyzers that key off the package path (rngpurity, nopanic via
+// internal/lint/watch) can be exercised with watched and exempt paths
+// side by side. Findings are the post-directive set: a
+// //replend:allow directive in a fixture suppresses the finding, and
+// malformed directives surface as findings of the "directive"
+// analyzer, exactly as in production runs.
+package linttest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/driver"
+)
+
+// Run loads each fixture package under testdata/src/<path>, runs the
+// analyzer plus the directive filter over it, and compares the
+// findings against the fixture's // want expectations.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, paths ...string) {
+	t.Helper()
+	for _, path := range paths {
+		dir := filepath.Join(testdata, "src", filepath.FromSlash(path))
+		pkg, err := loadFixture(path, dir)
+		if err != nil {
+			t.Errorf("fixture %s: %v", path, err)
+			continue
+		}
+		findings, err := driver.Run([]*driver.Package{pkg}, []*analysis.Analyzer{a}, nil)
+		if err != nil {
+			t.Errorf("fixture %s: %v", path, err)
+			continue
+		}
+		check(t, path, pkg, findings)
+	}
+}
+
+// loadFixture parses and type-checks one fixture package, resolving
+// its imports (standard library and in-module packages) through go
+// list export data, the same way the production driver does.
+func loadFixture(path, dir string) (*driver.Package, error) {
+	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil || len(names) == 0 {
+		return nil, fmt.Errorf("no fixture sources in %s", dir)
+	}
+	sort.Strings(names)
+
+	// Pre-parse just to discover the fixture's imports.
+	imports := map[string]bool{}
+	pre := token.NewFileSet()
+	for _, name := range names {
+		f, err := parser.ParseFile(pre, name, nil, parser.ImportsOnly)
+		if err != nil {
+			return nil, err
+		}
+		for _, imp := range f.Imports {
+			if p, err := strconv.Unquote(imp.Path.Value); err == nil {
+				imports[p] = true
+			}
+		}
+	}
+	exports, err := exportData(imports)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return driver.Check(fset, path, names, driver.NewImporter(fset, exports, nil))
+}
+
+// exportData resolves the import paths to gc export files via
+// `go list -json -deps -export`. Fixture imports must be standard
+// library or in-module packages — both resolvable offline.
+func exportData(imports map[string]bool) (map[string]string, error) {
+	exports := map[string]string{}
+	if len(imports) == 0 {
+		return exports, nil
+	}
+	paths := make([]string, 0, len(imports))
+	for p := range imports {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	args := append([]string{"list", "-json", "-deps", "-export", "--"}, paths...)
+	cmd := exec.Command("go", args...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(paths, " "), err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p struct{ ImportPath, Export string }
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, err
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return exports, nil
+}
+
+// expectation is one parsed `// want` regexp, pinned to a file line.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	pattern string
+	matched bool
+}
+
+// check compares findings against the fixture's expectations. A want
+// normally sits on the flagged line; when a finding is reported at a
+// comment's own position (a malformed //replend:allow directive, say)
+// no want can share that line, so a want on the line immediately below
+// claims the finding as a fallback.
+func check(t *testing.T, path string, pkg *driver.Package, findings []driver.Finding) {
+	t.Helper()
+	wants, err := parseWants(pkg)
+	if err != nil {
+		t.Errorf("fixture %s: %v", path, err)
+		return
+	}
+	match := func(f driver.Finding, line int) bool {
+		for _, w := range wants {
+			if w.matched || w.file != f.Pos.Filename || w.line != line {
+				continue
+			}
+			if w.re.MatchString(f.Message) {
+				w.matched = true
+				return true
+			}
+		}
+		return false
+	}
+	for _, f := range findings {
+		if !match(f, f.Pos.Line) && !match(f, f.Pos.Line+1) {
+			t.Errorf("fixture %s: unexpected finding: %s", path, f)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("fixture %s: %s:%d: no finding matched %q", path, filepath.Base(w.file), w.line, w.pattern)
+		}
+	}
+}
+
+// parseWants extracts the `// want "re"...` expectations from the
+// fixture's comments. Both interpreted and raw quoted strings are
+// accepted.
+func parseWants(pkg *driver.Package) ([]*expectation, error) {
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(strings.TrimSpace(strings.TrimPrefix(c.Text, "//")), "want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for rest = strings.TrimSpace(rest); rest != ""; rest = strings.TrimSpace(rest) {
+					q, err := strconv.QuotedPrefix(rest)
+					if err != nil {
+						return nil, fmt.Errorf("%s: malformed want comment %q", pos, c.Text)
+					}
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						return nil, fmt.Errorf("%s: malformed want pattern %q", pos, q)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						return nil, fmt.Errorf("%s: bad want regexp: %v", pos, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re, pattern: pat})
+					rest = rest[len(q):]
+				}
+			}
+		}
+	}
+	return wants, nil
+}

@@ -1,0 +1,23 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/maporder"
+)
+
+func TestMapOrder(t *testing.T) {
+	linttest.Run(t, "testdata", maporder.Analyzer, "fixture")
+}
+
+// TestRebuildSMDepsBugClass pins the analyzer to the PR 4 regression
+// it was built for: the historical rebuildSMDeps shape must be
+// flagged, its sorted-keys repair accepted.
+func TestRebuildSMDepsBugClass(t *testing.T) {
+	linttest.Run(t, "testdata", maporder.Analyzer, "rebuildsmdeps")
+}
+
+func TestSuppressionDirectives(t *testing.T) {
+	linttest.Run(t, "testdata", maporder.Analyzer, "suppressed")
+}

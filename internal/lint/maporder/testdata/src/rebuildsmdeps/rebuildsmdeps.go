@@ -1,0 +1,41 @@
+// Package rebuildsmdeps reproduces the PR 4 rebuildSMDeps map-order
+// bug: rebuilding a per-owner index by walking the placement cache in
+// map order filled each owner's slice process-randomly, which
+// reordered dirty-queue flushes and wobbled sampled reputation sums in
+// their last ulps. The analyzer must flag the original shape and
+// accept the sorted-keys repair that fixed it.
+package rebuildsmdeps
+
+import "sort"
+
+type entry struct{ owner int }
+
+type world struct {
+	smCache map[string]entry
+	smDeps  map[int][]string
+}
+
+// rebuildSMDepsBuggy is the historical bug: the bucket is keyed by the
+// entry's owner, not the loop key, so each owner's slice accretes in
+// map iteration order.
+func (w *world) rebuildSMDepsBuggy() {
+	w.smDeps = map[int][]string{}
+	for p, e := range w.smCache { // want `keyed by something other than the loop key`
+		w.smDeps[e.owner] = append(w.smDeps[e.owner], p)
+	}
+}
+
+// rebuildSMDepsFixed is the repair that shipped: walk the cache keys
+// in sorted order, so every rebuild fills the buckets identically.
+func (w *world) rebuildSMDepsFixed() {
+	keys := make([]string, 0, len(w.smCache))
+	for p := range w.smCache {
+		keys = append(keys, p)
+	}
+	sort.Strings(keys)
+	w.smDeps = map[int][]string{}
+	for _, p := range keys {
+		e := w.smCache[p]
+		w.smDeps[e.owner] = append(w.smDeps[e.owner], p)
+	}
+}

@@ -1,0 +1,38 @@
+// Package suppressed exercises the //replend:allow directive layer:
+// a well-formed directive silences a finding, and malformed directives
+// are findings themselves.
+package suppressed
+
+// allowedWalk is a deliberate exception with a reason: silenced.
+func allowedWalk(m map[string]int) []string {
+	var out []string
+	//replend:allow maporder fixture: order feeds a set, not an output stream
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// noReason omits the mandatory justification: the directive itself is
+// flagged and the finding it tried to cover survives.
+func noReason(m map[string]int) []string {
+	var out []string
+	//replend:allow maporder
+	// want `directive has no reason`
+	for k := range m { // want `appends to out`
+		out = append(out, k)
+	}
+	return out
+}
+
+// unknownAnalyzer names an analyzer that does not exist: flagged, and
+// the finding survives.
+func unknownAnalyzer(m map[string]int) []string {
+	var out []string
+	//replend:allow maporderr fixture: typo in the analyzer name
+	// want `unknown analyzer "maporderr"`
+	for k := range m { // want `appends to out`
+		out = append(out, k)
+	}
+	return out
+}

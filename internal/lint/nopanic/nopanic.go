@@ -1,0 +1,54 @@
+// Package nopanic defines an analyzer enforcing the PR 2 error contract
+// on the simulation run path: run failures propagate through
+// World.Err/Run error returns so a fleet worker or a scenario replica
+// fails its unit cleanly instead of taking the process (and with it,
+// sibling replicas and the coordinator protocol) down. A panic in a
+// simulation package must be an audited invariant — a "can't happen"
+// programmer-error guard — and carries a //replend:allow nopanic
+// directive saying why it can't.
+package nopanic
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/watch"
+)
+
+// Analyzer forbids unaudited panics in simulation packages.
+var Analyzer = &analysis.Analyzer{
+	Name: "nopanic",
+	Doc: `forbid panic on the simulation run path
+
+Simulation packages report run-path failures through error returns
+(World.Err and the Run/RunFor contract), never panic: a panicking
+replica kills sibling replicas, fleet workers and the coordinator
+protocol with it. Each remaining panic must be a justified invariant
+guard, annotated //replend:allow nopanic <reason>.`,
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !watch.SimPackage(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+			if !ok || id.Name != "panic" {
+				return true
+			}
+			if _, builtin := pass.TypesInfo.Uses[id].(*types.Builtin); !builtin {
+				return true
+			}
+			pass.Reportf(call.Pos(), "panic on the simulation run path; propagate an error (World.Err contract), or annotate the invariant with //replend:allow nopanic <reason>")
+			return true
+		})
+	}
+	return nil, nil
+}

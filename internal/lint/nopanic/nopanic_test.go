@@ -1,0 +1,15 @@
+package nopanic_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/nopanic"
+)
+
+func TestNoPanic(t *testing.T) {
+	linttest.Run(t, "testdata", nopanic.Analyzer,
+		"sim.example/internal/sim",   // watched: findings expected
+		"sim.example/internal/fleet", // exempt: panic allowed
+	)
+}

@@ -1,0 +1,11 @@
+// Package fleet stands in for the orchestration edge, structurally
+// exempt from the nopanic contract: a coordinator crash is loud and
+// local, unlike a panic inside a fleet worker's simulation replica.
+package fleet
+
+func mustPort(p int) int {
+	if p <= 0 {
+		panic("bad port")
+	}
+	return p
+}

@@ -1,0 +1,31 @@
+// Package sim stands in for a watched simulation package: panics on
+// the run path are forbidden unless annotated as audited invariants.
+package sim
+
+import "errors"
+
+// apply is run-path code: its panic must become an error return.
+func apply(n int) error {
+	if n < 0 {
+		panic("negative") // want `panic on the simulation run path`
+	}
+	return nil
+}
+
+// applyChecked is the contract-conformant shape: accepted.
+func applyChecked(n int) error {
+	if n < 0 {
+		return errors.New("negative")
+	}
+	return nil
+}
+
+// newThing guards a constructor invariant, audited with a directive:
+// silenced.
+func newThing(p *int) *int {
+	if p == nil {
+		//replend:allow nopanic constructor misuse guard: a nil argument is a harness bug, not run state
+		panic("nil")
+	}
+	return p
+}

@@ -1,0 +1,80 @@
+// Package rngpurity defines an analyzer that keeps all stochastic and
+// temporal behavior of the simulation core flowing through
+// repro/internal/rng's derived streams. A math/rand import or a
+// time.Now/time.Since call inside a simulation package introduces state
+// the checkpoint format cannot capture and the fleet's keyed seed
+// splits cannot replay: the same scenario would produce different bytes
+// per process, run, or resume.
+package rngpurity
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/watch"
+)
+
+// Analyzer forbids wall clocks and unseeded randomness in simulation
+// packages.
+var Analyzer = &analysis.Analyzer{
+	Name: "rngpurity",
+	Doc: `forbid math/rand and wall-clock reads in simulation packages
+
+Simulation packages (see internal/lint/watch) must draw randomness from
+repro/internal/rng derived streams and time from sim.Tick. Importing
+math/rand or math/rand/v2, or calling time.Now or time.Since, makes
+output bytes depend on process state the checkpoint format cannot
+capture. internal/fleet and cmd/* are structurally exempt: heartbeats,
+deadlines and progress logs are wall-clock by nature and never reach
+simulation output.`,
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !watch.SimPackage(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				pass.Reportf(imp.Pos(), "simulation package imports %s; all stochastic behavior must flow through repro/internal/rng derived streams", path)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkg := packageOf(pass, sel.X)
+			if pkg == nil || pkg.Imported().Path() != "time" {
+				return true
+			}
+			switch sel.Sel.Name {
+			case "Now", "Since":
+				pass.Reportf(call.Pos(), "simulation package reads the wall clock via time.%s; simulation time is sim.Tick, and durations must be tick-denominated", sel.Sel.Name)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// packageOf resolves e to the package name it denotes, if any.
+func packageOf(pass *analysis.Pass, e ast.Expr) *types.PkgName {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	pn, _ := pass.TypesInfo.Uses[id].(*types.PkgName)
+	return pn
+}

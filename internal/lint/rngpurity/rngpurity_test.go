@@ -1,0 +1,15 @@
+package rngpurity_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/rngpurity"
+)
+
+func TestRNGPurity(t *testing.T) {
+	linttest.Run(t, "testdata", rngpurity.Analyzer,
+		"sim.example/internal/world", // watched: findings expected
+		"sim.example/internal/fleet", // exempt: same code, no findings
+	)
+}

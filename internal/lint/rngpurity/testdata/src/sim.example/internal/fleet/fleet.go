@@ -1,0 +1,18 @@
+// Package fleet stands in for the orchestration edge: wall clocks and
+// math/rand are structurally exempt here (internal/fleet is not on the
+// internal/lint/watch list), so nothing in this file is flagged.
+package fleet
+
+import (
+	"math/rand"
+	"time"
+)
+
+func jitter() time.Duration {
+	return time.Duration(rand.Intn(100)) * time.Millisecond
+}
+
+func heartbeatAge(last time.Time) time.Duration {
+	_ = time.Now()
+	return time.Since(last)
+}

@@ -1,0 +1,22 @@
+// Package world stands in for a watched simulation package (its import
+// path ends in internal/world): math/rand imports and wall-clock reads
+// are forbidden here.
+package world
+
+import (
+	"math/rand" // want `simulation package imports math/rand`
+	"time"
+)
+
+func draw() int { return rand.Int() }
+
+func stamp() int64 {
+	return time.Now().Unix() // want `reads the wall clock via time\.Now`
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `reads the wall clock via time\.Since`
+}
+
+// tickMath uses the time package for arithmetic only: accepted.
+func tickMath(d time.Duration) float64 { return d.Seconds() }

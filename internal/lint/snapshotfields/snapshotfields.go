@@ -1,0 +1,129 @@
+// Package snapshotfields defines an analyzer that cross-checks state
+// structs against their checkpoint encoders. A package that keeps its
+// snapshot logic in a snapshot.go file promises that every field of a
+// snapshotted struct is accounted for there: either serialized,
+// consulted, or rebuilt on restore. Adding a field to world.World (or
+// any other snapshot carrier) without extending snapshot.go would
+// otherwise ship silently and surface much later as checkpoint/resume
+// divergence — a version-skew landmine this turns into a lint error.
+//
+// A struct participates when snapshot.go declares a method on it named
+// Snapshot, Export or ExportState. A field counts as covered when any
+// code in snapshot.go references it (selector or composite-literal
+// key). Deliberately unserialized fields — derived caches, observer
+// hooks — carry a //replend:allow snapshotfields directive at the field
+// declaration, with the reason restore can afford to drop them.
+package snapshotfields
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer cross-checks snapshotted structs against snapshot.go.
+var Analyzer = &analysis.Analyzer{
+	Name: "snapshotfields",
+	Doc: `require every field of a snapshotted struct to be handled by snapshot.go
+
+For each struct with a Snapshot/Export/ExportState method declared in
+the package's snapshot.go, every field must be referenced somewhere in
+that file — serialized, consulted or rebuilt. Unreferenced fields are
+checkpoint format skew in the making; fields that are deliberately not
+part of the state must say why via //replend:allow snapshotfields at
+their declaration.`,
+	Run: run,
+}
+
+// encoderMethods are the method names that mark a receiver type as a
+// snapshot carrier.
+var encoderMethods = map[string]bool{
+	"Snapshot":    true,
+	"Export":      true,
+	"ExportState": true,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	var snapFiles []*ast.File
+	for _, f := range pass.Files {
+		if filepath.Base(pass.Fset.Position(f.Pos()).Filename) == "snapshot.go" {
+			snapFiles = append(snapFiles, f)
+		}
+	}
+	if len(snapFiles) == 0 {
+		return nil, nil
+	}
+
+	// Pass 1: receiver types of encoder methods declared in snapshot.go.
+	carriers := map[*types.Named]bool{}
+	for _, f := range snapFiles {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || !encoderMethods[fd.Name.Name] {
+				continue
+			}
+			obj := pass.TypesInfo.Defs[fd.Name]
+			if obj == nil {
+				continue
+			}
+			sig, ok := obj.Type().(*types.Signature)
+			if !ok || sig.Recv() == nil {
+				continue
+			}
+			t := sig.Recv().Type()
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			if named, ok := t.(*types.Named); ok {
+				if _, isStruct := named.Underlying().(*types.Struct); isStruct {
+					carriers[named] = true
+				}
+			}
+		}
+	}
+	if len(carriers) == 0 {
+		return nil, nil
+	}
+
+	// Pass 2: field objects of the carrier structs.
+	fields := map[types.Object]*types.Named{}
+	for named := range carriers {
+		st := named.Underlying().(*types.Struct)
+		for i := 0; i < st.NumFields(); i++ {
+			fields[st.Field(i)] = named
+		}
+	}
+
+	// Pass 3: every identifier in snapshot.go that resolves to one of
+	// those fields marks it covered. This catches w.field selectors,
+	// composite-literal keys and method values alike.
+	for _, f := range snapFiles {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if obj := pass.TypesInfo.Uses[id]; obj != nil {
+				delete(fields, obj)
+			}
+			return true
+		})
+	}
+
+	// Anything left is a field snapshot.go never touches. Report at the
+	// field declaration so the directive lives next to the field (keys
+	// sorted by position: this suite holds itself to its own contract).
+	missing := make([]types.Object, 0, len(fields))
+	for obj := range fields {
+		missing = append(missing, obj)
+	}
+	sort.Slice(missing, func(i, j int) bool { return missing[i].Pos() < missing[j].Pos() })
+	for _, obj := range missing {
+		named := fields[obj]
+		pass.Reportf(obj.Pos(), "field %s.%s is not referenced by the snapshot encoder in snapshot.go; serialize it, rebuild it on restore, or annotate with //replend:allow snapshotfields <why restore can drop it>", named.Obj().Name(), obj.Name())
+	}
+	return nil, nil
+}

@@ -1,0 +1,12 @@
+package snapshotfields_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/snapshotfields"
+)
+
+func TestSnapshotFields(t *testing.T) {
+	linttest.Run(t, "testdata", snapshotfields.Analyzer, "carrier", "nosnap")
+}

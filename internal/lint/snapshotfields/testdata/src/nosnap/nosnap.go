@@ -1,0 +1,10 @@
+// Package nosnap has no snapshot.go at all: the analyzer binds
+// nothing here, whatever the methods are called.
+package nosnap
+
+type State struct {
+	hidden int
+}
+
+// Snapshot outside snapshot.go does not make State a carrier.
+func (s *State) Snapshot() int { return 0 }

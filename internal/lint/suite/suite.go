@@ -1,0 +1,42 @@
+// Package suite registers the replend-lint analyzers in their canonical
+// order. cmd/replend-lint, the CI gate and the driver tests all consume
+// this list, so a new analyzer added here is everywhere at once.
+package suite
+
+import (
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/maporder"
+	"repro/internal/lint/nopanic"
+	"repro/internal/lint/rngpurity"
+	"repro/internal/lint/snapshotfields"
+)
+
+// All returns the full determinism suite.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		maporder.Analyzer,
+		rngpurity.Analyzer,
+		nopanic.Analyzer,
+		snapshotfields.Analyzer,
+	}
+}
+
+// ByName returns the named analyzers, or All() for an empty selection.
+func ByName(names []string) ([]*analysis.Analyzer, bool) {
+	if len(names) == 0 {
+		return All(), true
+	}
+	byName := map[string]*analysis.Analyzer{}
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*analysis.Analyzer
+	for _, n := range names {
+		a, ok := byName[n]
+		if !ok {
+			return nil, false
+		}
+		out = append(out, a)
+	}
+	return out, true
+}

@@ -1,0 +1,43 @@
+// Package watch defines which packages the determinism analyzers bind.
+// The simulation core must be a pure function of configuration and
+// seeds; the orchestration edge (fleet, the CLIs) legitimately touches
+// wall clocks for heartbeats, timeouts and progress logging. rngpurity
+// and nopanic consult this split — it is the structural half of the
+// allowlist policy described in docs/determinism.md (the other half is
+// per-line //replend:allow directives).
+package watch
+
+import "strings"
+
+// simSuffixes are the import-path suffixes of the deterministic
+// simulation packages. internal/rng is deliberately absent: it is the
+// sanctioned wrapper all stochastic behavior must flow through.
+// internal/fleet and cmd/* are deliberately absent: coordinator
+// heartbeats, worker deadlines and CLI progress timing are wall-clock
+// by nature and never feed simulation output bytes.
+var simSuffixes = []string{
+	"internal/world",
+	"internal/lending",
+	"internal/churn",
+	"internal/scenario",
+	"internal/overlay",
+	"internal/rocq",
+	"internal/topology",
+	"internal/sim",
+}
+
+// SimPackage reports whether the import path names a package under the
+// determinism contract.
+func SimPackage(path string) bool {
+	for _, s := range simSuffixes {
+		if path == s || strings.HasSuffix(path, "/"+s) {
+			return true
+		}
+	}
+	return false
+}
+
+// SimPackages returns the watched suffix list (for docs and tests).
+func SimPackages() []string {
+	return append([]string(nil), simSuffixes...)
+}

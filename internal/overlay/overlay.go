@@ -254,6 +254,7 @@ func (r *Ring) repairNode(node *Node) {
 // successorID returns the owner of key: the first member clockwise from it.
 func (r *Ring) successorID(key id.ID) id.ID {
 	if r.size == 0 {
+		//replend:allow nopanic callers query ownership only on non-empty rings (worlds start with founders); an empty-ring query is a caller bug
 		panic("overlay: successorID on empty ring")
 	}
 	owner := treapCeiling(r.root, key)

@@ -125,6 +125,7 @@ type Opinion struct {
 // OpinionBook tracks a peer's first-hand experience with every partner it
 // has transacted with.
 type OpinionBook struct {
+	//replend:allow snapshotfields fixed at DefaultParams for every peer (restorePeer rebuilds books with them); params carry no run state
 	params   Params
 	partners map[id.ID]*opinionState
 }
@@ -137,6 +138,7 @@ type opinionState struct {
 // NewOpinionBook returns an empty book using the given parameters.
 func NewOpinionBook(p Params) *OpinionBook {
 	if err := p.Validate(); err != nil {
+		//replend:allow nopanic construction-time misuse guard: params are validated by config before any run starts
 		panic(err)
 	}
 	return &OpinionBook{params: p, partners: make(map[id.ID]*opinionState)}
@@ -147,6 +149,7 @@ func NewOpinionBook(p Params) *OpinionBook {
 // given partner and returns the updated opinion.
 func (b *OpinionBook) Record(partner id.ID, rating float64) Opinion {
 	if rating < 0 || rating > 1 {
+		//replend:allow nopanic caller-contract invariant: behaviour styles emit only 0 or 1 ratings
 		panic(fmt.Sprintf("rocq: rating %v out of [0,1]", rating))
 	}
 	st := b.partners[partner]
@@ -200,6 +203,7 @@ func minf(a, b float64) float64 {
 // subjects it is responsible for, together with its private credibility
 // estimates of reporters. A Store is not safe for concurrent use.
 type Store struct {
+	//replend:allow snapshotfields fixed at DefaultParams for every store (world.Restore rebuilds them so); params carry no run state
 	params   Params
 	subjects map[id.ID]*subjectState
 	cred     map[id.ID]float64
@@ -211,6 +215,7 @@ type Store struct {
 	// evidence (reports, credits, debits, zeroing, init, adoption,
 	// forgetting). The simulation world uses it to dirty-track reputation
 	// reads so periodic sampling touches only subjects that changed.
+	//replend:allow snapshotfields observer hook, re-attached by the restoring world (SetOnChange) — not serializable state
 	onChange func(subject id.ID)
 }
 
@@ -236,6 +241,7 @@ type subjectState struct {
 // NewStore returns an empty score-manager store.
 func NewStore(p Params) *Store {
 	if err := p.Validate(); err != nil {
+		//replend:allow nopanic construction-time misuse guard: params are validated by config before any run starts
 		panic(err)
 	}
 	return &Store{
@@ -384,6 +390,7 @@ func (r Ref) Report(reporter id.ID, op Opinion) {
 
 func (s *Store) reportTo(st *subjectState, reporter id.ID, op Opinion) {
 	if op.Value < 0 || op.Value > 1 || op.Quality < 0 || op.Quality > 1 {
+		//replend:allow nopanic caller-contract invariant: OpinionBook clamps opinions to [0,1] before they reach a store
 		panic(fmt.Sprintf("rocq: report out of range: %+v", op))
 	}
 	s.reports++
@@ -446,6 +453,7 @@ func (s *Store) adjust(subject id.ID, delta float64) {
 // reputation value of 0".
 func (s *Store) Credit(subject id.ID, amount float64) {
 	if amount < 0 {
+		//replend:allow nopanic caller-contract invariant: lending computes credit amounts from non-negative stakes
 		panic("rocq: negative credit")
 	}
 	s.adjust(subject, amount)
@@ -455,6 +463,7 @@ func (s *Store) Credit(subject id.ID, amount float64) {
 // ("subject to a minimum of 0"), creating the subject first if unknown.
 func (s *Store) Debit(subject id.ID, amount float64) {
 	if amount < 0 {
+		//replend:allow nopanic caller-contract invariant: lending computes debit amounts from non-negative stakes
 		panic("rocq: negative debit")
 	}
 	s.adjust(subject, -amount)

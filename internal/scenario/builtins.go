@@ -28,6 +28,7 @@ func init() {
 		"stake-churn":     StakeChurn,
 	} {
 		if err := Register(name, build); err != nil {
+			//replend:allow nopanic init-time registration of compiled-in builtins; failure is a compile-a-duplicate bug, caught by any test run
 			panic(err)
 		}
 	}

@@ -21,6 +21,7 @@ type Run struct {
 	// AfterInjection, when set, observes each scripted arrival right
 	// after its SpacedBy interval has elapsed — the hook example drivers
 	// use to narrate admissions wave by wave.
+	//replend:allow snapshotfields observer hook owned by the driving program; a resuming driver re-attaches its own
 	AfterInjection func(InjectionOutcome)
 
 	spec     *Spec

@@ -85,6 +85,7 @@ func (e *Engine) Pending() int { return len(e.queue) }
 // notion of retroactive work.
 func (e *Engine) Schedule(at Tick, name string, fn func()) {
 	if at < e.now {
+		//replend:allow nopanic scheduling into the past is a programming error by design (documented above); no run-path data reaches here
 		panic(fmt.Sprintf("sim: scheduling %q at tick %d before now (%d)", name, at, e.now))
 	}
 	ev := &Event{At: at, Name: name, Run: fn, seq: e.nextSeq}
@@ -95,6 +96,7 @@ func (e *Engine) Schedule(at Tick, name string, fn func()) {
 // After queues fn to run delay ticks from now.
 func (e *Engine) After(delay Tick, name string, fn func()) {
 	if delay < 0 {
+		//replend:allow nopanic negative delays are a programming error by design; event bodies clamp their draws first
 		panic(fmt.Sprintf("sim: negative delay %d for %q", delay, name))
 	}
 	e.Schedule(e.now+delay, name, fn)
@@ -104,6 +106,7 @@ func (e *Engine) After(delay Tick, name string, fn func()) {
 // snapshot uses to rebuild fn when restoring in a fresh process.
 func (e *Engine) SchedulePayload(at Tick, name string, payload any, fn func()) {
 	if at < e.now {
+		//replend:allow nopanic scheduling into the past is a programming error by design (documented above); no run-path data reaches here
 		panic(fmt.Sprintf("sim: scheduling %q at tick %d before now (%d)", name, at, e.now))
 	}
 	ev := &Event{At: at, Name: name, Run: fn, Payload: payload, seq: e.nextSeq}
@@ -114,6 +117,7 @@ func (e *Engine) SchedulePayload(at Tick, name string, payload any, fn func()) {
 // AfterPayload is After with a checkpoint tag; see SchedulePayload.
 func (e *Engine) AfterPayload(delay Tick, name string, payload any, fn func()) {
 	if delay < 0 {
+		//replend:allow nopanic negative delays are a programming error by design; event bodies clamp their draws first
 		panic(fmt.Sprintf("sim: negative delay %d for %q", delay, name))
 	}
 	e.SchedulePayload(e.now+delay, name, payload, fn)

@@ -95,6 +95,7 @@ func NewUniform(src *rng.Source) *Uniform {
 // unique identifiers, so a duplicate signals a harness bug.
 func (u *Uniform) Add(peer id.ID) {
 	if _, ok := u.index[peer]; ok {
+		//replend:allow nopanic the world assigns unique identifiers; a duplicate is a harness bug (documented above)
 		panic(fmt.Sprintf("topology: duplicate peer %s", peer.Short()))
 	}
 	u.index[peer] = len(u.peers)
@@ -169,6 +170,7 @@ type ScaleFree struct {
 // attaches to attach existing peers.
 func NewScaleFree(src *rng.Source, attach int) *ScaleFree {
 	if attach < 1 {
+		//replend:allow nopanic construction-time misuse guard: attach is validated by config before any run starts
 		panic("topology: attach edges must be >= 1")
 	}
 	return &ScaleFree{src: src, attach: attach, index: make(map[id.ID]int)}
@@ -179,6 +181,7 @@ func NewScaleFree(src *rng.Source, attach int) *ScaleFree {
 // (rejoining) peer attaches afresh, like a newcomer.
 func (s *ScaleFree) Add(peer id.ID) {
 	if _, ok := s.index[peer]; ok {
+		//replend:allow nopanic the world assigns unique identifiers; a duplicate is a harness bug
 		panic(fmt.Sprintf("topology: duplicate peer %s", peer.Short()))
 	}
 	idx := len(s.peers)

@@ -160,9 +160,10 @@ func (w *World) ApplyDelta(d Delta) error {
 // ScheduleDelta queues a delta to be applied when the simulation reaches
 // the given tick — the scheduled phase hook. The delta is validated
 // against the configuration that will be current at that tick only when
-// it fires; an invalid combination panics then, so callers composing
-// multi-phase schedules should pre-validate them (scenario.Spec.Validate
-// does). The name labels the event in diagnostics.
+// it fires; an invalid combination fails the world then (Run/RunFor
+// return the error and Err reports it), so callers composing multi-phase
+// schedules should pre-validate them (scenario.Spec.Validate does). The
+// name labels the event in diagnostics.
 func (w *World) ScheduleDelta(at sim.Tick, name string, d Delta) {
 	if name == "" {
 		name = "phase"
@@ -175,7 +176,10 @@ func (w *World) ScheduleDelta(at sim.Tick, name string, d Delta) {
 func (w *World) deltaBody(name string, at sim.Tick, d Delta) func() {
 	return func() {
 		if err := w.ApplyDelta(d); err != nil {
-			panic(fmt.Sprintf("world: scheduled delta %q at tick %d: %v", name, at, err))
+			// Run-path failures propagate, never panic: a bad delta in
+			// one replica must fail that unit, not the whole process
+			// (which may be a fleet worker running sibling units).
+			w.fail(fmt.Errorf("world: scheduled delta %q at tick %d: %w", name, at, err))
 		}
 	}
 }

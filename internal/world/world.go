@@ -47,7 +47,8 @@ type World struct {
 	topo   topology.Selector
 	proto  *lending.Protocol
 	policy baseline.Policy // used when cfg.RequireIntroductions is false
-	tracer *trace.Log      // optional structured event log
+	//replend:allow snapshotfields observability sink, not simulation state: no run output is derived from it, and a resumed run re-traces from the cut
+	tracer *trace.Log // optional structured event log
 
 	// Independent random streams keep the workload, the arrival process
 	// and behavioural coin flips decoupled, so e.g. changing λ does not
@@ -1132,6 +1133,7 @@ func (w *World) Start() {
 // stops the clock at the failing event.
 func (w *World) RunFor(n sim.Tick) error {
 	if n < 0 {
+		//replend:allow nopanic API-misuse guard on the caller's own argument, before any simulation state is touched
 		panic("world: negative RunFor duration")
 	}
 	if w.err != nil {

@@ -189,3 +189,26 @@ func TestDeltaDeterminismUnchangedWithoutDeltas(t *testing.T) {
 		t.Fatalf("identical runs diverged: %+v vs %+v", am, bm)
 	}
 }
+
+func TestScheduledDeltaFailureFailsWorldInsteadOfPanicking(t *testing.T) {
+	w, err := New(deltaTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := -1.0
+	w.ScheduleDelta(500, "bad-phase", Delta{FracUncoop: &bad})
+	err = w.RunFor(1_000)
+	if err == nil {
+		t.Fatal("invalid scheduled delta did not fail the run")
+	}
+	if w.Err() == nil {
+		t.Fatal("Err() nil after failed scheduled delta")
+	}
+	if w.Err().Error() != err.Error() {
+		t.Fatalf("RunFor error %q != Err() %q", err, w.Err())
+	}
+	// A failed world must refuse to keep simulating.
+	if err2 := w.RunFor(100); err2 == nil {
+		t.Fatal("failed world resumed simulating")
+	}
+}
