@@ -32,6 +32,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/fleet"
+	"repro/internal/workload"
 )
 
 func main() {
@@ -51,6 +52,7 @@ func run(args []string) error {
 		outDir   = fs.String("out", "results", "output directory for .txt and .csv files")
 		all      = fs.Bool("all", false, "run every experiment")
 		list     = fs.Bool("list", false, "print the runnable experiment names and exit")
+		wkArg    = fs.String("workload", "", "workload spec overriding every replica's arrival generator: a JSON file or a built-in preset (diurnal, flash-crowd, heavytail-cohorts)")
 
 		worker      = fs.Bool("worker", false, "run as a fleet worker on stdin/stdout (spawned by a coordinator)")
 		workers     = fs.Int("workers", 0, "shard replicas across this many local worker processes")
@@ -82,6 +84,13 @@ func run(args []string) error {
 		Parallel: *parallel,
 		Scale:    *scale,
 		SeedBase: *seed,
+	}
+	if *wkArg != "" {
+		spec, err := loadWorkload(*wkArg)
+		if err != nil {
+			return err
+		}
+		opt.Workload = spec
 	}
 	if *workers > 0 || *fleetListen != "" {
 		cfg := fleet.Config{Workers: *workers, Listen: *fleetListen, Token: *fleetToken, Logf: logf}
@@ -126,6 +135,17 @@ func run(args []string) error {
 	}
 	logf("results written to %s", *outDir)
 	return nil
+}
+
+// loadWorkload resolves a -workload argument: a path to a JSON workload
+// spec, or the name of a built-in preset.
+func loadWorkload(nameOrPath string) (*workload.Spec, error) {
+	if data, err := os.ReadFile(nameOrPath); err == nil {
+		return workload.LoadSpec(data)
+	} else if !os.IsNotExist(err) {
+		return nil, err
+	}
+	return workload.Preset(nameOrPath)
 }
 
 // logf is the progress/log channel: stderr, never stdout — stdout belongs

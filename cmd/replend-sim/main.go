@@ -23,6 +23,9 @@
 //	replend-sim -scenario churn-steady -runs 10 -workers 4
 //	replend-sim -scenario churn-steady -checkpoint-at 5000 -checkpoint-out s.ckpt
 //	replend-sim -checkpoint-in s.ckpt               # resume to completion
+//	replend-sim -workload diurnal -ticks 60000      # nonstationary arrivals
+//	replend-sim -workload diurnal -ticks 60000 -record t.jsonl
+//	replend-sim -replay t.jsonl -ticks 60000        # byte-identical re-drive
 //	replend-sim -scenario churn-steady -runs 10 -workers 4 -fleet-journal b.journal
 //
 // Results go to stdout; progress and log chatter go to stderr, so stdout
@@ -43,6 +46,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/scenario"
 	"repro/internal/topology"
+	"repro/internal/workload"
 	"repro/internal/world"
 )
 
@@ -83,6 +87,9 @@ func run(args []string) error {
 		stakeTO    = fs.Int64("stake-timeout", 0, "audit deadline in ticks for admission stakes: pending stakes are refunded to survivors (or stranded), offline peers' stake records expire under the same TTL; 0 disables")
 		policyName = fs.String("policy", "mid-spectrum", "bootstrap policy with -no-introductions: complaints-based, positive-only, mid-spectrum, fixed-credit")
 		csvPath    = fs.String("csv", "", "write population/reputation time series as CSV to this file")
+		wkArg      = fs.String("workload", "", "workload spec overriding the config's: a JSON file or a built-in preset (diurnal, flash-crowd, heavytail-cohorts)")
+		recPath    = fs.String("record", "", "write the run's workload trace (arrivals, departures, rejoins) to this JSONL file for later -replay; single in-process run only")
+		repPath    = fs.String("replay", "", "re-drive arrivals from a recorded trace file instead of a generator")
 
 		worker      = fs.Bool("worker", false, "run as a fleet worker on stdin/stdout (spawned by a coordinator; stdout carries only protocol frames)")
 		workerConn  = fs.String("worker-connect", "", "join a remote fleet coordinator at this host:port as a worker")
@@ -105,9 +112,19 @@ func run(args []string) error {
 		logf("joining fleet coordinator at %s", *workerConn)
 		return fleet.DialWorker(*workerConn, *fleetToken, fleet.WorkerOptions{Logf: logf})
 	}
+	wkOver, err := workloadOverride(*wkArg, *repPath)
+	if err != nil {
+		return err
+	}
+	if *recPath != "" && (*runs > 1 || *workers > 0 || *fleetListen != "" || *ckptOut != "" || *ckptIn != "") {
+		return fmt.Errorf("-record captures a single uninterrupted in-process run; it is mutually exclusive with -runs > 1, fleet flags and checkpointing")
+	}
 	if *ckptIn != "" {
 		if *scenPath != "" || *configPath != "" || *ckptOut != "" {
 			return fmt.Errorf("-checkpoint-in resumes a finished state description; it is mutually exclusive with -scenario, -config and -checkpoint-out")
+		}
+		if wkOver != nil {
+			return fmt.Errorf("-checkpoint-in resumes a sealed state; it is mutually exclusive with -workload and -replay")
 		}
 		if *workers > 0 || *fleetListen != "" {
 			return fmt.Errorf("-checkpoint-in runs in-process; it takes no fleet flags")
@@ -129,9 +146,12 @@ func run(args []string) error {
 			if err != nil {
 				return err
 			}
+			if wkOver != nil {
+				spec.Base.Workload = wkOver
+			}
 			return writeScenarioCheckpoint(spec, *ckptAt, *ckptOut)
 		}
-		return runScenario(*scenPath, *runs, *csvPath, *workers, *fleetListen, *fleetToken, *journal, os.Stdout)
+		return runScenario(*scenPath, *runs, *csvPath, *workers, *fleetListen, *fleetToken, *journal, wkOver, *recPath, os.Stdout)
 	}
 	if *workers > 0 || *fleetListen != "" {
 		return fmt.Errorf("-workers and -fleet-listen need -scenario (only replica sweeps shard)")
@@ -179,6 +199,9 @@ func run(args []string) error {
 			cfg.Churn.DowntimeMean = 2_500
 		}
 	}
+	if wkOver != nil {
+		cfg.Workload = wkOver
+	}
 
 	w, err := world.New(cfg)
 	if err != nil {
@@ -194,11 +217,21 @@ func run(args []string) error {
 	if *ckptOut != "" {
 		return writeWorldCheckpoint(w, *ckptAt, *ckptOut)
 	}
+	var rec *workload.Recorder
+	if *recPath != "" {
+		rec = workload.NewRecorder(workload.Header{Seed: cfg.Seed})
+		w.SetWorkloadRecorder(rec)
+	}
 	if err := w.Run(); err != nil {
 		return err
 	}
 
 	printSummary(w)
+	if rec != nil {
+		if err := writeTrace(*recPath, rec); err != nil {
+			return err
+		}
+	}
 	if *csvPath != "" {
 		m := w.Metrics()
 		csv := metrics.CSV(m.CoopCount, m.UncoopCount, m.CoopReputation)
@@ -207,6 +240,58 @@ func run(args []string) error {
 		}
 		logf("series written to %s", *csvPath)
 	}
+	return nil
+}
+
+// workloadOverride resolves the -workload and -replay flags into one
+// spec: -workload names a JSON spec file or a built-in preset, -replay
+// swaps the generator for a recorded trace's events. A trace cannot
+// combine with a rate program (the trace already fixes every arrival).
+func workloadOverride(wkArg, repPath string) (*workload.Spec, error) {
+	var spec *workload.Spec
+	if wkArg != "" {
+		if data, err := os.ReadFile(wkArg); err == nil {
+			if spec, err = workload.LoadSpec(data); err != nil {
+				return nil, fmt.Errorf("%s: %w", wkArg, err)
+			}
+		} else if !os.IsNotExist(err) {
+			return nil, err
+		} else if spec, err = workload.Preset(wkArg); err != nil {
+			return nil, err
+		}
+	}
+	if repPath == "" {
+		return spec, nil
+	}
+	if spec != nil && spec.Rate != nil {
+		return nil, fmt.Errorf("-replay re-drives recorded arrivals; it is mutually exclusive with a -workload rate program")
+	}
+	f, err := os.Open(repPath)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	_, events, err := workload.ReadTrace(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", repPath, err)
+	}
+	if spec == nil {
+		spec = &workload.Spec{}
+	}
+	spec.Trace = events
+	return spec, nil
+}
+
+// writeTrace seals a recorded run's workload events to a JSONL file.
+func writeTrace(path string, rec *workload.Recorder) error {
+	data, err := rec.Encode()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	logf("trace with %d events written to %s", len(rec.Events()), path)
 	return nil
 }
 
@@ -223,11 +308,16 @@ func loadScenario(nameOrPath string) (*scenario.Spec, error) {
 
 // runScenario executes a scenario (optionally replicated, optionally on
 // a worker fleet) and prints the summary; with -csv it writes the
-// spec-selected series of the primary run (the spec's own seed).
-func runScenario(nameOrPath string, runs int, csvPath string, workers int, fleetListen, fleetToken, journal string, out io.Writer) error {
+// spec-selected series of the primary run (the spec's own seed). A
+// non-nil wkOver replaces the spec's workload block; a non-empty
+// recPath exports the (single) run's workload trace.
+func runScenario(nameOrPath string, runs int, csvPath string, workers int, fleetListen, fleetToken, journal string, wkOver *workload.Spec, recPath string, out io.Writer) error {
 	spec, err := loadScenario(nameOrPath)
 	if err != nil {
 		return err
+	}
+	if wkOver != nil {
+		spec.Base.Workload = wkOver
 	}
 	opt := experiments.Options{Runs: runs, Journal: journal}
 	if workers > 0 || fleetListen != "" {
@@ -243,9 +333,23 @@ func runScenario(nameOrPath string, runs int, csvPath string, workers int, fleet
 	}
 	var primary *scenario.Result
 	if runs <= 1 {
-		res, err := spec.Run()
+		r, err := spec.Start()
 		if err != nil {
 			return err
+		}
+		var rec *workload.Recorder
+		if recPath != "" {
+			rec = workload.NewRecorder(workload.Header{Scenario: spec.Name, Seed: spec.Base.Seed})
+			r.World().SetWorkloadRecorder(rec)
+		}
+		res, err := r.Finish()
+		if err != nil {
+			return err
+		}
+		if rec != nil {
+			if err := writeTrace(recPath, rec); err != nil {
+				return err
+			}
 		}
 		primary = res
 		fmt.Fprint(out, res.Summary())
@@ -366,6 +470,10 @@ func printSummary(w *world.World) {
 	if c := m.Churn; c.Departures+c.Crashes+c.Rejoins+c.Migrated+c.Wipeouts > 0 {
 		fmt.Printf("churn:        %d departures, %d crashes, %d rejoins; %d records migrated, %d wiped out\n",
 			c.Departures, c.Crashes, c.Rejoins, c.Migrated, c.Wipeouts)
+	}
+	for _, c := range m.Cohorts {
+		fmt.Printf("cohort %-14s %d arrivals, %d admitted, %d in system; %d departures, %d crashes, %d rejoins\n",
+			fmt.Sprintf("%q:", c.Name), c.Arrivals, c.Admitted, c.InSystem, c.Departures, c.Crashes, c.Rejoins)
 	}
 	if cfg.StakeTimeout > 0 {
 		c := m.Churn

@@ -168,31 +168,47 @@ func (p *Process) Crashes() bool { return p.src.Bernoulli(p.params.CrashFrac) }
 // ticks. The downtime is exponential with mean DowntimeMean, floored at
 // one tick.
 func (p *Process) Rejoins() (after float64, ok bool) {
-	if !p.src.Bernoulli(p.params.RejoinProb) {
+	return SampleRejoin(p.src, p.params.RejoinProb, p.params.DowntimeMean)
+}
+
+// SessionLength draws one session length under the configured
+// distribution, floored at one tick.
+func (p *Process) SessionLength() float64 {
+	return SampleSession(p.src, p.params.SessionDist, p.params.SessionMean)
+}
+
+// SampleRejoin draws one rejoin decision from an arbitrary source: with
+// probability prob the peer returns after an Exp(1/downtimeMean)
+// downtime floored at one tick. The per-cohort workload plans draw from
+// their own keyed streams through this function, so the cohort model and
+// the Process stay one distribution.
+func SampleRejoin(src *rng.Source, prob, downtimeMean float64) (after float64, ok bool) {
+	if !src.Bernoulli(prob) {
 		return 0, false
 	}
-	d := p.src.Exp(1 / p.params.DowntimeMean)
+	d := src.Exp(1 / downtimeMean)
 	if d < 1 {
 		d = 1
 	}
 	return d, true
 }
 
-// SessionLength draws one session length under the configured
-// distribution, floored at one tick.
-func (p *Process) SessionLength() float64 {
-	mean := p.params.SessionMean
+// SampleSession draws one session length of the named distribution
+// (empty = exponential) with the given positive mean from an arbitrary
+// source, floored at one tick. Like SampleRejoin, this is the shared
+// sampler behind both the Process and the per-cohort workload plans.
+func SampleSession(src *rng.Source, dist string, mean float64) float64 {
 	var s float64
-	switch p.params.SessionDist {
+	switch dist {
 	case SessionUniform:
-		s = mean/2 + mean*p.src.Float64()
+		s = mean/2 + mean*src.Float64()
 	case SessionPareto:
 		// Pareto(α) with scale xm chosen so the mean is SessionMean:
 		// mean = α·xm/(α−1).
 		xm := mean * (paretoAlpha - 1) / paretoAlpha
-		s = xm / math.Pow(1-p.src.Float64(), 1/paretoAlpha)
+		s = xm / math.Pow(1-src.Float64(), 1/paretoAlpha)
 	default: // exponential
-		s = p.src.Exp(1 / mean)
+		s = src.Exp(1 / mean)
 	}
 	if s < 1 {
 		s = 1

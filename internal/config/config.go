@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/churn"
 	"repro/internal/topology"
+	"repro/internal/workload"
 )
 
 // Config mirrors the paper's Table 1 ("Simulation parameters") plus the
@@ -93,6 +94,13 @@ type Config struct {
 	// sweeps where the per-lend signature floor dominates; the default
 	// (false) keeps the paper's signed protocol.
 	NullSign bool `json:"nullSign,omitempty"`
+	// Workload layers calibrated arrival/session generation over the
+	// homogeneous Poisson knob: nonstationary rate programs, behavioural
+	// cohorts, and byte-reproducible trace replay (see internal/workload
+	// and docs/workloads.md). nil is the paper's generator. While a rate
+	// program or a replayed trace governs arrivals, Lambda (including
+	// mid-run Lambda deltas) has no effect.
+	Workload *workload.Spec `json:"workload,omitempty"`
 }
 
 // Default returns the paper's Table 1 defaults.
@@ -173,6 +181,9 @@ func (c Config) Validate() error {
 		return fmt.Errorf("config: %w", err)
 	}
 	if err := c.Churn.Validate(); err != nil {
+		return fmt.Errorf("config: %w", err)
+	}
+	if err := c.Workload.Validate(c.Churn); err != nil {
 		return fmt.Errorf("config: %w", err)
 	}
 	return nil

@@ -27,7 +27,7 @@ func newTestFleet(t *testing.T) *fleet.Fleet {
 // for byte — the rendered replica table, every per-replica metric, and
 // the primary run's CSV series.
 func TestFleetScenarioReplicasByteIdentical(t *testing.T) {
-	for _, name := range []string{"sm-wipeout", "churn-steady"} {
+	for _, name := range []string{"sm-wipeout", "churn-steady", "diurnal", "cohort-mix"} {
 		t.Run(name, func(t *testing.T) {
 			spec, err := scenario.Get(name)
 			if err != nil {
@@ -85,7 +85,7 @@ func TestFleetSweepsByteIdentical(t *testing.T) {
 	opt := Options{Runs: 2, Scale: 0.04, SeedBase: 11}
 	fopt := opt
 	fopt.Fleet = newTestFleet(t)
-	for _, name := range []string{"fig1", "churn", "sessions", "stakes"} {
+	for _, name := range []string{"fig1", "churn", "sessions", "stakes", "workload"} {
 		t.Run(name, func(t *testing.T) {
 			inproc, err := Run(name, opt)
 			if err != nil {

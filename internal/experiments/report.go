@@ -15,7 +15,7 @@ type Report interface {
 
 // Names lists every runnable experiment identifier, in paper order.
 func Names() []string {
-	return []string{"fig1", "successrate", "fig2", "fig3", "fig4", "fig6", "collusion", "baselines", "whitewash", "ablation", "traitor", "churn", "sessions", "stakes"}
+	return []string{"fig1", "successrate", "fig2", "fig3", "fig4", "fig6", "collusion", "baselines", "whitewash", "ablation", "traitor", "churn", "sessions", "stakes", "workload"}
 }
 
 // Run dispatches one experiment by name ("fig5" is an alias of "fig4";
@@ -50,6 +50,8 @@ func Run(name string, opt Options) (Report, error) {
 		return RunSessions(nil, opt)
 	case "stakes":
 		return RunStakes(nil, opt)
+	case "workload":
+		return RunWorkloads(nil, opt)
 	}
 	return nil, errUnknownExperiment(name)
 }

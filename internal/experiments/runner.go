@@ -18,6 +18,7 @@ import (
 	"repro/internal/lending"
 	"repro/internal/metrics"
 	"repro/internal/rng"
+	"repro/internal/workload"
 	"repro/internal/world"
 )
 
@@ -49,6 +50,12 @@ type Options struct {
 	// as they land, and a restarted coordinator reopening the same path
 	// re-dispatches only the incomplete units.
 	Journal string
+	// Workload, when non-nil, overrides every replica's workload block
+	// (the -workload flag): arrivals follow the given rate program,
+	// cohort mix or trace instead of each experiment's homogeneous
+	// Poisson generator. The spec rides inside the config, so fleet
+	// workers replay it byte-identically.
+	Workload *workload.Spec
 }
 
 // runFleetBatch dispatches one batch on opt.Fleet, under the coordinator
@@ -82,8 +89,12 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// apply scales a paper-scale configuration down (or up).
+// apply scales a paper-scale configuration down (or up) and installs
+// the workload override, if any.
 func (o Options) apply(c config.Config) config.Config {
+	if o.Workload != nil {
+		c.Workload = o.Workload
+	}
 	if o.Scale == 1 {
 		return c
 	}

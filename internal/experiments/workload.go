@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/config"
+	"repro/internal/workload"
+)
+
+// WorkloadSweep is the workload-axis experiment (extension): the Figure-1
+// growth conditions swept over the arrival generator itself — the paper's
+// homogeneous Poisson control against the built-in workload presets
+// (diurnal day/night program, flash-crowd spikes, behavioural cohorts).
+// The question it answers: does admission quality survive when the
+// arrival process stops being stationary and homogeneous — do the
+// waiting-period pipeline and the reputation economy hold their
+// discrimination under rush hours, flash crowds and freeloader cohorts?
+type WorkloadSweep struct {
+	// Points are the swept workload names ("steady" is the Poisson control).
+	Points []string
+	// Per sweep point, averaged over replicas:
+	Arrivals    []float64
+	FinalPop    []float64
+	Departed    []float64
+	Rejoins     []float64
+	SuccessRate []float64
+	MeanRep     []float64
+}
+
+// DefaultWorkloadPoints are the swept workloads, control first.
+var DefaultWorkloadPoints = []string{"steady", workload.PresetDiurnal, workload.PresetFlashCrowd, workload.PresetHeavytailCohorts}
+
+// workloadConfig is one sweep point: Figure 1's growth conditions with
+// the arrival generator swapped. The control runs the diurnal preset's
+// day-plateau rate flat, so every point sees the same peak admission
+// pressure and the columns compare generator shape, not raw volume.
+func workloadConfig(name string) (config.Config, error) {
+	c := config.Default()
+	c.Lambda = 0.03
+	c.NumTrans = 60_000
+	if name == "steady" {
+		return c, nil
+	}
+	spec, err := workload.Preset(name)
+	if err != nil {
+		return c, err
+	}
+	c.Workload = spec
+	return c, nil
+}
+
+// RunWorkloads executes the workload-axis sweep at the given scale.
+func RunWorkloads(points []string, opt Options) (*WorkloadSweep, error) {
+	opt = opt.withDefaults()
+	if len(points) == 0 {
+		points = DefaultWorkloadPoints
+	}
+	out := &WorkloadSweep{Points: points}
+	for i, name := range points {
+		base, err := workloadConfig(name)
+		if err != nil {
+			return nil, err
+		}
+		cfg := opt.apply(base)
+		o := opt
+		o.SeedBase = sweepSeed(opt.SeedBase, i)
+		rs, err := runReplicas(cfg, o, nil)
+		if err != nil {
+			return nil, err
+		}
+		out.Arrivals = append(out.Arrivals, meanOf(rs, func(r Replica) int64 {
+			return r.Metrics.ArrivalsCoop + r.Metrics.ArrivalsUncoop
+		}))
+		out.FinalPop = append(out.FinalPop, meanOf(rs, func(r Replica) int64 {
+			return r.Metrics.CoopInSystem + r.Metrics.UncoopInSystem
+		}))
+		out.Departed = append(out.Departed, meanOf(rs, func(r Replica) int64 {
+			return r.Metrics.Churn.Departures + r.Metrics.Churn.Crashes
+		}))
+		out.Rejoins = append(out.Rejoins, meanOf(rs, func(r Replica) int64 { return r.Metrics.Churn.Rejoins }))
+		sr := statOf(rs, func(r Replica) float64 { return r.Metrics.SuccessRate() })
+		out.SuccessRate = append(out.SuccessRate, sr.Mean())
+		rep := statOf(rs, func(r Replica) float64 {
+			last, _ := r.Metrics.CoopReputation.Last()
+			return last.V
+		})
+		out.MeanRep = append(out.MeanRep, rep.Mean())
+	}
+	return out, nil
+}
+
+// Name implements Report.
+func (s *WorkloadSweep) Name() string { return "workload" }
+
+// Table renders the sweep.
+func (s *WorkloadSweep) Table() string {
+	t := &TextTable{
+		Title:  "Workload-axis sweep — steady Poisson vs diurnal, flash-crowd and cohort generators (extension)",
+		Header: []string{"workload", "arrivals", "final pop", "departed", "rejoins", "success rate", "mean coop rep"},
+	}
+	for i, name := range s.Points {
+		t.AddRow(name, s.Arrivals[i], s.FinalPop[i], s.Departed[i], s.Rejoins[i], s.SuccessRate[i], s.MeanRep[i])
+	}
+	var b strings.Builder
+	b.WriteString(t.String())
+	b.WriteString("\nexpected: arrival volume tracks each generator's rate integral (diurnal ≈ 2/3 of\n" +
+		"steady, flash-crowd ≈ 1/3 plus the spikes), while success rate and cooperative\n" +
+		"reputation stay flat — admission quality is a per-peer economics story, not an\n" +
+		"arrival-shape story; only the cohort point departs peers, and its freeloaders are\n" +
+		"filtered the same way the steady mix's uncooperative arrivals are\n")
+	return b.String()
+}
+
+// CSV renders the sweep series.
+func (s *WorkloadSweep) CSV() string {
+	var b strings.Builder
+	b.WriteString("workload,arrivals,final_pop,departed,rejoins,success_rate,mean_coop_rep\n")
+	for i, name := range s.Points {
+		fmt.Fprintf(&b, "%s,%g,%g,%g,%g,%g,%g\n", name, s.Arrivals[i], s.FinalPop[i],
+			s.Departed[i], s.Rejoins[i], s.SuccessRate[i], s.MeanRep[i])
+	}
+	return b.String()
+}

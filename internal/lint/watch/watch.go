@@ -19,6 +19,7 @@ var simSuffixes = []string{
 	"internal/world",
 	"internal/lending",
 	"internal/churn",
+	"internal/workload",
 	"internal/scenario",
 	"internal/overlay",
 	"internal/rocq",

@@ -13,6 +13,7 @@ import (
 	"repro/internal/rng"
 	"repro/internal/rocq"
 	"repro/internal/sim"
+	"repro/internal/workload"
 )
 
 // Class is a peer's behavioural class.
@@ -93,6 +94,22 @@ type Peer struct {
 	// experiments (build standing honestly, pass the admission audit,
 	// then defect). Zero means the peer never defects.
 	DefectAt sim.Tick
+
+	// Cohort names the behavioural cohort the workload layer assigned at
+	// arrival; empty for founders and for runs without a workload block.
+	Cohort string
+
+	// PlanOrdinal keys the peer's slot in the workload layer's keyed plan
+	// stream (the arrival's peer-id sequence number), and PlanSeq counts
+	// the plan draws taken from it so far — together they make every
+	// session-plan draw a pure function of (run seed, ordinal, seq) that
+	// replay and checkpoint-resume re-derive exactly.
+	PlanOrdinal int64
+	PlanSeq     int64
+
+	// Plan is the current visit's workload session plan (nil for peers
+	// the workload layer does not govern).
+	Plan *workload.Plan
 }
 
 // New returns a peer of the given class and style.

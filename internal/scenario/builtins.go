@@ -3,6 +3,7 @@ package scenario
 import (
 	"repro/internal/churn"
 	"repro/internal/config"
+	"repro/internal/workload"
 	"repro/internal/world"
 )
 
@@ -26,6 +27,8 @@ func init() {
 		"sm-wipeout":      SMWipeout,
 		"churn-heavytail": ChurnHeavytail,
 		"stake-churn":     StakeChurn,
+		"diurnal":         Diurnal,
+		"cohort-mix":      CohortMix,
 	} {
 		if err := Register(name, build); err != nil {
 			//replend:allow nopanic init-time registration of compiled-in builtins; failure is a compile-a-duplicate bug, caught by any test run
@@ -379,6 +382,54 @@ func SMWipeout() *Spec {
 			}},
 			{Name: "victim returns", At: 24_000, Rejoin: []string{"victim"}},
 		},
+	}
+}
+
+// Diurnal is the nonstationary-workload scenario: the repeating
+// day/night rate program of the diurnal preset (busy plateau, dusk
+// ramp, quiet night, dawn ramp — 30000-tick cycles) plus a second-day
+// flash-crowd spike, driven through Lewis–Shedler thinning instead of
+// the homogeneous λ knob. The run spans two full cycles so both ramps
+// and the spike land, and the config's Lambda is zeroed to make the
+// rate program visibly the only arrival source.
+func Diurnal() *Spec {
+	base := config.Default()
+	base.NumInit = 150
+	base.NumTrans = 60_000
+	base.Lambda = 0
+	base.WaitPeriod = 500
+	base.SampleEvery = 2_500
+	base.Seed = 61
+	base.Workload = workload.Diurnal()
+	return &Spec{
+		Name: "diurnal",
+		Description: "Two day/night cycles of the diurnal rate program (0.03 day plateau, ramps, " +
+			"0.003 night, one 0.15 flash-crowd spike) driving arrivals by thinning; λ itself is zero.",
+		Base: base,
+	}
+}
+
+// CohortMix is the behavioural-cohort scenario: the heavytail-cohorts
+// preset's three peer classes — long-lived residents, the Pareto
+// mobile-churner calibration from churn-heavytail, and short-lived
+// all-freerider freeloaders demanding twice their share of
+// transactions — mixed 20/50/30 over a steady arrival stream. Cohort
+// session plans drive departures, crashes and rejoins; no global churn
+// block is set, so every lifecycle event here is cohort-driven.
+func CohortMix() *Spec {
+	base := config.Default()
+	base.NumInit = 200
+	base.NumTrans = 80_000
+	base.Lambda = 0.03
+	base.WaitPeriod = 500
+	base.SampleEvery = 2_500
+	base.Seed = 53
+	base.Workload = workload.HeavytailCohorts()
+	return &Spec{
+		Name: "cohort-mix",
+		Description: "Three behavioural cohorts (20% residents, 50% Pareto mobile-churners, 30% " +
+			"double-demand freeloaders) mixed over λ=0.03 arrivals; cohort session plans drive all churn.",
+		Base: base,
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"repro/internal/churn"
+	"repro/internal/workload"
 	"repro/internal/world"
 )
 
@@ -34,6 +35,7 @@ func (s *Spec) Describe() string {
 		b.WriteString("stakes: no timeout (unsettled stakes stay pending, the paper's model)\n")
 	}
 	b.WriteString(describeChurnParams(c.Churn))
+	b.WriteString(describeWorkload(c.Workload))
 	signing := "ed25519"
 	if c.NullSign {
 		signing = "null (crypto opt-out)"
@@ -104,6 +106,49 @@ func describeChurnParams(p churn.Params) string {
 		parts = append(parts, "migration forced on")
 	}
 	return "churn: " + strings.Join(parts, ", ") + "\n"
+}
+
+// describeWorkload renders the effective workload block — the rate
+// program shape, the cohort mix and the replay source — or a one-liner
+// when the classic homogeneous generator runs.
+func describeWorkload(s *workload.Spec) string {
+	if !s.Active() {
+		return "workload: homogeneous Poisson arrivals (the paper's generator)\n"
+	}
+	var b strings.Builder
+	if s.Rate != nil {
+		repeat := "held past the end"
+		if s.Rate.Repeat {
+			repeat = fmt.Sprintf("repeating every %g ticks", s.Rate.Period())
+		}
+		fmt.Fprintf(&b, "workload rate: %d windows %s, peak λ=%g", len(s.Rate.Windows), repeat, s.Rate.MaxRate())
+		if n := len(s.Rate.Spikes); n > 0 {
+			fmt.Fprintf(&b, ", %d spike(s)", n)
+		}
+		b.WriteString("; config λ ignored\n")
+	}
+	if len(s.Cohorts) > 0 {
+		total := 0.0
+		for _, c := range s.Cohorts {
+			total += c.Weight
+		}
+		var parts []string
+		for _, c := range s.Cohorts {
+			parts = append(parts, fmt.Sprintf("%s %.0f%%", c.Name, 100*c.Weight/total))
+		}
+		fmt.Fprintf(&b, "workload cohorts: %s\n", strings.Join(parts, ", "))
+	}
+	if len(s.Trace) > 0 {
+		arrivals := 0
+		for _, ev := range s.Trace {
+			if ev.Op == workload.OpArrival {
+				arrivals++
+			}
+		}
+		fmt.Fprintf(&b, "workload replay: %d trace events (%d arrivals); config λ ignored\n",
+			len(s.Trace), arrivals)
+	}
+	return b.String()
 }
 
 func describeDelta(d *world.Delta) string {

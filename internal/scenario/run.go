@@ -436,6 +436,10 @@ func (res *Result) Summary() string {
 		fmt.Fprintf(&b, "churn:        %d departures, %d crashes, %d rejoins; %d records migrated, %d wiped out\n",
 			c.Departures, c.Crashes, c.Rejoins, c.Migrated, c.Wipeouts)
 	}
+	for _, c := range m.Cohorts {
+		fmt.Fprintf(&b, "cohort %-14s %d arrivals, %d admitted, %d in system; %d departures, %d crashes, %d rejoins\n",
+			fmt.Sprintf("%q:", c.Name), c.Arrivals, c.Admitted, c.InSystem, c.Departures, c.Crashes, c.Rejoins)
+	}
 	if cfg.StakeTimeout > 0 {
 		c, p := m.Churn, res.Proto
 		fmt.Fprintf(&b, "stakes:       %d refunded, %d stranded, %d expired records (timeout %d); mass %.2f staked = %.2f settled + %.2f refunded + %.2f stranded + %.2f pending\n",

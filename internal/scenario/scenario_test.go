@@ -83,6 +83,19 @@ func TestLoadRejectsBadInput(t *testing.T) {
 		{"crash fraction", `{"name": "x", "phases": [{"at": 10, "crash": {"scoreManagersOf": {}, "fraction": 1.5}}]}`, "out of [0,1]"},
 		{"bad minRep", `{"name": "x", "phases": [{"at": 10, "inject": [{"class": "cooperative", "introducer": {"minRep": 1}}]}]}`, "minRep"},
 		{"bad output series", `{"name": "x", "output": {"series": ["latency"]}}`, "unknown output series"},
+		{"unknown workload field",
+			`{"name": "x", "base": {"workload": {"cadence": 3}}}`, "cadence"},
+		{"workload rate and trace conflict",
+			`{"name": "x", "base": {"workload": {
+			   "rate": {"windows": [{"len": 100, "lambda": 0.1}]},
+			   "trace": [{"at": 1, "op": "arrival"}]}}}`,
+			"mutually exclusive"},
+		{"nameless cohort",
+			`{"name": "x", "base": {"workload": {"cohorts": [{"weight": 1}]}}}`,
+			"cohort needs a name"},
+		{"empty rate program",
+			`{"name": "x", "base": {"workload": {"rate": {"windows": []}}}}`,
+			"at least one window"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -277,9 +290,17 @@ func TestDescribeShowsFullEffectiveConfig(t *testing.T) {
 		t.Errorf("churn-heavytail describe missing the session model:\n%s", heavy)
 	}
 	plain := get("collusion")
-	for _, want := range []string{"churn: none", "stakes: no timeout"} {
+	for _, want := range []string{"churn: none", "stakes: no timeout", "workload: homogeneous Poisson arrivals"} {
 		if !strings.Contains(plain, want) {
 			t.Errorf("collusion describe missing %q:\n%s", want, plain)
 		}
+	}
+	diurnal := get("diurnal")
+	if !strings.Contains(diurnal, "workload rate: 4 windows repeating every 30000 ticks, peak λ=0.15, 1 spike(s); config λ ignored") {
+		t.Errorf("diurnal describe missing the rate program:\n%s", diurnal)
+	}
+	mix := get("cohort-mix")
+	if !strings.Contains(mix, "workload cohorts: resident 20%, mobile-churner 50%, freeloader 30%") {
+		t.Errorf("cohort-mix describe missing the cohort mix:\n%s", mix)
 	}
 }

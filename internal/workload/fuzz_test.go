@@ -1,0 +1,57 @@
+package workload
+
+// Trace-decoding fuzz, mirroring the checkpoint fuzzers: corrupt,
+// truncated or version-skewed trace files must be rejected with an
+// error — never a panic — and an accepted trace must survive an
+// encode → decode round trip.
+
+import (
+	"bytes"
+	"testing"
+)
+
+func FuzzTraceDecode(f *testing.F) {
+	rec := NewRecorder(Header{Scenario: "fuzz-seed", Seed: 7})
+	rec.Record(Event{At: 3, Op: OpArrival, Class: ClassCooperative, Style: StyleSelective,
+		Cohort: "resident", Peer: "ab12cd34",
+		Plan: &Plan{SessionParams: SessionParams{Dist: "pareto", Mean: 100, CrashFrac: 0.2, RejoinProb: 0.5, DowntimeMean: 10},
+			Session: 140, Rejoin: 12}})
+	rec.Record(Event{At: 9, Op: OpDepart, Cohort: "resident", Detail: "crash"})
+	rec.Record(Event{At: 21, Op: OpRejoin, Cohort: "resident"})
+	valid, err := rec.Encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte(`{"format":"replend-trace/v1"}`))
+	f.Add([]byte(`{"format":"replend-trace/v0"}`))
+	f.Add([]byte("\n\n"))
+	f.Add([]byte(`{"format":"replend-trace/v1"}` + "\n" + `{"at":-1,"op":"arrival"}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		hdr, events, err := ReadTrace(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted traces must be internally valid and re-encode →
+		// re-decode cleanly.
+		if hdr.Format != TraceFormat {
+			t.Fatalf("accepted trace with format %q", hdr.Format)
+		}
+		if err := ValidateEvents(events); err != nil {
+			t.Fatalf("accepted trace fails validation: %v", err)
+		}
+		again := NewRecorder(hdr)
+		for _, ev := range events {
+			again.Record(ev)
+		}
+		out, err := again.Encode()
+		if err != nil {
+			t.Fatalf("re-encoding accepted trace: %v", err)
+		}
+		if _, _, err := ReadTrace(bytes.NewReader(out)); err != nil {
+			t.Fatalf("re-decoding re-encoded trace: %v", err)
+		}
+	})
+}

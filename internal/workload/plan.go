@@ -1,0 +1,84 @@
+package workload
+
+import (
+	"repro/internal/churn"
+	"repro/internal/rng"
+)
+
+// SessionParams are the resolved per-peer session-model parameters a
+// plan is drawn under. A Plan embeds them so a recorded trace (and a
+// checkpointed peer) is self-contained: later draws for the same peer —
+// pop-floor extensions, rejoin visits — need only the params carried by
+// the plan, never the cohort table that produced them.
+type SessionParams struct {
+	// Dist is the session-length distribution name (churn's names plus
+	// "none"); empty means exponential.
+	Dist string `json:"dist,omitempty"`
+	// Mean is the mean session length in ticks; 0 disables the session
+	// clock for this peer.
+	Mean float64 `json:"mean,omitempty"`
+	// CrashFrac is the probability a departure is an abrupt crash.
+	CrashFrac float64 `json:"crashFrac,omitempty"`
+	// RejoinProb is the probability a departure is followed by a rejoin.
+	RejoinProb float64 `json:"rejoinProb,omitempty"`
+	// DowntimeMean is the mean downtime before a rejoin, in ticks.
+	DowntimeMean float64 `json:"downtimeMean,omitempty"`
+}
+
+// Plan is one drawn visit of a cohort-assigned peer: the session length,
+// whether the eventual departure crashes, and the downtime before a
+// rejoin (0 = gone for good). All stochastic choices are drawn up front
+// from the peer's keyed stream, so replay and checkpoint-resume see
+// identical visits without any extra generator state.
+type Plan struct {
+	SessionParams
+	// Session is the drawn session length in ticks; 0 means no session
+	// clock (the peer stays until another process departs it).
+	Session float64 `json:"session,omitempty"`
+	// Crash marks the visit's departure as an abrupt crash.
+	Crash bool `json:"crash,omitempty"`
+	// Rejoin is the drawn downtime before the peer returns; 0 means it
+	// does not.
+	Rejoin float64 `json:"rejoin,omitempty"`
+}
+
+// planKey salts the plan stream off the run seed, keeping it disjoint
+// from every other keyed split in the repository.
+const planKey = 0x776f726b6c6f6164 // "workload"
+
+// PlanSeed derives the run-level plan seed from the run seed.
+func PlanSeed(runSeed uint64) uint64 { return rng.DeriveSeed(runSeed, planKey) }
+
+// PlanSource returns the generator for a peer's seq-th plan draw. The
+// double keying — peer ordinal, then draw sequence — makes every draw a
+// pure function of (run seed, ordinal, seq): replayed and resumed runs
+// re-derive it without carrying stream state.
+func PlanSource(planSeed uint64, ordinal, seq int64) *rng.Source {
+	return rng.New(rng.DeriveSeed(rng.DeriveSeed(planSeed, uint64(ordinal)), uint64(seq)))
+}
+
+// DrawPlan draws one visit under the given parameters. The draw order is
+// fixed (session, crash, rejoin) and crash/rejoin are drawn even without
+// a session clock: a μ-clock departure consults them too.
+func DrawPlan(params SessionParams, src *rng.Source) Plan {
+	pl := Plan{SessionParams: params}
+	if params.Mean > 0 && params.Dist != SessionNone {
+		pl.Session = churn.SampleSession(src, params.Dist, params.Mean)
+	}
+	pl.Crash = src.Bernoulli(params.CrashFrac)
+	if after, ok := churn.SampleRejoin(src, params.RejoinProb, params.DowntimeMean); ok {
+		pl.Rejoin = after
+	}
+	return pl
+}
+
+// DrawSession draws one extra session length under the plan's
+// parameters — the pop-floor extension path. Returns 1 tick when the
+// parameters arm no session clock (the caller only asks when one is
+// armed).
+func DrawSession(params SessionParams, src *rng.Source) float64 {
+	if params.Mean <= 0 || params.Dist == SessionNone {
+		return 1
+	}
+	return churn.SampleSession(src, params.Dist, params.Mean)
+}

@@ -1,0 +1,224 @@
+package workload
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// TraceFormat is the versioned format tag every trace opens with. Bump
+// the suffix when the line schema changes incompatibly; decoders reject
+// other versions instead of guessing.
+const TraceFormat = "replend-trace/v1"
+
+// Trace event operations.
+const (
+	// OpArrival is a generated arrival; replay re-drives these.
+	OpArrival = "arrival"
+	// OpDepart is a departure of an admitted peer (Detail "leave" or
+	// "crash"); informational under replay — the replayed peers' own
+	// plans reproduce them.
+	OpDepart = "depart"
+	// OpRejoin is a departed peer returning; informational under replay.
+	OpRejoin = "rejoin"
+)
+
+// Peer class and introducer-style names as they appear in trace events —
+// the String() forms of peer.Class and peer.Style. (The peer package
+// imports this one for Plan, so the literals live here.)
+const (
+	ClassCooperative   = "cooperative"
+	ClassUncooperative = "uncooperative"
+	StyleNaive         = "naive"
+	StyleSelective     = "selective"
+)
+
+// Header is the first line of a trace file.
+type Header struct {
+	// Format must be TraceFormat.
+	Format string `json:"format"`
+	// Scenario names the run the trace was recorded from (informational).
+	Scenario string `json:"scenario,omitempty"`
+	// Seed is the recorded run's seed (informational; replay identity
+	// additionally needs the same config and seed).
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// Event is one workload trace line. Arrival events carry everything
+// replay needs to re-drive the admission (class, style, cohort, session
+// plan); departure and rejoin events document the recorded run and are
+// skipped by replay, whose peers reproduce them from their plans.
+type Event struct {
+	// At is the event tick.
+	At int64 `json:"at"`
+	// Op is the operation: "arrival", "depart" or "rejoin".
+	Op string `json:"op"`
+	// Class is the arriving peer's behaviour class name; empty on an
+	// arrival means replay draws it live.
+	Class string `json:"class,omitempty"`
+	// Style is the arriving peer's introducer style name; empty on an
+	// arrival means replay draws it live.
+	Style string `json:"style,omitempty"`
+	// Cohort names the assigned cohort, if any.
+	Cohort string `json:"cohort,omitempty"`
+	// Peer is the short identifier of the subject peer (informational:
+	// replayed runs mint their own identifiers).
+	Peer string `json:"peer,omitempty"`
+	// Detail qualifies the op ("leave" or "crash" on departures).
+	Detail string `json:"detail,omitempty"`
+	// Plan is the visit plan drawn at this arrival, if any.
+	Plan *Plan `json:"plan,omitempty"`
+}
+
+func (e Event) validate() error {
+	if e.At < 0 {
+		return fmt.Errorf("At %d negative", e.At)
+	}
+	switch e.Op {
+	case OpArrival, OpDepart, OpRejoin:
+	default:
+		return fmt.Errorf("unknown op %q", e.Op)
+	}
+	switch e.Class {
+	case "", ClassCooperative, ClassUncooperative:
+	default:
+		return fmt.Errorf("unknown class %q", e.Class)
+	}
+	switch e.Style {
+	case "", StyleNaive, StyleSelective:
+	default:
+		return fmt.Errorf("unknown style %q", e.Style)
+	}
+	if p := e.Plan; p != nil {
+		switch {
+		case p.Mean < 0 || p.Session < 0 || p.Rejoin < 0 || p.DowntimeMean < 0:
+			return fmt.Errorf("negative plan duration")
+		case p.CrashFrac < 0 || p.CrashFrac > 1:
+			return fmt.Errorf("plan CrashFrac %v out of [0,1]", p.CrashFrac)
+		case p.RejoinProb < 0 || p.RejoinProb > 1:
+			return fmt.Errorf("plan RejoinProb %v out of [0,1]", p.RejoinProb)
+		}
+	}
+	return nil
+}
+
+// ValidateEvents checks an event sequence: every event well-formed and
+// timestamps non-decreasing.
+func ValidateEvents(events []Event) error {
+	last := int64(0)
+	for i, e := range events {
+		if err := e.validate(); err != nil {
+			return fmt.Errorf("workload: trace event %d: %w", i, err)
+		}
+		if e.At < last {
+			return fmt.Errorf("workload: trace event %d: At %d before predecessor's %d", i, e.At, last)
+		}
+		last = e.At
+	}
+	return nil
+}
+
+// WriteTrace writes a trace: the header line, then one JSON line per
+// event. The header's Format field is stamped unconditionally.
+func WriteTrace(w io.Writer, hdr Header, events []Event) error {
+	hdr.Format = TraceFormat
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(hdr); err != nil {
+		return fmt.Errorf("workload: encoding trace header: %w", err)
+	}
+	for i := range events {
+		if err := enc.Encode(events[i]); err != nil {
+			return fmt.Errorf("workload: encoding trace event %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// ReadTrace parses a trace. The decoder is strict — unknown fields,
+// missing or mismatched header, unknown ops, decreasing timestamps and
+// trailing garbage are all errors, never panics — so corrupt or
+// version-skewed traces fail loudly instead of replaying nonsense.
+func ReadTrace(r io.Reader) (Header, []Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var hdr Header
+	var events []Event
+	sawHeader := false
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if !sawHeader {
+			if err := strictUnmarshal([]byte(text), &hdr); err != nil {
+				return Header{}, nil, fmt.Errorf("workload: trace line %d (header): %w", line, err)
+			}
+			if hdr.Format != TraceFormat {
+				return Header{}, nil, fmt.Errorf("workload: trace format %q, want %q", hdr.Format, TraceFormat)
+			}
+			sawHeader = true
+			continue
+		}
+		var ev Event
+		if err := strictUnmarshal([]byte(text), &ev); err != nil {
+			return Header{}, nil, fmt.Errorf("workload: trace line %d: %w", line, err)
+		}
+		events = append(events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return Header{}, nil, fmt.Errorf("workload: reading trace: %w", err)
+	}
+	if !sawHeader {
+		return Header{}, nil, fmt.Errorf("workload: trace has no header line (want %q)", TraceFormat)
+	}
+	if err := ValidateEvents(events); err != nil {
+		return Header{}, nil, err
+	}
+	return hdr, events, nil
+}
+
+// strictUnmarshal decodes one JSON value rejecting unknown fields and
+// trailing data on the line.
+func strictUnmarshal(data []byte, v interface{}) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return fmt.Errorf("trailing data after value")
+	}
+	return nil
+}
+
+// Recorder collects the workload events of a live run for export. It is
+// an observability sink like trace.Log: attaching one changes no
+// simulation state and no draw.
+type Recorder struct {
+	header Header
+	events []Event
+}
+
+// NewRecorder returns a recorder that will stamp the given header.
+func NewRecorder(hdr Header) *Recorder { return &Recorder{header: hdr} }
+
+// Record appends one event.
+func (r *Recorder) Record(ev Event) { r.events = append(r.events, ev) }
+
+// Events returns the recorded events (not a copy; callers treat it as
+// read-only).
+func (r *Recorder) Events() []Event { return r.events }
+
+// Encode renders the full trace file.
+func (r *Recorder) Encode() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, r.header, r.events); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

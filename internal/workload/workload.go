@@ -1,0 +1,387 @@
+// Package workload layers calibrated arrival and session generation over
+// the paper's single homogeneous Poisson knob. A Spec describes one of
+// three generator regimes, composable except where noted:
+//
+//   - A nonstationary rate program: piecewise arrival-rate windows with
+//     optional linear ramps, periodic repetition (day/night profiles) and
+//     absolute-time flash-crowd spikes. The world drives it with
+//     Lewis–Shedler thinning over its existing arrival clock, so the
+//     program needs no window-boundary events and checkpoints resume
+//     mid-window byte-identically.
+//
+//   - Behavioural cohorts: named peer classes with per-cohort freeriding
+//     fractions, session-length distributions, crash/rejoin propensities
+//     and relative demand rates. A deterministic weighted mixer assigns a
+//     cohort at arrival; each admitted visit gets a Plan whose draws come
+//     from a keyed per-peer stream, so rejoin and resume replay them
+//     exactly.
+//
+//   - Trace replay: a versioned JSON-lines format of arrival/departure/
+//     session events. A Recorder exports a generated run's events; a
+//     replayed trace re-drives the arrivals byte-reproducibly (same
+//     config and seed ⇒ identical metrics to the recorded run).
+//
+// The package owns no randomness stream of its own: every draw comes
+// from a source the world passes in, keeping the determinism contract
+// (see docs/determinism.md) intact.
+package workload
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/churn"
+)
+
+// SessionNone is the cohort session-distribution name that disables the
+// per-peer session clock for that cohort even when the run's global
+// churn parameters arm one.
+const SessionNone = "none"
+
+// Spec is the workload block of a run configuration. All fields are
+// optional; a nil or zero Spec means the classic homogeneous generator.
+type Spec struct {
+	// Rate, when set, replaces the homogeneous Poisson arrival process
+	// with a nonstationary rate program. The config's Lambda is ignored
+	// while a program governs arrivals.
+	Rate *Program `json:"rate,omitempty"`
+	// Cohorts, when non-empty, assigns every generated arrival to a
+	// weighted behavioural cohort.
+	Cohorts []Cohort `json:"cohorts,omitempty"`
+	// Trace, when non-empty, replays the recorded arrival events instead
+	// of generating them. Mutually exclusive with Rate.
+	Trace []Event `json:"trace,omitempty"`
+}
+
+// LoadSpec parses a standalone workload spec (the -workload flag),
+// rejecting unknown fields like scenario.Load does. Validation against
+// the run's churn parameters happens when the enclosing configuration
+// validates.
+func LoadSpec(data []byte) (*Spec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("workload: parsing spec: %w", err)
+	}
+	if dec.More() {
+		return nil, errors.New("workload: trailing data after spec")
+	}
+	return &s, nil
+}
+
+// Active reports whether any workload machinery is enabled.
+func (s *Spec) Active() bool {
+	return s != nil && (s.Rate != nil || len(s.Cohorts) > 0 || len(s.Trace) > 0)
+}
+
+// Replaying reports whether the spec replays a recorded trace.
+func (s *Spec) Replaying() bool { return s != nil && len(s.Trace) > 0 }
+
+// Weights returns the cohort mixer weights in spec order (nil without
+// cohorts). The slice is freshly allocated.
+func (s *Spec) Weights() []float64 {
+	if s == nil || len(s.Cohorts) == 0 {
+		return nil
+	}
+	ws := make([]float64, len(s.Cohorts))
+	for i, c := range s.Cohorts {
+		ws[i] = c.Weight
+	}
+	return ws
+}
+
+// MaxDemand returns the largest relative demand across cohorts, floored
+// at the default demand 1 carried by founders and cohort-less peers.
+func (s *Spec) MaxDemand() float64 {
+	max := 1.0
+	if s == nil {
+		return max
+	}
+	for _, c := range s.Cohorts {
+		if d := c.DemandRate(); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// DemandWeighted reports whether any cohort requests a non-default
+// demand, i.e. whether the requester mixer must weight its picks.
+func (s *Spec) DemandWeighted() bool {
+	if s == nil {
+		return false
+	}
+	for _, c := range s.Cohorts {
+		if c.Demand != 0 && c.Demand != 1 {
+			return true
+		}
+	}
+	return false
+}
+
+// Validate checks the spec against the run's global churn parameters
+// (cohort fields left unset inherit from them, so the resolved values
+// are what must hold).
+func (s *Spec) Validate(global churn.Params) error {
+	if s == nil {
+		return nil
+	}
+	if s.Rate != nil && len(s.Trace) > 0 {
+		return fmt.Errorf("workload: rate program and trace replay are mutually exclusive")
+	}
+	if s.Rate != nil {
+		if err := s.Rate.Validate(); err != nil {
+			return err
+		}
+	}
+	for i, c := range s.Cohorts {
+		if err := c.validate(global); err != nil {
+			return fmt.Errorf("workload: cohort %d: %w", i, err)
+		}
+		for _, prev := range s.Cohorts[:i] {
+			if prev.Name == c.Name {
+				return fmt.Errorf("workload: duplicate cohort name %q", c.Name)
+			}
+		}
+	}
+	if err := ValidateEvents(s.Trace); err != nil {
+		return err
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Nonstationary rate programs.
+
+// Program is a piecewise arrival-rate schedule: consecutive windows from
+// tick 0, optionally repeating, with absolute-time spikes layered on top.
+type Program struct {
+	// Windows are consecutive rate segments starting at tick 0.
+	Windows []Window `json:"windows"`
+	// Repeat loops the window sequence periodically (sum of window
+	// lengths per cycle) instead of holding the final rate forever.
+	Repeat bool `json:"repeat,omitempty"`
+	// Spikes override the window rate on absolute-time intervals —
+	// flash crowds. The first matching spike wins.
+	Spikes []Spike `json:"spikes,omitempty"`
+}
+
+// Window is one rate segment.
+type Window struct {
+	// Len is the segment length in ticks.
+	Len float64 `json:"len"`
+	// Lambda is the arrival rate at the segment start.
+	Lambda float64 `json:"lambda"`
+	// RampTo, when set, ramps the rate linearly from Lambda to this
+	// value across the window.
+	RampTo *float64 `json:"rampTo,omitempty"`
+}
+
+// Spike is a flash crowd: an absolute-time interval whose rate overrides
+// the windows.
+type Spike struct {
+	// At is the spike start tick (absolute run time, not cycle time).
+	At float64 `json:"at"`
+	// Len is the spike duration in ticks.
+	Len float64 `json:"len"`
+	// Lambda is the arrival rate during the spike.
+	Lambda float64 `json:"lambda"`
+}
+
+// Period returns the length of one window cycle.
+func (p *Program) Period() float64 {
+	total := 0.0
+	for _, w := range p.Windows {
+		total += w.Len
+	}
+	return total
+}
+
+// Rate evaluates the instantaneous arrival rate at tick t.
+func (p *Program) Rate(t float64) float64 {
+	for _, s := range p.Spikes {
+		if t >= s.At && t < s.At+s.Len {
+			return s.Lambda
+		}
+	}
+	if len(p.Windows) == 0 {
+		return 0
+	}
+	if period := p.Period(); p.Repeat && t >= period {
+		t = math.Mod(t, period)
+	}
+	for _, w := range p.Windows {
+		if t < w.Len {
+			if w.RampTo != nil {
+				return w.Lambda + (*w.RampTo-w.Lambda)*(t/w.Len)
+			}
+			return w.Lambda
+		}
+		t -= w.Len
+	}
+	// Past the end of a non-repeating program: hold the final rate.
+	last := p.Windows[len(p.Windows)-1]
+	if last.RampTo != nil {
+		return *last.RampTo
+	}
+	return last.Lambda
+}
+
+// MaxRate returns the program's rate ceiling — the thinning envelope the
+// world draws candidate arrivals at. Zero means the program never
+// generates an arrival.
+func (p *Program) MaxRate() float64 {
+	max := 0.0
+	for _, w := range p.Windows {
+		if w.Lambda > max {
+			max = w.Lambda
+		}
+		if w.RampTo != nil && *w.RampTo > max {
+			max = *w.RampTo
+		}
+	}
+	for _, s := range p.Spikes {
+		if s.Lambda > max {
+			max = s.Lambda
+		}
+	}
+	return max
+}
+
+// Validate checks the program.
+func (p *Program) Validate() error {
+	if len(p.Windows) == 0 {
+		return fmt.Errorf("workload: rate program needs at least one window")
+	}
+	for i, w := range p.Windows {
+		switch {
+		case w.Len <= 0:
+			return fmt.Errorf("workload: window %d: Len %v not positive", i, w.Len)
+		case w.Lambda < 0:
+			return fmt.Errorf("workload: window %d: Lambda %v negative", i, w.Lambda)
+		case w.RampTo != nil && *w.RampTo < 0:
+			return fmt.Errorf("workload: window %d: RampTo %v negative", i, *w.RampTo)
+		}
+	}
+	for i, s := range p.Spikes {
+		switch {
+		case s.At < 0:
+			return fmt.Errorf("workload: spike %d: At %v negative", i, s.At)
+		case s.Len <= 0:
+			return fmt.Errorf("workload: spike %d: Len %v not positive", i, s.Len)
+		case s.Lambda < 0:
+			return fmt.Errorf("workload: spike %d: Lambda %v negative", i, s.Lambda)
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Behavioural cohorts.
+
+// Cohort is one named behavioural peer class. Pointer fields distinguish
+// "unset, inherit the run's global value" from an explicit zero; plain
+// zero-valued fields inherit.
+type Cohort struct {
+	// Name labels the cohort in traces, metrics and summaries.
+	Name string `json:"name"`
+	// Weight is the cohort's share in the arrival mixer (relative, need
+	// not sum to one).
+	Weight float64 `json:"weight"`
+	// Uncoop, when set, overrides the run's FracUncoop for arrivals of
+	// this cohort (0 = all cooperative, 1 = all freeriders).
+	Uncoop *float64 `json:"uncoop,omitempty"`
+	// Demand is the cohort's relative transaction-initiation rate; 0 or
+	// 1 means the default uniform share.
+	Demand float64 `json:"demand,omitempty"`
+	// SessionDist overrides the session-length distribution
+	// ("exponential", "uniform", "pareto", or "none" to disable the
+	// session clock for this cohort). Empty inherits the global one.
+	SessionDist string `json:"sessionDist,omitempty"`
+	// SessionMean overrides the mean session length; 0 inherits.
+	SessionMean float64 `json:"sessionMean,omitempty"`
+	// CrashFrac, when set, overrides the fraction of this cohort's
+	// departures that are abrupt crashes.
+	CrashFrac *float64 `json:"crashFrac,omitempty"`
+	// RejoinProb, when set, overrides the probability that a departed
+	// member of this cohort returns.
+	RejoinProb *float64 `json:"rejoinProb,omitempty"`
+	// DowntimeMean overrides the mean downtime before a rejoin; 0
+	// inherits.
+	DowntimeMean float64 `json:"downtimeMean,omitempty"`
+}
+
+// DemandRate is the cohort's effective relative demand: the default
+// share 1 when Demand is unset.
+func (c Cohort) DemandRate() float64 {
+	if c.Demand <= 0 {
+		return 1
+	}
+	return c.Demand
+}
+
+// Params resolves the cohort's session-model parameters over the run's
+// global churn parameters: unset cohort fields inherit the global value.
+func (c Cohort) Params(global churn.Params) SessionParams {
+	p := SessionParams{
+		Dist:         c.SessionDist,
+		Mean:         c.SessionMean,
+		CrashFrac:    global.CrashFrac,
+		RejoinProb:   global.RejoinProb,
+		DowntimeMean: c.DowntimeMean,
+	}
+	if p.Dist == "" {
+		p.Dist = global.SessionDist
+	}
+	if p.Mean == 0 {
+		p.Mean = global.SessionMean
+	}
+	if p.Dist == SessionNone {
+		p.Mean = 0
+	}
+	if c.CrashFrac != nil {
+		p.CrashFrac = *c.CrashFrac
+	}
+	if c.RejoinProb != nil {
+		p.RejoinProb = *c.RejoinProb
+	}
+	if p.DowntimeMean == 0 {
+		p.DowntimeMean = global.DowntimeMean
+	}
+	return p
+}
+
+func (c Cohort) validate(global churn.Params) error {
+	switch {
+	case c.Name == "":
+		return fmt.Errorf("cohort needs a name")
+	case c.Weight <= 0:
+		return fmt.Errorf("Weight %v not positive", c.Weight)
+	case c.Uncoop != nil && (*c.Uncoop < 0 || *c.Uncoop > 1):
+		return fmt.Errorf("Uncoop %v out of [0,1]", *c.Uncoop)
+	case c.Demand < 0:
+		return fmt.Errorf("Demand %v negative", c.Demand)
+	case c.SessionMean < 0:
+		return fmt.Errorf("SessionMean %v negative", c.SessionMean)
+	case c.CrashFrac != nil && (*c.CrashFrac < 0 || *c.CrashFrac > 1):
+		return fmt.Errorf("CrashFrac %v out of [0,1]", *c.CrashFrac)
+	case c.RejoinProb != nil && (*c.RejoinProb < 0 || *c.RejoinProb > 1):
+		return fmt.Errorf("RejoinProb %v out of [0,1]", *c.RejoinProb)
+	case c.DowntimeMean < 0:
+		return fmt.Errorf("DowntimeMean %v negative", c.DowntimeMean)
+	}
+	switch c.SessionDist {
+	case "", SessionNone, churn.SessionExponential, churn.SessionUniform, churn.SessionPareto:
+	default:
+		return fmt.Errorf("unknown session distribution %q", c.SessionDist)
+	}
+	resolved := c.Params(global)
+	if resolved.RejoinProb > 0 && resolved.DowntimeMean <= 0 {
+		return fmt.Errorf("resolved RejoinProb %v needs a positive DowntimeMean", resolved.RejoinProb)
+	}
+	return nil
+}

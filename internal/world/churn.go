@@ -37,6 +37,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/transport"
+	"repro/internal/workload"
 )
 
 // departedPeer is a member that left but may rejoin: its behavioural
@@ -62,8 +63,13 @@ type handoffRecord struct {
 
 // migrating reports whether score-manager state migration is active. It
 // tracks the live configuration, so a delta that enables churn mid-run
-// switches the handoff on from that point.
-func (w *World) migrating() bool { return w.cfg.Churn.Active() }
+// switches the handoff on from that point. Workload cohorts imply
+// migration: cohort session plans depart peers even when the churn
+// block is otherwise zero, and those departures must not silently lose
+// reputation records.
+func (w *World) migrating() bool {
+	return w.cfg.Churn.Active() || (w.cfg.Workload != nil && len(w.cfg.Workload.Cohorts) > 0)
+}
 
 // minPopulation is the community-size floor under which the departure
 // process stops picking victims: enough members to host a full distinct
@@ -140,7 +146,20 @@ func (w *World) Rejoin(pid id.ID) error {
 		return err
 	}
 	w.m.Churn.Rejoins++
+	if cs := w.cohortStats(p.Cohort); cs != nil {
+		cs.Rejoins++
+	}
+	if p.Plan != nil {
+		// A returning plan-governed peer starts a fresh visit: redraw the
+		// session plan from its keyed stream before admission arms the
+		// session clock.
+		w.redrawPlan(p)
+	}
 	w.record(trace.Rejoined, pid, id.ID{}, p.Class.String())
+	w.recordWorkload(workload.Event{
+		At: int64(w.engine.Now()), Op: workload.OpRejoin,
+		Cohort: p.Cohort, Peer: pid.Short(), Plan: p.Plan,
+	})
 	w.admit(p, w.engine.Now())
 	return w.err
 }
@@ -262,7 +281,7 @@ func (w *World) sessionEndBody(pid id.ID, joined sim.Tick) func() {
 			return
 		}
 		if len(w.admittedPeers) <= w.minPopulation() {
-			w.armSessionEnd(p, joined, w.engine.Now()+sim.Tick(w.churnProc.SessionLength()))
+			w.armSessionEnd(p, joined, w.engine.Now()+sim.Tick(w.sessionExtension(p)))
 			return
 		}
 		w.churnDepart(p)
@@ -277,12 +296,12 @@ func (w *World) sessionEndBody(pid id.ID, joined sim.Tick) func() {
 // and its now-unreachable reputation records are dropped instead of
 // accreting (and re-migrating) for the rest of the run.
 func (w *World) churnDepart(p *peer.Peer) {
-	graceful := !w.churnProc.Crashes()
+	graceful := !w.planCrashes(p)
 	w.departBatch([]leaver{{pid: p.ID, graceful: graceful}})
 	if w.err != nil {
 		return
 	}
-	after, ok := w.churnProc.Rejoins()
+	after, ok := w.planRejoins(p)
 	if !ok {
 		w.forgetDeparted(p.ID)
 		return
@@ -333,13 +352,24 @@ func (w *World) departBatch(batch []leaver) {
 		p := w.peers[l.pid]
 		ident, _ := w.proto.Identity(l.pid)
 		w.removeAdmitted(p)
+		detail := "leave"
 		if l.graceful {
 			w.m.Churn.Departures++
-			w.record(trace.Departed, l.pid, id.ID{}, "leave")
+			if cs := w.cohortStats(p.Cohort); cs != nil {
+				cs.Departures++
+			}
 		} else {
+			detail = "crash"
 			w.m.Churn.Crashes++
-			w.record(trace.Departed, l.pid, id.ID{}, "crash")
+			if cs := w.cohortStats(p.Cohort); cs != nil {
+				cs.Crashes++
+			}
 		}
+		w.record(trace.Departed, l.pid, id.ID{}, detail)
+		w.recordWorkload(workload.Event{
+			At: int64(w.engine.Now()), Op: workload.OpDepart,
+			Cohort: p.Cohort, Peer: l.pid.Short(), Detail: detail,
+		})
 		succ, _ := w.ring.NextMember(l.pid) // the heir of the arcs, read before the leave
 		if err := w.ring.Leave(l.pid); err != nil {
 			w.fail(fmt.Errorf("sim: departure of %s: %w", l.pid.Short(), err))
@@ -416,6 +446,9 @@ func (w *World) removeAdmitted(p *peer.Peer) {
 	}
 	delete(w.admittedSet, p.ID)
 	w.topo.Remove(p.ID)
+	if cs := w.cohortStats(p.Cohort); cs != nil {
+		cs.InSystem--
+	}
 	if p.Class == peer.Cooperative {
 		w.m.CoopInSystem--
 		w.repSum -= w.repCached[p.ID]

@@ -3,7 +3,7 @@ package world
 // Checkpointable worlds. Snapshot captures every piece of state a run's
 // future outputs can observe — peers and their opinion books, the
 // overlay membership, score-manager stores, the lending protocol, the
-// topology selector, all six random streams, the pending event queue,
+// topology selector, every random stream, the pending event queue,
 // the sampling accumulators and the placement cache — in a versioned,
 // deterministic encoding: the same world always serializes to the same
 // bytes, and a restored world continues byte-identically to the
@@ -47,12 +47,14 @@ import (
 	"repro/internal/sim"
 	"repro/internal/topology"
 	"repro/internal/transport"
+	"repro/internal/workload"
 )
 
 // SnapshotVersion is the world snapshot format version. Incompatible
 // changes to the Snapshot document bump it; Restore rejects any other
-// version.
-const SnapshotVersion = 1
+// version. Version 2 added the workload layer: two more random streams,
+// the replay cursor, and per-peer cohort/plan state.
+const SnapshotVersion = 2
 
 // Event payload types. Each pending-event kind the world schedules has
 // one; the payload pins everything the matching *Body constructor needs.
@@ -78,6 +80,11 @@ type (
 	deltaPayload struct {
 		Delta Delta `json:"delta"`
 	}
+	// replayPayload tags the pending event of the trace-replay chain
+	// ("wk-replay") with the index of the trace event it re-drives.
+	replayPayload struct {
+		Idx int64 `json:"idx"`
+	}
 )
 
 // EventRecord is one pending event: its firing tick, diagnostic name,
@@ -92,16 +99,20 @@ type EventRecord struct {
 
 // PeerRecord is one peer object — live or departed-but-rejoinable.
 type PeerRecord struct {
-	ID         id.ID                `json:"id"`
-	Class      peer.Class           `json:"class"`
-	Style      peer.Style           `json:"style"`
-	JoinedAt   sim.Tick             `json:"joinedAt"`
-	Completed  int                  `json:"completed"`
-	Audited    bool                 `json:"audited,omitempty"`
-	Introducer id.ID                `json:"introducer"`
-	Flagged    bool                 `json:"flagged,omitempty"`
-	DefectAt   sim.Tick             `json:"defectAt,omitempty"`
-	Opinions   []rocq.PartnerRecord `json:"opinions,omitempty"`
+	ID          id.ID                `json:"id"`
+	Class       peer.Class           `json:"class"`
+	Style       peer.Style           `json:"style"`
+	JoinedAt    sim.Tick             `json:"joinedAt"`
+	Completed   int                  `json:"completed"`
+	Audited     bool                 `json:"audited,omitempty"`
+	Introducer  id.ID                `json:"introducer"`
+	Flagged     bool                 `json:"flagged,omitempty"`
+	DefectAt    sim.Tick             `json:"defectAt,omitempty"`
+	Cohort      string               `json:"cohort,omitempty"`
+	PlanOrdinal int64                `json:"planOrdinal,omitempty"`
+	PlanSeq     int64                `json:"planSeq,omitempty"`
+	Plan        *workload.Plan       `json:"plan,omitempty"`
+	Opinions    []rocq.PartnerRecord `json:"opinions,omitempty"`
 }
 
 // DepartedRecord is one offline peer eligible to rejoin, with the
@@ -154,11 +165,13 @@ type SMDepsRecord struct {
 // directly (the topology selector's stream travels inside its own
 // state; signer streams inside the lending state).
 type RandState struct {
-	Arrival  [4]uint64 `json:"arrival"`
-	Workload [4]uint64 `json:"workload"`
-	Behave   [4]uint64 `json:"behave"`
-	Key      [4]uint64 `json:"key"`
-	Churn    [4]uint64 `json:"churn"`
+	Arrival   [4]uint64 `json:"arrival"`
+	Workload  [4]uint64 `json:"workload"`
+	Behave    [4]uint64 `json:"behave"`
+	Key       [4]uint64 `json:"key"`
+	Churn     [4]uint64 `json:"churn"`
+	WkArrival [4]uint64 `json:"wkArrival"`
+	Cohort    [4]uint64 `json:"cohort"`
 }
 
 // Snapshot is the versioned, serializable state of a started world.
@@ -173,11 +186,12 @@ type Snapshot struct {
 
 	Rand RandState `json:"rand"`
 
-	Seq        int64   `json:"seq"`
-	ArrClock   float64 `json:"arrClock"`
-	ArrivalGen int64   `json:"arrivalGen"`
-	DepartClk  float64 `json:"departClk"`
-	DepartGen  int64   `json:"departGen"`
+	Seq          int64   `json:"seq"`
+	ArrClock     float64 `json:"arrClock"`
+	ArrivalGen   int64   `json:"arrivalGen"`
+	DepartClk    float64 `json:"departClk"`
+	DepartGen    int64   `json:"departGen"`
+	WkReplayNext int64   `json:"wkReplayNext,omitempty"`
 
 	Peers    []PeerRecord     `json:"peers,omitempty"`    // every attached node, ascending ID
 	Admitted []id.ID          `json:"admitted,omitempty"` // members in admission order
@@ -222,24 +236,30 @@ func (w *World) Snapshot() (*Snapshot, error) {
 		Now:     w.engine.Now(),
 		NextSeq: w.engine.NextSeq(),
 		Rand: RandState{
-			Arrival:  w.arrivalRand.State(),
-			Workload: w.workloadRand.State(),
-			Behave:   w.behaveRand.State(),
-			Key:      w.keyRand.State(),
-			Churn:    w.churnProc.SrcState(),
+			Arrival:   w.arrivalRand.State(),
+			Workload:  w.workloadRand.State(),
+			Behave:    w.behaveRand.State(),
+			Key:       w.keyRand.State(),
+			Churn:     w.churnProc.SrcState(),
+			WkArrival: w.wkArrivalRand.State(),
+			Cohort:    w.cohortRand.State(),
 		},
-		Seq:        w.seq,
-		ArrClock:   w.arrClock,
-		ArrivalGen: w.arrivalGen,
-		DepartClk:  w.departClk,
-		DepartGen:  w.departGen,
-		Crashed:    w.bus.CrashedAddrs(),
-		BusStats:   w.bus.Stats(),
-		RepSum:     w.repSum,
-		DirtyRep:   append([]id.ID(nil), w.dirtyRep...),
-		SMDepSlots: w.smDepSlots,
-		Metrics:    w.m,
+		Seq:          w.seq,
+		ArrClock:     w.arrClock,
+		ArrivalGen:   w.arrivalGen,
+		DepartClk:    w.departClk,
+		DepartGen:    w.departGen,
+		WkReplayNext: w.wkReplayNext,
+		Crashed:      w.bus.CrashedAddrs(),
+		BusStats:     w.bus.Stats(),
+		RepSum:       w.repSum,
+		DirtyRep:     append([]id.ID(nil), w.dirtyRep...),
+		SMDepSlots:   w.smDepSlots,
+		Metrics:      w.m,
 	}
+	// The Cohorts slice would otherwise share its backing array with the
+	// live world, letting later increments mutate the snapshot.
+	s.Metrics.Cohorts = append([]CohortStats(nil), w.m.Cohorts...)
 	s.Metrics.CoopCount = copySeries(w.m.CoopCount)
 	s.Metrics.UncoopCount = copySeries(w.m.UncoopCount)
 	s.Metrics.CoopReputation = copySeries(w.m.CoopReputation)
@@ -366,6 +386,8 @@ func Restore(s *Snapshot) (*World, error) {
 	w.behaveRand.SetState(s.Rand.Behave)
 	w.keyRand.SetState(s.Rand.Key)
 	w.churnProc.RestoreSrc(s.Rand.Churn)
+	w.wkArrivalRand.SetState(s.Rand.WkArrival)
+	w.cohortRand.SetState(s.Rand.Cohort)
 
 	policy, err := baseline.ByName(s.Policy)
 	if err != nil {
@@ -456,6 +478,14 @@ func Restore(s *Snapshot) (*World, error) {
 	w.arrivalGen = s.ArrivalGen
 	w.departClk = s.DepartClk
 	w.departGen = s.DepartGen
+	var traceLen int64
+	if w.cfg.Workload != nil {
+		traceLen = int64(len(w.cfg.Workload.Trace))
+	}
+	if s.WkReplayNext < 0 || s.WkReplayNext > traceLen {
+		return nil, fmt.Errorf("world: restore: replay cursor %d out of range (trace has %d events)", s.WkReplayNext, traceLen)
+	}
+	w.wkReplayNext = s.WkReplayNext
 
 	w.repSum = s.RepSum
 	for _, rec := range s.RepCached {
@@ -501,6 +531,7 @@ func Restore(s *Snapshot) (*World, error) {
 	w.smDepSlots = s.SMDepSlots
 
 	w.m = s.Metrics
+	w.m.Cohorts = append([]CohortStats(nil), s.Metrics.Cohorts...)
 	if w.m.CoopCount, err = restoredSeries(s.Metrics.CoopCount, "coop", s.Now); err != nil {
 		return nil, err
 	}
@@ -564,6 +595,11 @@ func encodeEvent(ev sim.PendingEvent) (EventRecord, error) {
 		rec.Kind, payload = ev.Name, p
 	case lending.IntroWait:
 		if err := names("intro-refuse", "intro-lend"); err != nil {
+			return rec, err
+		}
+		rec.Kind, payload = ev.Name, p
+	case replayPayload:
+		if err := names("wk-replay"); err != nil {
 			return rec, err
 		}
 		rec.Kind, payload = ev.Name, p
@@ -634,6 +670,15 @@ func decodeEventPayload(rec EventRecord) (any, error) {
 			return nil, fmt.Errorf("world: event %q: %w", rec.Kind, err)
 		}
 		return p, nil
+	case "wk-replay":
+		var p replayPayload
+		if err := wantName(); err != nil {
+			return nil, err
+		}
+		if err := checkpoint.Unmarshal(rec.Data, &p); err != nil {
+			return nil, fmt.Errorf("world: event %q: %w", rec.Kind, err)
+		}
+		return p, nil
 	case "delta":
 		var p deltaPayload
 		if err := checkpoint.Unmarshal(rec.Data, &p); err != nil {
@@ -677,6 +722,21 @@ func (w *World) rebuildEvent(pe sim.PendingEvent) (func(), error) {
 		}
 	case lending.IntroWait:
 		return w.proto.RebuildIntroEvent(pe.Name, p)
+	case replayPayload:
+		if pe.Name != "wk-replay" {
+			break
+		}
+		if !w.replaying() {
+			return nil, fmt.Errorf("world: replay event in a snapshot whose config replays no trace")
+		}
+		tr := w.cfg.Workload.Trace
+		if p.Idx < 0 || p.Idx >= int64(len(tr)) {
+			return nil, fmt.Errorf("world: replay event index %d out of range (trace has %d events)", p.Idx, len(tr))
+		}
+		if tr[p.Idx].Op != workload.OpArrival {
+			return nil, fmt.Errorf("world: replay event index %d is not an arrival", p.Idx)
+		}
+		return w.replayBody(p.Idx), nil
 	case deltaPayload:
 		return w.deltaBody(pe.Name, pe.At, p.Delta), nil
 	}
@@ -685,18 +745,26 @@ func (w *World) rebuildEvent(pe sim.PendingEvent) (func(), error) {
 
 // peerRecord captures one peer object.
 func peerRecord(p *peer.Peer) PeerRecord {
-	return PeerRecord{
-		ID:         p.ID,
-		Class:      p.Class,
-		Style:      p.Style,
-		JoinedAt:   p.JoinedAt,
-		Completed:  p.Completed,
-		Audited:    p.Audited,
-		Introducer: p.Introducer,
-		Flagged:    p.Flagged,
-		DefectAt:   p.DefectAt,
-		Opinions:   p.Opinions.ExportState(),
+	rec := PeerRecord{
+		ID:          p.ID,
+		Class:       p.Class,
+		Style:       p.Style,
+		JoinedAt:    p.JoinedAt,
+		Completed:   p.Completed,
+		Audited:     p.Audited,
+		Introducer:  p.Introducer,
+		Flagged:     p.Flagged,
+		DefectAt:    p.DefectAt,
+		Cohort:      p.Cohort,
+		PlanOrdinal: p.PlanOrdinal,
+		PlanSeq:     p.PlanSeq,
+		Opinions:    p.Opinions.ExportState(),
 	}
+	if p.Plan != nil {
+		cp := *p.Plan
+		rec.Plan = &cp
+	}
+	return rec
 }
 
 // restorePeer rebuilds one peer object from its record.
@@ -708,6 +776,13 @@ func restorePeer(rec PeerRecord) *peer.Peer {
 	p.Introducer = rec.Introducer
 	p.Flagged = rec.Flagged
 	p.DefectAt = rec.DefectAt
+	p.Cohort = rec.Cohort
+	p.PlanOrdinal = rec.PlanOrdinal
+	p.PlanSeq = rec.PlanSeq
+	if rec.Plan != nil {
+		cp := *rec.Plan
+		p.Plan = &cp
+	}
 	p.Opinions.RestoreState(rec.Opinions)
 	return p
 }

@@ -33,6 +33,7 @@ import (
 	"repro/internal/topology"
 	"repro/internal/trace"
 	"repro/internal/transport"
+	"repro/internal/workload"
 )
 
 // World wires the substrates into the paper's simulator: a structured
@@ -58,6 +59,26 @@ type World struct {
 	workloadRand *rng.Source
 	behaveRand   *rng.Source
 	keyRand      *rng.Source
+
+	// Workload layer (see workload.go in this package and the
+	// internal/workload package): two dedicated streams split after every
+	// pre-existing one, derived views of the spec rebuilt from the config,
+	// the trace-replay cursor and the optional trace recorder.
+	wkArrivalRand *rng.Source // candidate arrival times + thinning accepts
+	cohortRand    *rng.Source // cohort mixer and arrival class/style draws
+	//replend:allow snapshotfields derived view of Config.Workload.Rate, rebuilt by newBare
+	wkProgram *workload.Program
+	//replend:allow snapshotfields derived view of Config.Workload.Cohorts, rebuilt by newBare
+	wkWeights []float64
+	//replend:allow snapshotfields pure function of Config.Seed, recomputed by newBare
+	wkPlanSeed uint64
+	//replend:allow snapshotfields derived view of Config.Workload.Cohorts, rebuilt by newBare
+	wkDemandOn bool
+	//replend:allow snapshotfields derived view of Config.Workload.Cohorts, rebuilt by newBare
+	wkMaxDemand  float64
+	wkReplayNext int64 // index of the next trace event the replay chain examines
+	//replend:allow snapshotfields observability sink, not simulation state: attaching a recorder changes no draw, and a resumed run re-records from the cut
+	wkRecorder *workload.Recorder
 
 	peers         map[id.ID]*peer.Peer
 	admittedPeers []*peer.Peer       // members in admission order
@@ -168,10 +189,25 @@ type Metrics struct {
 	// rejoins, migrated records and full-replica wipeouts.
 	Churn churn.Stats
 
+	// Cohorts breaks lifecycle activity down by workload cohort, one row
+	// per cohort in first-arrival order. Empty for runs without cohorts.
+	Cohorts []CohortStats `json:",omitempty"`
+
 	// Time series sampled every cfg.SampleEvery ticks.
 	CoopCount      *metrics.Series // cooperative peers in system
 	UncoopCount    *metrics.Series // uncooperative peers in system
 	CoopReputation *metrics.Series // mean reputation of cooperative peers
+}
+
+// CohortStats counts one workload cohort's lifecycle activity.
+type CohortStats struct {
+	Name       string
+	Arrivals   int64
+	Admitted   int64
+	InSystem   int64
+	Departures int64 `json:",omitempty"`
+	Crashes    int64 `json:",omitempty"`
+	Rejoins    int64 `json:",omitempty"`
 }
 
 // SuccessRate returns the fraction of serve/deny decisions by cooperative
@@ -239,6 +275,22 @@ func newBare(cfg config.Config) (*World, error) {
 	// nothing from this source, and a run with churn perturbs no other
 	// stream.
 	w.churnProc = churn.NewProcess(root.Split(), cfg.Churn)
+	// The workload streams split after the churn stream for the same
+	// reason: a run without a workload block draws nothing from either,
+	// so every pre-existing stream — and every pinned golden — is
+	// untouched. Trace replay silences both again: replayed arrivals
+	// carry their times, classes and plans, which is what makes a
+	// replayed run byte-identical to the recorded one.
+	w.wkArrivalRand = root.Split()
+	w.cohortRand = root.Split()
+	w.wkPlanSeed = workload.PlanSeed(cfg.Seed)
+	w.wkMaxDemand = 1
+	if wl := cfg.Workload; wl != nil {
+		w.wkProgram = wl.Rate
+		w.wkWeights = wl.Weights()
+		w.wkDemandOn = wl.DemandWeighted()
+		w.wkMaxDemand = wl.MaxDemand()
+	}
 
 	proto, err := lending.New(lending.Params{
 		IntroAmt:       cfg.IntroAmt,
@@ -710,7 +762,16 @@ func (w *World) admit(p *peer.Peer, at sim.Tick) {
 	} else {
 		w.m.UncoopInSystem++
 	}
-	if w.cfg.Churn.SessionMean > 0 {
+	if cs := w.cohortStats(p.Cohort); cs != nil {
+		cs.InSystem++
+	}
+	if p.Plan != nil {
+		// A plan-governed peer lives by its pre-drawn session; a plan
+		// without one (cohort sessionDist "none") disables the clock.
+		if p.Plan.Session > 0 {
+			w.armSessionEnd(p, at, at+sim.Tick(p.Plan.Session))
+		}
+	} else if w.cfg.Churn.SessionMean > 0 {
 		w.scheduleSessionEnd(p)
 	}
 }
@@ -728,6 +789,9 @@ func (w *World) onAdmitted(newcomer, introducer id.ID, at sim.Tick) {
 		w.m.AdmittedCoop++
 	} else {
 		w.m.AdmittedUncoop++
+	}
+	if cs := w.cohortStats(p.Cohort); cs != nil {
+		cs.Admitted++
 	}
 	if w.cfg.StakeTimeout > 0 {
 		// Arm the stake's audit deadline: if the audit has not settled it
@@ -857,6 +921,13 @@ func (w *World) detachNode(pid id.ID) {
 // already-scheduled arrival from the old process aborts instead of firing
 // at the stale rate.
 func (w *World) scheduleNextArrival() {
+	if w.replaying() {
+		return // replayed arrivals are scheduled from the trace, not a clock
+	}
+	if w.wkProgram != nil {
+		w.scheduleNextCandidate()
+		return
+	}
 	if w.cfg.Lambda <= 0 {
 		return
 	}
@@ -880,13 +951,19 @@ func (w *World) scheduleNextArrival() {
 }
 
 // arrivalBody is the arrival event armed under the given process
-// generation: it aborts if a λ delta re-armed the chain since.
+// generation: it aborts if a λ delta re-armed the chain since. Under a
+// nonstationary rate program the event is a thinning candidate that may
+// be discarded (see thinnedArrival); either way the chain re-arms.
 func (w *World) arrivalBody(gen int64) func() {
 	return func() {
 		if gen != w.arrivalGen {
 			return
 		}
-		w.handleArrival()
+		if w.wkProgram != nil {
+			w.thinnedArrival()
+		} else {
+			w.handleArrival()
+		}
 		w.scheduleNextArrival()
 	}
 }
@@ -905,16 +982,38 @@ func (w *World) rearmArrivals() {
 	w.scheduleNextArrival()
 }
 
-// handleArrival creates one new peer and runs the admission path.
+// handleArrival creates one new peer and runs the admission path. With
+// an active workload block the cohort mixer picks the peer's profile
+// (see handleWorkloadArrival); the classic path draws class and style
+// from the behaviour stream exactly as before.
 func (w *World) handleArrival() {
+	if w.workloadAssigning() {
+		w.handleWorkloadArrival()
+		return
+	}
 	class := peer.AssignArrivalClass(w.cfg.FracUncoop, w.behaveRand)
 	style := peer.AssignStyle(class, w.cfg.FracNaive, w.behaveRand)
 	p := peer.New(w.newPeerID(), class, style, rocq.DefaultParams())
-	if class == peer.Cooperative {
+	w.finishArrival(p)
+}
+
+// finishArrival runs the admission path of a freshly created arrival —
+// the shared tail of the classic, workload-generated and trace-replayed
+// arrival paths.
+func (w *World) finishArrival(p *peer.Peer) {
+	if p.Class == peer.Cooperative {
 		w.m.ArrivalsCoop++
 	} else {
 		w.m.ArrivalsUncoop++
 	}
+	if cs := w.cohortStats(p.Cohort); cs != nil {
+		cs.Arrivals++
+	}
+	w.recordWorkload(workload.Event{
+		At: int64(w.engine.Now()), Op: workload.OpArrival,
+		Class: p.Class.String(), Style: p.Style.String(),
+		Cohort: p.Cohort, Peer: p.ID.Short(), Plan: p.Plan,
+	})
 
 	if !w.cfg.RequireIntroductions {
 		// Baseline: admit immediately with the policy's bootstrap value.
@@ -930,6 +1029,9 @@ func (w *World) handleArrival() {
 			w.m.AdmittedCoop++
 		} else {
 			w.m.AdmittedUncoop++
+		}
+		if cs := w.cohortStats(p.Cohort); cs != nil {
+			cs.Admitted++
 		}
 		return
 	}
@@ -969,15 +1071,16 @@ func (w *World) transactionStep() {
 	w.engine.After(1, "transaction", w.transactionStep)
 }
 
-// transact runs one resource transaction: uniform requester, topology-
-// biased respondent, serve decision by requester reputation, mutual
-// feedback to score managers on completion.
+// transact runs one resource transaction: uniform requester (demand-
+// weighted when a workload cohort sets a demand rate), topology-biased
+// respondent, serve decision by requester reputation, mutual feedback
+// to score managers on completion.
 func (w *World) transact() {
 	n := len(w.admittedPeers)
 	if n < 2 {
 		return
 	}
-	requester := w.admittedPeers[w.workloadRand.Intn(n)]
+	requester := w.pickRequester(n)
 	requesterID := requester.ID
 	respondentID, ok := w.topo.Pick(requesterID)
 	if !ok {
@@ -1123,7 +1226,11 @@ func (w *World) Start() {
 	}
 	w.started = true
 	w.scheduleTransactions()
-	w.scheduleNextArrival()
+	if w.replaying() {
+		w.scheduleReplay(0)
+	} else {
+		w.scheduleNextArrival()
+	}
 	w.scheduleNextDeparture()
 	w.scheduleSampling()
 }
