@@ -5,7 +5,10 @@
 //	replend-experiments [-scale f] [-runs n] [-out dir] [experiment ...]
 //	replend-experiments -all
 //	replend-experiments -workers k [...]       # shard replicas over k processes
+//	replend-experiments -workers k -progress   # with a live per-worker table
 //	replend-experiments -worker                # fleet worker mode (stdio)
+//	replend-experiments -telemetry run.jsonl fig1   # stream replica telemetry
+//	replend-experiments -pprof localhost:6060 [...] # profile a long sweep
 //
 // Experiments: fig1 successrate fig2 fig3 fig4 fig6 collusion baselines
 // ("fig5" shares fig4's sweep and is included in its output).
@@ -26,12 +29,17 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
+	"net"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"path/filepath"
 	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/fleet"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -58,9 +66,18 @@ func run(args []string) error {
 		workers     = fs.Int("workers", 0, "shard replicas across this many local worker processes")
 		fleetListen = fs.String("fleet-listen", "", "with -workers: also accept remote workers on this host:port")
 		fleetToken  = fs.String("fleet-token", "", "shared token gating remote fleet joins")
+
+		telemPath = fs.String("telemetry", "", "stream replica trace events and metric samples as JSONL to this file (\"-\" for stdout)")
+		progress  = fs.Bool("progress", false, "with -workers: render the live per-worker fleet table on stderr")
+		pprofAddr = fs.String("pprof", "", "serve net/http/pprof on this host:port for the life of the run")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *pprofAddr != "" {
+		if err := startPprof(*pprofAddr); err != nil {
+			return err
+		}
 	}
 	if *worker {
 		return fleet.ServeWorker(os.Stdin, os.Stdout, fleet.WorkerOptions{Logf: logf})
@@ -92,8 +109,18 @@ func run(args []string) error {
 		}
 		opt.Workload = spec
 	}
-	if *workers > 0 || *fleetListen != "" {
+	useFleet := *workers > 0 || *fleetListen != ""
+	if *telemPath != "" && useFleet {
+		return fmt.Errorf("-telemetry streams in-process replica worlds; it cannot be combined with -workers or -fleet-listen (fleet replicas run in worker processes)")
+	}
+	if *progress && !useFleet {
+		return fmt.Errorf("-progress renders the fleet table; give it a fleet with -workers")
+	}
+	if useFleet {
 		cfg := fleet.Config{Workers: *workers, Listen: *fleetListen, Token: *fleetToken, Logf: logf}
+		if *progress {
+			cfg.Progress = os.Stderr
+		}
 		if *workers > 0 {
 			spawn, err := fleet.SelfSpawn()
 			if err != nil {
@@ -110,6 +137,34 @@ func run(args []string) error {
 			logf("fleet accepting remote workers on %s", f.Addr())
 		}
 		opt.Fleet = f
+	}
+	if *telemPath != "" {
+		out := io.Writer(os.Stdout)
+		var file *os.File
+		if *telemPath != "-" {
+			f, err := os.Create(*telemPath)
+			if err != nil {
+				return fmt.Errorf("-telemetry: %w", err)
+			}
+			file, out = f, f
+		}
+		stream := telemetry.NewStreamSink(out)
+		bus := telemetry.NewBus()
+		bus.Attach(stream)
+		opt.Telemetry = bus
+		defer func() {
+			if err := bus.Flush(); err != nil {
+				logf("-telemetry: %v", err)
+				return
+			}
+			if file != nil {
+				if err := file.Close(); err != nil {
+					logf("-telemetry: %v", err)
+					return
+				}
+			}
+			logf("telemetry: %d records streamed (peak %d retained)", stream.Written(), stream.PeakRetained())
+		}()
 	}
 	for _, name := range names {
 		start := time.Now()
@@ -134,6 +189,23 @@ func run(args []string) error {
 		}
 	}
 	logf("results written to %s", *outDir)
+	return nil
+}
+
+// startPprof binds addr and serves net/http/pprof on it for the life of
+// the process. The bind happens synchronously so a bad address fails the
+// run instead of logging into the void.
+func startPprof(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("-pprof: %w", err)
+	}
+	logf("pprof serving on http://%s/debug/pprof/", ln.Addr())
+	go func() {
+		if err := http.Serve(ln, nil); err != nil {
+			logf("pprof server stopped: %v", err)
+		}
+	}()
 	return nil
 }
 

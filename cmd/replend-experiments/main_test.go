@@ -1,6 +1,8 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -44,5 +46,61 @@ func TestRunUnknownExperiment(t *testing.T) {
 func TestRunRejectsBadFlag(t *testing.T) {
 	if err := run([]string{"-runs", "x"}); err == nil {
 		t.Fatal("bad flag accepted")
+	}
+}
+
+// TestTelemetryByteIdenticalOutputs: the same experiment with -telemetry
+// attached (which also forces replicas sequential) must write the
+// byte-identical table and CSV.
+func TestTelemetryByteIdenticalOutputs(t *testing.T) {
+	refDir, gotDir := t.TempDir(), t.TempDir()
+	base := []string{"-scale", "0.04", "-runs", "2", "-seed", "5"}
+	if err := run(append(append([]string{}, base...), "-out", refDir, "fig3")); err != nil {
+		t.Fatal(err)
+	}
+	telem := filepath.Join(gotDir, "run.jsonl")
+	if err := run(append(append([]string{}, base...), "-out", gotDir, "-telemetry", telem, "fig3")); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"fig3.txt", "fig3.csv"} {
+		ref, err := os.ReadFile(filepath.Join(refDir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(filepath.Join(gotDir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(ref, got) {
+			t.Fatalf("%s differs between the bare and instrumented runs", name)
+		}
+	}
+	stream, err := os.ReadFile(telem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stream) == 0 {
+		t.Fatal("telemetry stream is empty")
+	}
+	var rec struct {
+		T string `json:"t"`
+	}
+	first := stream[:bytes.IndexByte(stream, '\n')]
+	if err := json.Unmarshal(first, &rec); err != nil || (rec.T != "event" && rec.T != "sample") {
+		t.Fatalf("first telemetry line is not a tagged record: %s", first)
+	}
+}
+
+// TestObserveFlagValidation pins the observability flag interlocks.
+func TestObserveFlagValidation(t *testing.T) {
+	telem := filepath.Join(t.TempDir(), "t.jsonl")
+	if err := run([]string{"-workers", "2", "-telemetry", telem, "fig3"}); err == nil {
+		t.Fatal("-telemetry with a fleet accepted")
+	}
+	if err := run([]string{"-progress", "fig3"}); err == nil {
+		t.Fatal("-progress without a fleet accepted")
+	}
+	if err := run([]string{"-pprof", "not-an-address", "fig3"}); err == nil {
+		t.Fatal("unbindable -pprof address accepted")
 	}
 }

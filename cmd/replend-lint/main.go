@@ -1,6 +1,6 @@
 // Command replend-lint runs the determinism analyzer suite — maporder,
-// rngpurity, nopanic, snapshotfields — that mechanizes the byte-identity
-// discipline documented in docs/determinism.md.
+// rngpurity, nopanic, snapshotfields, telemetrypurity — that mechanizes
+// the byte-identity discipline documented in docs/determinism.md.
 //
 // Standalone over package patterns:
 //

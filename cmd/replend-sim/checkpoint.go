@@ -75,7 +75,7 @@ func writeScenarioCheckpoint(spec *scenario.Spec, at int64, path string) error {
 
 // resumeCheckpoint restores a sealed state of either kind and runs it to
 // completion, printing the same summary the uninterrupted run prints.
-func resumeCheckpoint(path, csvPath string, out io.Writer) error {
+func resumeCheckpoint(path, csvPath string, ob obs, out io.Writer) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -95,8 +95,15 @@ func resumeCheckpoint(path, csvPath string, out io.Writer) error {
 			return err
 		}
 		logf("resuming scenario %q from tick %d", r.Spec().Name, r.World().Engine().Now())
+		finishObs, err := ob.attach(r.World(), "scenario "+r.Spec().Name)
+		if err != nil {
+			return err
+		}
 		res, err := r.Finish()
 		if err != nil {
+			return err
+		}
+		if err := finishObs(); err != nil {
 			return err
 		}
 		fmt.Fprint(out, res.Summary())
@@ -121,12 +128,19 @@ func resumeCheckpoint(path, csvPath string, out io.Writer) error {
 			return err
 		}
 		logf("resuming world from tick %d", w.Engine().Now())
+		finishObs, err := ob.attach(w, "replend-sim")
+		if err != nil {
+			return err
+		}
 		if end := sim.Tick(w.Config().NumTrans); w.Engine().Now() < end {
 			if err := w.RunFor(end - w.Engine().Now()); err != nil {
 				return err
 			}
 		}
 		w.Finish()
+		if err := finishObs(); err != nil {
+			return err
+		}
 		printSummary(w)
 		if csvPath != "" {
 			m := w.Metrics()

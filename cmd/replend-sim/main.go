@@ -27,6 +27,9 @@
 //	replend-sim -workload diurnal -ticks 60000 -record t.jsonl
 //	replend-sim -replay t.jsonl -ticks 60000        # byte-identical re-drive
 //	replend-sim -scenario churn-steady -runs 10 -workers 4 -fleet-journal b.journal
+//	replend-sim -telemetry run.jsonl -progress      # stream events, live ticker
+//	replend-sim -scenario churn-steady -runs 10 -workers 4 -progress
+//	replend-sim -pprof localhost:6060 -ticks 500000 # CPU/heap profiles live
 //
 // Results go to stdout; progress and log chatter go to stderr, so stdout
 // stays machine-parseable (and, in -worker mode, carries nothing but
@@ -101,10 +104,20 @@ func run(args []string) error {
 		ckptOut = fs.String("checkpoint-out", "", "run to -checkpoint-at, write the sealed state here and exit (single run or scenario)")
 		ckptAt  = fs.Int64("checkpoint-at", 0, "tick to capture the -checkpoint-out state at")
 		ckptIn  = fs.String("checkpoint-in", "", "resume a checkpoint file to completion instead of starting fresh")
+
+		telemPath = fs.String("telemetry", "", "stream the run's trace events and metric samples as JSONL to this file (- for stdout); single in-process runs only")
+		progress  = fs.Bool("progress", false, "live progress on stderr: a run ticker (tick, population, record rate, RSS), or the per-worker table with a fleet")
+		pprofAddr = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for the duration of the run")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *pprofAddr != "" {
+		if err := startPprof(*pprofAddr); err != nil {
+			return err
+		}
+	}
+	ob := obs{telemetryPath: *telemPath, progress: *progress}
 	if *worker {
 		return fleet.ServeWorker(os.Stdin, os.Stdout, fleet.WorkerOptions{Logf: logf})
 	}
@@ -115,6 +128,15 @@ func run(args []string) error {
 	wkOver, err := workloadOverride(*wkArg, *repPath)
 	if err != nil {
 		return err
+	}
+	if *telemPath != "" && (*runs > 1 || *workers > 0 || *fleetListen != "" || *ckptOut != "") {
+		return fmt.Errorf("-telemetry streams one in-process run; it is mutually exclusive with -runs > 1, fleet flags and -checkpoint-out")
+	}
+	if *progress && *ckptOut != "" {
+		return fmt.Errorf("-progress tracks a full run; it is mutually exclusive with -checkpoint-out")
+	}
+	if *progress && *runs > 1 && *workers == 0 && *fleetListen == "" {
+		return fmt.Errorf("-progress with -runs > 1 renders the fleet table; give it a fleet with -workers")
 	}
 	if *recPath != "" && (*runs > 1 || *workers > 0 || *fleetListen != "" || *ckptOut != "" || *ckptIn != "") {
 		return fmt.Errorf("-record captures a single uninterrupted in-process run; it is mutually exclusive with -runs > 1, fleet flags and checkpointing")
@@ -129,7 +151,7 @@ func run(args []string) error {
 		if *workers > 0 || *fleetListen != "" {
 			return fmt.Errorf("-checkpoint-in runs in-process; it takes no fleet flags")
 		}
-		return resumeCheckpoint(*ckptIn, *csvPath, os.Stdout)
+		return resumeCheckpoint(*ckptIn, *csvPath, ob, os.Stdout)
 	}
 	if *ckptOut != "" && *ckptAt <= 0 {
 		return fmt.Errorf("-checkpoint-out needs -checkpoint-at <tick> > 0")
@@ -151,7 +173,7 @@ func run(args []string) error {
 			}
 			return writeScenarioCheckpoint(spec, *ckptAt, *ckptOut)
 		}
-		return runScenario(*scenPath, *runs, *csvPath, *workers, *fleetListen, *fleetToken, *journal, wkOver, *recPath, os.Stdout)
+		return runScenario(*scenPath, *runs, *csvPath, *workers, *fleetListen, *fleetToken, *journal, wkOver, *recPath, ob, os.Stdout)
 	}
 	if *workers > 0 || *fleetListen != "" {
 		return fmt.Errorf("-workers and -fleet-listen need -scenario (only replica sweeps shard)")
@@ -222,7 +244,14 @@ func run(args []string) error {
 		rec = workload.NewRecorder(workload.Header{Seed: cfg.Seed})
 		w.SetWorkloadRecorder(rec)
 	}
+	finishObs, err := ob.attach(w, "replend-sim")
+	if err != nil {
+		return err
+	}
 	if err := w.Run(); err != nil {
+		return err
+	}
+	if err := finishObs(); err != nil {
 		return err
 	}
 
@@ -311,7 +340,7 @@ func loadScenario(nameOrPath string) (*scenario.Spec, error) {
 // spec-selected series of the primary run (the spec's own seed). A
 // non-nil wkOver replaces the spec's workload block; a non-empty
 // recPath exports the (single) run's workload trace.
-func runScenario(nameOrPath string, runs int, csvPath string, workers int, fleetListen, fleetToken, journal string, wkOver *workload.Spec, recPath string, out io.Writer) error {
+func runScenario(nameOrPath string, runs int, csvPath string, workers int, fleetListen, fleetToken, journal string, wkOver *workload.Spec, recPath string, ob obs, out io.Writer) error {
 	spec, err := loadScenario(nameOrPath)
 	if err != nil {
 		return err
@@ -324,7 +353,7 @@ func runScenario(nameOrPath string, runs int, csvPath string, workers int, fleet
 		if runs <= 1 {
 			return fmt.Errorf("-workers shards replicas; give it work with -runs > 1")
 		}
-		f, err := newLocalFleet(workers, fleetListen, fleetToken)
+		f, err := newLocalFleet(workers, fleetListen, fleetToken, ob.progress)
 		if err != nil {
 			return err
 		}
@@ -342,8 +371,15 @@ func runScenario(nameOrPath string, runs int, csvPath string, workers int, fleet
 			rec = workload.NewRecorder(workload.Header{Scenario: spec.Name, Seed: spec.Base.Seed})
 			r.World().SetWorkloadRecorder(rec)
 		}
+		finishObs, err := ob.attach(r.World(), "scenario "+spec.Name)
+		if err != nil {
+			return err
+		}
 		res, err := r.Finish()
 		if err != nil {
+			return err
+		}
+		if err := finishObs(); err != nil {
 			return err
 		}
 		if rec != nil {
@@ -377,8 +413,11 @@ func runScenario(nameOrPath string, runs int, csvPath string, workers int, fleet
 // newLocalFleet builds the coordinator for -workers/-fleet-listen: n
 // copies of this binary in -worker mode, plus an optional TCP join
 // listener for remote workers.
-func newLocalFleet(n int, listen, token string) (*fleet.Fleet, error) {
+func newLocalFleet(n int, listen, token string, progress bool) (*fleet.Fleet, error) {
 	cfg := fleet.Config{Workers: n, Listen: listen, Token: token, Logf: logf}
+	if progress {
+		cfg.Progress = os.Stderr
+	}
 	if n > 0 {
 		spawn, err := fleet.SelfSpawn()
 		if err != nil {

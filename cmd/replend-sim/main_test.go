@@ -404,10 +404,12 @@ func TestProcessFleetJournalResume(t *testing.T) {
 			continue
 		}
 		var rec struct {
-			Unit int `json:"unit"`
+			Result *struct {
+				Unit int `json:"unit"`
+			} `json:"result"`
 		}
-		if json.Unmarshal(line, &rec) == nil {
-			completed[fmt.Sprintf("unit %d ", rec.Unit)] = true
+		if json.Unmarshal(line, &rec) == nil && rec.Result != nil {
+			completed[fmt.Sprintf("unit %d ", rec.Result.Unit)] = true
 		}
 	}
 	if len(completed) == 0 || len(completed) >= 6 {

@@ -54,8 +54,12 @@ func RunFig1(opt Options) (*Fig1, error) {
 		if err != nil {
 			return nil, err
 		}
-		out.Coop[kind] = mergeSeriesOf(rs, "coop-"+string(kind), func(r Replica) *metrics.Series { return r.Metrics.CoopCount })
-		out.Uncoop[kind] = mergeSeriesOf(rs, "uncoop-"+string(kind), func(r Replica) *metrics.Series { return r.Metrics.UncoopCount })
+		if out.Coop[kind], err = mergeSeriesOf(rs, "coop-"+string(kind), func(r Replica) *metrics.Series { return r.Metrics.CoopCount }); err != nil {
+			return nil, err
+		}
+		if out.Uncoop[kind], err = mergeSeriesOf(rs, "uncoop-"+string(kind), func(r Replica) *metrics.Series { return r.Metrics.UncoopCount }); err != nil {
+			return nil, err
+		}
 		out.FinalCoop[kind] = meanOf(rs, func(r Replica) int64 { return r.Metrics.CoopInSystem })
 		out.FinalUncoop[kind] = meanOf(rs, func(r Replica) int64 { return r.Metrics.UncoopInSystem })
 		admittedCoop := meanOf(rs, func(r Replica) int64 { return r.Metrics.AdmittedCoop })

@@ -56,8 +56,11 @@ func RunFig2(lambdas []float64, opt Options) (*Fig2, error) {
 		if err != nil {
 			return nil, err
 		}
-		s := mergeSeriesOf(rs, fmt.Sprintf("rep-lambda-%g", lam),
+		s, err := mergeSeriesOf(rs, fmt.Sprintf("rep-lambda-%g", lam),
 			func(r Replica) *metrics.Series { return r.Metrics.CoopReputation })
+		if err != nil {
+			return nil, err
+		}
 		out.Reputation[lam] = s
 		if last, ok := s.Last(); ok {
 			out.Final[lam] = last.V

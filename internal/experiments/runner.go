@@ -18,6 +18,7 @@ import (
 	"repro/internal/lending"
 	"repro/internal/metrics"
 	"repro/internal/rng"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 	"repro/internal/world"
 )
@@ -56,6 +57,14 @@ type Options struct {
 	// Poisson generator. The spec rides inside the config, so fleet
 	// workers replay it byte-identically.
 	Workload *workload.Spec
+	// Telemetry, when non-nil, is attached to every in-process replica
+	// world (the -telemetry flag): trace events and metric samples
+	// stream into the bus as replicas run. The bus is not synchronized,
+	// so setting it forces Parallel to 1 — replicas publish one at a
+	// time, in replica order. Ignored by the fleet backend (replica
+	// worlds live in worker processes). Write-only: results are
+	// byte-identical with or without it.
+	Telemetry *telemetry.Bus
 }
 
 // runFleetBatch dispatches one batch on opt.Fleet, under the coordinator
@@ -79,6 +88,10 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Parallel <= 0 {
 		o.Parallel = runtime.GOMAXPROCS(0)
+	}
+	if o.Telemetry != nil {
+		// The bus is unsynchronized; replicas must publish one at a time.
+		o.Parallel = 1
 	}
 	if o.Scale <= 0 {
 		o.Scale = 1
@@ -206,6 +219,7 @@ func runReplicas(cfg config.Config, opt Options, policy baseline.Policy) ([]Repl
 		if policy != nil {
 			w.SetPolicy(policy)
 		}
+		w.SetTelemetry(opt.Telemetry)
 		if err := w.Run(); err != nil {
 			return err
 		}
@@ -274,11 +288,18 @@ func statOf(rs []Replica, f func(Replica) float64) metrics.Running {
 	return acc
 }
 
-// mergeSeriesOf averages a per-replica series pointwise.
-func mergeSeriesOf(rs []Replica, name string, f func(Replica) *metrics.Series) *metrics.Series {
+// mergeSeriesOf averages a per-replica series pointwise. It returns an
+// error (not a panic) on a shape mismatch because replicas may have come
+// back over the wire from fleet workers: a malformed payload should fail
+// the experiment with context, not crash the coordinator.
+func mergeSeriesOf(rs []Replica, name string, f func(Replica) *metrics.Series) (*metrics.Series, error) {
 	series := make([]*metrics.Series, len(rs))
 	for i, r := range rs {
 		series[i] = f(r)
 	}
-	return metrics.MergeSeries(name, series)
+	merged, err := metrics.MergeSeriesChecked(name, series)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+	return merged, nil
 }

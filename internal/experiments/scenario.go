@@ -34,7 +34,12 @@ func RunScenarioReplicas(spec *scenario.Spec, opt Options) ([]ScenarioReplica, e
 	err := forEachReplica(opt, func(i int) error {
 		sp := *spec // shallow copy: Base is a value, phases are read-only
 		sp.Base.Seed = replicaSeed(spec.Base.Seed, i)
-		res, err := sp.Run()
+		r, err := sp.Start()
+		if err != nil {
+			return fmt.Errorf("scenario %q seed %d: %w", sp.Name, sp.Base.Seed, err)
+		}
+		r.World().SetTelemetry(opt.Telemetry)
+		res, err := r.Finish()
 		if err != nil {
 			return fmt.Errorf("scenario %q seed %d: %w", sp.Name, sp.Base.Seed, err)
 		}

@@ -7,8 +7,11 @@ import (
 	"net"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // SpawnFunc creates the transport to one local worker (conventionally a
@@ -49,6 +52,11 @@ type Config struct {
 	// Logf, when set, receives scheduling chatter (callers pass a stderr
 	// logger; never stdout, which belongs to results).
 	Logf func(format string, args ...any)
+	// Progress, when set, receives a live per-worker progress table
+	// (unit, tick, tick rate, peak RSS from the workers' heartbeat
+	// telemetry) about once a second while a batch runs. Callers pass
+	// stderr; results own stdout.
+	Progress io.Writer
 }
 
 func (c Config) withDefaults() Config {
@@ -101,6 +109,7 @@ type workerConn struct {
 	unit      int   // inflight unit index, -1 when idle
 	unitEpoch int64 // batch epoch the inflight unit belongs to
 	lastSeen  time.Time
+	status    *Status // last heartbeat telemetry, nil before the first
 }
 
 // batch is the state of one Run call.
@@ -116,6 +125,9 @@ type batch struct {
 	done      int
 	err       error
 	journal   *Journal // nil when the batch is not journaled
+	began     time.Time
+	workers   map[int]bool // worker ids that completed a unit
+	peakRSS   uint64       // max heartbeat-reported RSS across workers
 }
 
 // New builds the fleet: spawns the local workers and, when configured,
@@ -250,6 +262,12 @@ func (f *Fleet) serveConn(w *workerConn) {
 		}
 		f.mu.Lock()
 		w.lastSeen = time.Now()
+		if env.Status != nil {
+			w.status = env.Status
+			if b := f.batch; b != nil && env.Status.PeakRSS > b.peakRSS {
+				b.peakRSS = env.Status.PeakRSS
+			}
+		}
 		if env.Type == msgResult && env.Result != nil {
 			f.handleResultLocked(w, env.Result)
 		}
@@ -293,6 +311,7 @@ func (f *Fleet) handleResultLocked(w *workerConn, res *Result) {
 	}
 	b.results[unit] = res
 	b.done++
+	b.workers[w.id] = true
 	if start, ok := b.started[unit]; ok {
 		b.durations = append(b.durations, time.Since(start))
 	}
@@ -386,6 +405,8 @@ func (f *Fleet) runBatch(jobs []Job, journal *Journal) ([]*Result, error) {
 		retries:  make([]int, len(jobs)),
 		started:  map[int]time.Time{},
 		journal:  journal,
+		began:    time.Now(),
+		workers:  map[int]bool{},
 	}
 	for i := range jobs {
 		jobs[i].Unit = i
@@ -419,6 +440,10 @@ func (f *Fleet) runBatch(jobs []Job, journal *Journal) ([]*Result, error) {
 			}
 		}
 	}()
+	if f.cfg.Progress != nil {
+		f.serving.Add(1)
+		go f.renderProgress(b, tickDone)
+	}
 
 	f.mu.Lock()
 	defer func() {
@@ -430,6 +455,13 @@ func (f *Fleet) runBatch(jobs []Job, journal *Journal) ([]*Result, error) {
 			return nil, b.err
 		}
 		if b.done == len(jobs) {
+			if b.journal != nil {
+				// The summary is observability, not state: a journal
+				// whose summary append failed still replays every unit.
+				if err := b.journal.appendSummary(f.summaryLocked(b)); err != nil {
+					f.cfg.Logf("fleet: journal telemetry summary not recorded: %v", err)
+				}
+			}
 			out := make([]*Result, len(jobs))
 			copy(out, b.results)
 			return out, nil
@@ -584,6 +616,64 @@ func (f *Fleet) respawnWantedLocked(b *batch) int {
 	}
 	f.spawnsLeft -= want
 	return want
+}
+
+// renderProgress writes the live per-worker progress table to
+// cfg.Progress about once a second until the batch's done channel
+// closes. The table is assembled under the fleet lock from heartbeat
+// telemetry and written outside it.
+func (f *Fleet) renderProgress(b *batch, done <-chan struct{}) {
+	defer f.serving.Done()
+	t := time.NewTicker(time.Second)
+	defer t.Stop()
+	for {
+		select {
+		case <-done:
+			return
+		case <-t.C:
+			f.mu.Lock()
+			table := f.progressTableLocked(b)
+			f.mu.Unlock()
+			fmt.Fprint(f.cfg.Progress, table)
+		}
+	}
+}
+
+// progressTableLocked renders the batch position plus one line per
+// connected worker from its last heartbeat telemetry.
+func (f *Fleet) progressTableLocked(b *batch) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "fleet: %d/%d units done, %s elapsed\n", b.done, len(b.jobs), time.Since(b.began).Round(time.Second))
+	for _, wid := range sortedWorkerIDs(f.workers) {
+		w := f.workers[wid]
+		kind := "remote"
+		if w.local {
+			kind = "local"
+		}
+		st := w.status
+		switch {
+		case !w.ready:
+			fmt.Fprintf(&sb, "  worker %d (%s): joining\n", w.id, kind)
+		case st == nil || st.Unit < 0:
+			fmt.Fprintf(&sb, "  worker %d (%s): idle\n", w.id, kind)
+		default:
+			fmt.Fprintf(&sb, "  worker %d (%s): unit %d tick=%d ticks/s=%.0f rss=%s\n",
+				w.id, kind, st.Unit, st.Tick, st.TicksPerSec, telemetry.FormatBytes(st.PeakRSS))
+		}
+	}
+	return sb.String()
+}
+
+// summaryLocked folds the batch's telemetry into the journal's summary
+// record: what ran, on how many workers, how long, and the fleet's
+// resident-set high-water mark.
+func (f *Fleet) summaryLocked(b *batch) *TelemetrySummary {
+	return &TelemetrySummary{
+		Units:          len(b.jobs),
+		Workers:        len(b.workers),
+		ElapsedSeconds: time.Since(b.began).Seconds(),
+		PeakRSS:        b.peakRSS,
+	}
 }
 
 // Close shuts the fleet down: remote listeners stop accepting and every

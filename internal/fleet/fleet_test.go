@@ -409,6 +409,7 @@ func TestStaleEpochResultDropped(t *testing.T) {
 		inflight: map[int]int{0: 1},
 		retries:  make([]int, 1),
 		started:  map[int]time.Time{},
+		workers:  map[int]bool{},
 	}
 	f.batch = b
 	// A zombie worker still holding unit 0 of the previous batch (epoch 1).

@@ -19,7 +19,14 @@ import (
 )
 
 // journalMagic identifies a fleet journal file and its format version.
-const journalMagic = "replend-fleet-journal/v1"
+// v2 switched the body to tagged records ({"result":…} / {"telemetry":…})
+// so the batch's fleet telemetry summary can live in the journal without
+// a bare summary line ever being mistaken for a unit result.
+const journalMagic = "replend-fleet-journal/v2"
+
+// journalMagicV1 is the untagged predecessor format. It is recognized
+// only to refuse it with a precise message instead of "not a journal".
+const journalMagicV1 = "replend-fleet-journal/v1"
 
 // journalHeader is the first line of a journal.
 type journalHeader struct {
@@ -28,10 +35,35 @@ type journalHeader struct {
 	N         int    `json:"n"`
 }
 
+// journalRecord is one tagged body line: exactly one field is set.
+type journalRecord struct {
+	Result    *Result           `json:"result,omitempty"`
+	Telemetry *TelemetrySummary `json:"telemetry,omitempty"`
+}
+
+// TelemetrySummary is the fleet-wide telemetry record appended to the
+// journal when a batch completes: observability only, never replayed
+// into results. A batch resumed by a second coordinator appends its own
+// summary; replay keeps the last.
+type TelemetrySummary struct {
+	// Units is the batch size.
+	Units int `json:"units"`
+	// Workers is how many distinct workers completed at least one unit
+	// under this coordinator (journal-replayed units count nobody).
+	Workers int `json:"workers"`
+	// ElapsedSeconds is the batch's wall-clock time under this
+	// coordinator.
+	ElapsedSeconds float64 `json:"elapsedSeconds"`
+	// PeakRSS is the largest resident set any worker reported over its
+	// heartbeat telemetry, in bytes.
+	PeakRSS uint64 `json:"peakRss,omitempty"`
+}
+
 // Journal is an append-only record of one batch's completed units.
 type Journal struct {
 	file      *os.File
 	completed []*Result // by unit index; nil where incomplete
+	summary   *TelemetrySummary
 }
 
 // BatchSignature fingerprints a batch's work independently of how the
@@ -99,6 +131,10 @@ func OpenJournal(path string, jobs []Job) (*Journal, error) {
 		f.Close()
 		return nil, fmt.Errorf("fleet: journal header corrupt: %w", err)
 	}
+	if hdr.Magic == journalMagicV1 {
+		f.Close()
+		return nil, fmt.Errorf("fleet: journal %s uses the retired v1 format — delete it and rerun the batch", path)
+	}
 	if hdr.Magic != journalMagic {
 		f.Close()
 		return nil, fmt.Errorf("fleet: %s is not a fleet journal (magic %q)", path, hdr.Magic)
@@ -107,27 +143,37 @@ func OpenJournal(path string, jobs []Job) (*Journal, error) {
 		f.Close()
 		return nil, fmt.Errorf("fleet: journal %s belongs to a different batch — delete it or use another path", path)
 	}
-	// Replay completed results. good tracks the end of the last intact
+	// Replay the tagged records. good tracks the end of the last intact
 	// line so a torn final append can be truncated away.
 	good := int64(len(sc.Bytes()) + 1)
 	for sc.Scan() {
-		var res Result
-		if err := json.Unmarshal(sc.Bytes(), &res); err != nil {
+		var rec journalRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
 			break // torn tail; truncate below
 		}
-		if res.Unit < 0 || res.Unit >= len(jobs) {
-			f.Close()
-			return nil, fmt.Errorf("fleet: journal records unit %d outside the batch", res.Unit)
+		if rec.Result == nil && rec.Telemetry == nil {
+			break // a line from no version of this code; treat as a torn tail
 		}
-		if j.completed[res.Unit] != nil {
-			f.Close()
-			return nil, fmt.Errorf("fleet: journal records unit %d twice", res.Unit)
+		if rec.Telemetry != nil {
+			// Observability record; a resumed batch appends another, so
+			// the last one wins.
+			j.summary = rec.Telemetry
+		} else {
+			res := rec.Result
+			if res.Unit < 0 || res.Unit >= len(jobs) {
+				f.Close()
+				return nil, fmt.Errorf("fleet: journal records unit %d outside the batch", res.Unit)
+			}
+			if j.completed[res.Unit] != nil {
+				f.Close()
+				return nil, fmt.Errorf("fleet: journal records unit %d twice", res.Unit)
+			}
+			if res.Err != "" {
+				f.Close()
+				return nil, fmt.Errorf("fleet: journal records a failed unit %d: %s", res.Unit, res.Err)
+			}
+			j.completed[res.Unit] = res
 		}
-		if res.Err != "" {
-			f.Close()
-			return nil, fmt.Errorf("fleet: journal records a failed unit %d: %s", res.Unit, res.Err)
-		}
-		j.completed[res.Unit] = &res
 		good += int64(len(sc.Bytes()) + 1)
 	}
 	if err := sc.Err(); err != nil && err != bufio.ErrTooLong {
@@ -168,7 +214,30 @@ func (j *Journal) CompletedCount() int {
 // held; each record is synced before the result is merged, so a crash
 // after the merge can never lose a unit the caller saw complete.
 func (j *Journal) append(res *Result) error {
-	data, err := json.Marshal(res)
+	if err := j.appendRecord(&journalRecord{Result: res}); err != nil {
+		return err
+	}
+	j.completed[res.Unit] = res
+	return nil
+}
+
+// appendSummary durably records the batch's fleet telemetry summary.
+func (j *Journal) appendSummary(s *TelemetrySummary) error {
+	if err := j.appendRecord(&journalRecord{Telemetry: s}); err != nil {
+		return err
+	}
+	j.summary = s
+	return nil
+}
+
+// Summary returns the journal's fleet telemetry summary: the one the
+// completed batch appended (or, after replay, the last one recorded).
+// Nil while the batch is incomplete.
+func (j *Journal) Summary() *TelemetrySummary { return j.summary }
+
+// appendRecord writes and syncs one tagged line.
+func (j *Journal) appendRecord(rec *journalRecord) error {
+	data, err := json.Marshal(rec)
 	if err != nil {
 		return fmt.Errorf("fleet: encoding journal record: %w", err)
 	}
@@ -178,7 +247,6 @@ func (j *Journal) append(res *Result) error {
 	if err := j.file.Sync(); err != nil {
 		return fmt.Errorf("fleet: syncing journal: %w", err)
 	}
-	j.completed[res.Unit] = res
 	return nil
 }
 

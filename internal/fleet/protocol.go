@@ -34,8 +34,10 @@ import (
 // a different version is rejected; the coordinator and its workers are
 // expected to run the same binary. Version 2 added segment units (jobs
 // that resume a checkpoint, run a tick budget and return the re-sealed
-// checkpoint).
-const ProtoVersion = 2
+// checkpoint). Version 3 added worker telemetry on heartbeat frames (the
+// Status payload), which the coordinator renders as a live progress
+// table and folds into the journal's telemetry summary.
+const ProtoVersion = 3
 
 // maxFrame bounds a single frame (a job with an embedded spec, or a
 // result with its sampled series). Runs that legitimately exceed this are
@@ -79,6 +81,25 @@ type envelope struct {
 	Hello  *hello  `json:"hello,omitempty"`
 	Job    *Job    `json:"job,omitempty"`
 	Result *Result `json:"result,omitempty"`
+	Status *Status `json:"status,omitempty"`
+}
+
+// Status is the worker telemetry riding on heartbeat frames: where the
+// worker is in its current unit and what it costs. Pure observability —
+// the coordinator renders it and records a summary, but schedules off
+// liveness alone, so a worker without telemetry (an idle one, or one
+// between units) is a first-class citizen.
+type Status struct {
+	// Unit is the inflight unit index, -1 while idle.
+	Unit int `json:"unit"`
+	// Tick is the simulation tick the unit has reached.
+	Tick int64 `json:"tick,omitempty"`
+	// TicksPerSec is the unit's tick rate over the last heartbeat
+	// interval (0 until two beats have observed the same unit).
+	TicksPerSec float64 `json:"tps,omitempty"`
+	// PeakRSS is the worker process's resident-set high-water mark in
+	// bytes, sampled at each heartbeat.
+	PeakRSS uint64 `json:"peakRss,omitempty"`
 }
 
 // hello identifies a joining worker.

@@ -205,11 +205,14 @@ func TestJournalResumeSkipsCompletedUnits(t *testing.T) {
 	}
 	kept := map[int]bool{}
 	for _, line := range lines[1:5] {
-		var rec Result
+		var rec journalRecord
 		if err := json.Unmarshal(line, &rec); err != nil {
 			t.Fatal(err)
 		}
-		kept[rec.Unit] = true
+		if rec.Result == nil {
+			t.Fatalf("journal line carries no result: %s", line)
+		}
+		kept[rec.Result.Unit] = true
 	}
 	var incomplete []int
 	for i := range jobs {

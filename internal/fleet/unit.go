@@ -8,6 +8,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/scenario"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/world"
 )
 
@@ -19,31 +20,44 @@ import (
 // the unit is reported as a deterministic unit error rather than killing
 // the worker: the same job would panic identically on every retry, so the
 // coordinator must fail the batch with the message, not cycle workers.
-func RunJob(job *Job) (res *Result) {
+func RunJob(job *Job) *Result { return RunJobWithProgress(job, nil) }
+
+// RunJobWithProgress is RunJob with a telemetry gauge attached to the
+// unit's world, so a concurrent observer (the worker heartbeat) can read
+// the unit's tick as it advances. The gauge rides a write-only telemetry
+// bus: attaching it changes no draw and no output, which the world's
+// determinism tests pin byte for byte — fleet results stay identical to
+// in-process results with or without it.
+func RunJobWithProgress(job *Job, progress *telemetry.Progress) (res *Result) {
 	res = &Result{Unit: job.Unit, Epoch: job.Epoch}
 	defer func() {
 		if r := recover(); r != nil {
 			res.Err = fmt.Sprintf("unit %d panicked: %v", job.Unit, r)
-			res.Scenario, res.Config = nil, nil
+			res.Scenario, res.Config, res.Segment = nil, nil, nil
 		}
 	}()
+	var bus *telemetry.Bus
+	if progress != nil {
+		bus = telemetry.NewBus()
+		bus.Attach(progress)
+	}
 	switch job.Kind {
 	case KindScenario:
-		sr, err := runScenarioUnit(job)
+		sr, err := runScenarioUnit(job, bus)
 		if err != nil {
 			res.Err = err.Error()
 			return res
 		}
 		res.Scenario = sr
 	case KindConfig:
-		cr, err := runConfigUnit(job)
+		cr, err := runConfigUnit(job, bus)
 		if err != nil {
 			res.Err = err.Error()
 			return res
 		}
 		res.Config = cr
 	case KindSegment:
-		sr, err := runSegmentUnit(job)
+		sr, err := runSegmentUnit(job, bus)
 		if err != nil {
 			res.Err = err.Error()
 			return res
@@ -57,13 +71,18 @@ func RunJob(job *Job) (res *Result) {
 
 // runScenarioUnit executes a scenario replica: the dispatched spec with
 // the unit's derived seed.
-func runScenarioUnit(job *Job) (*ScenarioResult, error) {
+func runScenarioUnit(job *Job, bus *telemetry.Bus) (*ScenarioResult, error) {
 	spec, err := scenario.Load(job.Spec)
 	if err != nil {
 		return nil, err
 	}
 	spec.Base.Seed = job.Seed
-	out, err := spec.Run()
+	r, err := spec.Start()
+	if err != nil {
+		return nil, err
+	}
+	r.World().SetTelemetry(bus)
+	out, err := r.Finish()
 	if err != nil {
 		return nil, fmt.Errorf("scenario %q seed %d: %w", spec.Name, job.Seed, err)
 	}
@@ -80,7 +99,7 @@ func runScenarioUnit(job *Job) (*ScenarioResult, error) {
 // job's target tick (returning the re-sealed state) or, when Final, to
 // the end of the run (returning the result payload). Both checkpoint
 // kinds are accepted; dispatch is on the envelope's kind tag.
-func runSegmentUnit(job *Job) (*SegmentResult, error) {
+func runSegmentUnit(job *Job, bus *telemetry.Bus) (*SegmentResult, error) {
 	kind, body, err := checkpoint.Open(job.Checkpoint)
 	if err != nil {
 		return nil, err
@@ -95,6 +114,7 @@ func runSegmentUnit(job *Job) (*SegmentResult, error) {
 		if err != nil {
 			return nil, err
 		}
+		r.World().SetTelemetry(bus)
 		if job.Final {
 			out, err := r.Finish()
 			if err != nil {
@@ -129,6 +149,7 @@ func runSegmentUnit(job *Job) (*SegmentResult, error) {
 		if err != nil {
 			return nil, err
 		}
+		w.SetTelemetry(bus)
 		if job.Final {
 			if end := sim.Tick(w.Config().NumTrans); w.Engine().Now() < end {
 				if err := w.RunFor(end - w.Engine().Now()); err != nil {
@@ -159,7 +180,7 @@ func runSegmentUnit(job *Job) (*SegmentResult, error) {
 
 // runConfigUnit executes a configured-world replica, optionally under a
 // named baseline bootstrap policy, with the unit's derived seed.
-func runConfigUnit(job *Job) (*ConfigResult, error) {
+func runConfigUnit(job *Job, bus *telemetry.Bus) (*ConfigResult, error) {
 	cfg, err := config.Load(job.Config)
 	if err != nil {
 		return nil, err
@@ -172,6 +193,7 @@ func runConfigUnit(job *Job) (*ConfigResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	w.SetTelemetry(bus)
 	if job.Policy != "" {
 		pol, err := baseline.ByName(job.Policy)
 		if err != nil {

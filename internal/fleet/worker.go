@@ -6,7 +6,62 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"repro/internal/telemetry"
 )
+
+// workerState tracks what the worker is computing so the heartbeat
+// goroutine can report it. The unit's position comes from a
+// telemetry.Progress attached to the unit's world — write-only
+// instrumentation, so the report costs the simulation nothing.
+type workerState struct {
+	mu       sync.Mutex
+	unit     int
+	progress *telemetry.Progress
+	lastTick int64
+	lastAt   time.Time
+	peakRSS  uint64
+}
+
+func newWorkerState() *workerState { return &workerState{unit: -1} }
+
+// begin marks a unit inflight and adopts its progress gauge.
+func (s *workerState) begin(unit int, p *telemetry.Progress) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.unit = unit
+	s.progress = p
+	s.lastTick = 0
+	s.lastAt = time.Now()
+}
+
+// end marks the worker idle again.
+func (s *workerState) end() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.unit = -1
+	s.progress = nil
+}
+
+// status snapshots the worker's telemetry for one heartbeat, updating
+// the rate baseline and the RSS high-water mark as a side effect.
+func (s *workerState) status() *Status {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if rss := telemetry.RSSBytes(); rss > s.peakRSS {
+		s.peakRSS = rss
+	}
+	st := &Status{Unit: s.unit, PeakRSS: s.peakRSS}
+	if s.progress != nil {
+		st.Tick = s.progress.Tick()
+		now := time.Now()
+		if dt := now.Sub(s.lastAt).Seconds(); dt > 0 && st.Tick >= s.lastTick {
+			st.TicksPerSec = float64(st.Tick-s.lastTick) / dt
+		}
+		s.lastTick, s.lastAt = st.Tick, now
+	}
+	return st
+}
 
 // WorkerOptions configures a worker loop.
 type WorkerOptions struct {
@@ -50,6 +105,7 @@ func ServeWorker(r io.Reader, w io.Writer, opt WorkerOptions) error {
 	if err := send(&envelope{Type: msgHello, Hello: &hello{Proto: ProtoVersion, Token: opt.Token}}); err != nil {
 		return fmt.Errorf("fleet: worker hello: %w", err)
 	}
+	state := newWorkerState()
 	stop := make(chan struct{})
 	defer close(stop)
 	go func() {
@@ -62,8 +118,10 @@ func ServeWorker(r io.Reader, w io.Writer, opt WorkerOptions) error {
 			case <-t.C:
 				// A failed heartbeat means the coordinator is gone; the
 				// main loop will see the same failure on its next write
-				// or read, so the error is dropped here.
-				_ = send(&envelope{Type: msgHeartbeat})
+				// or read, so the error is dropped here. The beacon
+				// carries the worker's telemetry: unit, tick, tick rate
+				// and peak RSS.
+				_ = send(&envelope{Type: msgHeartbeat, Status: state.status()})
 			}
 		}
 	}()
@@ -81,7 +139,10 @@ func ServeWorker(r io.Reader, w io.Writer, opt WorkerOptions) error {
 				return fmt.Errorf("fleet: job frame without a job")
 			}
 			opt.Logf("fleet worker: unit %d (%s) started", env.Job.Unit, env.Job.Kind)
-			res := RunJob(env.Job)
+			progress := &telemetry.Progress{}
+			state.begin(env.Job.Unit, progress)
+			res := RunJobWithProgress(env.Job, progress)
+			state.end()
 			if res.Err != "" {
 				opt.Logf("fleet worker: unit %d failed: %s", env.Job.Unit, res.Err)
 			} else {

@@ -41,6 +41,7 @@ import (
 	"repro/internal/id"
 	"repro/internal/rocq"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 )
 
@@ -238,6 +239,12 @@ type Protocol struct {
 	//replend:allow snapshotfields derived from config.StakeTimeout, which the world snapshot carries; restore re-applies it
 	retainStakes bool
 
+	// spans, when set, times the lend fan-out (wall clock only — the
+	// recorder is write-only from the protocol's side, so instrumentation
+	// can never alter an outcome).
+	//replend:allow snapshotfields observability-only wall-clock span recorder, re-attached by the caller after restore
+	spans *telemetry.Spans
+
 	nonce uint64
 	stats Stats
 }
@@ -351,6 +358,11 @@ func (p *Protocol) verifyEnv(env transport.Envelope, claimedBy id.ID) bool {
 // enabling stateless verification of departed senders' envelopes (see
 // the nullFallback field). The world sets it once at construction.
 func (p *Protocol) SetNullFallback(on bool) { p.nullFallback = on }
+
+// SetSpans attaches a wall-clock span recorder to the protocol's lend
+// fan-out; nil detaches it. Observability only: nothing the protocol
+// decides can depend on it.
+func (p *Protocol) SetSpans(s *telemetry.Spans) { p.spans = s }
 
 // Stats returns a copy of the protocol counters.
 func (p *Protocol) Stats() Stats { return p.stats }
@@ -492,6 +504,7 @@ func (p *Protocol) emitRefused(newcomer, introducer id.ID, reason Reason) {
 // executeLend runs step 2–4 of the protocol at the end of the waiting
 // period.
 func (p *Protocol) executeLend(newcomer, introducer id.ID) {
+	defer p.spans.Start("lending-fanout")()
 	rep, known := p.net.QueryReputation(introducer)
 	if !known || rep < p.params.MinIntroRep {
 		p.stats.RefusedRep++

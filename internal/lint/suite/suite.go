@@ -9,6 +9,7 @@ import (
 	"repro/internal/lint/nopanic"
 	"repro/internal/lint/rngpurity"
 	"repro/internal/lint/snapshotfields"
+	"repro/internal/lint/telemetrypurity"
 )
 
 // All returns the full determinism suite.
@@ -18,6 +19,7 @@ func All() []*analysis.Analyzer {
 		rngpurity.Analyzer,
 		nopanic.Analyzer,
 		snapshotfields.Analyzer,
+		telemetrypurity.Analyzer,
 	}
 }
 

@@ -1,0 +1,65 @@
+// Package telemetrypurity defines an analyzer that keeps the telemetry
+// layer write-only. The bus's determinism contract (see
+// internal/telemetry) is that publishing a record never draws
+// randomness and never reaches into simulation state: a run with every
+// sink attached must produce byte-identical results to a run with none.
+// The byte-identity half is pinned by world and CLI tests; this
+// analyzer enforces the structural half — a telemetry package that
+// imports an RNG or a simulation package has the machinery to feed
+// observation back into output bytes, whether or not it does so today.
+package telemetrypurity
+
+import (
+	"strconv"
+	"strings"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/watch"
+)
+
+// Analyzer forbids RNG and simulation-state imports in telemetry
+// packages.
+var Analyzer = &analysis.Analyzer{
+	Name: "telemetrypurity",
+	Doc: `forbid RNG and simulation-state imports in telemetry packages
+
+Telemetry packages (see internal/lint/watch) are write-only observers:
+the simulation publishes records into them and nothing flows back.
+Importing math/rand, math/rand/v2 or repro/internal/rng gives a sink a
+way to perturb or depend on the random stream; importing a simulation
+package (internal/world, internal/lending, ...) gives it a way to read
+or mutate state directly instead of observing published records.
+Either import breaks the contract that attaching every sink leaves
+results byte-identical. Unlike rngpurity, wall clocks are allowed here:
+progress tickers and span recorders time real execution, which never
+reaches simulation output.`,
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !watch.TelemetryPackage(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			switch {
+			case path == "math/rand" || path == "math/rand/v2" || rngPackage(path):
+				pass.Reportf(imp.Pos(), "telemetry package imports %s; telemetry is write-only observation and must never draw randomness", path)
+			case watch.SimPackage(path):
+				pass.Reportf(imp.Pos(), "telemetry package imports simulation package %s; telemetry observes published records, never simulation state", path)
+			}
+		}
+	}
+	return nil, nil
+}
+
+// rngPackage reports whether path names the sanctioned simulation RNG
+// wrapper — sanctioned for simulation packages, still off-limits to
+// telemetry.
+func rngPackage(path string) bool {
+	return path == "internal/rng" || strings.HasSuffix(path, "/internal/rng")
+}

@@ -1,0 +1,15 @@
+package telemetrypurity_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/telemetrypurity"
+)
+
+func TestTelemetryPurity(t *testing.T) {
+	linttest.Run(t, "testdata", telemetrypurity.Analyzer,
+		"obs.example/internal/telemetry", // watched: findings expected
+		"obs.example/internal/trace",     // exempt: same imports, no findings
+	)
+}

@@ -1,0 +1,23 @@
+// Package telemetry stands in for a watched telemetry package (its
+// import path ends in internal/telemetry): RNG and simulation-state
+// imports are forbidden here, wall-clock reads are not.
+package telemetry
+
+import (
+	"math/rand" // want `telemetry package imports math/rand`
+	"time"
+
+	"repro/internal/rng"   // want `telemetry package imports repro/internal/rng`
+	"repro/internal/world" // want `imports simulation package repro/internal/world`
+)
+
+func jitter() int { return rand.Int() }
+
+func derive() uint64 { return rng.DeriveSeed(1, 2) }
+
+func observe(w *world.World) bool { return w != nil }
+
+// stamp reads the wall clock: allowed in telemetry, unlike in
+// simulation packages — progress tickers and spans time real execution,
+// which never reaches simulation output.
+func stamp() int64 { return time.Now().Unix() }

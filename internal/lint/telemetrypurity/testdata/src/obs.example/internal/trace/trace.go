@@ -1,0 +1,19 @@
+// Package trace carries the same imports as the telemetry fixture but
+// lives outside the telemetry watch list: no findings.
+package trace
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/rng"
+	"repro/internal/world"
+)
+
+func jitter() int { return rand.Int() }
+
+func derive() uint64 { return rng.DeriveSeed(1, 2) }
+
+func observe(w *world.World) bool { return w != nil }
+
+func stamp() int64 { return time.Now().Unix() }

@@ -30,15 +30,41 @@ var simSuffixes = []string{
 // SimPackage reports whether the import path names a package under the
 // determinism contract.
 func SimPackage(path string) bool {
-	for _, s := range simSuffixes {
-		if path == s || strings.HasSuffix(path, "/"+s) {
-			return true
-		}
-	}
-	return false
+	return matches(path, simSuffixes)
 }
 
 // SimPackages returns the watched suffix list (for docs and tests).
 func SimPackages() []string {
 	return append([]string(nil), simSuffixes...)
+}
+
+// telemetrySuffixes are the observability packages under the write-only
+// telemetry contract. They are deliberately not simSuffixes: progress
+// tickers and span recorders are wall-clock by nature, so rngpurity's
+// time.Now ban does not bind here — but drawing randomness or importing
+// simulation state would let observation feed back into output bytes,
+// which telemetrypurity forbids.
+var telemetrySuffixes = []string{
+	"internal/telemetry",
+}
+
+// TelemetryPackage reports whether the import path names a package
+// under the write-only telemetry contract.
+func TelemetryPackage(path string) bool {
+	return matches(path, telemetrySuffixes)
+}
+
+// TelemetryPackages returns the watched suffix list (for docs and tests).
+func TelemetryPackages() []string {
+	return append([]string(nil), telemetrySuffixes...)
+}
+
+// matches reports whether path equals or ends in one of the suffixes.
+func matches(path string, suffixes []string) bool {
+	for _, s := range suffixes {
+		if path == s || strings.HasSuffix(path, "/"+s) {
+			return true
+		}
+	}
+	return false
 }

@@ -1,0 +1,184 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"strings"
+)
+
+// Histogram is a log-bucketed counter of non-negative integer durations
+// (ticks). Bucket 0 holds the value 0; bucket i (i >= 1) holds the values
+// in [2^(i-1), 2^i - 1], so 64 buckets cover the whole int64 range with
+// ~2x relative resolution. Everything about it is deterministic — bucket
+// boundaries are fixed powers of two and the fields are plain integers —
+// so a histogram JSON-round-trips exactly through fleet results and
+// checkpoint snapshots, and merging replicas is pure integer addition.
+//
+// All fields are exported for serialization; use Observe/Merge to keep
+// them consistent rather than mutating them directly.
+type Histogram struct {
+	Name string `json:"name"`
+	// Counts[i] is the number of observations in bucket i. The slice only
+	// grows as far as the highest non-empty bucket.
+	Counts []int64 `json:"counts,omitempty"`
+	// N, Sum, Min and Max summarize the exact observations (the buckets
+	// quantize; these do not).
+	N   int64 `json:"n,omitempty"`
+	Sum int64 `json:"sum,omitempty"`
+	Min int64 `json:"min,omitempty"`
+	Max int64 `json:"max,omitempty"`
+}
+
+// NewHistogram returns an empty named histogram.
+func NewHistogram(name string) *Histogram {
+	return &Histogram{Name: name}
+}
+
+// bucketOf maps a value to its bucket index: 0 -> 0, v -> bits.Len(v).
+func bucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(v))
+}
+
+// BucketBounds returns the inclusive value range [lo, hi] of bucket i.
+func BucketBounds(i int) (lo, hi int64) {
+	if i <= 0 {
+		return 0, 0
+	}
+	lo = int64(1) << (i - 1)
+	if i >= 63 {
+		return lo, math.MaxInt64
+	}
+	return lo, int64(1)<<i - 1
+}
+
+// Observe folds one duration into the histogram. Negative values are
+// clamped to 0 (durations in ticks are non-negative by construction).
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	b := bucketOf(v)
+	for len(h.Counts) <= b {
+		h.Counts = append(h.Counts, 0)
+	}
+	h.Counts[b]++
+	if h.N == 0 || v < h.Min {
+		h.Min = v
+	}
+	if v > h.Max {
+		h.Max = v
+	}
+	h.N++
+	h.Sum += v
+}
+
+// Mean returns the exact mean of the observations (0 with none).
+func (h *Histogram) Mean() float64 {
+	if h.N == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.N)
+}
+
+// Merge folds another histogram into this one (bucket-wise addition).
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil || o.N == 0 {
+		return
+	}
+	for len(h.Counts) < len(o.Counts) {
+		h.Counts = append(h.Counts, 0)
+	}
+	for i, c := range o.Counts {
+		h.Counts[i] += c
+	}
+	if h.N == 0 || o.Min < h.Min {
+		h.Min = o.Min
+	}
+	if o.Max > h.Max {
+		h.Max = o.Max
+	}
+	h.N += o.N
+	h.Sum += o.Sum
+}
+
+// Quantile returns an estimate of the q-th quantile (0 <= q <= 1),
+// interpolating linearly inside the bucket the rank lands in. The bucket
+// quantization bounds the error to a factor of two; Min and Max clamp the
+// extremes exactly. It panics on q outside [0,1] and returns 0 with no
+// observations.
+func (h *Histogram) Quantile(q float64) float64 {
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("metrics: quantile %g of %q out of [0,1]", q, h.Name))
+	}
+	if h.N == 0 {
+		return 0
+	}
+	if q == 0 {
+		return float64(h.Min)
+	}
+	if q == 1 {
+		return float64(h.Max)
+	}
+	rank := q * float64(h.N-1)
+	var cum int64
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		if rank < float64(cum+c) {
+			lo, hi := BucketBounds(i)
+			if lo < h.Min {
+				lo = h.Min
+			}
+			if hi > h.Max {
+				hi = h.Max
+			}
+			if c == 1 || hi <= lo {
+				return float64(lo)
+			}
+			frac := (rank - float64(cum)) / float64(c-1)
+			return float64(lo) + frac*float64(hi-lo)
+		}
+		cum += c
+	}
+	return float64(h.Max)
+}
+
+// Summary renders a one-line digest: count, mean, min/max and coarse
+// quantiles. Quantiles carry a "~" because buckets quantize them.
+func (h *Histogram) Summary() string {
+	if h.N == 0 {
+		return fmt.Sprintf("%s: no observations", h.Name)
+	}
+	return fmt.Sprintf("%s: n=%d mean=%.1f min=%d p50~%.0f p99~%.0f max=%d",
+		h.Name, h.N, h.Mean(), h.Min, h.Quantile(0.5), h.Quantile(0.99), h.Max)
+}
+
+// Render draws the non-empty buckets as rows of "[lo,hi] count |bar|",
+// the multi-line debugging view.
+func (h *Histogram) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", h.Summary())
+	var peak int64
+	for _, c := range h.Counts {
+		if c > peak {
+			peak = c
+		}
+	}
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		lo, hi := BucketBounds(i)
+		width := 0
+		if peak > 0 {
+			width = int(c * 40 / peak)
+		}
+		fmt.Fprintf(&b, "  [%d,%d] %d %s\n", lo, hi, c, strings.Repeat("#", width))
+	}
+	return b.String()
+}

@@ -1,0 +1,177 @@
+package metrics
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	cases := []struct {
+		v      int64
+		bucket int
+	}{
+		{0, 0}, {-3, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4}, {1023, 10}, {1024, 11},
+	}
+	for _, c := range cases {
+		h := NewHistogram("b")
+		h.Observe(c.v)
+		if got := len(h.Counts) - 1; got != c.bucket {
+			t.Errorf("Observe(%d) landed in bucket %d, want %d", c.v, got, c.bucket)
+		}
+		if h.Counts[c.bucket] != 1 {
+			t.Errorf("Observe(%d): bucket %d count = %d", c.v, c.bucket, h.Counts[c.bucket])
+		}
+	}
+}
+
+func TestBucketBounds(t *testing.T) {
+	for i := 1; i < 20; i++ {
+		lo, hi := BucketBounds(i)
+		if bucketOf(lo) != i || bucketOf(hi) != i {
+			t.Fatalf("bucket %d bounds [%d,%d] do not map back", i, lo, hi)
+		}
+		if bucketOf(lo-1) == i || (hi+1 > 0 && bucketOf(hi+1) == i) {
+			t.Fatalf("bucket %d bounds [%d,%d] are not tight", i, lo, hi)
+		}
+	}
+	if lo, hi := BucketBounds(0); lo != 0 || hi != 0 {
+		t.Fatalf("bucket 0 bounds = [%d,%d]", lo, hi)
+	}
+}
+
+func TestHistogramStats(t *testing.T) {
+	h := NewHistogram("lat")
+	for _, v := range []int64{10, 20, 30, 40} {
+		h.Observe(v)
+	}
+	if h.N != 4 || h.Sum != 100 || h.Min != 10 || h.Max != 40 {
+		t.Fatalf("stats = n=%d sum=%d min=%d max=%d", h.N, h.Sum, h.Min, h.Max)
+	}
+	if h.Mean() != 25 {
+		t.Fatalf("mean = %g", h.Mean())
+	}
+	if q := h.Quantile(0); q != 10 {
+		t.Fatalf("q0 = %g, want the minimum", q)
+	}
+	if q := h.Quantile(1); q != 40 {
+		t.Fatalf("q1 = %g, want the maximum", q)
+	}
+	if q := h.Quantile(0.5); q < 10 || q > 40 {
+		t.Fatalf("median %g outside observed range", q)
+	}
+}
+
+func TestHistogramMergeEqualsCombinedObserve(t *testing.T) {
+	a, b, all := NewHistogram("x"), NewHistogram("x"), NewHistogram("x")
+	for i := int64(0); i < 100; i++ {
+		v := (i * i) % 257
+		if i%2 == 0 {
+			a.Observe(v)
+		} else {
+			b.Observe(v)
+		}
+		all.Observe(v)
+	}
+	a.Merge(b)
+	if !reflect.DeepEqual(a, all) {
+		t.Fatalf("merge diverged:\n got %+v\nwant %+v", a, all)
+	}
+	empty := NewHistogram("x")
+	empty.Merge(all)
+	if !reflect.DeepEqual(empty, all) {
+		t.Fatalf("merge into empty diverged:\n got %+v\nwant %+v", empty, all)
+	}
+}
+
+func TestHistogramJSONRoundTrip(t *testing.T) {
+	h := NewHistogram("session-length")
+	for _, v := range []int64{0, 1, 5, 900, 70_000} {
+		h.Observe(v)
+	}
+	data, err := json.Marshal(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Histogram
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(&back, h) {
+		t.Fatalf("round trip diverged:\n got %+v\nwant %+v", &back, h)
+	}
+	again, err := json.Marshal(&back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(again) != string(data) {
+		t.Fatalf("re-encoding diverged:\n got %s\nwant %s", again, data)
+	}
+}
+
+func TestHistogramSummaryAndRender(t *testing.T) {
+	h := NewHistogram("audit-wait")
+	if !strings.Contains(h.Summary(), "no observations") {
+		t.Fatalf("empty summary = %q", h.Summary())
+	}
+	h.Observe(3)
+	h.Observe(300)
+	s := h.Summary()
+	for _, want := range []string{"audit-wait", "n=2", "min=3", "max=300"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("summary missing %q: %q", want, s)
+		}
+	}
+	r := h.Render()
+	if !strings.Contains(r, "[2,3]") || !strings.Contains(r, "[256,511]") {
+		t.Fatalf("render missing buckets:\n%s", r)
+	}
+}
+
+func TestMergeSeriesCheckedNamesTheSeries(t *testing.T) {
+	a := &Series{Name: "run0"}
+	b := &Series{Name: "run1"}
+	a.Append(1, 1)
+	a.Append(2, 1)
+	b.Append(1, 1)
+	_, err := MergeSeriesChecked("merged", []*Series{a, b})
+	if err == nil {
+		t.Fatal("length mismatch not reported")
+	}
+	for _, want := range []string{"merged", "run1", "run0"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q does not name %q", err, want)
+		}
+	}
+
+	c := &Series{Name: "run2"}
+	c.Append(1, 1)
+	c.Append(3, 1)
+	_, err = MergeSeriesChecked("merged", []*Series{a, c})
+	if err == nil {
+		t.Fatal("time mismatch not reported")
+	}
+	if !strings.Contains(err.Error(), "run2") || !strings.Contains(err.Error(), "t=3") {
+		t.Fatalf("time mismatch error lacks context: %q", err)
+	}
+}
+
+func TestCSVPanicNamesSeries(t *testing.T) {
+	a := &Series{Name: "alpha"}
+	b := &Series{Name: "beta"}
+	a.Append(1, 1)
+	a.Append(2, 1)
+	b.Append(1, 1)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("CSV shape mismatch did not panic")
+		}
+		msg := r.(string)
+		if !strings.Contains(msg, "alpha") || !strings.Contains(msg, "beta") {
+			t.Fatalf("panic %q does not name both series", msg)
+		}
+	}()
+	CSV(a, b)
+}

@@ -206,30 +206,46 @@ func Percentile(xs []float64, p float64) float64 {
 // MergeSeries averages several same-shaped series pointwise: the reduction
 // used for the paper's "each experiment is repeated 10 times and the
 // results averaged". All series must have identical sample times; it panics
-// otherwise (replicas are deterministic, so shape mismatch is a bug).
+// otherwise (replicas are deterministic, so shape mismatch is a bug), and
+// the panic names the offending series. Merge paths that fold in results
+// from outside the process (the fleet) should use MergeSeriesChecked so a
+// malformed payload fails the run with context instead of crashing it.
 func MergeSeries(name string, runs []*Series) *Series {
+	out, err := MergeSeriesChecked(name, runs)
+	if err != nil {
+		panic("metrics: " + err.Error())
+	}
+	return out
+}
+
+// MergeSeriesChecked is MergeSeries with the shape validation surfaced as
+// an error instead of a panic. The error names the merged series, the
+// replica index and the series name of the mismatching input.
+func MergeSeriesChecked(name string, runs []*Series) (*Series, error) {
 	if len(runs) == 0 {
-		return &Series{Name: name}
+		return &Series{Name: name}, nil
 	}
 	n := len(runs[0].Points)
-	for _, r := range runs[1:] {
+	for j, r := range runs[1:] {
 		if len(r.Points) != n {
-			panic(fmt.Sprintf("metrics: merging series of different lengths (%d vs %d)", len(r.Points), n))
+			return nil, fmt.Errorf("merging %q: run %d (series %q) has %d points, run 0 (series %q) has %d",
+				name, j+1, r.Name, len(r.Points), runs[0].Name, n)
 		}
 	}
 	out := &Series{Name: name, Points: make([]Point, n)}
 	for i := 0; i < n; i++ {
 		t := runs[0].Points[i].T
 		sum := 0.0
-		for _, r := range runs {
+		for j, r := range runs {
 			if r.Points[i].T != t {
-				panic(fmt.Sprintf("metrics: merging series with mismatched times at index %d", i))
+				return nil, fmt.Errorf("merging %q: run %d (series %q) sampled t=%d at index %d, run 0 (series %q) sampled t=%d",
+					name, j, r.Name, r.Points[i].T, i, runs[0].Name, t)
 			}
 			sum += r.Points[i].V
 		}
 		out.Points[i] = Point{T: t, V: sum / float64(len(runs))}
 	}
-	return out
+	return out, nil
 }
 
 // CSV renders one or more series sharing a time axis as CSV with a header
@@ -248,7 +264,8 @@ func CSV(series ...*Series) string {
 	n := len(series[0].Points)
 	for _, s := range series[1:] {
 		if len(s.Points) != n {
-			panic("metrics: CSV of different-length series")
+			panic(fmt.Sprintf("metrics: CSV of different-length series: %q has %d points, %q has %d",
+				s.Name, len(s.Points), series[0].Name, n))
 		}
 	}
 	for i := 0; i < n; i++ {

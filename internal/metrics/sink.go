@@ -1,0 +1,47 @@
+package metrics
+
+import "repro/internal/telemetry"
+
+// SeriesSink collects telemetry samples into named Series, making the
+// classic in-memory time series the second built-in sink on a telemetry
+// bus. Series are created on first sample and kept in first-seen order,
+// which is deterministic because the bus delivers records in publish
+// order.
+type SeriesSink struct {
+	byName map[string]*Series
+	order  []string
+}
+
+// NewSeriesSink returns an empty collector.
+func NewSeriesSink() *SeriesSink {
+	return &SeriesSink{byName: map[string]*Series{}}
+}
+
+// Event implements telemetry.Sink; a series collector ignores events.
+func (s *SeriesSink) Event(telemetry.Event) {}
+
+// Sample implements telemetry.Sink.
+func (s *SeriesSink) Sample(sm telemetry.Sample) {
+	ser, ok := s.byName[sm.Series]
+	if !ok {
+		ser = &Series{Name: sm.Series}
+		s.byName[sm.Series] = ser
+		s.order = append(s.order, sm.Series)
+	}
+	ser.Append(sm.At, sm.Value)
+}
+
+// Flush implements telemetry.Sink; in-memory series need no flushing.
+func (s *SeriesSink) Flush() error { return nil }
+
+// Series returns the collected series of one name (nil if none).
+func (s *SeriesSink) Series(name string) *Series { return s.byName[name] }
+
+// All returns every collected series in first-seen order.
+func (s *SeriesSink) All() []*Series {
+	out := make([]*Series, len(s.order))
+	for i, name := range s.order {
+		out[i] = s.byName[name]
+	}
+	return out
+}

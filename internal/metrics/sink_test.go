@@ -1,0 +1,36 @@
+package metrics
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+func TestSeriesSinkCollects(t *testing.T) {
+	s := NewSeriesSink()
+	s.Event(telemetry.Event{At: 1, Kind: "arrival"}) // ignored
+	s.Sample(telemetry.Sample{At: 10, Series: "coop", Value: 3})
+	s.Sample(telemetry.Sample{At: 10, Series: "uncoop", Value: 1})
+	s.Sample(telemetry.Sample{At: 20, Series: "coop", Value: 4})
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	coop := s.Series("coop")
+	if coop == nil {
+		t.Fatal("coop series missing")
+	}
+	want := []Point{{T: 10, V: 3}, {T: 20, V: 4}}
+	if !reflect.DeepEqual(coop.Points, want) {
+		t.Fatalf("coop = %v, want %v", coop.Points, want)
+	}
+	if s.Series("missing") != nil {
+		t.Fatal("unknown series should be nil")
+	}
+
+	all := s.All()
+	if len(all) != 2 || all[0].Name != "coop" || all[1].Name != "uncoop" {
+		t.Fatalf("All() order = %v", []string{all[0].Name, all[1].Name})
+	}
+}

@@ -1,0 +1,125 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Progress is a sink that tracks the live position of a run — latest
+// tick, population, records published — behind atomics, so a ticker
+// goroutine (or a fleet worker's heartbeat sender) can read it while the
+// simulation publishes. It retains nothing, writes nothing, and costs a
+// few atomic stores per record.
+type Progress struct {
+	tick       atomic.Int64
+	records    atomic.Int64
+	population atomic.Int64
+}
+
+// Event implements Sink.
+func (p *Progress) Event(e Event) {
+	p.records.Add(1)
+	p.tick.Store(e.At)
+}
+
+// Sample implements Sink. A sample on the conventional "population"
+// series updates the live population gauge.
+func (p *Progress) Sample(s Sample) {
+	p.records.Add(1)
+	p.tick.Store(s.At)
+	if s.Series == "population" {
+		p.population.Store(int64(s.Value))
+	}
+}
+
+// Flush implements Sink.
+func (p *Progress) Flush() error { return nil }
+
+// Tick returns the latest tick any record carried.
+func (p *Progress) Tick() int64 { return p.tick.Load() }
+
+// Records returns the number of records published so far.
+func (p *Progress) Records() int64 { return p.records.Load() }
+
+// Population returns the latest population gauge value.
+func (p *Progress) Population() int64 { return p.population.Load() }
+
+// StartTicker starts a goroutine printing a live progress line to w
+// every interval: tick, population, records/sec and resident set size.
+// The returned stop function halts the ticker and waits for it; it is
+// safe to call once. Progress lines are chatter, so w should be stderr —
+// never stdout, which belongs to results.
+func (p *Progress) StartTicker(w io.Writer, label string, interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		last := p.Records()
+		lastAt := time.Now()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				now := time.Now()
+				recs := p.Records()
+				rate := float64(recs-last) / now.Sub(lastAt).Seconds()
+				last, lastAt = recs, now
+				fmt.Fprintf(w, "%s: tick=%d pop=%d records/s=%.0f rss=%s\n",
+					label, p.Tick(), p.Population(), rate, FormatBytes(RSSBytes()))
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(done)
+			wg.Wait()
+		})
+	}
+}
+
+// RSSBytes returns the process's resident set size. It reads
+// /proc/self/statm on Linux and falls back to the Go runtime's in-use
+// heap+stack elsewhere (an undercount, but monotone enough for a
+// progress line).
+func RSSBytes() uint64 {
+	if data, err := os.ReadFile("/proc/self/statm"); err == nil {
+		fields := strings.Fields(string(data))
+		if len(fields) >= 2 {
+			if pages, err := strconv.ParseUint(fields[1], 10, 64); err == nil {
+				return pages * uint64(os.Getpagesize())
+			}
+		}
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapInuse + ms.StackInuse
+}
+
+// FormatBytes renders a byte count with a binary-unit suffix.
+func FormatBytes(n uint64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}

@@ -1,0 +1,95 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Spans accumulates wall-clock timings per named subsystem (overlay
+// ops, lending fan-out, sampling, snapshot encode). It is
+// observability-only by construction: Start returns nothing the
+// simulation can branch on, and the accumulated durations are only
+// readable through the reporting methods the CLIs call after (or
+// beside) a run — wall-clock time never feeds back into simulation
+// state. A nil *Spans is a valid disabled recorder: Start degenerates
+// to a shared no-op closure, so instrumented hot paths pay one nil
+// check when spans are off.
+type Spans struct {
+	mu    sync.Mutex
+	total map[string]time.Duration
+	count map[string]int64
+}
+
+// NewSpans returns an enabled span recorder.
+func NewSpans() *Spans {
+	return &Spans{total: map[string]time.Duration{}, count: map[string]int64{}}
+}
+
+// noopEnd is the shared do-nothing closure disabled spans hand out.
+var noopEnd = func() {}
+
+// Start opens a span; calling the returned closure closes it and folds
+// its wall-clock duration into the named accumulator.
+func (s *Spans) Start(name string) func() {
+	if s == nil {
+		return noopEnd
+	}
+	t0 := time.Now()
+	return func() {
+		d := time.Since(t0)
+		s.mu.Lock()
+		s.total[name] += d
+		s.count[name]++
+		s.mu.Unlock()
+	}
+}
+
+// SpanStat is one subsystem's accumulated timing.
+type SpanStat struct {
+	Name  string
+	Count int64
+	Total time.Duration
+}
+
+// Stats returns the accumulated spans sorted by descending total time
+// (ties by name, so the rendering is stable).
+func (s *Spans) Stats() []SpanStat {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]SpanStat, 0, len(s.total))
+	for name, total := range s.total {
+		out = append(out, SpanStat{Name: name, Count: s.count[name], Total: total})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Total != out[j].Total {
+			return out[i].Total > out[j].Total
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// Table renders the accumulated spans as aligned rows — the end-of-run
+// instrumentation report ("where did the wall-clock go").
+func (s *Spans) Table() string {
+	stats := s.Stats()
+	if len(stats) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString("span                  count      total        avg\n")
+	for _, st := range stats {
+		avg := time.Duration(0)
+		if st.Count > 0 {
+			avg = st.Total / time.Duration(st.Count)
+		}
+		fmt.Fprintf(&b, "%-20s %6d %10s %10s\n", st.Name, st.Count, st.Total.Round(time.Microsecond), avg.Round(time.Microsecond))
+	}
+	return b.String()
+}

@@ -1,0 +1,98 @@
+// Package telemetry is the simulator's streaming observability layer: a
+// deterministic event bus the world, churn, lending, workload and fleet
+// layers publish into, with pluggable sinks. The classic end-of-run
+// surfaces — trace.Log's bounded event buffer and metrics.Series — are
+// two sinks among several; the streaming JSONL sink exports the same
+// records incrementally with bounded memory, which is what million-peer
+// runs and a future serve mode need.
+//
+// The determinism contract: telemetry is write-only from the
+// simulation's point of view. Publishing an event never draws
+// randomness, never mutates world state, and never returns information
+// the simulation could branch on — a run with every sink attached
+// produces byte-identical results to a run with none. The replend-lint
+// telemetrypurity rule enforces the package-level half of that contract
+// (no RNG, no simulation-state imports); the world tests pin the
+// byte-identity half.
+package telemetry
+
+// Event is one trace-style record flowing through the bus: who arrived,
+// who was admitted or refused, how an audit resolved. It mirrors
+// trace.Event field for field (telemetry sits below trace in the
+// dependency order, so trace adapts to it, not the reverse).
+type Event struct {
+	At     int64  `json:"at"`
+	Kind   string `json:"kind"`
+	Peer   string `json:"peer,omitempty"`
+	Other  string `json:"other,omitempty"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// Sample is one metric sample: a named series' value at a tick.
+type Sample struct {
+	At     int64   `json:"at"`
+	Series string  `json:"series"`
+	Value  float64 `json:"v"`
+}
+
+// Sink consumes the record stream. Implementations must not feed
+// anything back into the simulation; they are observers only. Flush
+// drains any buffering and reports the first write error.
+type Sink interface {
+	Event(Event)
+	Sample(Sample)
+	Flush() error
+}
+
+// Bus fans records out to its sinks in attach order — a fixed,
+// deterministic order, so any sink that writes somewhere observable
+// sees the exact same sequence on every run. A nil *Bus is a valid
+// no-op bus, so publishers can hold one unconditionally.
+type Bus struct {
+	sinks []Sink
+}
+
+// NewBus returns an empty bus.
+func NewBus() *Bus { return &Bus{} }
+
+// Attach adds a sink; records published afterwards reach it. Sinks
+// receive records in attach order.
+func (b *Bus) Attach(s Sink) { b.sinks = append(b.sinks, s) }
+
+// Active reports whether any sink is attached. Publishers use it to
+// skip building records (formatting peer IDs, say) nobody would see.
+func (b *Bus) Active() bool { return b != nil && len(b.sinks) > 0 }
+
+// Event publishes one event to every sink.
+func (b *Bus) Event(e Event) {
+	if b == nil {
+		return
+	}
+	for _, s := range b.sinks {
+		s.Event(e)
+	}
+}
+
+// Sample publishes one metric sample to every sink.
+func (b *Bus) Sample(s Sample) {
+	if b == nil {
+		return
+	}
+	for _, snk := range b.sinks {
+		snk.Sample(s)
+	}
+}
+
+// Flush flushes every sink in attach order and returns the first error.
+func (b *Bus) Flush() error {
+	if b == nil {
+		return nil
+	}
+	var first error
+	for _, s := range b.sinks {
+		if err := s.Flush(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

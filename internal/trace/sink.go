@@ -1,0 +1,20 @@
+package trace
+
+import "repro/internal/telemetry"
+
+// Sink adapts a Log to the telemetry.Sink interface, making the classic
+// bounded in-memory event log one sink among several on a telemetry
+// bus: a run can stream its events to disk and keep the exact-counter
+// log for Summary/Verify at the same time, from one published stream.
+type Sink struct{ Log *Log }
+
+// Event implements telemetry.Sink.
+func (s Sink) Event(e telemetry.Event) {
+	s.Log.recordRaw(e.At, Kind(e.Kind), e.Peer, e.Other, e.Detail)
+}
+
+// Sample implements telemetry.Sink; the event log ignores metric samples.
+func (s Sink) Sample(telemetry.Sample) {}
+
+// Flush implements telemetry.Sink; an in-memory log has nothing to flush.
+func (s Sink) Flush() error { return nil }

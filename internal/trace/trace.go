@@ -48,11 +48,22 @@ type Event struct {
 	Detail string `json:"detail,omitempty"`
 }
 
+// kindOrder is the fixed rendering order of kinds in summaries; every
+// Kind declared above appears exactly once.
+var kindOrder = []Kind{Arrival, Admitted, Refused, AuditOK, AuditFail, Flagged, Departed, Rejoined, Wipeout, StakeClosed, StakeExpired}
+
 // Log is an append-only event recorder. The zero value is ready to use.
 // It is not safe for concurrent use (the simulation is single-threaded).
+//
+// A bounded log retains at most limit events, but the per-kind counters
+// stay exact: every Record past the limit still increments its kind's
+// count and the dropped total, so Summary and Count report the whole
+// run even when the event bodies are gone.
 type Log struct {
-	events []Event
-	limit  int
+	events  []Event
+	limit   int
+	counts  map[Kind]int64
+	dropped int64
 }
 
 // New returns a log that keeps at most limit events (0 = unlimited).
@@ -62,20 +73,44 @@ func New(limit int) *Log {
 	return &Log{limit: limit}
 }
 
-// Record appends one event (dropping it silently once over the limit).
+// Record counts one event, appending its body unless the retention limit
+// is reached (then only the exact counters advance).
 func (l *Log) Record(at int64, kind Kind, peer, other id.ID, detail string) {
+	otherShort := ""
+	if !other.IsZero() {
+		otherShort = other.Short()
+	}
+	l.recordRaw(at, kind, peer.Short(), otherShort, detail)
+}
+
+// recordRaw is Record with pre-rendered peer strings — the path the
+// telemetry Sink adapter uses, since bus events already carry shortened
+// IDs.
+func (l *Log) recordRaw(at int64, kind Kind, peer, other, detail string) {
+	if l.counts == nil {
+		l.counts = make(map[Kind]int64)
+	}
+	l.counts[kind]++
 	if l.limit > 0 && len(l.events) >= l.limit {
+		l.dropped++
 		return
 	}
-	ev := Event{At: at, Kind: kind, Peer: peer.Short(), Detail: detail}
-	if !other.IsZero() {
-		ev.Other = other.Short()
-	}
-	l.events = append(l.events, ev)
+	l.events = append(l.events, Event{At: at, Kind: kind, Peer: peer, Other: other, Detail: detail})
 }
 
 // Len returns the number of retained events.
 func (l *Log) Len() int { return len(l.events) }
+
+// Dropped returns the exact number of events recorded past the retention
+// limit (their bodies were discarded; their kind counts were not).
+func (l *Log) Dropped() int64 { return l.dropped }
+
+// Count returns the exact number of events of one kind recorded over the
+// whole run, including events whose bodies were dropped.
+func (l *Log) Count(kind Kind) int64 { return l.counts[kind] }
+
+// Total returns the exact number of events recorded (retained + dropped).
+func (l *Log) Total() int64 { return int64(len(l.events)) + l.dropped }
 
 // Events returns the retained events (copy).
 func (l *Log) Events() []Event {
@@ -104,23 +139,24 @@ func (l *Log) WriteJSONL(w io.Writer) error {
 	return nil
 }
 
-// Summary renders per-kind counts plus the first few events of each kind,
-// a compact debugging view of a whole run.
+// Summary renders exact per-kind counts plus the first few retained
+// events of each kind, a compact debugging view of a whole run. The
+// counts cover every recorded event — dropped ones included — and a
+// trailing line reports how many event bodies the retention limit
+// discarded.
 func (l *Log) Summary(perKind int) string {
-	counts := map[Kind]int{}
 	firsts := map[Kind][]Event{}
 	for _, e := range l.events {
-		counts[e.Kind]++
 		if len(firsts[e.Kind]) < perKind {
 			firsts[e.Kind] = append(firsts[e.Kind], e)
 		}
 	}
 	var b strings.Builder
-	for _, k := range []Kind{Arrival, Admitted, Refused, AuditOK, AuditFail, Flagged, Departed, Rejoined, Wipeout, StakeClosed, StakeExpired} {
-		if counts[k] == 0 {
+	for _, k := range kindOrder {
+		if l.counts[k] == 0 {
 			continue
 		}
-		fmt.Fprintf(&b, "%-10s %6d", k, counts[k])
+		fmt.Fprintf(&b, "%-10s %6d", k, l.counts[k])
 		for i, e := range firsts[k] {
 			if i == 0 {
 				b.WriteString("  e.g. ")
@@ -137,6 +173,9 @@ func (l *Log) Summary(perKind int) string {
 		}
 		b.WriteString("\n")
 	}
+	if l.dropped > 0 {
+		fmt.Fprintf(&b, "%d events dropped past the retention limit (counts above remain exact)\n", l.dropped)
+	}
 	return b.String()
 }
 
@@ -150,11 +189,11 @@ func (l *Log) Summary(perKind int) string {
 //   - events must be time-ordered
 //
 // A bounded log can only be verified if nothing was dropped; Verify
-// reports that as a violation too.
+// reports the exact number of dropped events as a violation too.
 func (l *Log) Verify() []string {
 	var violations []string
-	if l.limit > 0 && len(l.events) >= l.limit {
-		violations = append(violations, "log reached its retention limit; verification incomplete")
+	if l.dropped > 0 {
+		violations = append(violations, fmt.Sprintf("%d events dropped past the retention limit; verification incomplete", l.dropped))
 	}
 	arrived := map[string]bool{}
 	admitted := map[string]bool{}

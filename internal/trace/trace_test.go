@@ -3,10 +3,12 @@ package trace
 import (
 	"bytes"
 	"encoding/json"
+	"reflect"
 	"strings"
 	"testing"
 
 	"repro/internal/id"
+	"repro/internal/telemetry"
 )
 
 func p(v uint64) id.ID { return id.FromUint64(v) }
@@ -134,9 +136,102 @@ func TestVerifyReportsTruncation(t *testing.T) {
 	for _, v := range l.Verify() {
 		if strings.Contains(v, "retention limit") {
 			found = true
+			if !strings.Contains(v, "1 events dropped") {
+				t.Fatalf("violation does not carry the exact dropped count: %q", v)
+			}
 		}
 	}
 	if !found {
 		t.Fatal("truncated log verified silently")
+	}
+}
+
+func TestVerifyExactlyAtLimitIsComplete(t *testing.T) {
+	l := New(2)
+	l.Record(1, Arrival, p(1), p(9), "")
+	l.Record(2, Admitted, p(1), p(9), "")
+	if v := l.Verify(); len(v) != 0 {
+		t.Fatalf("log filled to its limit with nothing dropped reported violations: %v", v)
+	}
+}
+
+func TestCountersStayExactPastLimit(t *testing.T) {
+	l := New(2)
+	for i := int64(0); i < 5; i++ {
+		l.Record(i, Arrival, p(uint64(i)), id.ID{}, "")
+	}
+	l.Record(5, Admitted, p(0), id.ID{}, "")
+	if l.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", l.Len())
+	}
+	if got := l.Dropped(); got != 4 {
+		t.Fatalf("Dropped = %d, want 4", got)
+	}
+	if got := l.Count(Arrival); got != 5 {
+		t.Fatalf("Count(Arrival) = %d, want 5", got)
+	}
+	if got := l.Count(Admitted); got != 1 {
+		t.Fatalf("Count(Admitted) = %d, want 1", got)
+	}
+	if got := l.Total(); got != 6 {
+		t.Fatalf("Total = %d, want 6", got)
+	}
+}
+
+func TestSinkMatchesDirectRecord(t *testing.T) {
+	direct := New(2)
+	direct.Record(1, Arrival, p(1), p(9), "cooperative")
+	direct.Record(2, Admitted, p(1), p(9), "")
+	direct.Record(3, Arrival, p(2), id.ID{}, "")
+
+	viaSink := New(2)
+	s := Sink{Log: viaSink}
+	s.Event(telemetry.Event{At: 1, Kind: "arrival", Peer: p(1).Short(), Other: p(9).Short(), Detail: "cooperative"})
+	s.Event(telemetry.Event{At: 2, Kind: "admitted", Peer: p(1).Short(), Other: p(9).Short()})
+	s.Event(telemetry.Event{At: 3, Kind: "arrival", Peer: p(2).Short()})
+	s.Sample(telemetry.Sample{At: 3, Series: "coop", Value: 1}) // ignored
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(viaSink.Events(), direct.Events()) {
+		t.Fatalf("sink events %v != direct %v", viaSink.Events(), direct.Events())
+	}
+	if viaSink.Dropped() != direct.Dropped() || viaSink.Count(Arrival) != direct.Count(Arrival) {
+		t.Fatalf("sink counters diverge: dropped %d vs %d", viaSink.Dropped(), direct.Dropped())
+	}
+}
+
+// TestUnboundedLogGrowsLinearly pins the contrast side of the telemetry
+// bounded-memory proof: an unlimited in-memory log retains every one of
+// n events, where the streaming sink's retained ceiling stays constant
+// (see telemetry.TestStreamSinkBoundedMemory).
+func TestUnboundedLogGrowsLinearly(t *testing.T) {
+	const n = 600_000
+	l := New(0)
+	for i := int64(0); i < n; i++ {
+		l.recordRaw(i, Arrival, "peer", "", "")
+	}
+	if l.Len() != n {
+		t.Fatalf("unbounded log retained %d of %d events", l.Len(), n)
+	}
+}
+
+func TestSummaryReportsExactCountsAndDrops(t *testing.T) {
+	l := New(1)
+	for i := int64(0); i < 3; i++ {
+		l.Record(i, Arrival, p(uint64(i)), id.ID{}, "")
+	}
+	s := l.Summary(1)
+	if !strings.Contains(s, "arrival         3") {
+		t.Fatalf("summary count is not exact:\n%s", s)
+	}
+	if !strings.Contains(s, "2 events dropped") {
+		t.Fatalf("summary does not surface the dropped count:\n%s", s)
+	}
+	unbounded := New(0)
+	unbounded.Record(1, Arrival, p(1), id.ID{}, "")
+	if strings.Contains(unbounded.Summary(1), "dropped") {
+		t.Fatal("summary of a complete log mentions drops")
 	}
 }

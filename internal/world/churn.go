@@ -352,6 +352,7 @@ func (w *World) departBatch(batch []leaver) {
 		p := w.peers[l.pid]
 		ident, _ := w.proto.Identity(l.pid)
 		w.removeAdmitted(p)
+		w.m.SessionLength.Observe(int64(w.engine.Now() - p.JoinedAt))
 		detail := "leave"
 		if l.graceful {
 			w.m.Churn.Departures++

@@ -53,8 +53,11 @@ import (
 // SnapshotVersion is the world snapshot format version. Incompatible
 // changes to the Snapshot document bump it; Restore rejects any other
 // version. Version 2 added the workload layer: two more random streams,
-// the replay cursor, and per-peer cohort/plan state.
-const SnapshotVersion = 2
+// the replay cursor, and per-peer cohort/plan state. Version 3 added the
+// telemetry-era observability state: the duration histograms inside
+// Metrics and the in-flight arrival ticks behind the admission-latency
+// histogram.
+const SnapshotVersion = 3
 
 // Event payload types. Each pending-event kind the world schedules has
 // one; the payload pins everything the matching *Body constructor needs.
@@ -213,7 +216,19 @@ type Snapshot struct {
 	SMDeps     []SMDepsRecord  `json:"smDeps,omitempty"`  // ascending owner ID
 	SMDepSlots int             `json:"smDepSlots"`
 
+	// Arrivals carries the in-flight arrival ticks (peers inside the
+	// waiting period), so a resumed run observes the same admission
+	// latencies the uncut run would.
+	Arrivals []ArrivalRecord `json:"arrivals,omitempty"` // ascending peer ID
+
 	Metrics Metrics `json:"metrics"`
+}
+
+// ArrivalRecord is one in-flight arrival: the tick the peer asked for an
+// introduction.
+type ArrivalRecord struct {
+	Peer id.ID    `json:"peer"`
+	At   sim.Tick `json:"at"`
 }
 
 // Snapshot captures the world's full state. The world must be started,
@@ -221,6 +236,7 @@ type Snapshot struct {
 // not modified and may keep running (the snapshot shares nothing with
 // it).
 func (w *World) Snapshot() (*Snapshot, error) {
+	defer w.spans.Start("snapshot-encode")()
 	switch {
 	case !w.started:
 		return nil, fmt.Errorf("world: cannot snapshot before Start")
@@ -263,6 +279,12 @@ func (w *World) Snapshot() (*Snapshot, error) {
 	s.Metrics.CoopCount = copySeries(w.m.CoopCount)
 	s.Metrics.UncoopCount = copySeries(w.m.UncoopCount)
 	s.Metrics.CoopReputation = copySeries(w.m.CoopReputation)
+	s.Metrics.AdmissionLatency = copyHistogram(w.m.AdmissionLatency)
+	s.Metrics.AuditWait = copyHistogram(w.m.AuditWait)
+	s.Metrics.SessionLength = copyHistogram(w.m.SessionLength)
+	for _, pid := range sortedWorldIDs(w.arrivedAt) {
+		s.Arrivals = append(s.Arrivals, ArrivalRecord{Peer: pid, At: w.arrivedAt[pid]})
+	}
 
 	for _, ev := range w.engine.Pendings() {
 		rec, err := encodeEvent(ev)
@@ -541,6 +563,21 @@ func Restore(s *Snapshot) (*World, error) {
 	if w.m.CoopReputation, err = restoredSeries(s.Metrics.CoopReputation, "coop-reputation", s.Now); err != nil {
 		return nil, err
 	}
+	// Histograms are always collected; a snapshot that somehow lacks one
+	// restores as empty rather than nil so Observe keeps working.
+	w.m.AdmissionLatency = restoredHistogram(s.Metrics.AdmissionLatency, "admission-latency")
+	w.m.AuditWait = restoredHistogram(s.Metrics.AuditWait, "audit-wait")
+	w.m.SessionLength = restoredHistogram(s.Metrics.SessionLength, "session-length")
+
+	for _, rec := range s.Arrivals {
+		if _, ok := w.peers[rec.Peer]; !ok {
+			return nil, fmt.Errorf("world: restore: in-flight arrival %s has no peer record", rec.Peer.Short())
+		}
+		if _, dup := w.arrivedAt[rec.Peer]; dup {
+			return nil, fmt.Errorf("world: restore: duplicate in-flight arrival %s", rec.Peer.Short())
+		}
+		w.arrivedAt[rec.Peer] = rec.At
+	}
 
 	events := make([]sim.PendingEvent, len(s.Events))
 	for i, rec := range s.Events {
@@ -793,6 +830,26 @@ func copySeries(s *metrics.Series) *metrics.Series {
 		return &metrics.Series{}
 	}
 	return &metrics.Series{Name: s.Name, Points: append([]metrics.Point(nil), s.Points...)}
+}
+
+// copyHistogram deep-copies a histogram so the snapshot does not share
+// its bucket slice with the live world.
+func copyHistogram(h *metrics.Histogram) *metrics.Histogram {
+	if h == nil {
+		return nil
+	}
+	c := *h
+	c.Counts = append([]int64(nil), h.Counts...)
+	return &c
+}
+
+// restoredHistogram deep-copies a decoded histogram, substituting an
+// empty named one when the snapshot carried none.
+func restoredHistogram(h *metrics.Histogram, name string) *metrics.Histogram {
+	if h == nil {
+		return metrics.NewHistogram(name)
+	}
+	return copyHistogram(h)
 }
 
 // restoredSeries validates a decoded series (monotonic time axis, no

@@ -30,6 +30,7 @@ import (
 	"repro/internal/rng"
 	"repro/internal/rocq"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/topology"
 	"repro/internal/trace"
 	"repro/internal/transport"
@@ -50,6 +51,10 @@ type World struct {
 	policy baseline.Policy // used when cfg.RequireIntroductions is false
 	//replend:allow snapshotfields observability sink, not simulation state: no run output is derived from it, and a resumed run re-traces from the cut
 	tracer *trace.Log // optional structured event log
+	//replend:allow snapshotfields observability sink, not simulation state: publishing changes no draw, and a resumed run re-publishes from the cut
+	telem *telemetry.Bus // optional streaming telemetry bus (nil = off)
+	//replend:allow snapshotfields observability-only wall-clock span recorder; write-only from the simulation's side, never read by it
+	spans *telemetry.Spans // optional instrumentation spans (nil = off)
 
 	// Independent random streams keep the workload, the arrival process
 	// and behavioural coin flips decoupled, so e.g. changing λ does not
@@ -124,6 +129,13 @@ type World struct {
 	started    bool    // workload processes armed
 	err        error   // first run-path failure; stops the engine
 
+	// arrivedAt remembers the tick each in-flight arrival asked for an
+	// introduction, so the admission-latency histogram can be observed at
+	// the outcome. Entries live only for the waiting period; the map is
+	// never ranged (deterministic by construction) and is checkpointed so
+	// a resumed run observes identical latencies.
+	arrivedAt map[id.ID]sim.Tick
+
 	m Metrics
 }
 
@@ -197,6 +209,16 @@ type Metrics struct {
 	CoopCount      *metrics.Series // cooperative peers in system
 	UncoopCount    *metrics.Series // uncooperative peers in system
 	CoopReputation *metrics.Series // mean reputation of cooperative peers
+
+	// Log-bucketed duration histograms, always collected (pure integer
+	// bookkeeping, no extra draws): ticks from introduction request to
+	// admission, from admission to the audit outcome, and from admission
+	// to departure. Introduction-based admissions make AdmissionLatency
+	// structurally concentrated at the waiting period; the histogram
+	// exists to make that visible (and to catch it drifting).
+	AdmissionLatency *metrics.Histogram `json:",omitempty"`
+	AuditWait        *metrics.Histogram `json:",omitempty"`
+	SessionLength    *metrics.Histogram `json:",omitempty"`
 }
 
 // CohortStats counts one workload cohort's lifecycle activity.
@@ -259,11 +281,15 @@ func newBare(cfg config.Config) (*World, error) {
 		wiped:        make(map[id.ID]bool),
 		repCached:    make(map[id.ID]float64),
 		dirtyIn:      make(map[id.ID]struct{}),
+		arrivedAt:    make(map[id.ID]sim.Tick),
 		policy:       baseline.MidSpectrum{},
 		m: Metrics{
-			CoopCount:      &metrics.Series{Name: "coop"},
-			UncoopCount:    &metrics.Series{Name: "uncoop"},
-			CoopReputation: &metrics.Series{Name: "coop-reputation"},
+			CoopCount:        &metrics.Series{Name: "coop"},
+			UncoopCount:      &metrics.Series{Name: "uncoop"},
+			CoopReputation:   &metrics.Series{Name: "coop-reputation"},
+			AdmissionLatency: metrics.NewHistogram("admission-latency"),
+			AuditWait:        metrics.NewHistogram("audit-wait"),
+			SessionLength:    metrics.NewHistogram("session-length"),
 		},
 	}
 	topo, err := topology.New(cfg.Topology, root.Split())
@@ -330,10 +356,35 @@ func (w *World) SetPolicy(p baseline.Policy) { w.policy = p }
 // SetTrace attaches a structured event log; nil detaches it.
 func (w *World) SetTrace(l *trace.Log) { w.tracer = l }
 
-// record writes to the attached tracer, if any.
+// SetTelemetry attaches a streaming telemetry bus; nil detaches it. The
+// world publishes every trace-style event and every periodic sample
+// (plus a "population" gauge) into the bus. Telemetry is write-only:
+// attaching any combination of sinks changes no random draw and no run
+// output — the world tests pin that byte for byte.
+func (w *World) SetTelemetry(b *telemetry.Bus) { w.telem = b }
+
+// SetSpans attaches a wall-clock span recorder covering the world's
+// instrumented subsystems (overlay membership ops, sampling, snapshot
+// encode) and the lending protocol's fan-out; nil detaches it. Spans
+// measure wall-clock time but never feed it back: the recorder has no
+// methods the simulation reads.
+func (w *World) SetSpans(s *telemetry.Spans) {
+	w.spans = s
+	w.proto.SetSpans(s)
+}
+
+// record writes to the attached tracer and telemetry bus, if any.
 func (w *World) record(kind trace.Kind, p, other id.ID, detail string) {
+	at := int64(w.engine.Now())
 	if w.tracer != nil {
-		w.tracer.Record(int64(w.engine.Now()), kind, p, other, detail)
+		w.tracer.Record(at, kind, p, other, detail)
+	}
+	if w.telem.Active() {
+		ev := telemetry.Event{At: at, Kind: string(kind), Peer: p.Short(), Detail: detail}
+		if !other.IsZero() {
+			ev.Other = other.Short()
+		}
+		w.telem.Event(ev)
 	}
 }
 
@@ -733,6 +784,7 @@ func (w *World) attachNode(p *peer.Peer) error {
 // with. When state migration is active the new node immediately pulls
 // the records it now owns from the surviving replicas.
 func (w *World) attachNodeIdentity(p *peer.Peer, ident transport.Identity) error {
+	defer w.spans.Start("overlay-join")()
 	if err := w.ring.Join(p.ID); err != nil {
 		return fmt.Errorf("sim: joining overlay: %w", err)
 	}
@@ -783,6 +835,10 @@ func (w *World) onAdmitted(newcomer, introducer id.ID, at sim.Tick) {
 	p := w.peers[newcomer]
 	p.Introducer = introducer
 	w.m.Pending--
+	if t0, ok := w.arrivedAt[newcomer]; ok {
+		w.m.AdmissionLatency.Observe(int64(at - t0))
+		delete(w.arrivedAt, newcomer)
+	}
 	w.record(trace.Admitted, newcomer, introducer, p.Class.String())
 	w.admit(p, at)
 	if p.Class == peer.Cooperative {
@@ -828,6 +884,7 @@ func (w *World) onStakeResolved(newcomer, introducer id.ID, state lending.StakeS
 func (w *World) onRefused(newcomer, introducer id.ID, reason lending.Reason, at sim.Tick) {
 	p := w.peers[newcomer]
 	w.m.Pending--
+	delete(w.arrivedAt, newcomer) // refusals observe no admission latency
 	w.record(trace.Refused, newcomer, introducer, reason.String())
 	coop := p.Class == peer.Cooperative
 	switch reason {
@@ -850,6 +907,9 @@ func (w *World) onRefused(newcomer, introducer id.ID, reason lending.Reason, at 
 }
 
 func (w *World) onAuditOutcome(newcomer, introducer id.ID, satisfactory bool, at sim.Tick) {
+	if p, ok := w.peers[newcomer]; ok {
+		w.m.AuditWait.Observe(int64(at - p.JoinedAt))
+	}
 	if satisfactory {
 		w.m.AuditsSatisfied++
 		w.record(trace.AuditOK, newcomer, introducer, "")
@@ -875,6 +935,7 @@ func (w *World) onFlagged(pid id.ID, at sim.Tick) {
 // is no longer a member, no placement can reach that store again), and the
 // peer table. It never held a topology slot: only admission adds one.
 func (w *World) detachNode(pid id.ID) {
+	defer w.spans.Start("overlay-leave")()
 	if w.ring.Contains(pid) {
 		// The departed peer's reputation slots in its current managers'
 		// stores can never be queried again (only the peer's own
@@ -1051,6 +1112,7 @@ func (w *World) finishArrival(p *peer.Peer) {
 	w.record(trace.Arrival, p.ID, introducerID, p.Class.String())
 	granted := introducer.WillIntroduce(p.Class, w.cfg.ErrSel, w.behaveRand)
 	w.m.Pending++
+	w.arrivedAt[p.ID] = w.engine.Now()
 	w.proto.Begin(p.ID, introducerID, granted)
 }
 
@@ -1168,6 +1230,7 @@ func (w *World) sampleStep() {
 // the pass costs O(changed peers) instead of walking the whole
 // population every interval.
 func (w *World) sample() {
+	defer w.spans.Start("sampling")()
 	now := w.engine.Now()
 	if last, ok := w.m.CoopCount.Last(); ok && last.T == int64(now) {
 		return // closing sample coincides with a periodic one
@@ -1181,6 +1244,14 @@ func (w *World) sample() {
 		mean = w.repSum / float64(w.m.CoopInSystem)
 	}
 	w.m.CoopReputation.Append(int64(now), mean)
+
+	if w.telem.Active() {
+		at := int64(now)
+		w.telem.Sample(telemetry.Sample{At: at, Series: "coop", Value: float64(w.m.CoopInSystem)})
+		w.telem.Sample(telemetry.Sample{At: at, Series: "uncoop", Value: float64(w.m.UncoopInSystem)})
+		w.telem.Sample(telemetry.Sample{At: at, Series: "coop-reputation", Value: mean})
+		w.telem.Sample(telemetry.Sample{At: at, Series: "population", Value: float64(len(w.admittedPeers))})
+	}
 }
 
 // markRepDirty queues a subject whose aggregate reputation may have moved
@@ -1297,6 +1368,7 @@ func (w *World) InjectArrival(class peer.Class, style peer.Style, introducerID i
 	w.record(trace.Arrival, p.ID, introducerID, p.Class.String())
 	granted := introducer.WillIntroduce(p.Class, w.cfg.ErrSel, w.behaveRand)
 	w.m.Pending++
+	w.arrivedAt[p.ID] = w.engine.Now()
 	w.proto.Begin(p.ID, introducerID, granted)
 	return p.ID, nil
 }
