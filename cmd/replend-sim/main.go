@@ -510,6 +510,9 @@ func printSummary(w *world.World) {
 		fmt.Printf("churn:        %d departures, %d crashes, %d rejoins; %d records migrated, %d wiped out\n",
 			c.Departures, c.Crashes, c.Rejoins, c.Migrated, c.Wipeouts)
 	}
+	if cfg.Churn.LeaseTTL > 0 {
+		fmt.Printf("leases:       %d records evicted (TTL %d)\n", m.Churn.LeaseEvictions, cfg.Churn.LeaseTTL)
+	}
 	for _, c := range m.Cohorts {
 		fmt.Printf("cohort %-14s %d arrivals, %d admitted, %d in system; %d departures, %d crashes, %d rejoins\n",
 			fmt.Sprintf("%q:", c.Name), c.Arrivals, c.Admitted, c.InSystem, c.Departures, c.Crashes, c.Rejoins)

@@ -1,0 +1,111 @@
+// Package benchgate parses `go test -bench` output and compares the
+// custom shape metrics against a committed expectation table — the
+// machinery behind cmd/bench-check.
+package benchgate
+
+import (
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Gate is the machine-readable `shape_gate` section of a BENCH_*.json
+// file: per-benchmark expected shape metrics plus the tolerance band.
+type Gate struct {
+	// Tolerance is the acceptance band: a metric passes when
+	// |got−want| ≤ max(Rel·|want|, Abs). Rel absorbs the benchmark
+	// output's limited float precision; Abs keeps near-zero counts from
+	// demanding impossible relative accuracy.
+	Tolerance Tolerance `json:"tolerance"`
+	// Benchmarks maps a benchmark name (no -cpu suffix) to its expected
+	// metrics, keyed by the unit string reportShape emitted.
+	Benchmarks map[string]map[string]float64 `json:"benchmarks"`
+}
+
+// Tolerance is the two-sided acceptance band of a Gate.
+type Tolerance struct {
+	Rel float64 `json:"rel"`
+	Abs float64 `json:"abs"`
+}
+
+// Result is one gated metric comparison.
+type Result struct {
+	Benchmark string
+	Metric    string
+	Want, Got float64
+	Band      float64
+	OK        bool
+	// Missing marks a gated benchmark or metric absent from the parsed
+	// output; Got is meaningless then.
+	Missing bool
+}
+
+// Parse extracts per-benchmark metrics from `go test -bench` output.
+// Benchmark result lines have the form
+//
+//	BenchmarkFig1-4   1   123456 ns/op   93.00 coop_powerlaw   ...
+//
+// — name (with a -procs suffix), iteration count, then value/unit
+// pairs. Timing and allocation units are machine-dependent and dropped;
+// everything else is a custom metric.
+func Parse(output string) map[string]map[string]float64 {
+	skip := map[string]bool{"ns/op": true, "B/op": true, "allocs/op": true, "MB/s": true}
+	metrics := map[string]map[string]float64{}
+	for _, line := range strings.Split(output, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 2 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil || skip[fields[i+1]] {
+				continue
+			}
+			m, ok := metrics[name]
+			if !ok {
+				m = map[string]float64{}
+				metrics[name] = m
+			}
+			m[fields[i+1]] = v
+		}
+	}
+	return metrics
+}
+
+// Check compares every gated metric against the parsed benchmark
+// output, returning one Result per expectation in deterministic order.
+func Check(g *Gate, got map[string]map[string]float64) []Result {
+	var out []Result
+	benches := make([]string, 0, len(g.Benchmarks))
+	for b := range g.Benchmarks {
+		benches = append(benches, b)
+	}
+	sort.Strings(benches)
+	for _, b := range benches {
+		names := make([]string, 0, len(g.Benchmarks[b]))
+		for n := range g.Benchmarks[b] {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			want := g.Benchmarks[b][n]
+			band := math.Max(g.Tolerance.Rel*math.Abs(want), g.Tolerance.Abs)
+			r := Result{Benchmark: b, Metric: n, Want: want, Band: band}
+			if v, ok := got[b][n]; ok {
+				r.Got = v
+				r.OK = math.Abs(v-want) <= band
+			} else {
+				r.Missing = true
+			}
+			out = append(out, r)
+		}
+	}
+	return out
+}

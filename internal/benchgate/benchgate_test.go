@@ -1,0 +1,101 @@
+package benchgate
+
+import "testing"
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: repro
+BenchmarkFig1-4          	       1	 512345678 ns/op	        93.00 coop_powerlaw	         2.000 uncoop_powerlaw	         0.01200 slope_powerlaw
+BenchmarkSuccessRate-4   	       1	 213456789 ns/op	         0.9800 sr_with	         0.6100 sr_without
+BenchmarkCollusion-4     	       1	  99887766 ns/op	         0.000 colluders_admitted	        12.00 colluders_refused	         0.4400 max_colluder_rep
+BenchmarkRingJoin-4      	    1024	      1042 ns/op	     512 B/op	       9 allocs/op
+PASS
+`
+
+func gate() *Gate {
+	return &Gate{
+		Tolerance: Tolerance{Rel: 0.01, Abs: 0.01},
+		Benchmarks: map[string]map[string]float64{
+			"BenchmarkFig1":        {"coop_powerlaw": 93, "uncoop_powerlaw": 2, "slope_powerlaw": 0.012},
+			"BenchmarkSuccessRate": {"sr_with": 0.98, "sr_without": 0.61},
+			"BenchmarkCollusion":   {"colluders_admitted": 0, "max_colluder_rep": 0.44},
+		},
+	}
+}
+
+func TestParseExtractsCustomMetrics(t *testing.T) {
+	m := Parse(sampleOutput)
+	if got := m["BenchmarkFig1"]["coop_powerlaw"]; got != 93 {
+		t.Fatalf("coop_powerlaw = %v, want 93", got)
+	}
+	if got := m["BenchmarkSuccessRate"]["sr_without"]; got != 0.61 {
+		t.Fatalf("sr_without = %v, want 0.61", got)
+	}
+	// The -procs suffix is stripped; timing and alloc units are not metrics.
+	if _, ok := m["BenchmarkFig1-4"]; ok {
+		t.Fatal("procs suffix not stripped")
+	}
+	for _, unit := range []string{"ns/op", "B/op", "allocs/op"} {
+		if _, ok := m["BenchmarkRingJoin"][unit]; ok {
+			t.Fatalf("machine-dependent unit %q parsed as a metric", unit)
+		}
+	}
+	if _, ok := m["BenchmarkRingJoin"]; ok {
+		t.Fatal("benchmark with only timing units should have no metric entry")
+	}
+}
+
+func TestCheckPassesWithinBand(t *testing.T) {
+	for _, r := range Check(gate(), Parse(sampleOutput)) {
+		if !r.OK {
+			t.Fatalf("%s.%s failed: got %v want %v band %v (missing=%v)", r.Benchmark, r.Metric, r.Got, r.Want, r.Band, r.Missing)
+		}
+	}
+}
+
+func TestCheckFlagsDrift(t *testing.T) {
+	g := gate()
+	g.Benchmarks["BenchmarkFig1"]["coop_powerlaw"] = 80 // drifted expectation
+	var failed int
+	for _, r := range Check(g, Parse(sampleOutput)) {
+		if !r.OK {
+			failed++
+			if r.Benchmark != "BenchmarkFig1" || r.Metric != "coop_powerlaw" {
+				t.Fatalf("unexpected failure %s.%s", r.Benchmark, r.Metric)
+			}
+		}
+	}
+	if failed != 1 {
+		t.Fatalf("failed = %d, want 1", failed)
+	}
+}
+
+func TestCheckFlagsMissingBenchmark(t *testing.T) {
+	g := gate()
+	g.Benchmarks["BenchmarkVanished"] = map[string]float64{"thing": 1}
+	var sawMissing bool
+	for _, r := range Check(g, Parse(sampleOutput)) {
+		if r.Benchmark == "BenchmarkVanished" {
+			if r.OK || !r.Missing {
+				t.Fatalf("missing benchmark not flagged: %+v", r)
+			}
+			sawMissing = true
+		}
+	}
+	if !sawMissing {
+		t.Fatal("missing benchmark produced no result")
+	}
+}
+
+func TestAbsToleranceCoversZeroCounts(t *testing.T) {
+	g := &Gate{
+		Tolerance:  Tolerance{Rel: 0.05},
+		Benchmarks: map[string]map[string]float64{"BenchmarkCollusion": {"colluders_admitted": 0}},
+	}
+	// Relative-only band at want=0 demands exact equality; output says 0.000.
+	for _, r := range Check(g, Parse(sampleOutput)) {
+		if !r.OK {
+			t.Fatalf("exact zero should pass: %+v", r)
+		}
+	}
+}

@@ -84,6 +84,12 @@ type Params struct {
 	// departure process — for scenarios that churn only through scripted
 	// depart/rejoin actions.
 	Migrate bool `json:"migrate,omitempty"`
+	// LeaseTTL, when positive, leases reputation records to offline peers:
+	// a departed peer that stays away longer than LeaseTTL ticks loses its
+	// lease — every replica of its record is evicted and its rejoin
+	// eligibility dropped, counted in Stats.LeaseEvictions. 0 keeps records
+	// for as long as a rejoin remains possible.
+	LeaseTTL int `json:"leaseTTL,omitempty"`
 }
 
 // Active reports whether any churn machinery (departure clocks or state
@@ -109,6 +115,8 @@ func (p Params) Validate() error {
 		return fmt.Errorf("churn: SessionMean %v negative", p.SessionMean)
 	case p.MinPopulation < 0:
 		return fmt.Errorf("churn: MinPopulation %d negative", p.MinPopulation)
+	case p.LeaseTTL < 0:
+		return fmt.Errorf("churn: LeaseTTL %d negative", p.LeaseTTL)
 	}
 	switch p.SessionDist {
 	case "", SessionExponential, SessionUniform, SessionPareto:
@@ -247,6 +255,10 @@ type Stats struct {
 	// TTL so rejoin-free churn cannot accrete one record per departed
 	// newcomer.
 	StakesExpired int64
+	// LeaseEvictions counts reputation records of offline peers evicted by
+	// the record lease (Params.LeaseTTL): like a wipeout, the record is
+	// gone for good, but by policy rather than replica loss.
+	LeaseEvictions int64
 }
 
 // Reconcile applies the majority-of-replicas rule to the surviving

@@ -37,7 +37,9 @@ import (
 	"crypto/ed25519"
 	"errors"
 	"fmt"
+	"sort"
 
+	"repro/internal/arena"
 	"repro/internal/id"
 	"repro/internal/rocq"
 	"repro/internal/sim"
@@ -190,6 +192,19 @@ func newSMLendState() *smLendState {
 	}
 }
 
+// lendSlot is the per-peer arena record of the protocol: the registered
+// signing identity and the node's score-manager bookkeeping, flattened
+// into one ordinal-indexed slice instead of two id-keyed maps. Slots are
+// recycled through the ordinal free-list when peers unregister, so
+// refusal-heavy and churn-heavy runs stay dense. Ordinal values never
+// feed output bytes — export iterates ids in sorted order — so a
+// restored protocol may assign different ordinals without observable
+// effect.
+type lendSlot struct {
+	ident transport.Identity
+	sm    *smLendState
+}
+
 // Protocol is the lending coordinator plus the per-node score-manager
 // logic. It is not safe for concurrent use (single-threaded simulation).
 type Protocol struct {
@@ -204,13 +219,22 @@ type Protocol struct {
 	//replend:allow snapshotfields wiring, re-injected by the restoring world at construction
 	events Events
 
-	signers map[id.ID]transport.Identity
+	// ords and slots are the protocol's per-peer arena: registration
+	// assigns a dense ordinal, unregistration releases it, and the slot
+	// slice holds identities and score-manager state in flat memory (see
+	// lendSlot). identCount/smCount track how many slots hold each.
+	ords  *arena.Ordinals
+	slots []lendSlot
+	//replend:allow snapshotfields derived slot-occupancy counter; restore re-registers every identity, which recounts it
+	identCount int
+	//replend:allow snapshotfields derived slot-occupancy counter; restore re-creates SM lending state on demand, which recounts it
+	smCount int
+
 	// tombs retains verification-only identities of departed peers that
 	// had actually signed something: their envelopes may still be in
 	// flight (the bus supports delayed delivery) and must keep verifying.
 	// Peers that never signed leave nothing behind.
 	tombs   map[id.ID]transport.Identity
-	sm      map[id.ID]*smLendState
 	intro   map[id.ID]*introRecord
 	flagged map[id.ID]bool
 
@@ -244,6 +268,13 @@ type Protocol struct {
 	// can never alter an outcome).
 	//replend:allow snapshotfields observability-only wall-clock span recorder, re-attached by the caller after restore
 	spans *telemetry.Spans
+
+	// unbatched switches the bipartite fan-outs from the coalesced
+	// SendBatch path back to per-message Sends. The two are
+	// byte-equivalent by the transport contract; the per-message path is
+	// retained as the reference arm of the batched-bus equivalence tests.
+	//replend:allow snapshotfields delivery-mechanism toggle, byte-equivalent by contract; restore re-applies the caller's choice
+	unbatched bool
 
 	nonce uint64
 	stats Stats
@@ -288,13 +319,56 @@ func New(params Params, engine *sim.Engine, bus *transport.Bus, net Network, eve
 		bus:      bus,
 		net:      net,
 		events:   events,
-		signers:  make(map[id.ID]transport.Identity),
+		ords:     arena.NewOrdinals(),
 		tombs:    make(map[id.ID]transport.Identity),
-		sm:       make(map[id.ID]*smLendState),
 		intro:    make(map[id.ID]*introRecord),
 		flagged:  make(map[id.ID]bool),
 		sigCache: make(map[string]verifiedSig),
 	}, nil
+}
+
+// ensureSlot returns the arena slot for pid, assigning an ordinal (and
+// a zeroed slot) if the peer has none. The returned pointer is only
+// valid until the next assignment — callers use it immediately.
+func (p *Protocol) ensureSlot(pid id.ID) *lendSlot {
+	if ord, ok := p.ords.Get(pid); ok {
+		return &p.slots[ord]
+	}
+	ord := p.ords.Assign(pid)
+	if int(ord) == len(p.slots) {
+		p.slots = append(p.slots, lendSlot{})
+	} else {
+		p.slots[ord] = lendSlot{}
+	}
+	return &p.slots[ord]
+}
+
+// identityOf returns the registered signing identity held in pid's slot.
+func (p *Protocol) identityOf(pid id.ID) (transport.Identity, bool) {
+	if ord, ok := p.ords.Get(pid); ok {
+		if ident := p.slots[ord].ident; ident != nil {
+			return ident, true
+		}
+	}
+	return nil, false
+}
+
+// sortedSlotIDs returns, in ascending identifier order, the ids of every
+// slot for which has reports true — the arena replacement for sorting a
+// map's keys at export time.
+func (p *Protocol) sortedSlotIDs(has func(*lendSlot) bool) []id.ID {
+	out := make([]id.ID, 0, p.ords.Len())
+	for ord := 0; ord < p.ords.Cap(); ord++ {
+		pid, ok := p.ords.ID(arena.Ordinal(ord))
+		if !ok {
+			continue
+		}
+		if has(&p.slots[ord]) {
+			out = append(out, pid)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
 }
 
 // verifiedSig is the content a cached signature was verified over. LendOrder
@@ -325,7 +399,7 @@ func (p *Protocol) sign(ident transport.Identity, order transport.LendOrder) tra
 // against the registered identity is repeated every time; only the
 // Ed25519 math is cached).
 func (p *Protocol) verifyEnv(env transport.Envelope, claimedBy id.ID) bool {
-	ident, ok := p.signers[claimedBy]
+	ident, ok := p.identityOf(claimedBy)
 	if !ok {
 		// Departed, but its envelopes may still be in flight: use the
 		// retained tombstone, or re-derive the null identity when the
@@ -392,7 +466,11 @@ func (p *Protocol) SetParams(params Params) error {
 // score manager for someone). A rejoining peer re-registers with the
 // identity it departed with.
 func (p *Protocol) RegisterPeer(pid id.ID, ident transport.Identity) {
-	p.signers[pid] = ident
+	slot := p.ensureSlot(pid)
+	if slot.ident == nil {
+		p.identCount++
+	}
+	slot.ident = ident
 	delete(p.tombs, pid) // superseded by the live identity
 	p.bus.Register(pid, p.handle(pid))
 }
@@ -400,8 +478,7 @@ func (p *Protocol) RegisterPeer(pid id.ID, ident transport.Identity) {
 // Identity returns the registered signing identity of a member — the
 // world stashes it across a departure so a rejoining peer keeps its key.
 func (p *Protocol) Identity(pid id.ID) (transport.Identity, bool) {
-	ident, ok := p.signers[pid]
-	return ident, ok
+	return p.identityOf(pid)
 }
 
 // UnregisterPeer forgets a departed member's signing identity and its
@@ -410,13 +487,20 @@ func (p *Protocol) Identity(pid id.ID) (transport.Identity, bool) {
 // without eviction a high-refusal workload accretes one signer and one
 // manager state per refused peer forever.
 func (p *Protocol) UnregisterPeer(pid id.ID) {
-	if ident, ok := p.signers[pid]; ok {
-		if t := ident.Tombstone(); t != nil {
-			p.tombs[pid] = t // envelopes from this peer may still be in flight
+	if ord, ok := p.ords.Get(pid); ok {
+		slot := &p.slots[ord]
+		if slot.ident != nil {
+			if t := slot.ident.Tombstone(); t != nil {
+				p.tombs[pid] = t // envelopes from this peer may still be in flight
+			}
+			p.identCount--
 		}
+		if slot.sm != nil {
+			p.smCount--
+		}
+		p.slots[ord] = lendSlot{}
+		p.ords.Release(pid)
 	}
-	delete(p.signers, pid)
-	delete(p.sm, pid)
 	// Departed peers keep no intro record: a rejoin re-admits through its
 	// surviving reputation, not through the old introduction, and refused
 	// peers must not leak records. The flagged set is deliberately kept:
@@ -431,11 +515,19 @@ func (p *Protocol) UnregisterPeer(pid id.ID) {
 
 // RegisteredPeers returns the number of signing identities on record
 // (leak instrumentation for tests).
-func (p *Protocol) RegisteredPeers() int { return len(p.signers) }
+func (p *Protocol) RegisteredPeers() int { return p.identCount }
 
 // ManagerStates returns the number of per-node score-manager lending
 // states on record (leak instrumentation for tests).
-func (p *Protocol) ManagerStates() int { return len(p.sm) }
+func (p *Protocol) ManagerStates() int { return p.smCount }
+
+// ArenaSlots returns (live, capacity) of the protocol's per-peer arena —
+// how many ordinals are assigned and how many slots exist in total.
+// Capacity bounded near the population's high-water mark is the
+// free-list working: churned slots are recycled, not leaked.
+func (p *Protocol) ArenaSlots() (live, capacity int) {
+	return p.ords.Len(), p.ords.Cap()
+}
 
 // Tombstones returns the number of retained verification-only
 // identities of departed peers (leak instrumentation for tests; always
@@ -456,13 +548,33 @@ func (p *Protocol) IntroducerOf(newcomer id.ID) (id.ID, bool) {
 
 // smState returns (allocating) the lending state of a node.
 func (p *Protocol) smState(node id.ID) *smLendState {
-	st, ok := p.sm[node]
-	if !ok {
-		st = newSMLendState()
-		p.sm[node] = st
+	slot := p.ensureSlot(node)
+	if slot.sm == nil {
+		slot.sm = newSMLendState()
+		p.smCount++
 	}
-	return st
+	return slot.sm
 }
+
+// fanOut delivers the same payload to every destination — the bipartite
+// credit-delivery primitive. Batched by default (one bus operation);
+// the per-message reference path stays selectable for the equivalence
+// tests.
+func (p *Protocol) fanOut(from id.ID, kind string, payload any, to []id.ID) {
+	if p.unbatched {
+		for _, dst := range to {
+			p.bus.Send(transport.Message{From: from, To: dst, Kind: kind, Payload: payload})
+		}
+		return
+	}
+	p.bus.SendBatch(from, kind, payload, to)
+}
+
+// SetBatchedDelivery selects between the coalesced SendBatch fan-out
+// (the default) and per-message Sends. The two are byte-equivalent by
+// the transport contract; the toggle exists so the equivalence tests
+// can run both arms of that contract through the full protocol.
+func (p *Protocol) SetBatchedDelivery(on bool) { p.unbatched = !on }
 
 // Begin starts one introduction attempt: the newcomer has asked the given
 // introducer, whose decision is already known (granted). Nothing is
@@ -513,7 +625,7 @@ func (p *Protocol) executeLend(newcomer, introducer id.ID) {
 	}
 	introSMs := p.net.ScoreManagers(introducer)
 
-	signer, ok := p.signers[introducer]
+	signer, ok := p.identityOf(introducer)
 	if !ok {
 		// The introducer departed during the waiting period: nobody can
 		// sign the lend order, so the attempt fails like any other
@@ -534,14 +646,7 @@ func (p *Protocol) executeLend(newcomer, introducer id.ID) {
 	// Box the payload once: the fan-out reuses the same immutable envelope
 	// for every manager, so per-send interface boxing is pure allocation.
 	var payload any = env
-	for _, smNode := range introSMs {
-		p.bus.Send(transport.Message{
-			From:    introducer,
-			To:      smNode,
-			Kind:    kindLend,
-			Payload: payload,
-		})
-	}
+	p.fanOut(introducer, kindLend, payload, introSMs)
 
 	// Admission check: did any of the newcomer's managers accept a credit?
 	accepted := false
@@ -603,14 +708,7 @@ func (p *Protocol) onLend(node id.ID, env transport.Envelope) {
 	p.net.Store(node).Debit(env.Order.Introducer, env.Order.Amount)
 
 	var payload any = creditMsg{env: env}
-	for _, smNode := range p.net.ScoreManagers(env.Order.NewPeer) {
-		p.bus.Send(transport.Message{
-			From:    node,
-			To:      smNode,
-			Kind:    kindCredit,
-			Payload: payload,
-		})
-	}
+	p.fanOut(node, kindCredit, payload, p.net.ScoreManagers(env.Order.NewPeer))
 }
 
 // onCredit is the newcomer's score manager receiving the bootstrap credit.
@@ -702,7 +800,7 @@ func (p *Protocol) Audit(newcomer id.ID) {
 			if p.bus.IsCrashed(from) {
 				continue // a crashed manager cannot initiate the return
 			}
-			signer, ok := p.signers[from]
+			signer, ok := p.identityOf(from)
 			if !ok {
 				continue
 			}
@@ -715,14 +813,7 @@ func (p *Protocol) Audit(newcomer id.ID) {
 				return *env
 			}
 			var payload any = rewardMsg{order: order, sign: sign, reward: p.params.Reward}
-			for _, to := range introSMs {
-				p.bus.Send(transport.Message{
-					From:    from,
-					To:      to,
-					Kind:    kindReward,
-					Payload: payload,
-				})
-			}
+			p.fanOut(from, kindReward, payload, introSMs)
 		}
 	} else {
 		p.stats.AuditsForfeited++

@@ -76,7 +76,11 @@ func params() Params {
 	}
 }
 
-func newHarness(t *testing.T) *harness {
+func newHarness(t *testing.T) *harness { return newHarnessWith(t, params()) }
+
+// newHarnessWith builds a harness around custom protocol parameters —
+// the equivalence property tests randomize NumSM across trials.
+func newHarnessWith(t *testing.T, p Params) *harness {
 	h := &harness{
 		t:      t,
 		engine: sim.NewEngine(),
@@ -92,7 +96,7 @@ func newHarness(t *testing.T) *harness {
 		},
 		Flagged: func(p id.ID, at sim.Tick) { h.flagged = append(h.flagged, p) },
 	}
-	proto, err := New(params(), h.engine, h.bus, h.net, events)
+	proto, err := New(p, h.engine, h.bus, h.net, events)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +108,7 @@ func newHarness(t *testing.T) *harness {
 // initialising its reputation at every SM.
 func (h *harness) addPeer(name string, rep float64) (id.ID, []id.ID) {
 	pid := id.HashString("peer-" + name)
-	sms := h.net.assign(pid, params().NumSM, name)
+	sms := h.net.assign(pid, h.proto.params.NumSM, name)
 	signer, err := transport.NewSigner(h.src.Split())
 	if err != nil {
 		h.t.Fatal(err)

@@ -167,7 +167,7 @@ func TestPropertyEnvelopeTamperingNeverApplies(t *testing.T) {
 	h := newHarness(t)
 	intro, introSMs := h.addPeer("signer", 1.0)
 	newcomer, _ := h.addPeer("target", -1)
-	signer := h.proto.signers[intro]
+	signer, _ := h.proto.identityOf(intro)
 	order := transport.LendOrder{Introducer: intro, NewPeer: newcomer, Amount: 0.1, Nonce: 7777}
 	env := signer.Sign(order)
 

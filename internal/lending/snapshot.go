@@ -100,8 +100,9 @@ func sortedNonces(m map[uint64]bool) []uint64 {
 // identity kinds the format does not know about.
 func (p *Protocol) ExportState() (State, error) {
 	st := State{Nonce: p.nonce, Stats: p.stats}
-	for _, pid := range sortedIDKeys(p.signers) {
-		switch ident := p.signers[pid].(type) {
+	for _, pid := range p.sortedSlotIDs(func(s *lendSlot) bool { return s.ident != nil }) {
+		ident, _ := p.identityOf(pid)
+		switch ident := ident.(type) {
 		case *transport.Signer:
 			sst := ident.Export()
 			st.Signers = append(st.Signers, SignerRecord{ID: pid, Signer: &sst})
@@ -118,8 +119,9 @@ func (p *Protocol) ExportState() (State, error) {
 		}
 		st.Tombs = append(st.Tombs, TombRecord{ID: pid, Pub: pub})
 	}
-	for _, node := range sortedIDKeys(p.sm) {
-		sm := p.sm[node]
+	for _, node := range p.sortedSlotIDs(func(s *lendSlot) bool { return s.sm != nil }) {
+		ord, _ := p.ords.Get(node)
+		sm := p.slots[ord].sm
 		rec := SMRecord{
 			Node:       node,
 			SeenLend:   sortedNonces(sm.seenLend),
@@ -175,7 +177,7 @@ func (p *Protocol) RestoreState(st State) error {
 		p.tombs[rec.ID] = t
 	}
 	for _, rec := range st.SM {
-		sm := newSMLendState()
+		sm := p.smState(rec.Node)
 		for _, n := range rec.SeenLend {
 			sm.seenLend[n] = true
 		}
@@ -188,7 +190,6 @@ func (p *Protocol) RestoreState(st State) error {
 		for _, f := range rec.Flagged {
 			sm.flagged[f] = true
 		}
-		p.sm[rec.Node] = sm
 	}
 	for _, rec := range st.Stakes {
 		if rec.State < StakePending || rec.State > StakeStranded {

@@ -110,7 +110,7 @@ func (p *Protocol) StakeRecords() int { return len(p.intro) }
 // live peer, a wiped-out-but-present peer, and a departed-but-rejoinable
 // peer (whose records migrate with its managers) all fail this test.
 func (p *Protocol) gone(pid id.ID) bool {
-	if _, registered := p.signers[pid]; registered {
+	if _, registered := p.identityOf(pid); registered {
 		return false
 	}
 	_, known := p.net.QueryReputation(pid)

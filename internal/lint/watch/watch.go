@@ -25,6 +25,8 @@ var simSuffixes = []string{
 	"internal/rocq",
 	"internal/topology",
 	"internal/sim",
+	"internal/arena",
+	"internal/transport",
 }
 
 // SimPackage reports whether the import path names a package under the

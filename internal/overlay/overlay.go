@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/arena"
 	"repro/internal/id"
 )
 
@@ -43,10 +44,14 @@ type Node struct {
 	keyHi         uint64 // first 8 bytes of ID: fast-path comparand
 	prio          uint64 // deterministic heap priority
 
-	pred       id.ID
-	succs      []id.ID        // successor list, nearest first
-	fingers    [id.Bits]id.ID // fingers[k] owns ID + 2^k
-	repairedAt int64          // membership epoch this state was built against
+	pred  id.ID
+	succs []id.ID // successor list, nearest first
+	// fingers[k] owns ID + 2^k. Allocated lazily on first repair: a full
+	// table is id.Bits identifiers (~3 KB), which only nodes that actually
+	// route ever need — at million-member scale the passive majority
+	// keeping inline tables would dominate the whole world's memory.
+	fingers    []id.ID
+	repairedAt int64 // membership epoch this state was built against
 }
 
 // Pred returns the node's predecessor pointer.
@@ -67,7 +72,12 @@ func (n *Node) Successors() []id.ID {
 
 // Finger returns entry k of the finger table; the ring rebuilds stale
 // tables before exposing them.
-func (n *Node) Finger(k int) id.ID { return n.fingers[k] }
+func (n *Node) Finger(k int) id.ID {
+	if n.fingers == nil {
+		return id.ID{}
+	}
+	return n.fingers[k]
+}
 
 // Ring is the overlay membership and routing oracle. The simulation is
 // single-threaded, so Ring performs maintenance eagerly and
@@ -81,7 +91,8 @@ func (n *Node) Finger(k int) id.ID { return n.fingers[k] }
 // (O(1) neighbour access for successor-list maintenance).
 type Ring struct {
 	nodes map[id.ID]*Node
-	root  *Node // ordered membership index (treap threaded through Nodes)
+	slab  arena.Slab[Node] // node records; churn recycles slots
+	root  *Node            // ordered membership index (treap threaded through Nodes)
 	size  int
 	epoch int64 // bumped on every membership change
 
@@ -154,7 +165,8 @@ func (r *Ring) Join(n id.ID) error {
 	if _, ok := r.nodes[n]; ok {
 		return fmt.Errorf("%w: %s", ErrDuplicate, n.Short())
 	}
-	node := &Node{ID: n, keyHi: keyHi(n), prio: treapPriority(n)}
+	node := r.slab.Alloc()
+	node.ID, node.keyHi, node.prio = n, keyHi(n), treapPriority(n)
 	if r.size == 0 {
 		node.next, node.prev = node, node
 	} else {
@@ -189,6 +201,7 @@ func (r *Ring) Leave(n id.ID) error {
 	r.root = treapRemove(r.root, n)
 	delete(r.nodes, n)
 	delete(r.replicaKeys, n)
+	r.slab.Free(node)
 	r.size--
 	r.epoch++
 	return nil
@@ -220,6 +233,9 @@ func (r *Ring) repairNode(node *Node) {
 	}
 	node.pred = node.prev.ID
 	node.succs = node.succs[:0]
+	if node.fingers == nil {
+		node.fingers = make([]id.ID, id.Bits)
+	}
 	if r.size == 1 {
 		node.succs = append(node.succs, node.ID)
 		for k := 0; k < id.Bits; k++ {
@@ -310,6 +326,9 @@ func (r *Ring) Lookup(from, key id.ID) (owner id.ID, hops int, err error) {
 // closestPreceding returns the finger of n most closely preceding key,
 // Chord's routing step.
 func (n *Node) closestPrecedingFinger(key id.ID) id.ID {
+	if n.fingers == nil {
+		return n.ID
+	}
 	for k := id.Bits - 1; k >= 0; k-- {
 		f := n.fingers[k]
 		if !f.IsZero() && f.Between(n.ID, key) {

@@ -202,11 +202,24 @@ func minf(a, b float64) float64 {
 // Store holds the reputation state one score-manager node keeps for the
 // subjects it is responsible for, together with its private credibility
 // estimates of reporters. A Store is not safe for concurrent use.
+//
+// Memory layout: subject slots live in a struct-of-arrays arena — the
+// hot weighted sums and weights (read on every Query) in two flat
+// float64 slices, the cold bookkeeping in a parallel meta slice — and
+// the id index maps a subject to its slot index. Forget returns slots
+// to a LIFO free-list, so churn recycles them instead of growing the
+// arena without bound. Arena indices never feed output bytes:
+// SubjectIDs and ExportState sort by identifier, exactly as the old
+// map-backed layout did.
 type Store struct {
 	//replend:allow snapshotfields fixed at DefaultParams for every store (world.Restore rebuilds them so); params carry no run state
-	params   Params
-	subjects map[id.ID]*subjectState
-	cred     map[id.ID]float64
+	params Params
+	index  map[id.ID]int32
+	s      []float64 // weighted opinion sums (plus lending adjustments), by slot
+	w      []float64 // total opinion weights, by slot
+	meta   []subjectMeta
+	free   []int32 // LIFO free-list of forgotten slots
+	cred   map[id.ID]float64
 
 	known   int // subjects with evidence (present slots)
 	reports int64
@@ -219,21 +232,20 @@ type Store struct {
 	onChange func(subject id.ID)
 }
 
-// subjectState is the credibility-weighted evidence about one subject:
-// reputation reads as S / (W + PriorWeight), the weighted average of
-// received opinions anchored at the prior 0. Lending credits and debits
-// shift S by amount·(W + PriorWeight), which moves the read value by
-// exactly ±amount and then fades as further evidence accumulates — the
-// paper's "recoup … by behaving cooperatively".
+// subjectMeta is the cold half of one subject slot: reputation reads as
+// s[i] / (w[i] + PriorWeight), the weighted average of received opinions
+// anchored at the prior 0. Lending credits and debits shift s[i] by
+// amount·(w[i] + PriorWeight), which moves the read value by exactly
+// ±amount and then fades as further evidence accumulates — the paper's
+// "recoup … by behaving cooperatively".
 // A slot may exist before any evidence arrives (Ref pre-resolves slots so
-// hot query paths are pointer reads instead of map lookups); present
+// hot query paths are array reads instead of map lookups); present
 // distinguishes real evidence from such placeholders, and is what Query,
-// Known and Subjects report. Slots are never replaced once created — Init
-// resets in place — so a Ref stays valid for the life of the store.
-type subjectState struct {
-	subject id.ID   // the subject this slot is about (for change notification)
-	s       float64 // weighted opinion sum (plus lending adjustments)
-	w       float64 // total opinion weight
+// Known and Subjects report. A slot index stays bound to its subject
+// until Forget recycles it, so a Ref stays valid as long as its subject
+// is not forgotten.
+type subjectMeta struct {
+	subject id.ID // the subject this slot is about (for change notification)
 	reports int64
 	present bool // the store has actually heard about this subject
 }
@@ -245,9 +257,9 @@ func NewStore(p Params) *Store {
 		panic(err)
 	}
 	return &Store{
-		params:   p,
-		subjects: make(map[id.ID]*subjectState),
-		cred:     make(map[id.ID]float64),
+		params: p,
+		index:  make(map[id.ID]int32),
+		cred:   make(map[id.ID]float64),
 	}
 }
 
@@ -261,27 +273,39 @@ func (s *Store) Reports() int64 { return s.reports }
 func (s *Store) SetOnChange(fn func(subject id.ID)) { s.onChange = fn }
 
 // notify reports a mutation of the slot's subject to the observer.
-func (s *Store) notify(st *subjectState) {
+func (s *Store) notify(idx int32) {
 	if s.onChange != nil {
-		s.onChange(st.subject)
+		s.onChange(s.meta[idx].subject)
 	}
 }
 
-// slot returns the subject's state, creating an empty (non-present)
-// placeholder if the store has no slot for it yet.
-func (s *Store) slot(subject id.ID) *subjectState {
-	st, ok := s.subjects[subject]
-	if !ok {
-		st = &subjectState{subject: subject}
-		s.subjects[subject] = st
+// slot returns the subject's slot index, creating an empty (non-present)
+// placeholder — from the free-list if churn released one — if the store
+// has no slot for it yet.
+func (s *Store) slot(subject id.ID) int32 {
+	if idx, ok := s.index[subject]; ok {
+		return idx
 	}
-	return st
+	var idx int32
+	if n := len(s.free); n > 0 {
+		idx = s.free[n-1]
+		s.free = s.free[:n-1]
+		s.s[idx], s.w[idx] = 0, 0
+		s.meta[idx] = subjectMeta{subject: subject}
+	} else {
+		idx = int32(len(s.meta))
+		s.s = append(s.s, 0)
+		s.w = append(s.w, 0)
+		s.meta = append(s.meta, subjectMeta{subject: subject})
+	}
+	s.index[subject] = idx
+	return idx
 }
 
 // materialize marks a slot as holding real evidence.
-func (s *Store) materialize(st *subjectState) {
-	if !st.present {
-		st.present = true
+func (s *Store) materialize(idx int32) {
+	if !s.meta[idx].present {
+		s.meta[idx].present = true
 		s.known++
 	}
 }
@@ -295,73 +319,78 @@ const initWeight = 20
 // it for the founding community members, which the paper assumes "are
 // honest and cooperative" from the start.
 func (s *Store) Init(subject id.ID, rep float64) {
-	st := s.slot(subject)
-	s.materialize(st)
-	*st = subjectState{subject: subject, w: initWeight, present: true}
-	st.s = clamp01(rep) * (st.w + s.params.PriorWeight)
-	s.notify(st)
+	idx := s.slot(subject)
+	s.materialize(idx)
+	s.meta[idx] = subjectMeta{subject: subject, present: true}
+	s.w[idx] = initWeight
+	s.s[idx] = clamp01(rep) * (initWeight + s.params.PriorWeight)
+	s.notify(idx)
 }
 
 // Known reports whether the store holds state for the subject.
 func (s *Store) Known(subject id.ID) bool {
-	st, ok := s.subjects[subject]
-	return ok && st.present
+	idx, ok := s.index[subject]
+	return ok && s.meta[idx].present
 }
 
-// value reads the reputation of one subject state.
-func (s *Store) value(st *subjectState) float64 {
-	return clamp01(st.s / (st.w + s.params.PriorWeight))
+// value reads the reputation of one subject slot.
+func (s *Store) value(idx int32) float64 {
+	return clamp01(s.s[idx] / (s.w[idx] + s.params.PriorWeight))
 }
 
 // Query returns the stored reputation of the subject, and false if the
 // store has never heard of it (a fresh score manager after churn, or a
 // peer that was never admitted).
 func (s *Store) Query(subject id.ID) (float64, bool) {
-	st, ok := s.subjects[subject]
-	if !ok || !st.present {
+	idx, ok := s.index[subject]
+	if !ok || !s.meta[idx].present {
 		return 0, false
 	}
-	return s.value(st), true
+	return s.value(idx), true
 }
 
 // Ref is a stable handle to one subject's slot in this store: Query
-// through it is two pointer reads, no hashing. The handle stays valid for
-// the life of the store (slots are reset in place, never replaced) and
+// through it is two array reads, no hashing. The handle stays valid as
+// long as its subject is not forgotten (slots are reset in place, and a
+// slot index stays bound to its subject until Forget recycles it) and
 // observes evidence that arrives after it was taken.
 type Ref struct {
 	store *Store
-	st    *subjectState
+	idx   int32
 }
 
 // Ref resolves a handle for the subject, pre-creating an empty slot that
 // Query, Known and Subjects ignore until evidence arrives.
 func (s *Store) Ref(subject id.ID) Ref {
-	return Ref{store: s, st: s.slot(subject)}
+	return Ref{store: s, idx: s.slot(subject)}
 }
 
-// Forget drops the subject's slot entirely — used when the subject's node
-// has left the network for good, so the store need not retain (or keep a
-// placeholder for) evidence nobody can query again. Refs previously taken
-// for the subject keep reading the detached slot; callers must ensure
-// none outlive the forget.
+// Forget drops the subject's slot entirely and recycles its index —
+// used when the subject's node has left the network for good, so the
+// store need not retain (or keep a placeholder for) evidence nobody can
+// query again. Callers must ensure no Ref for the subject outlives the
+// forget: the slot index may be rebound to another subject.
 func (s *Store) Forget(subject id.ID) {
-	st, ok := s.subjects[subject]
+	idx, ok := s.index[subject]
 	if !ok {
 		return
 	}
-	if st.present {
+	if s.meta[idx].present {
 		s.known--
-		s.notify(st)
+		s.notify(idx)
 	}
-	delete(s.subjects, subject)
+	delete(s.index, subject)
+	s.s[idx], s.w[idx] = 0, 0
+	s.meta[idx] = subjectMeta{}
+	s.free = append(s.free, idx)
 }
 
 // Query is Store.Query through the pre-resolved handle.
 func (r Ref) Query() (float64, bool) {
-	if !r.st.present {
+	if !r.store.meta[r.idx].present {
 		return 0, false
 	}
-	return r.store.value(r.st), true
+	return r.store.value(r.idx), true
 }
 
 // Credibility returns the store's current credibility for a reporter.
@@ -385,30 +414,30 @@ func (s *Store) Report(reporter, subject id.ID, op Opinion) {
 // Report folds the report into the handle's subject, sparing the
 // subject-map lookup on the per-transaction feedback path.
 func (r Ref) Report(reporter id.ID, op Opinion) {
-	r.store.reportTo(r.st, reporter, op)
+	r.store.reportTo(r.idx, reporter, op)
 }
 
-func (s *Store) reportTo(st *subjectState, reporter id.ID, op Opinion) {
+func (s *Store) reportTo(idx int32, reporter id.ID, op Opinion) {
 	if op.Value < 0 || op.Value > 1 || op.Quality < 0 || op.Quality > 1 {
 		//replend:allow nopanic caller-contract invariant: OpinionBook clamps opinions to [0,1] before they reach a store
 		panic(fmt.Sprintf("rocq: report out of range: %+v", op))
 	}
 	s.reports++
 	cred := s.Credibility(reporter)
-	s.materialize(st)
+	s.materialize(idx)
 	w := cred * op.Quality
-	st.s += w * op.Value
-	st.w += w
+	s.s[idx] += w * op.Value
+	s.w[idx] += w
 	// Sliding window: beyond WindowWeight, scale old evidence down so the
 	// aggregate stays responsive to recent behaviour.
-	if st.w > s.params.WindowWeight {
-		f := s.params.WindowWeight / st.w
-		st.s *= f
-		st.w = s.params.WindowWeight
+	if s.w[idx] > s.params.WindowWeight {
+		f := s.params.WindowWeight / s.w[idx]
+		s.s[idx] *= f
+		s.w[idx] = s.params.WindowWeight
 	}
-	st.reports++
-	s.updateCred(reporter, cred, op.Value, s.value(st))
-	s.notify(st)
+	s.meta[idx].reports++
+	s.updateCred(reporter, cred, op.Value, s.value(idx))
+	s.notify(idx)
 }
 
 // updateCred moves the reporter's credibility toward 1−|opinion−aggregate|:
@@ -432,18 +461,18 @@ func (s *Store) updateCred(reporter id.ID, cred, opinion, aggregate float64) {
 // clamping) by moving the weighted sum, creating the subject at the zero
 // prior first if unknown.
 func (s *Store) adjust(subject id.ID, delta float64) {
-	st := s.slot(subject)
-	s.materialize(st)
-	st.s += delta * (st.w + s.params.PriorWeight)
+	idx := s.slot(subject)
+	s.materialize(idx)
+	s.s[idx] += delta * (s.w[idx] + s.params.PriorWeight)
 	// Keep the evidence sum inside the representable [0,1] value range so
 	// clamped adjustments do not bank hidden credit or debt.
-	if max := st.w + s.params.PriorWeight; st.s > max {
-		st.s = max
+	if max := s.w[idx] + s.params.PriorWeight; s.s[idx] > max {
+		s.s[idx] = max
 	}
-	if st.s < 0 {
-		st.s = 0
+	if s.s[idx] < 0 {
+		s.s[idx] = 0
 	}
-	s.notify(st)
+	s.notify(idx)
 }
 
 // Credit raises the subject's stored reputation by amount (clamped to 1),
@@ -472,10 +501,10 @@ func (s *Store) Debit(subject id.ID, amount float64) {
 // Zero forces the subject's stored reputation to 0; the punishment for a
 // peer caught soliciting duplicate introductions.
 func (s *Store) Zero(subject id.ID) {
-	st := s.slot(subject)
-	s.materialize(st)
-	st.s = 0
-	s.notify(st)
+	idx := s.slot(subject)
+	s.materialize(idx)
+	s.s[idx] = 0
+	s.notify(idx)
 }
 
 // ---------------------------------------------------------------------------
@@ -500,35 +529,44 @@ func (sn Snapshot) Value() float64 {
 // Export captures the subject's stored evidence, and false when the store
 // holds none.
 func (s *Store) Export(subject id.ID) (Snapshot, bool) {
-	st, ok := s.subjects[subject]
-	if !ok || !st.present {
+	idx, ok := s.index[subject]
+	if !ok || !s.meta[idx].present {
 		return Snapshot{}, false
 	}
-	return Snapshot{S: st.s, W: st.w, Reports: st.reports, Prior: s.params.PriorWeight}, true
+	return Snapshot{S: s.s[idx], W: s.w[idx], Reports: s.meta[idx].reports, Prior: s.params.PriorWeight}, true
 }
 
 // Adopt installs a migrated snapshot as the subject's stored evidence,
 // replacing whatever the store held. The slot is reset in place, so Refs
 // taken before the adoption keep observing the subject.
 func (s *Store) Adopt(subject id.ID, sn Snapshot) {
-	st := s.slot(subject)
-	s.materialize(st)
-	st.s, st.w, st.reports = sn.S, sn.W, sn.Reports
-	s.notify(st)
+	idx := s.slot(subject)
+	s.materialize(idx)
+	s.s[idx], s.w[idx], s.meta[idx].reports = sn.S, sn.W, sn.Reports
+	s.notify(idx)
 }
 
 // SubjectIDs returns the subjects with stored evidence in ascending
 // identifier order — the deterministic iteration the churn handoff needs
-// when a node's store is enumerated at departure.
+// when a node's store is enumerated at departure. The arena makes this a
+// linear slice scan instead of a map iteration.
 func (s *Store) SubjectIDs() []id.ID {
 	out := make([]id.ID, 0, s.known)
-	for subject, st := range s.subjects {
-		if st.present {
-			out = append(out, subject)
+	for i := range s.meta {
+		if s.meta[i].present {
+			out = append(out, s.meta[i].subject)
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
 	return out
+}
+
+// ArenaSlots returns (live, capacity) of the store's subject arena: how
+// many subjects hold an index and how many slots exist in total. A
+// capacity bounded near the subject high-water mark is the free-list
+// working under churn.
+func (s *Store) ArenaSlots() (live, capacity int) {
+	return len(s.index), len(s.meta)
 }
 
 // ---------------------------------------------------------------------------

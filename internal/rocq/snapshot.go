@@ -38,11 +38,11 @@ type StoreState struct {
 // counter in deterministic order.
 func (s *Store) ExportState() StoreState {
 	out := StoreState{Reports: s.reports}
-	for subject, st := range s.subjects {
-		if !st.present {
+	for i := range s.meta {
+		if !s.meta[i].present {
 			continue
 		}
-		out.Subjects = append(out.Subjects, SubjectRecord{Subject: subject, S: st.s, W: st.w, Reports: st.reports})
+		out.Subjects = append(out.Subjects, SubjectRecord{Subject: s.meta[i].subject, S: s.s[i], W: s.w[i], Reports: s.meta[i].reports})
 	}
 	sort.Slice(out.Subjects, func(i, j int) bool { return out.Subjects[i].Subject.Less(out.Subjects[j].Subject) })
 	for reporter, c := range s.cred {
@@ -56,18 +56,19 @@ func (s *Store) ExportState() StoreState {
 // counter with checkpointed values. Existing slots — including non-present
 // placeholders — are discarded; callers re-resolve any Refs they held.
 func (s *Store) RestoreState(st StoreState) {
-	s.subjects = make(map[id.ID]*subjectState, len(st.Subjects))
+	s.index = make(map[id.ID]int32, len(st.Subjects))
+	s.s = make([]float64, 0, len(st.Subjects))
+	s.w = make([]float64, 0, len(st.Subjects))
+	s.meta = make([]subjectMeta, 0, len(st.Subjects))
+	s.free = nil
 	s.cred = make(map[id.ID]float64, len(st.Cred))
 	s.known = len(st.Subjects)
 	s.reports = st.Reports
 	for _, rec := range st.Subjects {
-		s.subjects[rec.Subject] = &subjectState{
-			subject: rec.Subject,
-			s:       rec.S,
-			w:       rec.W,
-			reports: rec.Reports,
-			present: true,
-		}
+		s.index[rec.Subject] = int32(len(s.meta))
+		s.s = append(s.s, rec.S)
+		s.w = append(s.w, rec.W)
+		s.meta = append(s.meta, subjectMeta{subject: rec.Subject, reports: rec.Reports, present: true})
 	}
 	for _, rec := range st.Cred {
 		s.cred[rec.Reporter] = rec.Cred

@@ -29,6 +29,7 @@ func init() {
 		"stake-churn":     StakeChurn,
 		"diurnal":         Diurnal,
 		"cohort-mix":      CohortMix,
+		"mega":            Mega,
 	} {
 		if err := Register(name, build); err != nil {
 			//replend:allow nopanic init-time registration of compiled-in builtins; failure is a compile-a-duplicate bug, caught by any test run
@@ -345,6 +346,40 @@ func FlashCrowd() *Spec {
 				Mu: &muCalm, CrashFrac: &crashCalm,
 			}},
 		},
+	}
+}
+
+// Mega is the million-peer world ROADMAP item 1 calls for: 10^6 admitted
+// peers held in the arena memory layout (index-addressed slots, slab
+// peer records, lazy finger tables), with null signing — the fidelity
+// opt-out built for exactly this scale — light churn with the record
+// lease armed so departures recycle slots, and a short transaction tail
+// driving the batched credit-delivery bus. The point is the footprint,
+// not the dynamics: arrivals and departures are a rounding error against
+// the standing million, and the run is long enough only to prove the
+// community transacts and admits at full size.
+func Mega() *Spec {
+	base := config.Default()
+	base.NumInit = 1_000_000
+	base.NumTrans = 2_000
+	base.Lambda = 0.1
+	base.WaitPeriod = 500
+	base.SampleEvery = 1_000
+	base.NullSign = true
+	base.Seed = 10
+	base.Churn = churn.Params{
+		Mu:           0.05,
+		CrashFrac:    0.25,
+		RejoinProb:   0.5,
+		DowntimeMean: 300,
+		LeaseTTL:     600,
+	}
+	return &Spec{
+		Name: "mega",
+		Description: "One million admitted peers in the arena layout under null signing: light " +
+			"leased churn recycles slots, a short transaction tail exercises the batched bus; " +
+			"the scenario exists to pin the memory footprint, not the dynamics.",
+		Base: base,
 	}
 }
 

@@ -103,6 +103,13 @@ func FuzzSnapshotBody(f *testing.F) {
 		f.Add(b)
 	}
 	f.Add([]byte(`{"version":1}`))
+	// Hostile v4 arena-table shapes: duplicate ordinals, a free-list
+	// entry colliding with an assigned slot, and an ordinal with no
+	// backing record elsewhere in the document. Restore must reject all
+	// of them rather than build a corrupt arena.
+	f.Add([]byte(`{"version":4,"ordinals":[{"peer":"00","ord":0},{"peer":"01","ord":0}]}`))
+	f.Add([]byte(`{"version":4,"ordinals":[{"peer":"00","ord":1}],"ordFree":[1]}`))
+	f.Add([]byte(`{"version":4,"ordinals":[{"peer":"00","ord":-3}],"ordFree":[0,0]}`))
 	f.Fuzz(func(t *testing.T, body []byte) {
 		if st, err := DecodeRunStateBody(body); err == nil {
 			_, _ = Resume(st)

@@ -29,6 +29,12 @@ func TestScenarioCheckpointResumeByteIdentity(t *testing.T) {
 			if err != nil {
 				t.Fatalf("Get: %v", err)
 			}
+			if spec.Base.NumInit > 100_000 {
+				// The million-peer footprint scenario takes minutes and
+				// gigabytes per run; its checkpoint cut is exercised at
+				// reduced scale by TestMegaScenarioReducedScale instead.
+				t.Skipf("%s: NumInit %d too large for the double-run checkpoint sweep", name, spec.Base.NumInit)
+			}
 			ref, err := spec.Run()
 			if err != nil {
 				t.Fatalf("uninterrupted run: %v", err)
@@ -84,6 +90,63 @@ func TestScenarioCheckpointResumeByteIdentity(t *testing.T) {
 				t.Fatalf("resumed run diverged from uninterrupted run:\nwant %d bytes, got %d bytes", len(want), len(got))
 			}
 		})
+	}
+}
+
+// TestMegaScenarioReducedScale runs the mega footprint scenario with its
+// population cut down to something a unit test can afford, keeping the rest
+// of the spec (null signing, leased churn, sampling cadence) intact, and
+// checks the same checkpoint-cut byte identity the full-size builtins get.
+func TestMegaScenarioReducedScale(t *testing.T) {
+	shrink := func() *Spec {
+		spec, err := Get("mega")
+		if err != nil {
+			t.Fatalf("Get: %v", err)
+		}
+		if spec.Base.NumInit <= 100_000 {
+			t.Fatalf("mega shrank to %d peers; fold it back into the builtin sweep", spec.Base.NumInit)
+		}
+		spec.Base.NumInit = 4_000
+		return spec
+	}
+
+	ref, err := shrink().Run()
+	if err != nil {
+		t.Fatalf("uninterrupted run: %v", err)
+	}
+	want := runOutput(t, ref)
+
+	spec := shrink()
+	r, err := spec.Start()
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	cut := sim.Tick(spec.Base.NumTrans / 2)
+	if err := r.RunToTick(cut); err != nil {
+		t.Fatalf("RunToTick(%d): %v", cut, err)
+	}
+	st, err := r.Snapshot()
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	data, err := st.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	dec, err := DecodeRunState(data)
+	if err != nil {
+		t.Fatalf("DecodeRunState: %v", err)
+	}
+	resumed, err := Resume(dec)
+	if err != nil {
+		t.Fatalf("Resume: %v", err)
+	}
+	res, err := resumed.Finish()
+	if err != nil {
+		t.Fatalf("Finish after resume: %v", err)
+	}
+	if got := runOutput(t, res); got != want {
+		t.Fatalf("resumed reduced-scale mega run diverged:\nwant %d bytes, got %d bytes", len(want), len(got))
 	}
 }
 

@@ -34,6 +34,9 @@ const (
 	// TTL expired a departed newcomer's stake record.
 	StakeClosed  Kind = "stake-closed"
 	StakeExpired Kind = "stake-expired"
+	// LeaseEvicted: the record lease of a departed peer expired — its
+	// reputation replicas were evicted and its rejoin eligibility dropped.
+	LeaseEvicted Kind = "lease-evict"
 )
 
 // Event is one recorded occurrence.
@@ -50,7 +53,7 @@ type Event struct {
 
 // kindOrder is the fixed rendering order of kinds in summaries; every
 // Kind declared above appears exactly once.
-var kindOrder = []Kind{Arrival, Admitted, Refused, AuditOK, AuditFail, Flagged, Departed, Rejoined, Wipeout, StakeClosed, StakeExpired}
+var kindOrder = []Kind{Arrival, Admitted, Refused, AuditOK, AuditFail, Flagged, Departed, Rejoined, Wipeout, StakeClosed, StakeExpired, LeaseEvicted}
 
 // Log is an append-only event recorder. The zero value is ready to use.
 // It is not safe for concurrent use (the simulation is single-threaded).

@@ -82,6 +82,7 @@ func (s *Signer) materialize() {
 	if err != nil {
 		// detRand cannot fail, and ed25519.GenerateKey has no other
 		// error path for a working reader.
+		//replend:allow nopanic construction-time invariant: the deterministic reader never errors
 		panic(fmt.Sprintf("transport: generating keypair: %v", err))
 	}
 	s.pub, s.priv = pub, priv
@@ -134,6 +135,7 @@ func (s *Signer) Tombstone() Identity {
 type verifyOnly struct{ pub ed25519.PublicKey }
 
 func (v verifyOnly) Sign(LendOrder) Envelope {
+	//replend:allow nopanic caller-contract invariant: the protocol never asks a tombstone to sign (it only verifies)
 	panic("transport: departed identity cannot sign")
 }
 func (v verifyOnly) PublicEquals(pub ed25519.PublicKey) bool { return v.pub.Equal(pub) }

@@ -67,6 +67,7 @@ func NewBus() *Bus {
 // recovered).
 func (b *Bus) Register(addr id.ID, h Handler) {
 	if h == nil {
+		//replend:allow nopanic construction-time misuse guard: callers register handlers at attach, before any run starts
 		panic("transport: registering nil handler")
 	}
 	b.handlers[addr] = h
@@ -93,6 +94,7 @@ func (b *Bus) IsCrashed(addr id.ID) bool { return b.crashed[addr] }
 // non-zero loss probability requires a randomness source via SetFaultRand.
 func (b *Bus) SetLoss(p float64) {
 	if p < 0 || p > 1 {
+		//replend:allow nopanic construction-time misuse guard: fault injection is configured before any run starts
 		panic(fmt.Sprintf("transport: loss probability %v out of [0,1]", p))
 	}
 	b.lossProb = p
@@ -105,9 +107,11 @@ func (b *Bus) SetFaultRand(r *rng.Source) { b.rand = r }
 // given engine. A zero delay restores synchronous delivery.
 func (b *Bus) SetDelay(e *sim.Engine, d sim.Tick) {
 	if d < 0 {
+		//replend:allow nopanic construction-time misuse guard: fault injection is configured before any run starts
 		panic("transport: negative delay")
 	}
 	if d > 0 && e == nil {
+		//replend:allow nopanic construction-time misuse guard: fault injection is configured before any run starts
 		panic("transport: delay requires an engine")
 	}
 	b.engine, b.delay = e, d
@@ -123,6 +127,7 @@ func (b *Bus) Send(m Message) {
 	b.stats.Sent++
 	if b.lossProb > 0 {
 		if b.rand == nil {
+			//replend:allow nopanic configuration invariant: SetLoss documents the SetFaultRand requirement; caught by the first send in any test
 			panic("transport: loss configured without SetFaultRand")
 		}
 		if b.rand.Bernoulli(b.lossProb) {
@@ -152,8 +157,75 @@ func (b *Bus) deliver(m Message) {
 }
 
 // Broadcast sends the same payload to each destination, preserving order.
+// It is the per-message reference path; SendBatch is the coalesced form
+// the lending fan-outs use, and the two are byte-equivalent by contract
+// (pinned by the transport equivalence tests).
 func (b *Bus) Broadcast(from id.ID, kind string, payload any, to []id.ID) {
 	for _, dst := range to {
 		b.Send(Message{From: from, To: dst, Kind: kind, Payload: payload})
+	}
+}
+
+// SendBatch delivers the same payload to every destination as one bus
+// operation. It is observably equivalent to calling Send per
+// destination in order:
+//
+//   - synchronous delivery (no delay) interleaves exactly as a Send
+//     loop: one loss draw, then that destination's delivery (whose
+//     handler may itself send, consuming draws), then the next draw —
+//     so RNG consumption and nested-send ordering are preserved;
+//   - delayed delivery draws every destination's loss up front — which
+//     is what the Send loop does too, since deferred deliveries mean no
+//     handler runs between the draws — and coalesces the survivors into
+//     one scheduled event. Per-message Sends would occupy consecutive
+//     sequence numbers with no other event able to interleave (the
+//     sending loop runs inside a single event, and anything scheduled
+//     afterwards gets a later sequence number), so delivering the whole
+//     batch in order from one event preserves the execution order;
+//   - crash flags are checked at delivery time per destination, in both
+//     the synchronous and the delayed form, as Send does.
+//
+// The one intentional divergence is scheduler bookkeeping: a delayed
+// batch consumes one event (and one sequence number) instead of N.
+// Sequence numbers never feed output bytes, and snapshots are refused
+// while transport faults are active, so the difference is invisible to
+// the byte-identity contract.
+func (b *Bus) SendBatch(from id.ID, kind string, payload any, to []id.ID) {
+	if len(to) == 0 {
+		return
+	}
+	if b.lossProb > 0 && b.rand == nil {
+		//replend:allow nopanic configuration invariant: SetLoss documents the SetFaultRand requirement; caught by the first send in any test
+		panic("transport: loss configured without SetFaultRand")
+	}
+	if b.delay > 0 {
+		b.stats.Sent += int64(len(to))
+		live := to
+		if b.lossProb > 0 {
+			kept := make([]id.ID, 0, len(to))
+			for _, dst := range to {
+				if b.rand.Bernoulli(b.lossProb) {
+					b.stats.Dropped++
+					continue
+				}
+				kept = append(kept, dst)
+			}
+			live = kept
+		}
+		batch := append([]id.ID(nil), live...)
+		b.engine.After(b.delay, "deliver-batch:"+kind, func() {
+			for _, dst := range batch {
+				b.deliver(Message{From: from, To: dst, Kind: kind, Payload: payload})
+			}
+		})
+		return
+	}
+	for _, dst := range to {
+		b.stats.Sent++
+		if b.lossProb > 0 && b.rand.Bernoulli(b.lossProb) {
+			b.stats.Dropped++
+			continue
+		}
+		b.deliver(Message{From: from, To: dst, Kind: kind, Payload: payload})
 	}
 }

@@ -29,6 +29,7 @@ package world
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/churn"
 	"repro/internal/id"
@@ -129,11 +130,12 @@ func (w *World) DepartBatch(pids []id.ID, graceful bool) error {
 // resumes with the global reputation its score managers kept for it —
 // not a reset, the whole point of replicated score management.
 func (w *World) Rejoin(pid id.ID) error {
-	d, ok := w.departed[pid]
-	if !ok {
+	s := w.slotOf(pid)
+	if s == nil || s.departed == nil {
 		return fmt.Errorf("world: cannot rejoin %s: not a departed peer", pid.Short())
 	}
-	delete(w.departed, pid)
+	d := s.departed
+	s.departed = nil // the slot's ordinal carries straight over to the readmission
 	p := d.peer
 	ident := d.ident
 	if ident == nil {
@@ -167,30 +169,24 @@ func (w *World) Rejoin(pid id.ID) error {
 // DepartedPeers returns the identifiers of peers currently offline but
 // eligible to rejoin, in ascending identifier order.
 func (w *World) DepartedPeers() []id.ID {
-	out := make([]id.ID, 0, len(w.departed))
-	for pid := range w.departed {
-		out = append(out, pid)
-	}
-	sortIDs(out)
-	return out
+	return w.slotIDsSorted(func(s *worldSlot) bool { return s.departed != nil })
 }
 
 // IsDeparted reports whether the peer is offline but eligible to rejoin.
 func (w *World) IsDeparted(pid id.ID) bool {
-	_, ok := w.departed[pid]
-	return ok
+	s := w.slotOf(pid)
+	return s != nil && s.departed != nil
 }
 
 // WipedOut reports whether every replica of the peer's reputation died in
 // a single membership event at some point in the run.
-func (w *World) WipedOut(pid id.ID) bool { return w.wiped[pid] }
+func (w *World) WipedOut(pid id.ID) bool {
+	s := w.slotOf(pid)
+	return s != nil && s.wiped
+}
 
 func sortIDs(ids []id.ID) {
-	for i := 1; i < len(ids); i++ { // insertion sort: departed sets are small
-		for j := i; j > 0 && ids[j].Less(ids[j-1]); j-- {
-			ids[j], ids[j-1] = ids[j-1], ids[j]
-		}
-	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i].Less(ids[j]) })
 }
 
 // ---------------------------------------------------------------------------
@@ -276,8 +272,8 @@ func (w *World) sessionEndBody(pid id.ID, joined sim.Tick) func() {
 		if w.err != nil || !w.IsAdmitted(pid) {
 			return
 		}
-		p, ok := w.peers[pid]
-		if !ok || p.JoinedAt != joined {
+		p := w.livePeer(pid)
+		if p == nil || p.JoinedAt != joined {
 			return
 		}
 		if len(w.admittedPeers) <= w.minPopulation() {
@@ -331,10 +327,17 @@ func (w *World) rejoinBody(pid id.ID) func() {
 // per (departure × past manager) for the run's lifetime under exactly
 // the sustained-churn workloads this subsystem exists for.
 func (w *World) forgetDeparted(pid id.ID) {
-	delete(w.departed, pid)
-	for _, st := range w.stores {
-		st.Forget(pid)
+	if s := w.slotOf(pid); s != nil && s.departed != nil {
+		d := s.departed
+		s.departed = nil
+		w.peerSlab.Free(d.peer)
 	}
+	for ord := range w.slots {
+		if st := w.slots[ord].store; st != nil {
+			st.Forget(pid)
+		}
+	}
+	w.releaseIfEmpty(pid)
 }
 
 // ---------------------------------------------------------------------------
@@ -349,7 +352,7 @@ func (w *World) departBatch(batch []leaver) {
 		records = w.captureHandoff(batch)
 	}
 	for _, l := range batch {
-		p := w.peers[l.pid]
+		p := w.livePeer(l.pid)
 		ident, _ := w.proto.Identity(l.pid)
 		w.removeAdmitted(p)
 		w.m.SessionLength.Observe(int64(w.engine.Now() - p.JoinedAt))
@@ -377,12 +380,16 @@ func (w *World) departBatch(batch []leaver) {
 			return
 		}
 		w.noteRingLeave(l.pid, succ)
-		delete(w.stores, l.pid)
 		w.bus.Unregister(l.pid)
 		w.proto.UnregisterPeer(l.pid)
-		delete(w.peers, l.pid)
-		w.departed[l.pid] = &departedPeer{peer: p, ident: ident}
+		// Fetch the slot only now: noteRingLeave can mark reputation dirty,
+		// which may grow the slot arena and move earlier pointers.
+		s := w.slotOf(l.pid)
+		s.store = nil
+		s.pr = nil
+		s.departed = &departedPeer{peer: p, ident: ident}
 		w.scheduleStakeExpiry(p)
+		w.scheduleLeaseExpiry(p)
 	}
 	w.applyHandoff(records)
 }
@@ -423,14 +430,58 @@ func (w *World) stakeExpiryBody(pid id.ID, joined sim.Tick) func() {
 	}
 }
 
+// scheduleLeaseExpiry arms the reputation-record lease for a departing
+// peer: a peer offline longer than LeaseTTL ticks loses its lease — every
+// replica of its record is evicted and its rejoin eligibility dropped,
+// counted in Churn.LeaseEvictions. A rejoin bumps p.JoinedAt, which
+// cancels the timer; a later departure arms a fresh one.
+func (w *World) scheduleLeaseExpiry(p *peer.Peer) {
+	if w.cfg.Churn.LeaseTTL <= 0 {
+		return
+	}
+	joined := p.JoinedAt
+	w.engine.AfterPayload(sim.Tick(w.cfg.Churn.LeaseTTL), "lease-expiry",
+		sessionPayload{Peer: p.ID, Joined: joined}, w.leaseExpiryBody(p.ID, joined))
+}
+
+// leaseExpiryBody is the record-lease TTL event for the peer that
+// departed with JoinedAt == joined. Resolution mirrors stakeExpiryBody:
+// readmission or a JoinedAt bump cancels the eviction; a peer already
+// forgotten (no-rejoin draw) has no records left to evict.
+func (w *World) leaseExpiryBody(pid id.ID, joined sim.Tick) func() {
+	return func() {
+		if w.err != nil || w.IsAdmitted(pid) {
+			return
+		}
+		p := w.peerByID(pid)
+		if p == nil || p.JoinedAt != joined {
+			return
+		}
+		w.evictLease(pid)
+	}
+}
+
+// evictLease expires a departed peer's record lease: the counter, the
+// trace record, and the same finalisation a permanent departure gets —
+// rejoin eligibility and every replica of the record are dropped.
+func (w *World) evictLease(pid id.ID) {
+	s := w.slotOf(pid)
+	if s == nil || s.departed == nil {
+		return
+	}
+	w.m.Churn.LeaseEvictions++
+	w.record(trace.LeaseEvicted, pid, id.ID{}, "")
+	w.forgetDeparted(pid)
+}
+
 // peerByID resolves a peer object whether it is currently in the system
 // or departed-but-rejoinable; nil when no object remains.
 func (w *World) peerByID(pid id.ID) *peer.Peer {
-	if p, ok := w.peers[pid]; ok {
+	if p := w.livePeer(pid); p != nil {
 		return p
 	}
-	if d, ok := w.departed[pid]; ok {
-		return d.peer
+	if s := w.slotOf(pid); s != nil && s.departed != nil {
+		return s.departed.peer
 	}
 	return nil
 }
@@ -445,15 +496,19 @@ func (w *World) removeAdmitted(p *peer.Peer) {
 			break
 		}
 	}
-	delete(w.admittedSet, p.ID)
+	s := w.slotOf(p.ID)
+	s.admitted = false
 	w.topo.Remove(p.ID)
 	if cs := w.cohortStats(p.Cohort); cs != nil {
 		cs.InSystem--
 	}
 	if p.Class == peer.Cooperative {
 		w.m.CoopInSystem--
-		w.repSum -= w.repCached[p.ID]
-		delete(w.repCached, p.ID)
+		if s.hasRep {
+			w.repSum -= s.rep
+			s.rep = 0
+			s.hasRep = false
+		}
 	} else {
 		w.m.UncoopInSystem--
 	}
@@ -476,7 +531,7 @@ func (w *World) captureHandoff(batch []leaver) []handoffRecord {
 	var out []handoffRecord
 	captured := make(map[id.ID]bool)
 	for _, l := range batch {
-		st, ok := w.stores[l.pid]
+		st, ok := w.storeAt(l.pid)
 		if !ok {
 			continue
 		}
@@ -497,7 +552,7 @@ func (w *World) captureHandoff(batch []leaver) []handoffRecord {
 				if graceful, isDying := dying[m]; isDying && !graceful {
 					continue // a crashing replica cannot be pulled from
 				}
-				if src, ok := w.stores[m]; ok {
+				if src, ok := w.storeAt(m); ok {
 					if snap, ok := src.Export(subject); ok {
 						rec.snaps = append(rec.snaps, snap)
 					}
@@ -521,7 +576,7 @@ func (w *World) applyHandoff(records []handoffRecord) {
 		snap, ok := churn.Reconcile(rec.snaps)
 		if !ok {
 			w.m.Churn.Wipeouts++
-			w.wiped[rec.subject] = true
+			w.ensureSlot(rec.subject).wiped = true
 			w.record(trace.Wipeout, rec.subject, id.ID{}, "")
 			w.markRepDirty(rec.subject)
 			continue
@@ -549,7 +604,7 @@ func (w *World) migrateAfterJoin(x id.ID) {
 	if !ok || succ == x {
 		return
 	}
-	if src, ok := w.stores[succ]; ok {
+	if src, ok := w.storeAt(succ); ok {
 		for _, subject := range src.SubjectIDs() {
 			sms := w.ScoreManagers(subject) // placement including the joiner
 			if !id.Contains(sms, x) {
@@ -564,7 +619,7 @@ func (w *World) migrateAfterJoin(x id.ID) {
 				if m == succ {
 					succIsManager = true
 				}
-				if st, ok := w.stores[m]; ok {
+				if st, ok := w.storeAt(m); ok {
 					if snap, ok := st.Export(subject); ok {
 						snaps = append(snaps, snap)
 					}
@@ -616,7 +671,7 @@ func (w *World) pullSelfSkipTakeover(x, subject id.ID) {
 		if m == x || id.Contains(sms[:i], m) {
 			continue
 		}
-		if st, ok := w.stores[m]; ok {
+		if st, ok := w.storeAt(m); ok {
 			if snap, ok := st.Export(subject); ok {
 				snaps = append(snaps, snap)
 			}
@@ -627,7 +682,7 @@ func (w *World) pullSelfSkipTakeover(x, subject id.ID) {
 	skip, ok := w.ring.NextMember(subject)
 	displaced := ok && skip != subject && skip != x && !id.Contains(sms, skip)
 	if displaced {
-		if st, ok := w.stores[skip]; ok {
+		if st, ok := w.storeAt(skip); ok {
 			if snap, ok := st.Export(subject); ok {
 				snaps = append(snaps, snap)
 			}
@@ -638,7 +693,7 @@ func (w *World) pullSelfSkipTakeover(x, subject id.ID) {
 		w.m.Churn.Migrated++
 	}
 	if displaced {
-		if st, ok := w.stores[skip]; ok {
+		if st, ok := w.storeAt(skip); ok {
 			st.Forget(subject) // key transferred: the old skip target lets go
 		}
 	}

@@ -36,6 +36,7 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"repro/internal/arena"
 	"repro/internal/baseline"
 	"repro/internal/checkpoint"
 	"repro/internal/config"
@@ -56,8 +57,11 @@ import (
 // the replay cursor, and per-peer cohort/plan state. Version 3 added the
 // telemetry-era observability state: the duration histograms inside
 // Metrics and the in-flight arrival ticks behind the admission-latency
-// histogram.
-const SnapshotVersion = 3
+// histogram. Version 4 added the arena memory layout: per-peer state
+// lives in ordinal-addressed slots, and the ordinal table plus its
+// free-list are captured verbatim so a restored world recycles slots in
+// the same order the uncut run would.
+const SnapshotVersion = 4
 
 // Event payload types. Each pending-event kind the world schedules has
 // one; the payload pins everything the matching *Body constructor needs.
@@ -73,7 +77,7 @@ type (
 		Peer id.ID `json:"peer"`
 	}
 	// sessionPayload tags events guarded by an admission time
-	// ("session-end", "stake-expiry").
+	// ("session-end", "stake-expiry", "lease-expiry").
 	sessionPayload struct {
 		Peer   id.ID    `json:"peer"`
 		Joined sim.Tick `json:"joined"`
@@ -221,6 +225,13 @@ type Snapshot struct {
 	// latencies the uncut run would.
 	Arrivals []ArrivalRecord `json:"arrivals,omitempty"` // ascending peer ID
 
+	// Ordinals and OrdFree carry the peer arena verbatim — the assigned
+	// slot of every identifier in ascending ordinal order, and the
+	// free-list oldest-first — so snapshot∘restore∘snapshot is idempotent
+	// and a restored world hands out the same slots the uncut run would.
+	Ordinals []OrdinalRecord `json:"ordinals,omitempty"`
+	OrdFree  []int32         `json:"ordFree,omitempty"`
+
 	Metrics Metrics `json:"metrics"`
 }
 
@@ -229,6 +240,12 @@ type Snapshot struct {
 type ArrivalRecord struct {
 	Peer id.ID    `json:"peer"`
 	At   sim.Tick `json:"at"`
+}
+
+// OrdinalRecord is one assigned slot of the world's peer arena.
+type OrdinalRecord struct {
+	Peer id.ID `json:"peer"`
+	Ord  int32 `json:"ord"`
 }
 
 // Snapshot captures the world's full state. The world must be started,
@@ -282,8 +299,17 @@ func (w *World) Snapshot() (*Snapshot, error) {
 	s.Metrics.AdmissionLatency = copyHistogram(w.m.AdmissionLatency)
 	s.Metrics.AuditWait = copyHistogram(w.m.AuditWait)
 	s.Metrics.SessionLength = copyHistogram(w.m.SessionLength)
-	for _, pid := range sortedWorldIDs(w.arrivedAt) {
-		s.Arrivals = append(s.Arrivals, ArrivalRecord{Peer: pid, At: w.arrivedAt[pid]})
+	for _, pid := range w.slotIDsSorted(func(sl *worldSlot) bool { return sl.inFlight }) {
+		ord, _ := w.ords.Get(pid)
+		s.Arrivals = append(s.Arrivals, ArrivalRecord{Peer: pid, At: w.slots[ord].arrivedAt})
+	}
+	for ord := 0; ord < len(w.slots); ord++ {
+		if pid, ok := w.ords.ID(arena.Ordinal(ord)); ok {
+			s.Ordinals = append(s.Ordinals, OrdinalRecord{Peer: pid, Ord: int32(ord)})
+		}
+	}
+	for _, f := range w.ords.FreeList() {
+		s.OrdFree = append(s.OrdFree, int32(f))
 	}
 
 	for _, ev := range w.engine.Pendings() {
@@ -294,14 +320,15 @@ func (w *World) Snapshot() (*Snapshot, error) {
 		s.Events = append(s.Events, rec)
 	}
 
-	for _, pid := range sortedWorldIDs(w.peers) {
-		s.Peers = append(s.Peers, peerRecord(w.peers[pid]))
+	for _, pid := range w.slotIDsSorted(func(sl *worldSlot) bool { return sl.pr != nil }) {
+		s.Peers = append(s.Peers, peerRecord(w.livePeer(pid)))
 	}
 	for _, p := range w.admittedPeers {
 		s.Admitted = append(s.Admitted, p.ID)
 	}
-	for _, pid := range sortedWorldIDs(w.departed) {
-		d := w.departed[pid]
+	for _, pid := range w.slotIDsSorted(func(sl *worldSlot) bool { return sl.departed != nil }) {
+		ord, _ := w.ords.Get(pid)
+		d := w.slots[ord].departed
 		rec := DepartedRecord{Peer: peerRecord(d.peer)}
 		switch ident := d.ident.(type) {
 		case nil:
@@ -315,11 +342,13 @@ func (w *World) Snapshot() (*Snapshot, error) {
 		}
 		s.Departed = append(s.Departed, rec)
 	}
-	for _, pid := range sortedWorldIDs(w.wiped) {
-		s.Wiped = append(s.Wiped, pid)
+	s.Wiped = w.slotIDsSorted(func(sl *worldSlot) bool { return sl.wiped })
+	if len(s.Wiped) == 0 {
+		s.Wiped = nil
 	}
-	for _, node := range sortedWorldIDs(w.stores) {
-		s.Stores = append(s.Stores, StoreRecord{Node: node, State: w.stores[node].ExportState()})
+	for _, node := range w.slotIDsSorted(func(sl *worldSlot) bool { return sl.store != nil }) {
+		st, _ := w.storeAt(node)
+		s.Stores = append(s.Stores, StoreRecord{Node: node, State: st.ExportState()})
 	}
 
 	topo, err := topology.ExportState(w.topo)
@@ -333,8 +362,9 @@ func (w *World) Snapshot() (*Snapshot, error) {
 	}
 	s.Lending = lend
 
-	for _, pid := range sortedWorldIDs(w.repCached) {
-		s.RepCached = append(s.RepCached, RepRecord{Peer: pid, Rep: w.repCached[pid]})
+	for _, pid := range w.slotIDsSorted(func(sl *worldSlot) bool { return sl.hasRep }) {
+		ord, _ := w.ords.Get(pid)
+		s.RepCached = append(s.RepCached, RepRecord{Peer: pid, Rep: w.slots[ord].rep})
 	}
 	for _, pid := range sortedWorldIDs(w.smCache) {
 		e := w.smCache[pid]
@@ -417,18 +447,49 @@ func Restore(s *Snapshot) (*World, error) {
 	}
 	w.policy = policy
 
+	// The peer arena comes first: every per-peer record below resolves to
+	// a slot through it, and installing the table plus free-list verbatim
+	// is what makes the restored world recycle slots in the uncut run's
+	// order.
+	assigned := make(map[id.ID]arena.Ordinal, len(s.Ordinals))
+	for _, rec := range s.Ordinals {
+		if _, dup := assigned[rec.Peer]; dup {
+			return nil, fmt.Errorf("world: restore: duplicate ordinal entry %s", rec.Peer.Short())
+		}
+		assigned[rec.Peer] = arena.Ordinal(rec.Ord)
+	}
+	free := make([]arena.Ordinal, len(s.OrdFree))
+	for i, f := range s.OrdFree {
+		free[i] = arena.Ordinal(f)
+	}
+	if err := w.ords.Restore(assigned, free); err != nil {
+		return nil, fmt.Errorf("world: restore: %w", err)
+	}
+	w.slots = make([]worldSlot, w.ords.Cap())
+	slotFor := func(pid id.ID) (*worldSlot, error) {
+		ord, ok := w.ords.Get(pid)
+		if !ok {
+			return nil, fmt.Errorf("world: restore: %s has no arena ordinal", pid.Short())
+		}
+		return &w.slots[ord], nil
+	}
+
 	// Peers and the overlay. Records arrive in ascending ID order and the
 	// ring's treap shape is a pure function of membership, so joining in
 	// record order rebuilds the exact structure.
 	for _, rec := range s.Peers {
-		if _, dup := w.peers[rec.ID]; dup {
+		sl, err := slotFor(rec.ID)
+		if err != nil {
+			return nil, err
+		}
+		if sl.pr != nil {
 			return nil, fmt.Errorf("world: restore: duplicate peer %s", rec.ID.Short())
 		}
-		p := restorePeer(rec)
+		p := w.restorePeer(rec)
 		if err := w.ring.Join(p.ID); err != nil {
 			return nil, fmt.Errorf("world: restore: joining %s: %w", p.ID.Short(), err)
 		}
-		w.peers[p.ID] = p
+		sl.pr = p
 	}
 
 	// The lending protocol re-registers every live signer's bus handler;
@@ -437,7 +498,7 @@ func Restore(s *Snapshot) (*World, error) {
 		return nil, fmt.Errorf("world: restore: %w", err)
 	}
 	for _, pid := range s.Crashed {
-		if _, ok := w.peers[pid]; !ok {
+		if w.livePeer(pid) == nil {
 			return nil, fmt.Errorf("world: restore: crashed node %s is not a member", pid.Short())
 		}
 	}
@@ -445,12 +506,13 @@ func Restore(s *Snapshot) (*World, error) {
 	w.bus.RestoreStats(s.BusStats)
 
 	for _, pid := range s.Admitted {
-		p, ok := w.peers[pid]
-		if !ok {
+		p := w.livePeer(pid)
+		if p == nil {
 			return nil, fmt.Errorf("world: restore: admitted peer %s has no record", pid.Short())
 		}
 		w.admittedPeers = append(w.admittedPeers, p)
-		w.admittedSet[pid] = struct{}{}
+		sl, _ := slotFor(pid)
+		sl.admitted = true
 	}
 	if s.Topology.Kind != w.cfg.Topology {
 		return nil, fmt.Errorf("world: restore: topology state kind %q does not match config %q", s.Topology.Kind, w.cfg.Topology)
@@ -462,21 +524,29 @@ func Restore(s *Snapshot) (*World, error) {
 	w.topo = topo
 
 	for _, rec := range s.Stores {
-		if _, dup := w.stores[rec.Node]; dup {
+		sl, err := slotFor(rec.Node)
+		if err != nil {
+			return nil, err
+		}
+		if sl.store != nil {
 			return nil, fmt.Errorf("world: restore: duplicate store for %s", rec.Node.Short())
 		}
 		st := rocq.NewStore(rocq.DefaultParams())
 		st.RestoreState(rec.State)
 		st.SetOnChange(w.markRepDirty)
-		w.stores[rec.Node] = st
+		sl.store = st
 	}
 
 	for _, rec := range s.Departed {
 		pid := rec.Peer.ID
-		if _, dup := w.departed[pid]; dup {
+		sl, err := slotFor(pid)
+		if err != nil {
+			return nil, err
+		}
+		if sl.departed != nil {
 			return nil, fmt.Errorf("world: restore: duplicate departed peer %s", pid.Short())
 		}
-		d := &departedPeer{peer: restorePeer(rec.Peer)}
+		d := &departedPeer{peer: w.restorePeer(rec.Peer)}
 		switch {
 		case rec.Null && rec.Signer != nil:
 			return nil, fmt.Errorf("world: restore: departed %s has both null and signer identity", pid.Short())
@@ -489,10 +559,14 @@ func Restore(s *Snapshot) (*World, error) {
 			}
 			d.ident = signer
 		}
-		w.departed[pid] = d
+		sl.departed = d
 	}
 	for _, pid := range s.Wiped {
-		w.wiped[pid] = true
+		sl, err := slotFor(pid)
+		if err != nil {
+			return nil, err
+		}
+		sl.wiped = true
 	}
 
 	w.seq = s.Seq
@@ -511,13 +585,22 @@ func Restore(s *Snapshot) (*World, error) {
 
 	w.repSum = s.RepSum
 	for _, rec := range s.RepCached {
-		w.repCached[rec.Peer] = rec.Rep
+		sl, err := slotFor(rec.Peer)
+		if err != nil {
+			return nil, err
+		}
+		sl.hasRep = true
+		sl.rep = rec.Rep
 	}
 	for _, pid := range s.DirtyRep {
-		if _, dup := w.dirtyIn[pid]; dup {
+		sl, err := slotFor(pid)
+		if err != nil {
+			return nil, err
+		}
+		if sl.dirty {
 			return nil, fmt.Errorf("world: restore: duplicate dirty-reputation entry %s", pid.Short())
 		}
-		w.dirtyIn[pid] = struct{}{}
+		sl.dirty = true
 		w.dirtyRep = append(w.dirtyRep, pid)
 	}
 
@@ -535,7 +618,7 @@ func Restore(s *Snapshot) (*World, error) {
 		e.stores = make([]*rocq.Store, len(e.sms))
 		e.refs = make([]rocq.Ref, len(e.sms))
 		for i, n := range e.sms {
-			st, ok := w.stores[n]
+			st, ok := w.storeAt(n)
 			if !ok {
 				return nil, fmt.Errorf("world: restore: placement of %s references missing store %s", rec.Peer.Short(), n.Short())
 			}
@@ -570,13 +653,15 @@ func Restore(s *Snapshot) (*World, error) {
 	w.m.SessionLength = restoredHistogram(s.Metrics.SessionLength, "session-length")
 
 	for _, rec := range s.Arrivals {
-		if _, ok := w.peers[rec.Peer]; !ok {
+		if w.livePeer(rec.Peer) == nil {
 			return nil, fmt.Errorf("world: restore: in-flight arrival %s has no peer record", rec.Peer.Short())
 		}
-		if _, dup := w.arrivedAt[rec.Peer]; dup {
+		sl, _ := slotFor(rec.Peer)
+		if sl.inFlight {
 			return nil, fmt.Errorf("world: restore: duplicate in-flight arrival %s", rec.Peer.Short())
 		}
-		w.arrivedAt[rec.Peer] = rec.At
+		sl.inFlight = true
+		sl.arrivedAt = rec.At
 	}
 
 	events := make([]sim.PendingEvent, len(s.Events))
@@ -626,7 +711,7 @@ func encodeEvent(ev sim.PendingEvent) (EventRecord, error) {
 		}
 		rec.Kind, payload = ev.Name, p
 	case sessionPayload:
-		if err := names("session-end", "stake-expiry"); err != nil {
+		if err := names("session-end", "stake-expiry", "lease-expiry"); err != nil {
 			return rec, err
 		}
 		rec.Kind, payload = ev.Name, p
@@ -689,7 +774,7 @@ func decodeEventPayload(rec EventRecord) (any, error) {
 			return nil, fmt.Errorf("world: event %q: %w", rec.Kind, err)
 		}
 		return p, nil
-	case "session-end", "stake-expiry":
+	case "session-end", "stake-expiry", "lease-expiry":
 		var p sessionPayload
 		if err := wantName(); err != nil {
 			return nil, err
@@ -756,6 +841,8 @@ func (w *World) rebuildEvent(pe sim.PendingEvent) (func(), error) {
 			return w.sessionEndBody(p.Peer, p.Joined), nil
 		case "stake-expiry":
 			return w.stakeExpiryBody(p.Peer, p.Joined), nil
+		case "lease-expiry":
+			return w.leaseExpiryBody(p.Peer, p.Joined), nil
 		}
 	case lending.IntroWait:
 		return w.proto.RebuildIntroEvent(pe.Name, p)
@@ -804,9 +891,10 @@ func peerRecord(p *peer.Peer) PeerRecord {
 	return rec
 }
 
-// restorePeer rebuilds one peer object from its record.
-func restorePeer(rec PeerRecord) *peer.Peer {
-	p := peer.New(rec.ID, rec.Class, rec.Style, rocq.DefaultParams())
+// restorePeer rebuilds one peer object, in the world's slab, from its
+// record.
+func (w *World) restorePeer(rec PeerRecord) *peer.Peer {
+	p := w.newPeer(rec.ID, rec.Class, rec.Style)
 	p.JoinedAt = rec.JoinedAt
 	p.Completed = rec.Completed
 	p.Audited = rec.Audited

@@ -12,7 +12,6 @@ package world
 
 import (
 	"repro/internal/peer"
-	"repro/internal/rocq"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -95,7 +94,7 @@ func (w *World) handleWorkloadArrival() {
 	}
 	class := peer.AssignArrivalClass(frac, w.cohortRand)
 	style := peer.AssignStyle(class, w.cfg.FracNaive, w.cohortRand)
-	p := peer.New(w.newPeerID(), class, style, rocq.DefaultParams())
+	p := w.newPeer(w.newPeerID(), class, style)
 	p.PlanOrdinal = w.seq
 	if cohort != nil {
 		p.Cohort = cohort.Name
@@ -262,7 +261,7 @@ func (w *World) handleReplayArrival(ev workload.Event) {
 	default:
 		style = peer.AssignStyle(class, w.cfg.FracNaive, w.cohortRand)
 	}
-	p := peer.New(w.newPeerID(), class, style, rocq.DefaultParams())
+	p := w.newPeer(w.newPeerID(), class, style)
 	p.Cohort = ev.Cohort
 	p.PlanOrdinal = w.seq
 	if ev.Plan != nil {

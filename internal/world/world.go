@@ -19,6 +19,7 @@ package world
 import (
 	"fmt"
 
+	"repro/internal/arena"
 	"repro/internal/baseline"
 	"repro/internal/churn"
 	"repro/internal/config"
@@ -85,26 +86,33 @@ type World struct {
 	//replend:allow snapshotfields observability sink, not simulation state: attaching a recorder changes no draw, and a resumed run re-records from the cut
 	wkRecorder *workload.Recorder
 
-	peers         map[id.ID]*peer.Peer
-	admittedPeers []*peer.Peer       // members in admission order
-	admittedSet   map[id.ID]struct{} // O(1) membership view of admittedPeers
-	stores        map[id.ID]*rocq.Store
+	// Per-peer simulation state lives in a dense ordinal-indexed arena:
+	// ords maps a peer id to its slot in slots, and the LIFO free-list
+	// lets churn recycle slots, so million-peer worlds index one flat
+	// slice instead of chasing eight separate per-peer maps. Ordinals
+	// never feed output bytes — output iteration stays over sorted ids
+	// or recorded insertion orders (slotIDsSorted) — except in snapshots,
+	// where the table itself is state so restored worlds recycle slots in
+	// the same order the original would. Peer objects come from peerSlab,
+	// which packs them into chunked, pointer-stable storage.
+	ords  *arena.Ordinals
+	slots []worldSlot
+	//replend:allow snapshotfields allocation pool, not state; restore re-allocates every peer object through newPeer
+	peerSlab      arena.Slab[peer.Peer]
+	admittedPeers []*peer.Peer // members in admission order
 
-	// Membership churn (see churn.go): the departure process, departed
-	// peers eligible to rejoin, and the record-wipeout set.
+	// Membership churn (see churn.go): the departure process and clocks;
+	// departed peers and the wipeout marks live in the slot arena.
 	churnProc *churn.Process
-	departed  map[id.ID]*departedPeer
-	wiped     map[id.ID]bool
 	departClk float64 // continuous departure clock (Poisson process)
 	departGen int64   // invalidates in-flight departure chains on μ changes
 
 	// Incremental sampling state: the running sum of cached cooperative
-	// reputations and the dirty set of peers whose reputation may have
-	// moved since the last flush (see sample).
-	repSum    float64
-	repCached map[id.ID]float64
-	dirtyRep  []id.ID // insertion-ordered for deterministic flushing
-	dirtyIn   map[id.ID]struct{}
+	// reputations and the dirty queue of peers whose reputation may have
+	// moved since the last flush (see sample). Membership of the queue is
+	// the dirty bit in each slot.
+	repSum   float64
+	dirtyRep []id.ID // insertion-ordered for deterministic flushing
 
 	// smCache caches score-manager assignments (and their resolved
 	// stores) per peer. Invalidation is incremental: each entry records
@@ -129,14 +137,113 @@ type World struct {
 	started    bool    // workload processes armed
 	err        error   // first run-path failure; stops the engine
 
-	// arrivedAt remembers the tick each in-flight arrival asked for an
-	// introduction, so the admission-latency histogram can be observed at
-	// the outcome. Entries live only for the waiting period; the map is
-	// never ranged (deterministic by construction) and is checkpointed so
-	// a resumed run observes identical latencies.
-	arrivedAt map[id.ID]sim.Tick
-
 	m Metrics
+}
+
+// worldSlot is one peer's consolidated simulation state — previously
+// spread over eight id-keyed maps (peers, stores, departed, wiped,
+// repCached, arrivedAt, admittedSet, dirtyIn), now index-addressed by
+// the peer's arena ordinal. A slot stays assigned while any field is
+// live and returns to the free-list when the last one clears
+// (releaseIfEmpty), so sustained churn recycles slots instead of
+// growing the arena without bound.
+//
+// Slot pointers are invalidated by any call that can assign a fresh
+// ordinal (ensureSlot, Store, markRepDirty, smEntry): re-resolve
+// through the ordinal after such calls instead of holding the pointer.
+type worldSlot struct {
+	pr       *peer.Peer    // attached peer object; nil when not in the system
+	store    *rocq.Store   // reputation store hosted at the peer's node
+	departed *departedPeer // offline but eligible to rejoin
+	wiped    bool          // every replica died in one membership event (sticky)
+	admitted bool          // currently in the admitted community
+	dirty    bool          // queued in dirtyRep for the sampling flush
+	hasRep   bool          // rep is part of the sampled cooperative sum
+	inFlight bool          // arrivedAt marks a live waiting period
+	// rep is the cached aggregate reputation feeding the incremental
+	// cooperative mean; arrivedAt is the tick the in-flight arrival asked
+	// for an introduction, observed by the admission-latency histogram.
+	rep       float64
+	arrivedAt sim.Tick
+}
+
+// empty reports whether every per-peer field has cleared, making the
+// slot eligible for release.
+func (s *worldSlot) empty() bool {
+	return s.pr == nil && s.store == nil && s.departed == nil &&
+		!s.wiped && !s.admitted && !s.dirty && !s.hasRep && !s.inFlight
+}
+
+// slotOf returns the peer's slot, nil when no ordinal is assigned.
+func (w *World) slotOf(pid id.ID) *worldSlot {
+	if ord, ok := w.ords.Get(pid); ok {
+		return &w.slots[ord]
+	}
+	return nil
+}
+
+// ensureSlot returns the peer's slot, assigning an ordinal (and zeroed
+// slot) on first touch.
+func (w *World) ensureSlot(pid id.ID) *worldSlot {
+	if ord, ok := w.ords.Get(pid); ok {
+		return &w.slots[ord]
+	}
+	ord := w.ords.Assign(pid)
+	if int(ord) == len(w.slots) {
+		w.slots = append(w.slots, worldSlot{})
+	}
+	return &w.slots[ord]
+}
+
+// releaseIfEmpty returns the peer's slot to the ordinal free-list once
+// every field has cleared. Call sites are the state-removal paths
+// (detachment, permanent departure, the sampling flush), all of which
+// run in deterministic event order — so the free-list, and with it every
+// future ordinal assignment, is identical across runs.
+func (w *World) releaseIfEmpty(pid id.ID) {
+	if ord, ok := w.ords.Get(pid); ok && w.slots[ord].empty() {
+		w.slots[ord] = worldSlot{} // clear value remnants before recycling
+		w.ords.Release(pid)
+	}
+}
+
+// livePeer returns the attached peer object, nil when the peer is not
+// in the system.
+func (w *World) livePeer(pid id.ID) *peer.Peer {
+	if s := w.slotOf(pid); s != nil {
+		return s.pr
+	}
+	return nil
+}
+
+// newPeer allocates a peer record from the world's slab — the
+// world-side replacement for peer.New, so churn recycles peer records
+// through the slab free-list instead of the garbage collector.
+func (w *World) newPeer(pid id.ID, class peer.Class, style peer.Style) *peer.Peer {
+	p := w.peerSlab.Alloc()
+	p.ID, p.Class, p.Style = pid, class, style
+	p.Opinions = rocq.NewOpinionBook(rocq.DefaultParams())
+	return p
+}
+
+// slotIDsSorted returns, in ascending identifier order, the ids whose
+// slot satisfies the predicate — the deterministic iteration the
+// snapshot encoder and the store sweeps use instead of map ranges.
+func (w *World) slotIDsSorted(pred func(*worldSlot) bool) []id.ID {
+	out := make([]id.ID, 0, w.ords.Len())
+	for ord := 0; ord < len(w.slots); ord++ {
+		if pid, ok := w.ords.ID(arena.Ordinal(ord)); ok && pred(&w.slots[ord]) {
+			out = append(out, pid)
+		}
+	}
+	sortIDs(out)
+	return out
+}
+
+// ArenaSlots reports the slot arena's occupancy: currently assigned
+// ordinals and total slots ever allocated (live + free).
+func (w *World) ArenaSlots() (live, capacity int) {
+	return w.ords.Len(), w.ords.Cap()
 }
 
 // smCacheEntry is one peer's cached placement: the score-manager set, the
@@ -272,16 +379,9 @@ func newBare(cfg config.Config) (*World, error) {
 		workloadRand: root.Split(),
 		behaveRand:   root.Split(),
 		keyRand:      root.Split(),
-		peers:        make(map[id.ID]*peer.Peer),
-		admittedSet:  make(map[id.ID]struct{}),
-		stores:       make(map[id.ID]*rocq.Store),
+		ords:         arena.NewOrdinals(),
 		smCache:      make(map[id.ID]*smCacheEntry),
 		smDeps:       make(map[id.ID][]id.ID),
-		departed:     make(map[id.ID]*departedPeer),
-		wiped:        make(map[id.ID]bool),
-		repCached:    make(map[id.ID]float64),
-		dirtyIn:      make(map[id.ID]struct{}),
-		arrivedAt:    make(map[id.ID]sim.Tick),
 		policy:       baseline.MidSpectrum{},
 		m: Metrics{
 			CoopCount:        &metrics.Series{Name: "coop"},
@@ -408,8 +508,8 @@ func (w *World) Config() config.Config { return w.cfg }
 
 // Peer returns a peer by identifier.
 func (w *World) Peer(pid id.ID) (*peer.Peer, bool) {
-	p, ok := w.peers[pid]
-	return p, ok
+	p := w.livePeer(pid)
+	return p, p != nil
 }
 
 // PopulationSize returns the number of peers currently in the system.
@@ -417,8 +517,8 @@ func (w *World) PopulationSize() int { return len(w.admittedPeers) }
 
 // IsAdmitted reports whether the peer is currently in the system.
 func (w *World) IsAdmitted(pid id.ID) bool {
-	_, ok := w.admittedSet[pid]
-	return ok
+	s := w.slotOf(pid)
+	return s != nil && s.admitted
 }
 
 // Err returns the first run-path failure, if any. Run and RunFor surface
@@ -721,13 +821,21 @@ func (w *World) QueryReputation(pid id.ID) (float64, bool) {
 // store reports evidence mutations into the sampling dirty set, so the
 // periodic mean only recomputes subjects that actually changed.
 func (w *World) Store(node id.ID) *rocq.Store {
-	s, ok := w.stores[node]
-	if !ok {
-		s = rocq.NewStore(rocq.DefaultParams())
-		s.SetOnChange(w.markRepDirty)
-		w.stores[node] = s
+	s := w.ensureSlot(node)
+	if s.store == nil {
+		st := rocq.NewStore(rocq.DefaultParams())
+		st.SetOnChange(w.markRepDirty)
+		s.store = st
 	}
-	return s
+	return s.store
+}
+
+// storeAt returns the store hosted at a node without allocating one.
+func (w *World) storeAt(node id.ID) (*rocq.Store, bool) {
+	if s := w.slotOf(node); s != nil && s.store != nil {
+		return s.store, true
+	}
+	return nil, false
 }
 
 // ---------------------------------------------------------------------------
@@ -744,7 +852,7 @@ func (w *World) createFounders() error {
 	for i := 0; i < w.cfg.NumInit; i++ {
 		pid := w.newPeerID()
 		style := peer.AssignStyle(peer.Cooperative, w.cfg.FracNaive, w.behaveRand)
-		p := peer.New(pid, peer.Cooperative, style, rocq.DefaultParams())
+		p := w.newPeer(pid, peer.Cooperative, style)
 		if err := w.attachNode(p); err != nil {
 			return err
 		}
@@ -790,7 +898,7 @@ func (w *World) attachNodeIdentity(p *peer.Peer, ident transport.Identity) error
 	}
 	w.noteRingJoin(p.ID)
 	w.proto.RegisterPeer(p.ID, ident)
-	w.peers[p.ID] = p
+	w.ensureSlot(p.ID).pr = p
 	if w.migrating() {
 		w.migrateAfterJoin(p.ID)
 	}
@@ -802,14 +910,16 @@ func (w *World) attachNodeIdentity(p *peer.Peer, ident transport.Identity) error
 func (w *World) admit(p *peer.Peer, at sim.Tick) {
 	p.JoinedAt = at
 	w.admittedPeers = append(w.admittedPeers, p)
-	w.admittedSet[p.ID] = struct{}{}
+	s := w.ensureSlot(p.ID)
+	s.admitted = true
 	w.topo.Add(p.ID)
 	if p.Class == peer.Cooperative {
 		w.m.CoopInSystem++
 		// Seed the sampling cache at zero and let the flush pick up the
 		// real value: the bootstrap credit (or founder Init) lands through
 		// the store hooks and dirties the peer anyway.
-		w.repCached[p.ID] = 0
+		s.rep = 0
+		s.hasRep = true
 		w.markRepDirty(p.ID)
 	} else {
 		w.m.UncoopInSystem++
@@ -832,12 +942,12 @@ func (w *World) admit(p *peer.Peer, at sim.Tick) {
 // Lending protocol events.
 
 func (w *World) onAdmitted(newcomer, introducer id.ID, at sim.Tick) {
-	p := w.peers[newcomer]
+	p := w.livePeer(newcomer)
 	p.Introducer = introducer
 	w.m.Pending--
-	if t0, ok := w.arrivedAt[newcomer]; ok {
-		w.m.AdmissionLatency.Observe(int64(at - t0))
-		delete(w.arrivedAt, newcomer)
+	if s := w.slotOf(newcomer); s != nil && s.inFlight {
+		w.m.AdmissionLatency.Observe(int64(at - s.arrivedAt))
+		s.inFlight = false
 	}
 	w.record(trace.Admitted, newcomer, introducer, p.Class.String())
 	w.admit(p, at)
@@ -882,9 +992,11 @@ func (w *World) onStakeResolved(newcomer, introducer id.ID, state lending.StakeS
 }
 
 func (w *World) onRefused(newcomer, introducer id.ID, reason lending.Reason, at sim.Tick) {
-	p := w.peers[newcomer]
+	p := w.livePeer(newcomer)
 	w.m.Pending--
-	delete(w.arrivedAt, newcomer) // refusals observe no admission latency
+	if s := w.slotOf(newcomer); s != nil {
+		s.inFlight = false // refusals observe no admission latency
+	}
 	w.record(trace.Refused, newcomer, introducer, reason.String())
 	coop := p.Class == peer.Cooperative
 	switch reason {
@@ -907,7 +1019,7 @@ func (w *World) onRefused(newcomer, introducer id.ID, reason lending.Reason, at 
 }
 
 func (w *World) onAuditOutcome(newcomer, introducer id.ID, satisfactory bool, at sim.Tick) {
-	if p, ok := w.peers[newcomer]; ok {
+	if p := w.livePeer(newcomer); p != nil {
 		w.m.AuditWait.Observe(int64(at - p.JoinedAt))
 	}
 	if satisfactory {
@@ -922,7 +1034,7 @@ func (w *World) onAuditOutcome(newcomer, introducer id.ID, satisfactory bool, at
 func (w *World) onFlagged(pid id.ID, at sim.Tick) {
 	w.m.FlaggedPeers++
 	w.record(trace.Flagged, pid, id.ID{}, "duplicate introduction")
-	if p, ok := w.peers[pid]; ok {
+	if p := w.livePeer(pid); p != nil {
 		p.Flagged = true
 	}
 }
@@ -947,7 +1059,7 @@ func (w *World) detachNode(pid id.ID) {
 		// lost responsibility.
 		if sms, err := w.ring.ScoreManagers(pid, w.cfg.NumSM); err == nil {
 			for _, n := range sms {
-				if st, ok := w.stores[n]; ok {
+				if st, ok := w.storeAt(n); ok {
 					st.Forget(pid)
 				}
 			}
@@ -967,10 +1079,18 @@ func (w *World) detachNode(pid id.ID) {
 		w.noteRingLeave(pid, succ)
 		w.applyHandoff(records)
 	}
-	delete(w.stores, pid)
 	w.bus.Unregister(pid)
 	w.proto.UnregisterPeer(pid)
-	delete(w.peers, pid)
+	if s := w.slotOf(pid); s != nil {
+		s.store = nil
+		if p := s.pr; p != nil {
+			s.pr = nil
+			if s.departed == nil {
+				w.peerSlab.Free(p)
+			}
+		}
+	}
+	w.releaseIfEmpty(pid)
 }
 
 // ---------------------------------------------------------------------------
@@ -1054,7 +1174,7 @@ func (w *World) handleArrival() {
 	}
 	class := peer.AssignArrivalClass(w.cfg.FracUncoop, w.behaveRand)
 	style := peer.AssignStyle(class, w.cfg.FracNaive, w.behaveRand)
-	p := peer.New(w.newPeerID(), class, style, rocq.DefaultParams())
+	p := w.newPeer(w.newPeerID(), class, style)
 	w.finishArrival(p)
 }
 
@@ -1108,12 +1228,20 @@ func (w *World) finishArrival(p *peer.Peer) {
 		w.fail(fmt.Errorf("sim: arrival: %w", err))
 		return
 	}
-	introducer := w.peers[introducerID]
+	introducer := w.livePeer(introducerID)
 	w.record(trace.Arrival, p.ID, introducerID, p.Class.String())
 	granted := introducer.WillIntroduce(p.Class, w.cfg.ErrSel, w.behaveRand)
 	w.m.Pending++
-	w.arrivedAt[p.ID] = w.engine.Now()
+	w.markInFlight(p.ID)
 	w.proto.Begin(p.ID, introducerID, granted)
+}
+
+// markInFlight stamps the waiting-period start of a freshly attached
+// arrival, observed by the admission-latency histogram at the outcome.
+func (w *World) markInFlight(pid id.ID) {
+	s := w.ensureSlot(pid)
+	s.arrivedAt = w.engine.Now()
+	s.inFlight = true
 }
 
 // ---------------------------------------------------------------------------
@@ -1148,7 +1276,7 @@ func (w *World) transact() {
 	if !ok {
 		return
 	}
-	respondent := w.peers[respondentID]
+	respondent := w.livePeer(respondentID)
 
 	reqEntry := w.smEntry(requesterID)
 	rep, _ := rocq.QueryRefs(reqEntry.refs)
@@ -1258,10 +1386,11 @@ func (w *World) sample() {
 // (evidence mutation, placement change, migration). Insertion order is
 // preserved so the flush is deterministic.
 func (w *World) markRepDirty(pid id.ID) {
-	if _, ok := w.dirtyIn[pid]; ok {
+	s := w.ensureSlot(pid)
+	if s.dirty {
 		return
 	}
-	w.dirtyIn[pid] = struct{}{}
+	s.dirty = true
 	w.dirtyRep = append(w.dirtyRep, pid)
 }
 
@@ -1270,17 +1399,24 @@ func (w *World) markRepDirty(pid id.ID) {
 // simply discarded (their aggregate is not part of the sampled mean).
 func (w *World) flushDirtyRep() {
 	for _, pid := range w.dirtyRep {
-		delete(w.dirtyIn, pid)
-		if _, ok := w.admittedSet[pid]; !ok {
+		ord, ok := w.ords.Get(pid)
+		if !ok {
 			continue
 		}
-		p := w.peers[pid]
-		if p == nil || p.Class != peer.Cooperative {
+		w.slots[ord].dirty = false
+		if !w.slots[ord].admitted {
+			// Nothing left for the sampled mean to read; a slot holding no
+			// other state goes back to the free-list here.
+			w.releaseIfEmpty(pid)
+			continue
+		}
+		if p := w.slots[ord].pr; p == nil || p.Class != peer.Cooperative {
 			continue
 		}
 		v := w.Reputation(pid)
-		w.repSum += v - w.repCached[pid]
-		w.repCached[pid] = v
+		s := &w.slots[ord] // re-resolve: Reputation may grow the slot arena
+		w.repSum += v - s.rep
+		s.rep = v
 	}
 	w.dirtyRep = w.dirtyRep[:0]
 }
@@ -1352,11 +1488,11 @@ func (w *World) Finish() {
 // through the usual metrics once the waiting period elapses. Used by the
 // collusion experiment and the examples.
 func (w *World) InjectArrival(class peer.Class, style peer.Style, introducerID id.ID) (id.ID, error) {
-	introducer, ok := w.peers[introducerID]
-	if !ok {
+	introducer := w.livePeer(introducerID)
+	if introducer == nil {
 		return id.ID{}, fmt.Errorf("world: introducer %s not in the system", introducerID.Short())
 	}
-	p := peer.New(w.newPeerID(), class, style, rocq.DefaultParams())
+	p := w.newPeer(w.newPeerID(), class, style)
 	if class == peer.Cooperative {
 		w.m.ArrivalsCoop++
 	} else {
@@ -1368,7 +1504,7 @@ func (w *World) InjectArrival(class peer.Class, style peer.Style, introducerID i
 	w.record(trace.Arrival, p.ID, introducerID, p.Class.String())
 	granted := introducer.WillIntroduce(p.Class, w.cfg.ErrSel, w.behaveRand)
 	w.m.Pending++
-	w.arrivedAt[p.ID] = w.engine.Now()
+	w.markInFlight(p.ID)
 	w.proto.Begin(p.ID, introducerID, granted)
 	return p.ID, nil
 }
@@ -1381,7 +1517,7 @@ func (w *World) InjectTraitor(style peer.Style, introducerID id.ID, defectAt sim
 	if err != nil {
 		return id.ID{}, err
 	}
-	w.peers[pid].DefectAt = defectAt
+	w.livePeer(pid).DefectAt = defectAt
 	return pid, nil
 }
 

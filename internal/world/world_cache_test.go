@@ -30,7 +30,7 @@ func TestScoreManagerCacheMatchesFreshPlacement(t *testing.T) {
 	var extras []*peer.Peer
 	checkAll := func(step int) {
 		t.Helper()
-		for pid := range w.peers {
+		for _, pid := range w.slotIDsSorted(func(s *worldSlot) bool { return s.pr != nil }) {
 			if !w.ring.Contains(pid) {
 				continue
 			}
@@ -73,7 +73,7 @@ func TestScoreManagerCacheMatchesFreshPlacement(t *testing.T) {
 		// Query a random subset between membership events so the cache
 		// holds warm entries when the next change lands.
 		for i := 0; i < 5; i++ {
-			for pid := range w.peers {
+			for _, pid := range w.slotIDsSorted(func(s *worldSlot) bool { return s.pr != nil }) {
 				if w.ring.Contains(pid) {
 					_ = w.ScoreManagers(pid)
 					break
@@ -116,10 +116,14 @@ func TestDetachEvictsAllPerPeerState(t *testing.T) {
 			t.Errorf("%s holds %d entries for %d live peers (leak of refused peers)", name, got, live)
 		}
 	}
-	check("peers", len(w.peers))
+	check("peers", len(w.slotIDsSorted(func(s *worldSlot) bool { return s.pr != nil })))
 	check("ring", w.Ring().Size())
-	check("stores", len(w.stores))
+	check("stores", len(w.slotIDsSorted(func(s *worldSlot) bool { return s.store != nil })))
 	check("smCache", len(w.smCache))
+	// The arena itself must not leak: every assigned ordinal belongs to a
+	// peer holding some live state, so slots track the live population too.
+	arenaLive, _ := w.ArenaSlots()
+	check("arena slots", arenaLive)
 	check("protocol signers", w.Protocol().RegisteredPeers())
 	check("protocol manager states", w.Protocol().ManagerStates())
 	if got := w.topo.Len(); got != w.PopulationSize() {

@@ -9,6 +9,7 @@ import (
 	"repro/internal/id"
 	"repro/internal/peer"
 	"repro/internal/rng"
+	"repro/internal/trace"
 )
 
 func churnTestConfig() config.Config {
@@ -38,7 +39,7 @@ func replicationOf(t *testing.T, w *World, pid id.ID) (known, managers int) {
 		}
 		seen = append(seen, m)
 		managers++
-		if st, ok := w.stores[m]; ok && st.Known(pid) {
+		if st, ok := w.storeAt(m); ok && st.Known(pid) {
 			known++
 		}
 	}
@@ -54,7 +55,12 @@ func replicationOf(t *testing.T, w *World, pid id.ID) (known, managers int) {
 // in the wipeout counter. Opinion mass (the ledger of live replica
 // records) is conserved modulo exactly those counted wipeouts.
 func TestChurnConservesOpinionMass(t *testing.T) {
-	w, err := New(churnTestConfig())
+	c := churnTestConfig()
+	// Record leases run alongside: an eviction finalises an offline peer
+	// exactly like a wipeout finalises a record, dropping it from the
+	// tracked set, so the ledger must balance with both active.
+	c.Churn.LeaseTTL = 1_500
+	w, err := New(c)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,10 +74,11 @@ func TestChurnConservesOpinionMass(t *testing.T) {
 		return w.admittedPeers[src.Intn(len(w.admittedPeers))]
 	}
 	wipeoutsSeen := w.m.Churn.Wipeouts
+	leasesSeen := w.m.Churn.LeaseEvictions
 
 	check := func(step int) {
 		t.Helper()
-		tracked := make([]id.ID, 0, len(w.admittedPeers)+len(w.departed))
+		tracked := make([]id.ID, 0, len(w.admittedPeers))
 		for _, p := range w.admittedPeers {
 			tracked = append(tracked, p.ID)
 		}
@@ -90,6 +97,10 @@ func TestChurnConservesOpinionMass(t *testing.T) {
 			t.Fatalf("step %d: wipeout counter went backwards", step)
 		}
 		wipeoutsSeen = w.m.Churn.Wipeouts
+		if w.m.Churn.LeaseEvictions < leasesSeen {
+			t.Fatalf("step %d: lease-eviction counter went backwards", step)
+		}
+		leasesSeen = w.m.Churn.LeaseEvictions
 	}
 
 	for step := 0; step < 250; step++ {
@@ -142,6 +153,9 @@ func TestChurnConservesOpinionMass(t *testing.T) {
 	}
 	if w.m.Churn.Migrated == 0 {
 		t.Fatal("no records migrated; the handoff protocol was not exercised")
+	}
+	if w.m.Churn.LeaseEvictions == 0 {
+		t.Fatal("no record leases expired; the eviction path was not exercised")
 	}
 }
 
@@ -401,7 +415,7 @@ func TestPermanentDeparturesDoNotAccrete(t *testing.T) {
 	if m.Churn.Departures+m.Churn.Crashes < 100 {
 		t.Fatalf("leak regression needs real churn, got %+v", m.Churn)
 	}
-	if got := len(w.departed); got != 0 {
+	if got := len(w.DepartedPeers()); got != 0 {
 		t.Fatalf("%d permanently departed peers retained for rejoin", got)
 	}
 	if got := w.Protocol().Tombstones(); got != 0 {
@@ -411,8 +425,10 @@ func TestPermanentDeparturesDoNotAccrete(t *testing.T) {
 	// live population (numSM replicas each) plus bounded orphan slack,
 	// not the cumulative departure count.
 	slots := 0
-	for _, st := range w.stores {
-		slots += st.Subjects()
+	for ord := range w.slots {
+		if st := w.slots[ord].store; st != nil {
+			slots += st.Subjects()
+		}
 	}
 	if max := (w.PopulationSize() + int(m.Pending)) * c.NumSM * 2; slots > max {
 		t.Fatalf("stores hold %d present slots for %d live peers (departed records accreting)",
@@ -428,6 +444,82 @@ func TestPermanentDeparturesDoNotAccrete(t *testing.T) {
 	if got, max := w.Protocol().StakeRecords(), w.PopulationSize()+int(m.Pending)+4*ttlWindow; got > max {
 		t.Fatalf("%d stake records for %d live peers (TTL window %d): departed newcomers' stakes accreting",
 			got, w.PopulationSize(), ttlWindow)
+	}
+	// With every departure permanent the arena must recycle slots: assigned
+	// ordinals track the live population (plus wiped markers), not the
+	// cumulative arrival count.
+	arenaLive, _ := w.ArenaSlots()
+	if max := (w.PopulationSize()+int(m.Pending))*2 + int(m.Churn.Wipeouts); arenaLive > max {
+		t.Fatalf("arena holds %d assigned slots for %d live peers (slots of departed peers accreting)",
+			arenaLive, w.PopulationSize())
+	}
+}
+
+// TestLeaseEvictionsDropStaleRecords runs the record lease end to end:
+// under churn whose downtime mostly outlasts the TTL, offline peers'
+// records are evicted instead of riding migrations forever. Evicted
+// peers lose rejoin eligibility for good, short downtimes still rejoin,
+// and a world without the lease evicts nothing.
+func TestLeaseEvictionsDropStaleRecords(t *testing.T) {
+	c := churnTestConfig()
+	c.NumTrans = 15_000
+	c.Churn.Mu = 0.05
+	c.Churn.RejoinProb = 1.0
+	c.Churn.DowntimeMean = 4_000 // most downtimes outlast the lease
+	c.Churn.LeaseTTL = 600
+	w, err := New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := &trace.Log{}
+	w.SetTrace(tr)
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	m := w.Metrics()
+	if m.Churn.LeaseEvictions == 0 {
+		t.Fatalf("no leases evicted despite long downtimes: %+v", m.Churn)
+	}
+	if m.Churn.Rejoins == 0 {
+		t.Fatalf("no rejoins beat the lease; both outcomes must be exercised: %+v", m.Churn)
+	}
+	if got := tr.Count(trace.LeaseEvicted); got != m.Churn.LeaseEvictions {
+		t.Fatalf("trace recorded %d lease evictions, counter says %d", got, m.Churn.LeaseEvictions)
+	}
+	// Every eviction finalised its peer: whoever is still departed is
+	// inside the TTL window (plus events not yet fired), never the
+	// cumulative count of peers whose downtime ran long.
+	ttlWindow := int(float64(c.Churn.LeaseTTL)*c.Churn.Mu) + 1
+	if got, max := len(w.DepartedPeers()), 4*ttlWindow+4; got > max {
+		t.Fatalf("%d peers still rejoin-eligible (TTL window %d): evictions are not finalising", got, ttlWindow)
+	}
+	// Evicted records are gone from every store: present slots track the
+	// live population, not the eviction count.
+	slots := 0
+	for ord := range w.slots {
+		if st := w.slots[ord].store; st != nil {
+			slots += st.Subjects()
+		}
+	}
+	if max := (w.PopulationSize() + int(m.Pending) + len(w.DepartedPeers())) * c.NumSM * 2; slots > max {
+		t.Fatalf("stores hold %d present slots for %d live peers (evicted records accreting)",
+			slots, w.PopulationSize())
+	}
+	// The zero TTL keeps today's semantics: no evictions, ever.
+	c2 := churnTestConfig()
+	c2.NumTrans = 5_000
+	c2.Churn.Mu = 0.05
+	c2.Churn.RejoinProb = 1.0
+	c2.Churn.DowntimeMean = 4_000
+	w2, err := New(c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := w2.Metrics().Churn.LeaseEvictions; got != 0 {
+		t.Fatalf("world without a lease evicted %d records", got)
 	}
 }
 
